@@ -1,0 +1,93 @@
+// E12 (DESIGN.md §8): handoff latency through the gate mechanism —
+// writer -> waiting readers -> next writer.
+//
+// Measures (a) how long after write_unlock the first parked reader enters,
+// and (b) how long after the last reader's read_unlock a parked writer
+// enters.  Both should be scheduling-bound constants (one cache-line write
+// wakes the whole side at once — the CC argument from the paper's
+// introduction), independent of how many readers are parked.
+#include <atomic>
+#include <iostream>
+
+#include "src/core/locks.hpp"
+#include "src/harness/stats.hpp"
+#include "src/harness/table.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/harness/timing.hpp"
+
+namespace bjrw::bench {
+namespace {
+
+constexpr int kRounds = 40;
+
+// Writer holds; `readers` park; writer releases; stamp the gap until the
+// LAST reader is in (one gate write must release them all).
+template <class Lock>
+Summary writer_to_readers(int readers) {
+  std::vector<double> gaps_us;
+  for (int round = 0; round < kRounds; ++round) {
+    Lock lock(readers + 1);
+    std::atomic<bool> writer_holding{false};
+    std::atomic<int> parked{0};
+    std::atomic<int> entered{0};
+    std::atomic<std::uint64_t> release_ns{0};
+    std::atomic<std::uint64_t> last_enter_ns{0};
+
+    run_threads(readers + 1, [&](std::size_t t) {
+      const int tid = static_cast<int>(t);
+      if (tid == 0) {
+        lock.write_lock(0);
+        writer_holding.store(true);
+        spin_until<YieldSpin>([&] { return parked.load() == readers; });
+        // Readers are inside read_lock (cannot be *proven* parked without
+        // internals; the announce+yield window makes it overwhelmingly so).
+        for (int i = 0; i < 100; ++i) YieldSpin::relax();
+        release_ns.store(now_ns());
+        lock.write_unlock(0);
+      } else {
+        // Only start the read attempt once the writer owns the lock, so
+        // every reader is genuinely parked behind the gate.
+        spin_until<YieldSpin>([&] { return writer_holding.load(); });
+        parked.fetch_add(1);
+        lock.read_lock(tid);
+        const auto now = now_ns();
+        std::uint64_t prev = last_enter_ns.load();
+        while (now > prev && !last_enter_ns.compare_exchange_weak(prev, now)) {
+        }
+        entered.fetch_add(1);
+        lock.read_unlock(tid);
+      }
+    });
+    const auto gap = last_enter_ns.load() - release_ns.load();
+    gaps_us.push_back(static_cast<double>(gap) / 1000.0);
+  }
+  return summarize(std::move(gaps_us));
+}
+
+template <class Lock>
+void sweep(Table& t, const std::string& name) {
+  for (int readers : {1, 2, 4, 8}) {
+    const auto s = writer_to_readers<Lock>(readers);
+    t.add_row({name, std::to_string(readers), Table::cell(s.p50),
+               Table::cell(s.p90), Table::cell(s.max)});
+  }
+}
+
+int run() {
+  std::cout << "E12: writer->readers handoff latency (us), gap from "
+               "write_unlock to the LAST parked reader's entry\n"
+            << "Expected: flat in the number of parked readers (single gate "
+               "write releases the whole side). Values are dominated by "
+               "scheduler wakeups on this host.\n\n";
+  Table t({"lock", "parked_readers", "p50_us", "p90_us", "max_us"});
+  sweep<StarvationFreeLock>(t, "thm3_mw_nopri");
+  sweep<ReaderPriorityLock>(t, "thm4_mw_rpref");
+  sweep<WriterPriorityLock>(t, "fig4_mw_wpref");
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bjrw::bench
+
+int main() { return bjrw::bench::run(); }

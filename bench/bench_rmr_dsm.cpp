@@ -1,0 +1,145 @@
+// E14 (DESIGN.md §8): the DSM side of the paper's story.
+//
+// On distributed-shared-memory machines there is no cache: a reference is
+// remote iff the variable lives in another processor's module, and spinning
+// on a remote variable costs one RMR per probe.  The paper's §1 recounts
+// two facts this bench reproduces:
+//
+//  1. MCS mutual exclusion is O(1) RMR on DSM too (each thread spins on its
+//     own queue node) — this is why [4] won the Dijkstra Prize — while
+//     Anderson/CLH/ticket spins are remote and their DSM cost grows with
+//     waiting time.
+//  2. For reader-writer exclusion with concurrent entering, Danek &
+//     Hadzilacos' bound implies sublinear DSM RMR is IMPOSSIBLE — readers
+//     of Figure 1 all spin on the shared Gate, so the longer the writer
+//     holds the CS, the more RMRs each waiting reader burns.  The paper's
+//     locks are CC-only by necessity, not by accident.
+#include <algorithm>
+#include <atomic>
+#include <iostream>
+#include <vector>
+
+#include "src/core/sw_writer_pref.hpp"
+#include "src/harness/stats.hpp"
+#include "src/harness/table.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/mutex/anderson.hpp"
+#include "src/mutex/clh.hpp"
+#include "src/mutex/mcs.hpp"
+#include "src/mutex/ticket.hpp"
+#include "src/rmr/cache_directory.hpp"
+
+namespace bjrw::bench {
+namespace {
+
+using P = InstrumentedProvider;
+using S = YieldSpin;
+
+// Part 1: mutexes under DSM with a fixed CS dwell.  The dwell (in yields)
+// controls how long waiters spin; local-spin locks must be insensitive to
+// it, remote-spin locks must grow.
+template <class Lock>
+std::uint64_t mutex_dsm_max_rmr(int threads, int dwell_yields) {
+  auto& dir = rmr::CacheDirectory::instance();
+  dir.set_mode(rmr::Mode::kDSM);
+  dir.reset_counters();
+  Lock lock(threads);
+  std::vector<std::uint64_t> maxima(static_cast<std::size_t>(threads), 0);
+  std::atomic<int> round_arrived{0};
+
+  run_threads(static_cast<std::size_t>(threads), [&](std::size_t t) {
+    const int tid = static_cast<int>(t);
+    rmr::ScopedTid scoped(tid);
+    rmr::RmrProbe probe(tid);
+    for (int i = 0; i < 20; ++i) {
+      // Rendezvous so every acquisition is contended.
+      round_arrived.fetch_add(1);
+      spin_until<S>([&] { return round_arrived.load() >= (i + 1) * threads; });
+      probe.rebase();
+      lock.lock(tid);
+      for (int k = 0; k < dwell_yields; ++k) std::this_thread::yield();
+      lock.unlock(tid);
+      maxima[t] = std::max(maxima[t], probe.sample());
+    }
+  });
+  dir.set_mode(rmr::Mode::kCC);
+  std::uint64_t m = 0;
+  for (auto v : maxima) m = std::max(m, v);
+  return m;
+}
+
+// Part 2: Figure 1 readers under DSM while the writer dwells in the CS.
+// Reports the worst reader-attempt RMR as a function of the writer's hold
+// time — the paper's impossibility, measured.
+std::uint64_t swwp_reader_dsm_rmr(int readers, int writer_dwell) {
+  auto& dir = rmr::CacheDirectory::instance();
+  dir.set_mode(rmr::Mode::kDSM);
+  dir.reset_counters();
+  const int n = readers + 1;
+  SwWriterPrefLock<P, S> lock(n);
+  std::vector<std::uint64_t> maxima(static_cast<std::size_t>(n), 0);
+  std::atomic<bool> writer_holding{false};
+
+  run_threads(static_cast<std::size_t>(n), [&](std::size_t t) {
+    const int tid = static_cast<int>(t);
+    rmr::ScopedTid scoped(tid);
+    if (tid == 0) {
+      lock.write_lock();
+      writer_holding.store(true);
+      for (int k = 0; k < writer_dwell; ++k) std::this_thread::yield();
+      lock.write_unlock();
+    } else {
+      spin_until<S>([&] { return writer_holding.load(); });
+      rmr::RmrProbe probe(tid);
+      lock.read_lock(tid);
+      lock.read_unlock(tid);
+      maxima[t] = probe.sample();
+    }
+  });
+  dir.set_mode(rmr::Mode::kCC);
+  std::uint64_t m = 0;
+  for (auto v : maxima) m = std::max(m, v);
+  return m;
+}
+
+int run() {
+  std::cout
+      << "E14: RMRs under the DSM model (no caching; remote = other "
+         "module)\n\n"
+      << "Part 1 - mutexes, 8 threads, worst RMRs per acquisition vs. CS "
+         "dwell:\n"
+      << "Expected: MCS flat (spins on own node); Anderson/CLH/ticket grow "
+         "with dwell (remote spins).\n\n";
+  Table t1({"lock", "dwell=0", "dwell=8", "dwell=32"});
+  {
+    auto row = [&](const std::string& name, auto measure) {
+      t1.add_row({name, Table::cell(measure(0)), Table::cell(measure(8)),
+                  Table::cell(measure(32))});
+    };
+    row("mcs[4]", [](int d) { return mutex_dsm_max_rmr<McsLock<P, S>>(8, d); });
+    row("anderson[3]",
+        [](int d) { return mutex_dsm_max_rmr<AndersonLock<P, S>>(8, d); });
+    row("clh", [](int d) { return mutex_dsm_max_rmr<ClhLock<P, S>>(8, d); });
+    row("ticket",
+        [](int d) { return mutex_dsm_max_rmr<TicketLock<P, S>>(8, d); });
+  }
+  t1.print(std::cout);
+
+  std::cout << "\nPart 2 - Figure 1 readers, worst attempt RMRs vs. writer "
+               "hold time (4 readers):\n"
+            << "Expected: grows with the hold time — the Danek-Hadzilacos "
+               "bound says no concurrent-entering RW lock can spin locally "
+               "on DSM, so the paper targets CC machines only.\n\n";
+  Table t2({"writer_dwell_yields", "worst_reader_rmr"});
+  for (int dwell : {0, 8, 32, 128}) {
+    t2.add_row({std::to_string(dwell),
+                Table::cell(swwp_reader_dsm_rmr(4, dwell))});
+  }
+  t2.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bjrw::bench
+
+int main() { return bjrw::bench::run(); }

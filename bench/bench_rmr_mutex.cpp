@@ -1,0 +1,123 @@
+// E2 (DESIGN.md §8): RMRs per acquisition for the mutual-exclusion
+// substrate, on the instrumented CC cache model.
+//
+// Expected shape: Anderson (the paper's lock M), MCS and CLH stay flat
+// (local spinning); the ticket lock and TTAS grow with the number of
+// waiters, because all of them spin on one word that every handoff
+// invalidates.
+#include <algorithm>
+#include <atomic>
+#include <iostream>
+#include <vector>
+
+#include "src/harness/stats.hpp"
+#include "src/harness/table.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/mutex/anderson.hpp"
+#include "src/mutex/clh.hpp"
+#include "src/mutex/mcs.hpp"
+#include "src/mutex/ticket.hpp"
+#include "src/mutex/ttas.hpp"
+#include "src/rmr/cache_directory.hpp"
+
+namespace bjrw::bench {
+namespace {
+
+using P = InstrumentedProvider;
+using S = YieldSpin;
+
+struct Result {
+  double mean = 0;
+  std::uint64_t max = 0;
+};
+
+// Uninstrumented sense-reversing barrier: forces all threads to contend for
+// the lock simultaneously each round.  Without it this single-core host
+// serializes the threads and no lock ever has a waiting queue, hiding the
+// ticket/TTAS RMR growth entirely.
+class RoundBarrier {
+ public:
+  explicit RoundBarrier(int n) : n_(n) {}
+  void arrive_and_wait() {
+    const std::uint64_t round = round_.load();
+    if (arrived_.fetch_add(1) + 1 == n_) {
+      arrived_.store(0);
+      round_.fetch_add(1);
+    } else {
+      spin_until<YieldSpin>([&] { return round_.load() != round; });
+    }
+  }
+
+ private:
+  const int n_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> round_{0};
+};
+
+template <class Lock>
+Result measure(int threads, int iters) {
+  auto& dir = rmr::CacheDirectory::instance();
+  dir.flush_caches();
+  dir.reset_counters();
+  Lock lock(threads);
+  RoundBarrier barrier(threads);
+  std::vector<StreamingStats> stats(static_cast<std::size_t>(threads));
+  std::vector<std::uint64_t> maxima(static_cast<std::size_t>(threads), 0);
+
+  run_threads(static_cast<std::size_t>(threads), [&](std::size_t t) {
+    const int tid = static_cast<int>(t);
+    rmr::ScopedTid scoped(tid);
+    rmr::RmrProbe probe(tid);
+    for (int i = 0; i < iters; ++i) {
+      barrier.arrive_and_wait();  // all threads storm the lock together
+      probe.rebase();
+      lock.lock(tid);
+      // Dwell in the CS across a few scheduler quanta so the other threads
+      // actually enqueue/spin while the lock is held (on multi-core
+      // hardware the overlap is automatic).
+      for (int k = 0; k < 2; ++k) std::this_thread::yield();
+      lock.unlock(tid);
+      const auto rmrs = probe.sample();
+      stats[t].add(static_cast<double>(rmrs));
+      maxima[t] = std::max(maxima[t], rmrs);
+    }
+  });
+
+  Result r;
+  StreamingStats all;
+  for (int t = 0; t < threads; ++t) {
+    all.merge(stats[t]);
+    r.max = std::max(r.max, maxima[t]);
+  }
+  r.mean = all.mean();
+  return r;
+}
+
+template <class Lock>
+void sweep(Table& t, const std::string& name) {
+  for (int threads : {1, 2, 4, 8, 16, 32, 48}) {
+    const auto r = measure<Lock>(threads, 80);
+    t.add_row({name, std::to_string(threads), Table::cell(r.mean),
+               Table::cell(r.max)});
+  }
+}
+
+int run() {
+  std::cout << "E2: RMRs per mutex acquisition vs. thread count (CC cache "
+               "model)\n"
+            << "Expected: Anderson/MCS/CLH flat (local spin); ticket/TTAS "
+               "grow with waiters.\n\n";
+  Table t({"lock", "threads", "rmr_mean", "rmr_max"});
+  sweep<AndersonLock<P, S>>(t, "anderson[3]");
+  sweep<McsLock<P, S>>(t, "mcs[4]");
+  sweep<ClhLock<P, S>>(t, "clh");
+  sweep<TicketLock<P, S>>(t, "ticket");
+  sweep<TtasLock<P, S>>(t, "ttas");
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bjrw::bench
+
+int main() { return bjrw::bench::run(); }

@@ -1,0 +1,89 @@
+// E10 (DESIGN.md §8): wall-clock throughput vs. read ratio for every
+// reader-writer lock, at a fixed thread count.
+//
+// Expected shape (not absolute numbers — this host timeslices threads on a
+// single core): at high read ratios the RW locks admit readers concurrently
+// and sustain throughput; at write-heavy ratios throughput converges toward
+// a mutex's.  The paper's locks should be competitive with the centralized
+// baselines at every ratio while adding their fairness/priority guarantees.
+#include <atomic>
+#include <iostream>
+
+#include "src/baseline/big_reader.hpp"
+#include "src/baseline/centralized_rw.hpp"
+#include "src/baseline/phase_fair.hpp"
+#include "src/baseline/shared_mutex_rw.hpp"
+#include "src/core/locks.hpp"
+#include "src/harness/table.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/harness/timing.hpp"
+#include "src/harness/workload.hpp"
+
+namespace bjrw::bench {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kOpsPerThread = 4000;
+
+template <class Lock>
+double run_mix(double read_fraction) {
+  Lock lock(kThreads);
+  WorkloadConfig cfg;
+  cfg.read_fraction = read_fraction;
+  std::vector<OpStream> streams;
+  streams.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    streams.emplace_back(cfg, static_cast<std::uint64_t>(t), kOpsPerThread);
+
+  std::atomic<std::uint64_t> sink{0};
+  std::uint64_t shared_value = 0;
+  Stopwatch sw;
+  run_threads(kThreads, [&](std::size_t t) {
+    const int tid = static_cast<int>(t);
+    std::uint64_t local = 0;
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      if (streams[t].at(static_cast<std::size_t>(i)) == OpKind::kRead) {
+        lock.read_lock(tid);
+        local += shared_value;
+        lock.read_unlock(tid);
+      } else {
+        lock.write_lock(tid);
+        shared_value += 1;
+        lock.write_unlock(tid);
+      }
+    }
+    sink.fetch_add(local);
+  });
+  const double secs = sw.elapsed_s();
+  return static_cast<double>(kThreads) * kOpsPerThread / secs / 1e6;
+}
+
+template <class Lock>
+void sweep(Table& t, const std::string& name) {
+  for (double rf : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    t.add_row({name, Table::cell(rf), Table::cell(run_mix<Lock>(rf), 3)});
+  }
+}
+
+int run() {
+  std::cout << "E10: throughput (Mops/s) vs. read ratio, " << kThreads
+            << " threads\n"
+            << "(single-core host: compare shapes across locks, not "
+               "absolute numbers)\n\n";
+  Table t({"lock", "read_ratio", "mops_per_s"});
+  sweep<StarvationFreeLock>(t, "thm3_mw_nopri");
+  sweep<ReaderPriorityLock>(t, "thm4_mw_rpref");
+  sweep<WriterPriorityLock>(t, "fig4_mw_wpref");
+  sweep<CentralizedReaderPrefRwLock<>>(t, "base_central_rp");
+  sweep<CentralizedWriterPrefRwLock<>>(t, "base_central_wp");
+  sweep<PhaseFairRwLock<>>(t, "base_phasefair");
+  sweep<BigReaderLock<>>(t, "base_bigreader");
+  sweep<SharedMutexRwLock>(t, "std_shared_mutex");
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bjrw::bench
+
+int main() { return bjrw::bench::run(); }

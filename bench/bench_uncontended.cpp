@@ -1,0 +1,81 @@
+// E11 (DESIGN.md §8): single-thread (uncontended) acquire/release cost of
+// every lock — the constant-factor price of the O(1)-RMR structure, via
+// google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "src/baseline/big_reader.hpp"
+#include "src/baseline/centralized_rw.hpp"
+#include "src/baseline/phase_fair.hpp"
+#include "src/baseline/shared_mutex_rw.hpp"
+#include "src/core/locks.hpp"
+#include "src/mutex/anderson.hpp"
+#include "src/mutex/mcs.hpp"
+
+namespace bjrw::bench {
+namespace {
+
+template <class Lock>
+void BM_ReadAcquireRelease(benchmark::State& state) {
+  Lock lock(4);
+  for (auto _ : state) {
+    lock.read_lock(0);
+    benchmark::DoNotOptimize(&lock);
+    lock.read_unlock(0);
+  }
+}
+
+template <class Lock>
+void BM_WriteAcquireRelease(benchmark::State& state) {
+  Lock lock(4);
+  for (auto _ : state) {
+    lock.write_lock(0);
+    benchmark::DoNotOptimize(&lock);
+    lock.write_unlock(0);
+  }
+}
+
+template <class Lock>
+void BM_MutexAcquireRelease(benchmark::State& state) {
+  Lock lock(4);
+  for (auto _ : state) {
+    lock.lock(0);
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock(0);
+  }
+}
+
+BENCHMARK(BM_ReadAcquireRelease<StarvationFreeLock>)->Name("read/thm3_mw_nopri");
+BENCHMARK(BM_ReadAcquireRelease<ReaderPriorityLock>)->Name("read/thm4_mw_rpref");
+BENCHMARK(BM_ReadAcquireRelease<WriterPriorityLock>)->Name("read/fig4_mw_wpref");
+BENCHMARK(BM_ReadAcquireRelease<SwWriterPrefLock<>>)->Name("read/fig1_swwp");
+BENCHMARK(BM_ReadAcquireRelease<SwReaderPrefLock<>>)->Name("read/fig2_swrp");
+BENCHMARK(BM_ReadAcquireRelease<CentralizedReaderPrefRwLock<>>)
+    ->Name("read/base_central_rp");
+BENCHMARK(BM_ReadAcquireRelease<PhaseFairRwLock<>>)->Name("read/base_phasefair");
+BENCHMARK(BM_ReadAcquireRelease<BigReaderLock<>>)->Name("read/base_bigreader");
+BENCHMARK(BM_ReadAcquireRelease<SharedMutexRwLock>)
+    ->Name("read/std_shared_mutex");
+
+BENCHMARK(BM_WriteAcquireRelease<StarvationFreeLock>)
+    ->Name("write/thm3_mw_nopri");
+BENCHMARK(BM_WriteAcquireRelease<ReaderPriorityLock>)
+    ->Name("write/thm4_mw_rpref");
+BENCHMARK(BM_WriteAcquireRelease<WriterPriorityLock>)
+    ->Name("write/fig4_mw_wpref");
+BENCHMARK(BM_WriteAcquireRelease<SwWriterPrefLock<>>)->Name("write/fig1_swwp");
+BENCHMARK(BM_WriteAcquireRelease<SwReaderPrefLock<>>)->Name("write/fig2_swrp");
+BENCHMARK(BM_WriteAcquireRelease<CentralizedReaderPrefRwLock<>>)
+    ->Name("write/base_central_rp");
+BENCHMARK(BM_WriteAcquireRelease<PhaseFairRwLock<>>)
+    ->Name("write/base_phasefair");
+BENCHMARK(BM_WriteAcquireRelease<BigReaderLock<>>)->Name("write/base_bigreader");
+BENCHMARK(BM_WriteAcquireRelease<SharedMutexRwLock>)
+    ->Name("write/std_shared_mutex");
+
+BENCHMARK(BM_MutexAcquireRelease<AndersonLock<>>)->Name("mutex/anderson");
+BENCHMARK(BM_MutexAcquireRelease<McsLock<>>)->Name("mutex/mcs");
+
+}  // namespace
+}  // namespace bjrw::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// Example: a sharded in-memory key-value store protected by the paper's
+// constant-RMR reader-writer locks — the "shared data structure with mostly
+// sensing operations" workload the paper's introduction motivates.
+//
+// Each shard pairs a hash map with a WriterPriorityLock: lookups take the
+// read lock (many can proceed concurrently), updates take the write lock,
+// and because the lock is writer-priority, bursts of updates are not starved
+// by the lookup flood.
+//
+// Run: ./kv_store [threads] [ops_per_thread]
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/locks.hpp"
+#include "src/harness/prng.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/harness/timing.hpp"
+
+namespace {
+
+constexpr int kShards = 16;
+constexpr int kKeySpace = 10000;
+
+class ShardedKvStore {
+ public:
+  explicit ShardedKvStore(int max_threads) {
+    shards_.reserve(kShards);
+    for (int i = 0; i < kShards; ++i)
+      shards_.push_back(std::make_unique<Shard>(max_threads));
+  }
+
+  // Concurrent lookup: shared access to the shard.
+  bool get(int tid, std::uint64_t key, std::uint64_t& value_out) const {
+    Shard& s = shard(key);
+    bjrw::ReadGuard g(s.lock, tid);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return false;
+    value_out = it->second;
+    return true;
+  }
+
+  // Exclusive update.
+  void put(int tid, std::uint64_t key, std::uint64_t value) {
+    Shard& s = shard(key);
+    bjrw::WriteGuard g(s.lock, tid);
+    s.map[key] = value;
+  }
+
+  // Exclusive removal; returns whether the key existed.
+  bool erase(int tid, std::uint64_t key) {
+    Shard& s = shard(key);
+    bjrw::WriteGuard g(s.lock, tid);
+    return s.map.erase(key) > 0;
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) {
+      bjrw::ReadGuard g(s->lock, 0);
+      total += s->map.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(int max_threads) : lock(max_threads) {}
+    mutable bjrw::WriterPriorityLock lock;
+    std::unordered_map<std::uint64_t, std::uint64_t> map;
+  };
+
+  Shard& shard(std::uint64_t key) const {
+    return *shards_[key % kShards];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int ops = argc > 2 ? std::atoi(argv[2]) : 20000;
+
+  ShardedKvStore store(threads);
+  // Preload half the key space.
+  for (int k = 0; k < kKeySpace; k += 2)
+    store.put(0, static_cast<std::uint64_t>(k), static_cast<std::uint64_t>(k));
+
+  std::vector<std::uint64_t> hits(static_cast<std::size_t>(threads), 0);
+  std::vector<std::uint64_t> writes(static_cast<std::size_t>(threads), 0);
+
+  bjrw::Stopwatch sw;
+  bjrw::run_threads(static_cast<std::size_t>(threads), [&](std::size_t t) {
+    const int tid = static_cast<int>(t);
+    bjrw::Xoshiro256 rng(0xC0FFEE + t);
+    for (int i = 0; i < ops; ++i) {
+      const std::uint64_t key = rng.below(kKeySpace);
+      if (rng.chance(9, 10)) {  // 90% lookups
+        std::uint64_t v;
+        hits[t] += store.get(tid, key, v);
+      } else if (rng.chance(4, 5)) {
+        store.put(tid, key, key * 3);
+        ++writes[t];
+      } else {
+        store.erase(tid, key);
+        ++writes[t];
+      }
+    }
+  });
+  const double secs = sw.elapsed_s();
+
+  std::uint64_t total_hits = 0, total_writes = 0;
+  for (int t = 0; t < threads; ++t) {
+    total_hits += hits[static_cast<std::size_t>(t)];
+    total_writes += writes[static_cast<std::size_t>(t)];
+  }
+  const double mops =
+      static_cast<double>(threads) * ops / secs / 1e6;
+
+  std::cout << "kv_store: " << threads << " threads x " << ops
+            << " ops (90% lookups)\n"
+            << "  throughput: " << mops << " Mops/s\n"
+            << "  lookup hits: " << total_hits << ", mutations: "
+            << total_writes << "\n"
+            << "  final size: " << store.size() << " keys\n"
+            << "The store survives concurrent mixed traffic because every\n"
+            << "shard is protected by a constant-RMR writer-priority lock\n"
+            << "(Bhatt & Jayanti 2010, Figure 4).\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Example: the three priority regimes, made visible.
+//
+// Scenario (same for each lock): a standing crowd of readers cycles through
+// the critical section; midway, one writer arrives.  We record how many
+// reader entries complete between the writer's arrival and its entry, and
+// how long the writer waited.
+//
+//  * writer-priority (Figure 4):  readers that arrive after the writer are
+//    gated; the writer gets in almost immediately.
+//  * no-priority (Theorem 3):     the writer gets in after the current side
+//    drains — bounded overtaking.
+//  * reader-priority (Theorem 4): the writer waits until the reader
+//    population momentarily drains; readers are never held up.
+//
+// Run: ./priority_demo
+#include <atomic>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "src/core/locks.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/harness/timing.hpp"
+
+namespace {
+
+constexpr int kReaders = 5;
+constexpr int kFloodPerReader = 400;
+
+struct Outcome {
+  std::uint64_t overtakes = 0;
+  double writer_wait_us = 0.0;
+  std::uint64_t total_reads = 0;
+};
+
+template <class Lock>
+Outcome run_scenario() {
+  Lock lock(kReaders + 1);
+  std::atomic<bool> writer_arrived{false};
+  std::atomic<bool> writer_in{false};
+  std::atomic<std::uint64_t> overtakes{0};
+  std::atomic<std::uint64_t> total_reads{0};
+  std::atomic<int> warmed{0};
+  std::atomic<std::uint64_t> wait_ns{0};
+
+  bjrw::run_threads(kReaders + 1, [&](std::size_t t) {
+    const int tid = static_cast<int>(t);
+    if (tid == 0) {  // the writer
+      bjrw::spin_until<bjrw::YieldSpin>(
+          [&] { return warmed.load() == kReaders; });
+      writer_arrived.store(true);
+      const auto t0 = bjrw::now_ns();
+      lock.write_lock(0);
+      wait_ns.store(bjrw::now_ns() - t0);
+      writer_in.store(true);
+      lock.write_unlock(0);
+    } else {  // the reader crowd
+      warmed.fetch_add(1);
+      for (int i = 0; i < kFloodPerReader && !writer_in.load(); ++i) {
+        lock.read_lock(tid);
+        total_reads.fetch_add(1);
+        if (writer_arrived.load() && !writer_in.load())
+          overtakes.fetch_add(1);
+        std::this_thread::yield();  // dwell so the crowd overlaps
+        lock.read_unlock(tid);
+      }
+    }
+  });
+
+  Outcome o;
+  o.overtakes = overtakes.load();
+  o.writer_wait_us = static_cast<double>(wait_ns.load()) / 1000.0;
+  o.total_reads = total_reads.load();
+  return o;
+}
+
+template <class Lock>
+void report(const std::string& name, const std::string& expectation) {
+  const auto o = run_scenario<Lock>();
+  std::cout << std::left << std::setw(18) << name << " overtakes="
+            << std::setw(6) << o.overtakes
+            << " writer_wait_us=" << std::setw(10) << o.writer_wait_us
+            << " (" << expectation << ")\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "priority_demo: one writer arrives into a " << kReaders
+            << "-reader flood\n\n";
+  report<bjrw::WriterPriorityLock>(
+      "writer-priority", "readers gated: ~0 overtakes, short wait");
+  report<bjrw::StarvationFreeLock>(
+      "no-priority", "bounded overtakes: current side drains");
+  report<bjrw::ReaderPriorityLock>(
+      "reader-priority", "readers flow; writer waits for a drain");
+  std::cout << "\nSame API, same O(1) RMR bound — the only difference is\n"
+               "which class of process yields when both want the CS.\n";
+  return 0;
+}

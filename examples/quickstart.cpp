@@ -1,0 +1,65 @@
+// Quickstart: protect a shared structure with each of the three
+// constant-RMR reader-writer locks (Theorems 3, 4, 5 of Bhatt & Jayanti
+// 2010) and show the basic API: construction with a thread bound,
+// tid-parameterized acquire/release, and RAII guards.
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "src/core/locks.hpp"
+#include "src/harness/thread_coord.hpp"
+
+namespace {
+
+// A toy "configuration" that writers republish and readers consume.
+struct Config {
+  std::uint64_t version = 0;
+  std::uint64_t checksum = 0;  // invariant: checksum == version * 31
+};
+
+template <class Lock>
+void demo(const std::string& name) {
+  constexpr int kThreads = 4;  // 1 writer + 3 readers
+  Lock lock(kThreads);
+  Config cfg;
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> torn{0};
+
+  bjrw::run_threads(kThreads, [&](std::size_t t) {
+    const int tid = static_cast<int>(t);
+    if (tid == 0) {
+      for (int i = 0; i < 500; ++i) {
+        bjrw::WriteGuard g(lock, tid);  // exclusive section
+        cfg.version += 1;
+        cfg.checksum = cfg.version * 31;
+      }
+    } else {
+      for (int i = 0; i < 1500; ++i) {
+        bjrw::ReadGuard g(lock, tid);  // shared section
+        if (cfg.checksum != cfg.version * 31) torn.fetch_add(1);
+        reads.fetch_add(1);
+      }
+    }
+  });
+
+  std::cout << name << ": version=" << cfg.version << " reads=" << reads
+            << " torn_reads=" << torn << (torn == 0 ? "  [ok]" : "  [BUG]")
+            << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "bjrw quickstart: three priority regimes, same API\n\n";
+  // No-priority, starvation-free for everyone (Theorem 3).
+  demo<bjrw::StarvationFreeLock>("starvation-free");
+  // Readers never wait behind a waiting writer (Theorem 4).
+  demo<bjrw::ReaderPriorityLock>("reader-priority ");
+  // Writers preempt arriving readers (Theorem 5).
+  demo<bjrw::WriterPriorityLock>("writer-priority ");
+  std::cout << "\nAll locks are O(1) RMR on cache-coherent machines: each\n"
+               "acquire/release touches a constant number of remote cache\n"
+               "lines regardless of how many threads contend.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Example: watching the O(1) RMR bound directly.
+//
+// Runs the writer-priority lock (Figure 4) on the instrumented cache model
+// and prints, attempt by attempt, how many remote memory references one
+// reader and one writer incur while the thread count around them grows.
+// This is the claim of the paper in its most concrete form: the numbers in
+// the right-hand column do not grow.
+//
+// Run: ./rmr_demo
+#include <iostream>
+#include <vector>
+
+#include "src/core/mw_writer_pref.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/rmr/cache_directory.hpp"
+
+namespace {
+
+using Lock = bjrw::MwWriterPrefLock<bjrw::InstrumentedProvider, bjrw::YieldSpin>;
+
+void demo(int readers) {
+  auto& dir = bjrw::rmr::CacheDirectory::instance();
+  dir.flush_caches();
+  dir.reset_counters();
+
+  const int n = readers + 1;  // + 1 writer
+  Lock lock(n);
+  std::vector<std::uint64_t> reader_worst(static_cast<std::size_t>(n), 0);
+  std::uint64_t writer_worst = 0;
+
+  bjrw::run_threads(static_cast<std::size_t>(n), [&](std::size_t t) {
+    const int tid = static_cast<int>(t);
+    bjrw::rmr::ScopedTid scoped(tid);
+    bjrw::rmr::RmrProbe probe(tid);
+    for (int i = 0; i < 50; ++i) {
+      probe.rebase();
+      if (tid == 0) {
+        lock.write_lock(tid);
+        lock.write_unlock(tid);
+        writer_worst = std::max(writer_worst, probe.sample());
+      } else {
+        lock.read_lock(tid);
+        lock.read_unlock(tid);
+        reader_worst[t] = std::max(reader_worst[t], probe.sample());
+      }
+    }
+  });
+
+  std::uint64_t rd = 0;
+  for (int t = 1; t < n; ++t) rd = std::max(rd, reader_worst[t]);
+  std::cout << "  " << readers << " readers + 1 writer:  worst reader attempt = "
+            << rd << " RMRs, worst writer attempt = " << writer_worst
+            << " RMRs\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout
+      << "rmr_demo: remote memory references per lock attempt on a\n"
+         "simulated cache-coherent machine (write-invalidate directory).\n"
+         "A reference is remote iff the variable is not in the process's\n"
+         "cache -- the definition used by Bhatt & Jayanti (2010).\n\n";
+  for (int readers : {1, 2, 4, 8, 16, 32, 48}) demo(readers);
+  std::cout
+      << "\nThe worst-case attempt cost is flat: that is Theorem 5's O(1)\n"
+         "RMR bound.  Compare with a per-reader-flag lock, where the writer\n"
+         "column would read ~n+6 (see bench_rmr_scaling).\n";
+  return 0;
+}

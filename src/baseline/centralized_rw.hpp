@@ -1,0 +1,98 @@
+// Centralized single-word reader-writer locks — the textbook baselines the
+// constant-RMR literature improves on.  All contending processes spin on one
+// word, so every state change invalidates every spinner's cache line and the
+// worst-case RMR complexity per attempt is unbounded under contention.
+//
+// Two variants:
+//  * CentralizedReaderPrefRwLock — readers barge past waiting writers
+//    (classic Courtois/Heymans/Parnas "first" problem behaviour [1]).
+//  * CentralizedWriterPrefRwLock — a writer-waiting bit blocks new readers.
+#pragma once
+
+#include <cstdint>
+
+#include "src/harness/spin.hpp"
+#include "src/rmr/provider.hpp"
+
+namespace bjrw {
+
+// State word: bit 63 = writer active; bits 0..31 = active reader count.
+template <class Provider = StdProvider, class Spin = YieldSpin>
+class CentralizedReaderPrefRwLock {
+  template <class T>
+  using Atomic = typename Provider::template Atomic<T>;
+
+  static constexpr std::uint64_t kWriter = 1ULL << 63;
+
+ public:
+  explicit CentralizedReaderPrefRwLock(int /*max_threads*/ = 0) : state_(0) {}
+
+  void read_lock(int /*tid*/) {
+    for (;;) {
+      // Optimistically announce; back out if a writer holds the lock.
+      if ((state_.fetch_add(1) & kWriter) == 0) return;
+      state_.fetch_sub(1);
+      spin_until<Spin>([&] { return (state_.load() & kWriter) == 0; });
+    }
+  }
+
+  void read_unlock(int /*tid*/) { state_.fetch_sub(1); }
+
+  void write_lock(int /*tid*/) {
+    for (;;) {
+      spin_until<Spin>([&] { return state_.load() == 0; });
+      if (state_.cas(0, kWriter)) return;
+    }
+  }
+
+  void write_unlock(int /*tid*/) { state_.fetch_sub(kWriter); }
+
+ private:
+  Atomic<std::uint64_t> state_;
+};
+
+// State word: bit 63 = writer active; bits 40..62 = writers waiting;
+// bits 0..31 = active reader count.  New readers defer to waiting writers.
+template <class Provider = StdProvider, class Spin = YieldSpin>
+class CentralizedWriterPrefRwLock {
+  template <class T>
+  using Atomic = typename Provider::template Atomic<T>;
+
+  static constexpr std::uint64_t kWriter = 1ULL << 63;
+  static constexpr std::uint64_t kWaiting = 1ULL << 40;
+  static constexpr std::uint64_t kWaitingMask = ((1ULL << 23) - 1) << 40;
+  static constexpr std::uint64_t kReaderMask = (1ULL << 32) - 1;
+
+ public:
+  explicit CentralizedWriterPrefRwLock(int /*max_threads*/ = 0) : state_(0) {}
+
+  void read_lock(int /*tid*/) {
+    for (;;) {
+      spin_until<Spin>(
+          [&] { return (state_.load() & (kWriter | kWaitingMask)) == 0; });
+      if ((state_.fetch_add(1) & (kWriter | kWaitingMask)) == 0) return;
+      state_.fetch_sub(1);
+    }
+  }
+
+  void read_unlock(int /*tid*/) { state_.fetch_sub(1); }
+
+  void write_lock(int /*tid*/) {
+    state_.fetch_add(kWaiting);
+    for (;;) {
+      spin_until<Spin>(
+          [&] { return (state_.load() & (kWriter | kReaderMask)) == 0; });
+      const std::uint64_t s = state_.load();
+      if ((s & (kWriter | kReaderMask)) == 0 &&
+          state_.cas(s, (s - kWaiting) | kWriter))
+        return;
+    }
+  }
+
+  void write_unlock(int /*tid*/) { state_.fetch_sub(kWriter); }
+
+ private:
+  Atomic<std::uint64_t> state_;
+};
+
+}  // namespace bjrw

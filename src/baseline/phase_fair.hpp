@@ -1,0 +1,69 @@
+// Phase-fair ticket reader-writer lock (PF-T), after Brandenburg & Anderson,
+// "Reader-writer synchronization for shared-memory multiprocessor real-time
+// systems" (ECRTS 2009) — the paper's reference [26], cited there as a
+// non-constant-RMR prior solution.
+//
+// Reader and writer phases alternate whenever both classes are present: an
+// arriving writer blocks later readers (one writer bit per phase), and the
+// writer admits all readers that preceded it.  Readers spin on `rin` and
+// writers on `rout`/`wout`, all centralized words, so the RMR complexity is
+// contention-dependent (readers released by one writer all storm `rin`).
+#pragma once
+
+#include <cstdint>
+
+#include "src/harness/spin.hpp"
+#include "src/rmr/provider.hpp"
+
+namespace bjrw {
+
+template <class Provider = StdProvider, class Spin = YieldSpin>
+class PhaseFairRwLock {
+  template <class T>
+  using Atomic = typename Provider::template Atomic<T>;
+
+  static constexpr std::uint64_t kRinc = 0x100;  // reader-count increment
+  static constexpr std::uint64_t kWbits = 0x3;   // writer present + phase id
+  static constexpr std::uint64_t kPres = 0x2;    // writer present
+  static constexpr std::uint64_t kPhid = 0x1;    // writer phase id
+
+ public:
+  explicit PhaseFairRwLock(int /*max_threads*/ = 0)
+      : rin_(0), rout_(0), win_(0), wout_(0) {}
+
+  void read_lock(int /*tid*/) {
+    const std::uint64_t w = rin_.fetch_add(kRinc) & kWbits;
+    if (w != 0) {
+      // A writer is present: wait until it leaves or a new phase begins.
+      spin_until<Spin>([&] { return (rin_.load() & kWbits) != w; });
+    }
+  }
+
+  void read_unlock(int /*tid*/) { rout_.fetch_add(kRinc); }
+
+  void write_lock(int /*tid*/) {
+    // Writers order themselves with tickets.
+    const std::uint64_t ticket = win_.fetch_add(1);
+    spin_until<Spin>([&] { return wout_.load() == ticket; });
+    // Announce presence/phase and wait for earlier readers to drain.
+    const std::uint64_t w = kPres | (ticket & kPhid);
+    const std::uint64_t rticket = rin_.fetch_add(w);
+    spin_until<Spin>([&] { return rout_.load() == rticket; });
+  }
+
+  void write_unlock(int /*tid*/) {
+    // Clear the writer bits (releasing readers), then admit the next writer.
+    // The low byte of rin is only modified by the lock-holding writer, so the
+    // load/fetch_sub pair cannot race on those bits.
+    rin_.fetch_sub(rin_.load() & kWbits);
+    wout_.store(wout_.load() + 1);
+  }
+
+ private:
+  Atomic<std::uint64_t> rin_;
+  alignas(64) Atomic<std::uint64_t> rout_;
+  alignas(64) Atomic<std::uint64_t> win_;
+  alignas(64) Atomic<std::uint64_t> wout_;
+};
+
+}  // namespace bjrw

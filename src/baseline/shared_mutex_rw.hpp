@@ -1,0 +1,24 @@
+// std::shared_mutex wrapped in the library's tid-parameterized interface so
+// the platform lock can ride through the same benchmarks and tests.  Not
+// instrumentable (its internals are opaque to the RMR model), so it appears
+// only in wall-clock experiments.
+#pragma once
+
+#include <shared_mutex>
+
+namespace bjrw {
+
+class SharedMutexRwLock {
+ public:
+  explicit SharedMutexRwLock(int /*max_threads*/ = 0) {}
+
+  void read_lock(int /*tid*/) { mu_.lock_shared(); }
+  void read_unlock(int /*tid*/) { mu_.unlock_shared(); }
+  void write_lock(int /*tid*/) { mu_.lock(); }
+  void write_unlock(int /*tid*/) { mu_.unlock(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+}  // namespace bjrw

@@ -1,0 +1,110 @@
+// Public umbrella header for the bjrw reader-writer lock library.
+//
+//   #include "src/core/locks.hpp"
+//
+//   bjrw::WriterPriorityLock lk(kMaxThreads);
+//   { bjrw::ReadGuard g(lk, tid);  ... shared section ... }
+//   { bjrw::WriteGuard g(lk, tid); ... exclusive section ... }
+//
+// The three multi-writer multi-reader locks correspond to the paper's three
+// priority regimes (Theorems 3, 4, 5).  All have O(1) RMR complexity on
+// cache-coherent machines.
+#pragma once
+
+#include <concepts>
+
+#include "src/core/mw_transform.hpp"
+#include "src/core/mw_writer_pref.hpp"
+#include "src/core/sw_reader_pref.hpp"
+#include "src/core/sw_writer_pref.hpp"
+
+namespace bjrw {
+
+// Concept satisfied by every lock in this library: tid-parameterized
+// reader/writer sections.  tid must be in [0, max_threads) given at
+// construction and unique per concurrently active thread.
+template <class L>
+concept ReaderWriterLock = requires(L& l, int tid) {
+  { l.read_lock(tid) };
+  { l.read_unlock(tid) };
+  { l.write_lock(tid) };
+  { l.write_unlock(tid) };
+};
+
+// --- the headline locks ----------------------------------------------------
+
+// No-priority regime: starvation-free for readers and writers (Theorem 3).
+using StarvationFreeLock = MwStarvationFreeLock<StdProvider, YieldSpin>;
+
+// Reader-priority regime (Theorem 4).
+using ReaderPriorityLock = MwReaderPrefLock<StdProvider, YieldSpin>;
+
+// Writer-priority regime (Theorem 5).
+using WriterPriorityLock = MwWriterPrefLock<StdProvider, YieldSpin>;
+
+static_assert(ReaderWriterLock<StarvationFreeLock>);
+static_assert(ReaderWriterLock<ReaderPriorityLock>);
+static_assert(ReaderWriterLock<WriterPriorityLock>);
+
+// --- RAII guards -------------------------------------------------------------
+
+template <ReaderWriterLock L>
+class ReadGuard {
+ public:
+  ReadGuard(L& lock, int tid) : lock_(lock), tid_(tid) {
+    lock_.read_lock(tid_);
+  }
+  ~ReadGuard() { lock_.read_unlock(tid_); }
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+ private:
+  L& lock_;
+  int tid_;
+};
+
+template <ReaderWriterLock L>
+class WriteGuard {
+ public:
+  WriteGuard(L& lock, int tid) : lock_(lock), tid_(tid) {
+    lock_.write_lock(tid_);
+  }
+  ~WriteGuard() { lock_.write_unlock(tid_); }
+  WriteGuard(const WriteGuard&) = delete;
+  WriteGuard& operator=(const WriteGuard&) = delete;
+
+ private:
+  L& lock_;
+  int tid_;
+};
+
+// --- std::shared_mutex-style adapter ----------------------------------------
+//
+// Bridges a bjrw lock to the BasicSharedLockable interface so it can be used
+// with std::shared_lock/std::unique_lock.  The tid is taken from a
+// caller-registered thread slot (see register_this_thread); this keeps the
+// adapter usable in code that cannot thread tids through its call graph.
+template <ReaderWriterLock L>
+class SharedMutexAdapter {
+ public:
+  explicit SharedMutexAdapter(int max_threads) : lock_(max_threads) {}
+
+  // Each thread must register once before first use; slots are not recycled.
+  void register_this_thread(int tid) { tls_tid() = tid; }
+
+  void lock() { lock_.write_lock(tls_tid()); }
+  void unlock() { lock_.write_unlock(tls_tid()); }
+  void lock_shared() { lock_.read_lock(tls_tid()); }
+  void unlock_shared() { lock_.read_unlock(tls_tid()); }
+
+  L& underlying() { return lock_; }
+
+ private:
+  static int& tls_tid() {
+    thread_local int tid = 0;
+    return tid;
+  }
+  L lock_;
+};
+
+}  // namespace bjrw

@@ -1,0 +1,61 @@
+// Figure 3 of Bhatt & Jayanti (TR2010-662): transformation T from a
+// single-writer multi-reader lock to a multi-writer multi-reader lock.
+//
+// Writers are serialized through a mutual-exclusion lock M (Anderson's
+// array lock [3] by default) and then run the single-writer protocol;
+// readers use the single-writer protocol unchanged.  Because M is FCFS,
+// starvation-free, bounded-exit and O(1)-RMR, the composition preserves the
+// single-writer lock's properties (Theorems 3 and 4):
+//
+//   T(Figure 1)  =>  multi-writer, no-priority, starvation-free (P1-P7)
+//   T(Figure 2)  =>  multi-writer, reader priority (P1-P6, RP1, RP2)
+//
+// Note T(Figure 1) does *not* yield writer priority — an exiting writer
+// releases the single-writer lock before the next writer reacquires it, so
+// a waiting reader can slip in.  Figure 4 (mw_writer_pref.hpp) handles the
+// writer-priority case.
+#pragma once
+
+#include "src/core/sw_reader_pref.hpp"
+#include "src/core/sw_writer_pref.hpp"
+#include "src/mutex/anderson.hpp"
+
+namespace bjrw {
+
+template <class SwLock, class Mutex>
+class MwTransform {
+ public:
+  explicit MwTransform(int max_threads)
+      : m_(max_threads), sw_(max_threads) {}
+
+  void write_lock(int tid) {
+    m_.lock(tid);        // line 2: acquire(M)
+    sw_.write_lock(tid); // line 3: SW-Write-try
+  }
+
+  void write_unlock(int tid) {
+    sw_.write_unlock(tid);  // line 5: SW-Write-exit
+    m_.unlock(tid);         // line 6: release(M)
+  }
+
+  void read_lock(int tid) { sw_.read_lock(tid); }      // line 8
+  void read_unlock(int tid) { sw_.read_unlock(tid); }  // line 10
+
+  const SwLock& sw() const { return sw_; }
+
+ private:
+  Mutex m_;
+  SwLock sw_;
+};
+
+// Theorem 3: multi-writer multi-reader, starvation-free, no priority.
+template <class Provider = StdProvider, class Spin = YieldSpin>
+using MwStarvationFreeLock =
+    MwTransform<SwWriterPrefLock<Provider, Spin>, AndersonLock<Provider, Spin>>;
+
+// Theorem 4: multi-writer multi-reader, reader priority.
+template <class Provider = StdProvider, class Spin = YieldSpin>
+using MwReaderPrefLock =
+    MwTransform<SwReaderPrefLock<Provider, Spin>, AndersonLock<Provider, Spin>>;
+
+}  // namespace bjrw

@@ -1,0 +1,116 @@
+// Figure 4 of Bhatt & Jayanti (TR2010-662): multi-writer multi-reader
+// reader-writer lock with Writer Priority.
+//
+// Satisfies (Theorem 5): P1-P6, WP1 writer priority, WP2 unstoppable
+// writers.  O(1) RMR on CC machines; read/write + fetch&add + CAS.
+//
+// Why the plain transformation T is not enough for writer priority (§5.1):
+// between an exiting writer's SW-exit and the next writer's SW-try there is
+// a window where a waiting reader becomes enabled and overtakes the waiting
+// writer.  Figure 4 closes the window by *not* exiting the single-writer
+// protocol (SWWP, Figure 1) while more writers are waiting:
+//
+//  * Wcount tracks writers in the try/critical section.
+//  * An exiting writer publishes its pid in W-token, releases M, and only if
+//    Wcount == 0 CASes W-token to the *next side* value and opens the gate
+//    (exits SWWP).  If any writer is around, SWWP stays held and the next
+//    writer inherits the CS without competing with readers.
+//  * An arriving writer that sees a pid in W-token CASes `false` over it to
+//    preempt the in-flight exit; if it instead sees a side value (the last
+//    writer fully exited SWWP), it performs the SWWP doorway (D <- side)
+//    *before* joining M's queue — so no reader arriving later can pass it —
+//    and, after acquiring M, waits for the previous writer's gate-open and
+//    runs the SWWP waiting room.
+//
+// Readers run SWWP's reader protocol unchanged.
+//
+// Line numbers in comments are the paper's (Figure 4).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+#include "src/core/sw_writer_pref.hpp"
+#include "src/core/words.hpp"
+#include "src/harness/spin.hpp"
+#include "src/mutex/anderson.hpp"
+#include "src/rmr/provider.hpp"
+
+namespace bjrw {
+
+template <class Provider = StdProvider, class Spin = YieldSpin>
+class MwWriterPrefLock {
+  template <class T>
+  using Atomic = typename Provider::template Atomic<T>;
+
+ public:
+  explicit MwWriterPrefLock(int max_threads)
+      : wcount_(0),
+        // Initially no writer has ever held the lock and SWWP is in its
+        // initial state (D=0, Gate[0] open): the first writer must attempt
+        // from side 1, exactly as SWWP's own first doorway would.
+        wtoken_(wtoken::side(1)),
+        sw_(max_threads),
+        m_(max_threads),
+        wctx_(std::make_unique<WriterCtx[]>(
+            static_cast<std::size_t>(max_threads))) {
+    assert(max_threads >= 1);
+  }
+
+  // ---- writer side ---------------------------------------------------------
+
+  void write_lock(int tid) {
+    wcount_.fetch_add(1);                                   // line 2
+    std::uint64_t t = wtoken_.load();                       // line 3
+    if (wtoken::is_pid(t))                                  // line 4
+      wtoken_.cas(t, wtoken::kFalse);                       // line 5
+    t = wtoken_.load();                                     // line 6
+    if (wtoken::is_side(t))                                 // line 7
+      sw_.set_side(wtoken::side_of(t));                     // line 8: D <- t
+    m_.lock(tid);                                           // line 9
+    WriterCtx& ctx = wctx_[tid];
+    ctx.currD = sw_.side();                                 // line 10
+    ctx.prevD = 1 - ctx.currD;
+    if (wtoken::is_side(wtoken_.load())) {                  // line 11
+      // Wait for the previous writer to finish its SWWP exit (its line 20).
+      spin_until<Spin>([&] { return sw_.gate_open(ctx.prevD); });  // line 12
+      sw_.writer_waiting_room(ctx.prevD);                   // line 13
+    }
+    // else: the previous writer never exited SWWP; we inherit its CS.
+  }
+
+  void write_unlock(int tid) {
+    WriterCtx& ctx = wctx_[tid];
+    wtoken_.store(wtoken::pid(tid));                        // line 15
+    wcount_.fetch_sub(1);                                   // line 16
+    m_.unlock(tid);                                         // line 17
+    if (wcount_.load() == 0) {                              // line 18
+      if (wtoken_.cas(wtoken::pid(tid), wtoken::side(ctx.prevD)))  // line 19
+        sw_.writer_exit_open_gate(ctx.currD);               // line 20
+    }
+  }
+
+  // ---- reader side: SWWP readers, unchanged (Figure 3 lines 8/10) ---------
+
+  void read_lock(int tid) { sw_.read_lock(tid); }
+  void read_unlock(int tid) { sw_.read_unlock(tid); }
+
+  // Observers for tests.
+  std::int64_t writer_count() const { return wcount_.load(); }
+  const SwWriterPrefLock<Provider, Spin>& sw() const { return sw_; }
+
+ private:
+  struct alignas(64) WriterCtx {
+    int currD = 0;
+    int prevD = 0;
+  };
+
+  Atomic<std::int64_t> wcount_;                 // Wcount (F&A)
+  alignas(64) Atomic<std::uint64_t> wtoken_;    // W-token (CAS)
+  SwWriterPrefLock<Provider, Spin> sw_;         // SWWP (Figure 1)
+  AndersonLock<Provider, Spin> m_;              // M (Anderson's lock [3])
+  std::unique_ptr<WriterCtx[]> wctx_;
+};
+
+}  // namespace bjrw

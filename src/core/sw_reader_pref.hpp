@@ -1,0 +1,129 @@
+// Figure 2 of Bhatt & Jayanti (TR2010-662): single-writer multi-reader
+// reader-writer lock with Reader Priority.
+//
+// Satisfies (Theorem 2): P1-P6, RP1 reader priority, RP2 unstoppable reader.
+// O(1) RMR complexity on CC machines; uses read/write, fetch&add and CAS.
+//
+// How it works (paper §4): the writer may enter the CS only once the CAS
+// variable X has been set to `true`, which the `Promote` helper does only
+// when the reader count C is zero.  Both the writer (in its try section) and
+// every exiting reader run Promote, so the *last* reader out promotes the
+// waiting writer.  Readers that arrive while the writer is not in the CS
+// (X != true) enter immediately — this is what gives readers priority and
+// concurrent entering; readers that find X == true wait on the current
+// side's Gate, which the writer opens on exit.
+//
+// Two "subtle features" (paper §4.3) are load-bearing for mutual exclusion
+// and are exercised by ablation model-checks:
+//  (A) readers CAS their own pid into X (lines 20-22) so that a reader that
+//      began its doorway concurrently with a Promote invalidates that
+//      Promote's pending CAS(X, i, true);
+//  (B) Promote first CASes the promoter's pid into X (line 12) and only then
+//      CASes true over its *own* pid (line 15), so a stale promoter whose
+//      pid has since been overwritten cannot spuriously set X to true.
+//
+// Line numbers in comments are the paper's.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+#include "src/core/words.hpp"
+#include "src/harness/spin.hpp"
+#include "src/rmr/provider.hpp"
+
+namespace bjrw {
+
+template <class Provider = StdProvider, class Spin = YieldSpin>
+class SwReaderPrefLock {
+  template <class T>
+  using Atomic = typename Provider::template Atomic<T>;
+
+ public:
+  // Readers and the writer pass tids in [0, max_threads); tids double as the
+  // PIDs stored in X, so they must be unique among concurrently active
+  // threads.
+  explicit SwReaderPrefLock(int max_threads)
+      : d_(0), x_(xword::pid(0)), permit_(1), c_(0) {
+    assert(max_threads >= 1);
+    (void)max_threads;
+  }
+
+  // ---- writer side (single writer active at a time) -----------------------
+
+  void write_lock(int tid) {
+    const int newD = 1 - d_.load();
+    d_.store(newD);                                    // line 2: D <- ~D
+    permit_.store(0);                                  // line 3
+    promote(tid);                                      // line 4
+    spin_until<Spin>([&] { return permit_.load() != 0; });  // line 5
+    writer_currD_ = newD;
+  }
+
+  void write_unlock(int tid) {
+    const int currD = writer_currD_;
+    gate_[1 - currD].v.store(0);                       // line 7: Gate[~D] <- false
+    gate_[currD].v.store(1);                           // line 8: Gate[D] <- true
+    x_.store(xword::pid(tid));                         // line 9: X <- i
+  }
+
+  // ---- reader side ---------------------------------------------------------
+
+  void read_lock(int tid) {
+    c_.fetch_add(1);                                   // line 18: F&A(C, 1)
+    const int d = d_.load();                           // line 19: d <- D
+    const std::uint64_t x = x_.load();                 // line 20: x <- X
+    if (xword::is_pid(x))                              // line 21
+      x_.cas(x, xword::pid(tid));                      // line 22
+    if (x_.load() == xword::kTrue)                     // line 23
+      spin_until<Spin>([&] { return gate_[d].v.load() != 0; });  // line 24
+  }
+
+  void read_unlock(int tid) {
+    c_.fetch_sub(1);                                   // line 26: F&A(C, -1)
+    promote(tid);                                      // line 27
+  }
+
+  // Observers for tests.
+  int side() const { return d_.load(); }
+  bool gate_open(int d) const { return gate_[d].v.load() != 0; }
+  std::int64_t reader_count() const { return c_.load(); }
+
+ private:
+  // Promote (paper lines 10-16): hand the CS to the writer iff no readers
+  // are registered.  Executed by the writer in its try section and by every
+  // reader in its exit section.
+  void promote(int tid) {
+    const std::uint64_t me = xword::pid(tid);
+    const std::uint64_t x = x_.load();                 // line 10
+    if (x != xword::kTrue) {                           // line 11
+      if (x_.cas(x, me)) {                             // line 12
+        if (permit_.load() == 0) {                     // line 13
+          if (c_.load() == 0) {                        // line 14
+            if (x_.cas(me, xword::kTrue)) {            // line 15
+              permit_.store(1);                        // line 16
+            }
+          }
+        }
+      }
+    }
+  }
+
+  struct alignas(64) GateVar {
+    explicit GateVar(std::uint32_t init) : v(init) {}
+    Atomic<std::uint32_t> v;
+  };
+
+  Atomic<int> d_;                              // D, initialized to 0
+  GateVar gate_[2]{GateVar(1), GateVar(0)};    // Gate[0]=true, Gate[1]=false
+  alignas(64) Atomic<std::uint64_t> x_;        // X in PID ∪ {true}
+  alignas(64) Atomic<std::uint32_t> permit_;   // Permit, initialized to true
+  alignas(64) Atomic<std::int64_t> c_;         // C, initialized to 0
+
+  // Writer-attempt local; single active writer (under M in the multi-writer
+  // transformation), so a plain field is race-free.
+  int writer_currD_ = 0;
+};
+
+}  // namespace bjrw

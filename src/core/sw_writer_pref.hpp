@@ -1,0 +1,175 @@
+// Figure 1 of Bhatt & Jayanti (TR2010-662): single-writer multi-reader
+// reader-writer lock with Starvation Freedom and Writer Priority.
+//
+// Satisfies (Theorem 1): P1 mutual exclusion, P2 bounded exit, P3 FCFS among
+// writers, P4 FIFE among readers, P5 concurrent entering, P6 livelock
+// freedom, P7 starvation freedom, WP1 writer priority, WP2 unstoppable
+// writer.  O(1) RMR complexity on CC machines; uses only read/write and
+// fetch&add shared variables.
+//
+// How it works (paper §3): the writer enters the critical section from
+// alternating "sides" 0 and 1, toggling the side variable D each attempt.
+// Readers register on the current side by incrementing the reader-count
+// component of C[side] and wait for that side's Gate to open.  The writer,
+// after announcing the new side, (a) waits for readers registered on the
+// *previous* side to leave the CS — the last such reader signals
+// Permit[prevD] — and (b) waits for all readers to clear the *exit section*
+// (counter EC, signal ExitPermit).  Step (b) is the paper's §3.3 "subtle
+// feature": without it a slow exiting reader could signal a Permit for a
+// future writer attempt and break mutual exclusion (reproduced by the model
+// checker in tests/model_ablation_test.cpp).
+//
+// Line numbers in comments are the paper's.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+#include "src/core/words.hpp"
+#include "src/harness/spin.hpp"
+#include "src/rmr/provider.hpp"
+
+namespace bjrw {
+
+template <class Provider = StdProvider, class Spin = YieldSpin>
+class SwWriterPrefLock {
+  template <class T>
+  using Atomic = typename Provider::template Atomic<T>;
+
+ public:
+  // `max_threads` bounds reader tids: read_lock/read_unlock accept
+  // tid in [0, max_threads).
+  explicit SwWriterPrefLock(int max_threads)
+      : d_{}, exit_permit_(1), ec_(wwrc::kZero),
+        rctx_(std::make_unique<ReaderCtx[]>(
+            static_cast<std::size_t>(max_threads))) {
+    assert(max_threads >= 1);
+  }
+
+  // ---- writer side --------------------------------------------------------
+  // Only one writer may be active at a time (single-writer lock).  The
+  // multi-writer transformations in mw_transform.hpp / mw_writer_pref.hpp
+  // serialize writers before calling into these.
+
+  void write_lock(int /*tid*/ = 0) {
+    const int prevD = writer_doorway();
+    writer_waiting_room(prevD);
+  }
+
+  void write_unlock(int /*tid*/ = 0) {
+    writer_exit_open_gate(writer_currD_);  // line 14: Gate[D] <- true
+  }
+
+  // ---- reader side --------------------------------------------------------
+
+  void read_lock(int tid) {
+    int d = d_.D.load();                               // line 16: d <- D
+    c_[d].v.fetch_add(wwrc::kReaderUnit);              // line 17: F&A(C[d],[0,1])
+    const int d2 = d_.D.load();                        // line 18: d' <- D
+    if (d != d2) {                                     // line 19
+      c_[d2].v.fetch_add(wwrc::kReaderUnit);           // line 20: F&A(C[d'],[0,1])
+      d = d_.D.load();                                 // line 21: d <- D
+      const int other = 1 - d;
+      if (c_[other].v.fetch_sub(wwrc::kReaderUnit) ==
+          wwrc::kWaitingLastReader)                    // line 22
+        permit_[other].v.store(1);                     // line 23
+    }
+    rctx_[tid].d = d;
+    spin_until<Spin>([&] { return gate_[d].v.load() != 0; });  // line 24
+  }
+
+  void read_unlock(int tid) {
+    const int d = rctx_[tid].d;
+    ec_.fetch_add(wwrc::kReaderUnit);                  // line 26: F&A(EC,[0,1])
+    if (c_[d].v.fetch_sub(wwrc::kReaderUnit) ==
+        wwrc::kWaitingLastReader)                      // line 27
+      permit_[d].v.store(1);                           // line 28
+    if (ec_.fetch_sub(wwrc::kReaderUnit) ==
+        wwrc::kWaitingLastReader)                      // line 29
+      exit_permit_.store(1);                           // line 30
+  }
+
+  // ---- decomposed writer pieces (used by the Figure 4 multi-writer
+  //      construction, which interleaves them with its own synchronization) --
+
+  // Lines 2-3: toggle the side.  Returns prevD.
+  int writer_doorway() {
+    const int prevD = d_.D.load();          // line 2: prevD <- D
+    const int currD = 1 - prevD;            //          currD <- ~prevD
+    d_.D.store(currD);                      // line 3: D <- currD
+    writer_prevD_ = prevD;
+    writer_currD_ = currD;
+    return prevD;
+  }
+
+  // Figure 4 line 8: the multi-writer doorway sets D directly from W-token.
+  // Deliberately does not touch the writer-attempt locals: Figure 4 executes
+  // this *before* acquiring M (several writers may race to write the same
+  // side value) and keeps its own per-writer currD/prevD instead.
+  void set_side(int d) { d_.D.store(d); }
+
+  // Lines 4-12 ("SW-waiting-room" in the paper's §5): drain previous-side
+  // readers from the CS, close their gate, then drain the exit section.
+  void writer_waiting_room(int prevD) {
+    permit_[prevD].v.store(0);                                  // line 4
+    if (c_[prevD].v.fetch_add(wwrc::kWriterWaiting) !=
+        wwrc::kZero)                                            // line 5
+      spin_until<Spin>(
+          [&] { return permit_[prevD].v.load() != 0; });        // line 6
+    c_[prevD].v.fetch_sub(wwrc::kWriterWaiting);                // line 7
+    gate_[prevD].v.store(0);                                    // line 8
+    exit_permit_.store(0);                                      // line 9
+    if (ec_.fetch_add(wwrc::kWriterWaiting) != wwrc::kZero)     // line 10
+      spin_until<Spin>([&] { return exit_permit_.load() != 0; });  // line 11
+    ec_.fetch_sub(wwrc::kWriterWaiting);                        // line 12
+  }
+
+  // Line 14 / Figure 4 line 20: open the gate of the side just used.
+  void writer_exit_open_gate(int currD) { gate_[currD].v.store(1); }
+
+  // Observers for the multi-writer construction and for tests.
+  int side() const { return d_.D.load(); }
+  bool gate_open(int d) const { return gate_[d].v.load() != 0; }
+  int writer_currD() const { return writer_currD_; }
+  int writer_prevD() const { return writer_prevD_; }
+
+ private:
+  struct alignas(64) PaddedBool {
+    PaddedBool() : v(0) {}
+    Atomic<std::uint32_t> v;
+  };
+  struct alignas(64) PaddedWord {
+    PaddedWord() : v(wwrc::kZero) {}
+    Atomic<std::uint64_t> v;
+  };
+  struct alignas(64) SideVar {
+    SideVar() : D(0) {}
+    Atomic<int> D;
+  };
+  struct alignas(64) ReaderCtx {
+    int d = 0;
+  };
+  struct alignas(64) GateVar {
+    explicit GateVar(std::uint32_t init) : v(init) {}
+    Atomic<std::uint32_t> v;
+  };
+
+  SideVar d_;                        // D, initialized to 0
+  Atomic<std::uint32_t> exit_permit_;  // ExitPermit
+  PaddedBool permit_[2];             // Permit[0..1]
+  GateVar gate_[2]{GateVar(1), GateVar(0)};  // Gate[0]=true, Gate[1]=false
+  Atomic<std::uint64_t> ec_;         // EC = [writer-waiting, reader-count]
+  PaddedWord c_[2];                  // C[0..1]
+
+  // Writer-attempt locals.  A single writer is active at a time and, in the
+  // multi-writer transformation (Fig. 3), all accesses happen while holding
+  // the mutex M, so plain fields are race-free there.  Figure 4 keeps its
+  // own per-writer copies instead (see mw_writer_pref.hpp).
+  int writer_prevD_ = 0;
+  int writer_currD_ = 0;
+
+  std::unique_ptr<ReaderCtx[]> rctx_;
+};
+
+}  // namespace bjrw

@@ -1,0 +1,78 @@
+// Word encodings for the paper's composite shared variables.
+//
+// The algorithms use fetch&add variables with two components
+// [writer-waiting ∈ {0,1}, reader-count ∈ N] and CAS variables over small
+// sum types (PID ∪ {true}; PID ∪ {false} ∪ {0,1}).  We pack each into one
+// 64-bit word so a single hardware F&A / CAS performs exactly the
+// multi-component atomic operation the paper assumes.
+#pragma once
+
+#include <cstdint>
+
+namespace bjrw {
+
+// --- [writer-waiting, reader-count] fetch&add words (Figure 1: C[d], EC) ---
+//
+// Layout: bit 32 = writer-waiting, bits 0..31 = reader-count.
+// The reader-count never exceeds the number of threads (< 2^31), so
+// component arithmetic never carries between fields.
+namespace wwrc {
+
+inline constexpr std::uint64_t kWriterWaiting = 1ULL << 32;  // F&A(+[1,0])
+inline constexpr std::uint64_t kReaderUnit = 1ULL;           // F&A(+[0,1])
+inline constexpr std::uint64_t kZero = 0;                    // == [0,0]
+inline constexpr std::uint64_t kWaitingLastReader =
+    kWriterWaiting | kReaderUnit;                            // == [1,1]
+
+inline constexpr std::uint32_t writer_waiting(std::uint64_t w) {
+  return static_cast<std::uint32_t>(w >> 32);
+}
+inline constexpr std::uint32_t reader_count(std::uint64_t w) {
+  return static_cast<std::uint32_t>(w & 0xFFFFFFFFULL);
+}
+inline constexpr std::uint64_t pack(std::uint32_t ww, std::uint32_t rc) {
+  return (static_cast<std::uint64_t>(ww) << 32) | rc;
+}
+
+}  // namespace wwrc
+
+// --- X ∈ PID ∪ {true} CAS word (Figure 2) -------------------------------
+namespace xword {
+
+inline constexpr std::uint64_t kTrue = ~0ULL;
+
+inline constexpr std::uint64_t pid(int tid) {
+  return static_cast<std::uint64_t>(tid);
+}
+inline constexpr bool is_pid(std::uint64_t x) { return x != kTrue; }
+
+}  // namespace xword
+
+// --- W-token ∈ PID ∪ {false} ∪ {0,1} CAS word (Figure 4) -----------------
+//
+// Side values {0,1} must stay distinct from pids 0 and 1, so the word is
+// tagged: kFalse and the two side values take small reserved codes and pids
+// are offset past them.
+namespace wtoken {
+
+inline constexpr std::uint64_t kFalse = 0;
+inline constexpr std::uint64_t kSide0 = 1;
+inline constexpr std::uint64_t kSide1 = 2;
+inline constexpr std::uint64_t kPidBase = 3;
+
+inline constexpr std::uint64_t side(int d) {
+  return d == 0 ? kSide0 : kSide1;
+}
+inline constexpr std::uint64_t pid(int tid) {
+  return kPidBase + static_cast<std::uint64_t>(tid);
+}
+inline constexpr bool is_side(std::uint64_t t) {
+  return t == kSide0 || t == kSide1;
+}
+inline constexpr bool is_pid(std::uint64_t t) { return t >= kPidBase; }
+inline constexpr bool is_false(std::uint64_t t) { return t == kFalse; }
+inline constexpr int side_of(std::uint64_t t) { return t == kSide0 ? 0 : 1; }
+
+}  // namespace wtoken
+
+}  // namespace bjrw

@@ -1,0 +1,126 @@
+// ShardedMap: a concurrent hash map built on the library's reader-writer
+// locks — the downstream artifact the paper's introduction motivates
+// ("reader-writer locks are used extensively ... to implement shared data
+// structures, where processes whose operations modify the state are modeled
+// as writers and processes that merely sense the state as readers").
+//
+// Keys are partitioned over S shards; each shard pairs a std::unordered_map
+// with one lock.  Lookups take the shard's read lock, mutations its write
+// lock, so readers of different keys never serialize and readers of the
+// same shard share the critical section (concurrent entering, P5).
+//
+// The lock type is a template parameter constrained to the library's
+// ReaderWriterLock concept; the default is the writer-priority lock
+// (Theorem 5) so bursts of updates are not starved by lookup floods.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/locks.hpp"
+
+namespace bjrw {
+
+template <class Key, class Value, ReaderWriterLock Lock = WriterPriorityLock,
+          class Hash = std::hash<Key>>
+class ShardedMap {
+ public:
+  // `max_threads` bounds the tids passed to the member functions (same
+  // contract as the locks); `shards` trades memory for write parallelism.
+  explicit ShardedMap(int max_threads, std::size_t shards = 16)
+      : hash_() {
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+      shards_.push_back(std::make_unique<Shard>(max_threads));
+  }
+
+  // Returns the value if present (copied out under the read lock).
+  std::optional<Value> get(int tid, const Key& key) const {
+    const Shard& s = shard(key);
+    ReadGuard g(s.lock, tid);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool contains(int tid, const Key& key) const {
+    const Shard& s = shard(key);
+    ReadGuard g(s.lock, tid);
+    return s.map.count(key) > 0;
+  }
+
+  // Inserts or overwrites; returns true if the key was newly inserted.
+  bool put(int tid, const Key& key, Value value) {
+    Shard& s = shard(key);
+    WriteGuard g(s.lock, tid);
+    return s.map.insert_or_assign(key, std::move(value)).second;
+  }
+
+  // Inserts only if absent; returns true on insertion.
+  bool put_if_absent(int tid, const Key& key, Value value) {
+    Shard& s = shard(key);
+    WriteGuard g(s.lock, tid);
+    return s.map.emplace(key, std::move(value)).second;
+  }
+
+  bool erase(int tid, const Key& key) {
+    Shard& s = shard(key);
+    WriteGuard g(s.lock, tid);
+    return s.map.erase(key) > 0;
+  }
+
+  // Read-modify-write of a single key under the shard's write lock.
+  // `fn` receives a reference to the value (default-constructed if absent).
+  template <class Fn>
+  void update(int tid, const Key& key, Fn&& fn) {
+    Shard& s = shard(key);
+    WriteGuard g(s.lock, tid);
+    fn(s.map[key]);
+  }
+
+  // Applies `fn(key, value)` to every element, shard by shard, under read
+  // locks.  Not a snapshot: concurrent mutations to not-yet-visited shards
+  // are observable (the usual sharded-container contract).
+  template <class Fn>
+  void for_each(int tid, Fn&& fn) const {
+    for (const auto& s : shards_) {
+      ReadGuard g(s->lock, tid);
+      for (const auto& [k, v] : s->map) fn(k, v);
+    }
+  }
+
+  std::size_t size(int tid) const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) {
+      ReadGuard g(s->lock, tid);
+      total += s->map.size();
+    }
+    return total;
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    explicit Shard(int max_threads) : lock(max_threads) {}
+    mutable Lock lock;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  Shard& shard(const Key& key) {
+    return *shards_[hash_(key) % shards_.size()];
+  }
+  const Shard& shard(const Key& key) const {
+    return *shards_[hash_(key) % shards_.size()];
+  }
+
+  Hash hash_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace bjrw

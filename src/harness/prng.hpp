@@ -1,0 +1,73 @@
+// Small deterministic PRNGs for workload generation and property tests.
+//
+// We avoid <random> engines in hot benchmark loops: xoshiro256** is a few
+// instructions per draw and its determinism across platforms makes recorded
+// experiment output reproducible bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace bjrw {
+
+// SplitMix64: used to seed the main generator and as a cheap standalone hash.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: general-purpose 64-bit generator (Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform draw in [0, bound) without modulo bias worth worrying about for
+  // workload mixes (Lemire-style multiply-shift).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // Bernoulli draw with probability numer/denom.
+  constexpr bool chance(std::uint64_t numer, std::uint64_t denom) noexcept {
+    return below(denom) < numer;
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace bjrw

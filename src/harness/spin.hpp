@@ -1,0 +1,61 @@
+// Spin policies used by every busy-wait loop in the library.
+//
+// The paper's algorithms busy-wait ("wait till Gate[d]") on locations that are
+// written at most once while the waiter spins, which is what makes them O(1)
+// RMR on cache-coherent machines.  How the host CPU is told to relax while
+// spinning is orthogonal to the algorithms, so it is factored out here as a
+// policy type.  On preemptive/oversubscribed hosts (including single-core
+// machines) the spinner must yield or the writer it waits for may never be
+// scheduled; that is the default policy.
+#pragma once
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace bjrw {
+
+// Yield to the OS scheduler on every spin iteration.  Correct everywhere,
+// required whenever threads may outnumber cores.
+struct YieldSpin {
+  static void relax() noexcept { std::this_thread::yield(); }
+};
+
+// CPU pause/relax instruction only.  Appropriate when every spinning thread
+// owns a core (dedicated-core benchmark runs).
+struct PauseSpin {
+  static void relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#else
+    // Fall back to a compiler barrier so the loop is not optimized away.
+    asm volatile("" ::: "memory");
+#endif
+  }
+};
+
+// Pause for a bounded number of iterations, then start yielding.  A pragmatic
+// default for mixed environments.
+struct HybridSpin {
+  static constexpr int kPauseIterations = 64;
+  static void relax() noexcept {
+    thread_local int count = 0;
+    if (++count < kPauseIterations) {
+      PauseSpin::relax();
+    } else {
+      count = 0;
+      YieldSpin::relax();
+    }
+  }
+};
+
+// Spin until `cond()` becomes true, relaxing with the given policy between
+// probes.  `cond` must be a pure read of shared state (no side effects).
+template <class Spin, class Cond>
+void spin_until(Cond cond) {
+  while (!cond()) Spin::relax();
+}
+
+}  // namespace bjrw

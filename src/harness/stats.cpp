@@ -1,0 +1,89 @@
+#include "src/harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace bjrw {
+
+namespace {
+double nearest_rank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = sorted.size();
+  auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+}  // namespace
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(samples.size());
+  double sq = 0.0;
+  for (double x : samples) sq += (x - s.mean) * (x - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p50 = nearest_rank(samples, 0.50);
+  s.p90 = nearest_rank(samples, 0.90);
+  s.p99 = nearest_rank(samples, 0.99);
+  return s;
+}
+
+Summary summarize_u64(const std::vector<std::uint64_t>& samples) {
+  std::vector<double> d(samples.begin(), samples.end());
+  return summarize(std::move(d));
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << mean << " sd=" << stddev << " min=" << min
+     << " p50=" << p50 << " p90=" << p90 << " p99=" << p99 << " max=" << max;
+  return os.str();
+}
+
+void StreamingStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void StreamingStats::merge(const StreamingStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto total = n_ + other.n_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) /
+                         static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = total;
+}
+
+}  // namespace bjrw

@@ -1,0 +1,29 @@
+// Console table / CSV emitter used by the bench binaries so every experiment
+// prints a self-describing, paper-style table.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bjrw {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats arithmetic cells with reasonable precision.
+  static std::string cell(double v, int precision = 2);
+  static std::string cell(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bjrw

@@ -1,0 +1,59 @@
+// Thread-group runner used by tests and benches: spawn N workers, release
+// them simultaneously through a start gate, join, and propagate exceptions.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/harness/spin.hpp"
+
+namespace bjrw {
+
+// All workers block on wait() until release() flips the gate.  This makes the
+// measured region start with every thread actually running, which matters on
+// oversubscribed hosts where thread creation is slow relative to the run.
+class StartGate {
+ public:
+  void wait() const {
+    spin_until<YieldSpin>([&] { return go_.load(std::memory_order_acquire); });
+  }
+  void release() { go_.store(true, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> go_{false};
+};
+
+// Runs body(tid) on `n` threads with a common start gate.  The first worker
+// exception (if any) is rethrown on the calling thread after join.
+inline void run_threads(std::size_t n,
+                        const std::function<void(std::size_t)>& body) {
+  StartGate gate;
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::atomic<int> error_guard{0};
+
+  for (std::size_t tid = 0; tid < n; ++tid) {
+    workers.emplace_back([&, tid] {
+      gate.wait();
+      try {
+        body(tid);
+      } catch (...) {
+        if (error_guard.fetch_add(1) == 0) first_error = std::current_exception();
+        failed.store(true);
+      }
+    });
+  }
+  gate.release();
+  for (auto& t : workers) t.join();
+  if (failed.load() && first_error) std::rethrow_exception(first_error);
+  if (failed.load()) throw std::runtime_error("worker thread failed");
+}
+
+}  // namespace bjrw

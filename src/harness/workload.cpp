@@ -1,0 +1,30 @@
+#include "src/harness/workload.hpp"
+
+namespace bjrw {
+
+OpStream::OpStream(const WorkloadConfig& cfg, std::uint64_t thread_salt,
+                   std::size_t length) {
+  Xoshiro256 rng(cfg.seed ^ (thread_salt * 0xD1B54A32D192ED03ULL));
+  ops_.reserve(length);
+  const auto threshold =
+      static_cast<std::uint64_t>(cfg.read_fraction * 1e9);
+  for (std::size_t i = 0; i < length; ++i) {
+    const bool is_read = rng.below(1000000000ULL) < threshold;
+    ops_.push_back(is_read ? OpKind::kRead : OpKind::kWrite);
+    reads_ += is_read ? 1 : 0;
+  }
+  if (ops_.empty()) ops_.push_back(OpKind::kRead);
+}
+
+std::uint64_t spin_work(std::uint32_t iterations, std::uint64_t salt) noexcept {
+  // Simple integer hash chain; data-dependent so it cannot be vectorized away.
+  std::uint64_t x = salt | 1;
+  for (std::uint32_t i = 0; i < iterations; ++i) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 29;
+  }
+  return x;
+}
+
+}  // namespace bjrw

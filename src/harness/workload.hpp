@@ -1,0 +1,45 @@
+// Workload generation for reader-writer lock experiments.
+//
+// A workload is a per-thread stream of operations (READ or WRITE) with
+// configurable mix and critical-section / think-time lengths, mirroring the
+// usage the paper motivates: shared data structures where most operations
+// only sense state (readers) and few modify it (writers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/harness/prng.hpp"
+
+namespace bjrw {
+
+enum class OpKind : std::uint8_t { kRead = 0, kWrite = 1 };
+
+struct WorkloadConfig {
+  double read_fraction = 0.9;  // probability an op is a read
+  std::uint32_t cs_work = 16;  // iterations of dummy work inside the CS
+  std::uint32_t think_work = 32;  // iterations of dummy work outside the CS
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+};
+
+// Pre-generated operation stream so the draw itself is outside the measured
+// section and identical across compared locks.
+class OpStream {
+ public:
+  OpStream(const WorkloadConfig& cfg, std::uint64_t thread_salt,
+           std::size_t length);
+
+  OpKind at(std::size_t i) const { return ops_[i % ops_.size()]; }
+  std::size_t size() const { return ops_.size(); }
+  std::size_t reads() const { return reads_; }
+  std::size_t writes() const { return ops_.size() - reads_; }
+
+ private:
+  std::vector<OpKind> ops_;
+  std::size_t reads_ = 0;
+};
+
+// Opaque CPU work; returns a value that must be consumed to defeat DCE.
+std::uint64_t spin_work(std::uint32_t iterations, std::uint64_t salt) noexcept;
+
+}  // namespace bjrw

@@ -1,0 +1,277 @@
+// Explicit-state model checker for the paper's algorithms.
+//
+// Each algorithm is re-expressed as a PC-level state machine whose steps are
+// exactly the paper's numbered lines (one shared-memory operation per step —
+// the paper's execution model), and the explorer enumerates *all* reachable
+// interleavings of a finite configuration (bounded process counts and
+// attempts per process) by breadth-first search with a visited set.
+//
+// On top of reachability we check:
+//   * safety invariants supplied by the model (mutual exclusion, the paper's
+//     Appendix A / Figure 5 invariants, ...) at every unique state;
+//   * deadlock freedom: a state where some process still has work but every
+//     non-finished process is blocked on a busy-wait condition is reported.
+//
+// A Model must provide:
+//   struct State;                      // trivially copyable, no padding
+//   State initial() const;
+//   int num_procs() const;
+//   StepOutcome step(const State&, int proc, State& out) const;
+//   std::string check(const State&) const;   // "" if all invariants hold
+//   std::string describe(const State&) const;  // for violation traces
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace bjrw::model {
+
+enum class StepOutcome : std::uint8_t {
+  kProgress,  // proc took a step; `out` is the successor state
+  kBlocked,   // proc is spinning on a condition that is currently false
+  kDone,      // proc has completed all its attempts
+};
+
+struct ExploreResult {
+  bool ok = true;
+  std::string violation;          // empty if ok
+  std::uint64_t states = 0;       // unique states visited
+  std::uint64_t transitions = 0;  // edges traversed
+  bool truncated = false;         // hit the state budget
+  std::vector<std::string> trace;  // path from initial state to the violation
+};
+
+template <class Model>
+class Explorer {
+ public:
+  using State = typename Model::State;
+  static_assert(std::is_trivially_copyable_v<State>);
+
+  explicit Explorer(const Model& model, std::uint64_t max_states = 50'000'000)
+      : model_(model), max_states_(max_states) {}
+
+  ExploreResult run() {
+    ExploreResult res;
+    const State init = model_.initial();
+
+    std::unordered_map<Key, std::uint32_t, KeyHash> index;
+    std::deque<State> states;
+    // parent[i] = (parent state id, acting proc) for trace reconstruction.
+    std::vector<std::pair<std::uint32_t, std::uint8_t>> parent;
+
+    auto add = [&](const State& s, std::uint32_t from,
+                   std::uint8_t proc) -> std::optional<std::uint32_t> {
+      const auto [it, inserted] = index.try_emplace(key_of(s),
+                                                    static_cast<std::uint32_t>(states.size()));
+      if (!inserted) return std::nullopt;
+      states.push_back(s);
+      parent.emplace_back(from, proc);
+      return it->second;
+    };
+
+    auto fail = [&](std::uint32_t id, const std::string& why) {
+      res.ok = false;
+      res.violation = why;
+      // Reconstruct the interleaving that reaches the bad state.
+      std::vector<std::uint32_t> path;
+      for (std::uint32_t cur = id; cur != kNoParent;
+           cur = parent[cur].first) {
+        path.push_back(cur);
+        if (parent[cur].first == cur) break;  // initial state sentinel
+      }
+      for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        const auto [from, proc] = parent[*it];
+        std::string line;
+        if (from == *it) {
+          line = "init:  ";
+        } else {
+          line = "proc " + std::to_string(proc) + ": ";
+        }
+        res.trace.push_back(line + model_.describe(states[*it]));
+      }
+      // Keep traces printable: cap at the last 60 steps.
+      if (res.trace.size() > 60)
+        res.trace.erase(res.trace.begin(),
+                        res.trace.end() - static_cast<std::ptrdiff_t>(60));
+    };
+
+    add(init, 0, 0);
+    parent[0].first = 0;  // self-parent marks the root
+    {
+      const std::string why = model_.check(init);
+      if (!why.empty()) {
+        fail(0, why);
+        res.states = 1;
+        return res;
+      }
+    }
+
+    for (std::uint32_t cur = 0; cur < states.size(); ++cur) {
+      if (states.size() > max_states_) {
+        res.truncated = true;
+        break;
+      }
+      const State s = states[cur];
+      int blocked = 0, done = 0;
+      const int n = model_.num_procs();
+      for (int p = 0; p < n; ++p) {
+        State next;
+        switch (model_.step(s, p, next)) {
+          case StepOutcome::kDone:
+            ++done;
+            break;
+          case StepOutcome::kBlocked:
+            ++blocked;
+            break;
+          case StepOutcome::kProgress: {
+            ++res.transitions;
+            if (auto id = add(next, cur, static_cast<std::uint8_t>(p))) {
+              const std::string why = model_.check(next);
+              if (!why.empty()) {
+                res.states = states.size();
+                fail(*id, why);
+                return res;
+              }
+            }
+            break;
+          }
+        }
+      }
+      if (done < n && blocked == n - done) {
+        res.states = states.size();
+        fail(cur, "deadlock: all live processes are blocked");
+        return res;
+      }
+    }
+    res.states = states.size();
+    return res;
+  }
+
+ private:
+  static constexpr std::uint32_t kNoParent = 0xFFFFFFFFu;
+
+  // States are trivially copyable structs of byte fields; their raw bytes
+  // are the canonical key.
+  struct Key {
+    std::array<std::uint8_t, sizeof(State)> bytes;
+    bool operator==(const Key& o) const { return bytes == o.bytes; }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // FNV-1a over the state bytes.
+      std::uint64_t h = 1469598103934665603ULL;
+      for (std::uint8_t b : k.bytes) {
+        h ^= b;
+        h *= 1099511628211ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  static Key key_of(const State& s) {
+    Key k;
+    std::memcpy(k.bytes.data(), &s, sizeof(State));
+    return k;
+  }
+
+  Model model_;
+  std::uint64_t max_states_;
+};
+
+// Randomized schedule exploration for configurations whose full state space
+// exceeds the exhaustive budget: run `walks` independent random schedules of
+// up to `max_steps` steps each, checking the model's invariants at every
+// visited state.  Unlike the exhaustive explorer this can miss interleavings,
+// but it scales to larger process counts; it is the property-testing
+// complement of Explorer (used for 4-reader / 2x3 configurations).
+template <class Model, class Rng>
+ExploreResult random_walk(const Model& model, Rng& rng, std::uint64_t walks,
+                          std::uint64_t max_steps) {
+  using State = typename Model::State;
+  ExploreResult res;
+  const int n = model.num_procs();
+
+  for (std::uint64_t w = 0; w < walks; ++w) {
+    State s = model.initial();
+    // Adversarial scheduling: give each process a random per-walk weight so
+    // some walks starve a process for long stretches.  The paper's
+    // counterexample schedules (a reader parked at one line across several
+    // writer attempts) are vanishingly rare under uniform selection but
+    // common under heavy weight skew.
+    std::uint32_t weight[64];
+    for (int p = 0; p < n; ++p) {
+      const auto roll = rng.next() % 4;
+      weight[p] = roll == 0 ? 1 : (roll == 1 ? 4 : (roll == 2 ? 16 : 64));
+    }
+    {
+      const std::string why = model.check(s);
+      if (!why.empty()) {
+        res.ok = false;
+        res.violation = why;
+        res.trace.push_back("init: " + model.describe(s));
+        return res;
+      }
+    }
+    for (std::uint64_t step = 0; step < max_steps; ++step) {
+      // Collect runnable processes; bias toward fairness-free adversarial
+      // scheduling by picking uniformly among those that can progress.
+      int runnable[64];
+      int nr = 0, done = 0;
+      State next;
+      for (int p = 0; p < n; ++p) {
+        State tmp;
+        switch (model.step(s, p, tmp)) {
+          case StepOutcome::kProgress:
+            runnable[nr++] = p;
+            break;
+          case StepOutcome::kDone:
+            ++done;
+            break;
+          case StepOutcome::kBlocked:
+            break;
+        }
+      }
+      if (nr == 0) {
+        if (done < n) {
+          res.ok = false;
+          res.violation = "deadlock: all live processes are blocked";
+          res.trace.push_back("state: " + model.describe(s));
+          return res;
+        }
+        break;  // walk complete: every process finished its attempts
+      }
+      std::uint64_t total_weight = 0;
+      for (int i = 0; i < nr; ++i) total_weight += weight[runnable[i]];
+      std::uint64_t pick = rng.next() % total_weight;
+      int p = runnable[nr - 1];
+      for (int i = 0; i < nr; ++i) {
+        if (pick < weight[runnable[i]]) {
+          p = runnable[i];
+          break;
+        }
+        pick -= weight[runnable[i]];
+      }
+      model.step(s, p, next);
+      s = next;
+      ++res.transitions;
+      ++res.states;  // counts visited (not necessarily unique) states
+      const std::string why = model.check(s);
+      if (!why.empty()) {
+        res.ok = false;
+        res.violation = why;
+        res.trace.push_back("proc " + std::to_string(p) + ": " +
+                            model.describe(s));
+        return res;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace bjrw::model

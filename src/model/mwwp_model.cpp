@@ -1,0 +1,282 @@
+#include "src/model/mwwp_model.hpp"
+
+#include <sstream>
+
+#include "src/harness/prng.hpp"
+#include "src/model/explorer.hpp"
+#include "src/model/swwp_core.hpp"
+
+namespace bjrw::model {
+namespace {
+
+constexpr int kMaxWriters = 2;
+constexpr int kMaxReaders = 3;
+
+// W-token encoding in one byte.
+constexpr std::uint8_t kTokFalse = 0;
+constexpr std::uint8_t kTokSide0 = 1;
+constexpr std::uint8_t kTokSide1 = 2;
+constexpr std::uint8_t kTokPidBase = 3;
+inline bool tok_is_side(std::uint8_t t) {
+  return t == kTokSide0 || t == kTokSide1;
+}
+inline bool tok_is_pid(std::uint8_t t) { return t >= kTokPidBase; }
+inline std::uint8_t tok_side(std::uint8_t d) {
+  return d == 0 ? kTokSide0 : kTokSide1;
+}
+inline std::uint8_t tok_side_of(std::uint8_t t) {
+  return t == kTokSide0 ? 0 : 1;
+}
+inline std::uint8_t tok_pid(int w) {
+  return static_cast<std::uint8_t>(kTokPidBase + w);
+}
+
+// Writer pcs (Figure 4 lines; 91/92 split acquire(M) into enqueue + wait,
+// 104..112 are the embedded SWWP waiting-room lines 4..12):
+//   1 remainder -> 3 -> (5) -> 6 -> (8) -> 91 -> 92 -> 10 -> 11 -> (12)
+//   -> 104..112 -> 14 (CS) -> 16 -> 17 -> 18 -> (19) -> (20) -> 1
+struct MwwpState {
+  SwwpShared sh;
+  std::uint8_t Wcount = 0;
+  std::uint8_t Wtoken = kTokSide1;  // first writer attempts from side 1
+  // M: FCFS queue of writer ids + 1 (0 = empty slot).
+  std::uint8_t mq[kMaxWriters] = {0, 0};
+  std::uint8_t mlen = 0;
+
+  struct Writer {
+    std::uint8_t pc = 1;
+    std::uint8_t currD = 0;
+    std::uint8_t prevD = 0;
+    std::uint8_t t = 0;  // local W-token read
+    std::uint8_t att = 0;
+  } w[kMaxWriters];
+
+  SwwpReader r[kMaxReaders];
+};
+static_assert(sizeof(MwwpState) == sizeof(SwwpShared) + 2 + kMaxWriters + 1 +
+                                       kMaxWriters * 5 +
+                                       kMaxReaders * sizeof(SwwpReader),
+              "state must have no padding (bytes are hashed raw)");
+
+class MwwpModel {
+ public:
+  using State = MwwpState;
+
+  explicit MwwpModel(const MwwpConfig& cfg) : cfg_(cfg) {}
+
+  State initial() const {
+    State s{};
+    for (int i = 0; i < cfg_.writers; ++i)
+      s.w[i].att = static_cast<std::uint8_t>(cfg_.writer_attempts);
+    for (int i = 0; i < cfg_.readers; ++i)
+      s.r[i].att = static_cast<std::uint8_t>(cfg_.reader_attempts);
+    return s;
+  }
+
+  int num_procs() const { return cfg_.writers + cfg_.readers; }
+
+  StepOutcome step(const State& in, int p, State& out) const {
+    out = in;
+    if (p < cfg_.writers) return writer_step(out, p);
+    return swwp_reader_step(out.sh, out.r[p - cfg_.writers]);
+  }
+
+  std::string check(const State& s) const {
+    // --- P1: at most one writer in the CS; no reader with it ---
+    int writers_in_cs = 0;
+    for (int i = 0; i < cfg_.writers; ++i) writers_in_cs += (s.w[i].pc == 14);
+    if (writers_in_cs > 1) return "P1 violated: two writers in CS";
+    if (writers_in_cs == 1)
+      for (int i = 0; i < cfg_.readers; ++i)
+        if (s.r[i].pc == 25)
+          return "P1 violated: writer and reader both in CS";
+
+    // Ablation runs check P1 only (the structural invariants describe the
+    // intact algorithm).
+    if (cfg_.skip_token_preempt || cfg_.skip_gate_wait) return {};
+
+    // --- Wcount tracks writers in try/CS (incremented by line 2,
+    //     decremented by line 16) ---
+    int counted = 0;
+    for (int i = 0; i < cfg_.writers; ++i) {
+      const auto pc = s.w[i].pc;
+      counted += !(pc == 1 || pc == 17 || pc == 18 || pc == 19 || pc == 20);
+    }
+    if (s.Wcount != counted)
+      return "Wcount=" + std::to_string(s.Wcount) + " != derived " +
+             std::to_string(counted);
+
+    // --- reader-count consistency inherited from SWWP ---
+    for (int side = 0; side < 2; ++side) {
+      int members = 0;
+      for (int i = 0; i < cfg_.readers; ++i)
+        members += swwp_reader_in_C(s.r[i], static_cast<std::uint8_t>(side));
+      if (s.sh.Crc[side] != members)
+        return "C[" + std::to_string(side) + "].rc inconsistent";
+    }
+    {
+      int members = 0;
+      for (int i = 0; i < cfg_.readers; ++i)
+        members += swwp_reader_in_EC(s.r[i]);
+      if (s.sh.ECrc != members) return "EC.rc inconsistent";
+    }
+
+    // --- M is a sane FCFS queue: membership matches pcs 92..17 ---
+    int in_m = 0;
+    for (int i = 0; i < cfg_.writers; ++i) {
+      const auto pc = s.w[i].pc;
+      in_m += (pc == 92 || pc == 10 || pc == 11 || pc == 12 ||
+               (pc >= 104 && pc <= 112) || pc == 14 || pc == 16 || pc == 17);
+    }
+    if (s.mlen != in_m) return "M queue length inconsistent";
+
+    // --- only M's head may be past the acquire ---
+    for (int i = 0; i < cfg_.writers; ++i) {
+      const auto pc = s.w[i].pc;
+      const bool past = (pc == 10 || pc == 11 || pc == 12 ||
+                         (pc >= 104 && pc <= 112) || pc == 14 || pc == 16 ||
+                         pc == 17);
+      if (past && (s.mlen == 0 || s.mq[0] != i + 1))
+        return "writer holds M without being queue head";
+    }
+    return {};
+  }
+
+  std::string describe(const State& s) const {
+    std::ostringstream os;
+    for (int i = 0; i < cfg_.writers; ++i)
+      os << "w" << i << "(pc=" << int(s.w[i].pc) << ",cD=" << int(s.w[i].currD)
+         << ",att=" << int(s.w[i].att) << ") ";
+    for (int i = 0; i < cfg_.readers; ++i)
+      os << "r" << i << "(pc=" << int(s.r[i].pc) << ",d=" << int(s.r[i].d)
+         << ",att=" << int(s.r[i].att) << ") ";
+    os << "| D=" << int(s.sh.D) << " G=[" << int(s.sh.Gate[0])
+       << int(s.sh.Gate[1]) << "] tok=" << int(s.Wtoken)
+       << " Wc=" << int(s.Wcount) << " mq=[";
+    for (int i = 0; i < s.mlen; ++i) os << int(s.mq[i]) - 1;
+    os << "]";
+    return os.str();
+  }
+
+ private:
+  StepOutcome writer_step(State& s, int i) const {
+    auto& w = s.w[i];
+    switch (w.pc) {
+      case 1:  // remainder; line 2: F&A(Wcount, 1)
+        if (w.att == 0) return StepOutcome::kDone;
+        s.Wcount += 1;
+        w.pc = 3;
+        return StepOutcome::kProgress;
+      case 3:  // t <- W-token; line 4 local test merged
+        w.t = s.Wtoken;
+        w.pc = (tok_is_pid(w.t) && !cfg_.skip_token_preempt) ? 5 : 6;
+        return StepOutcome::kProgress;
+      case 5:  // CAS(W-token, t, false)
+        if (s.Wtoken == w.t) s.Wtoken = kTokFalse;
+        w.pc = 6;
+        return StepOutcome::kProgress;
+      case 6:  // t <- W-token; line 7 local test merged
+        w.t = s.Wtoken;
+        w.pc = tok_is_side(w.t) ? 8 : 91;
+        return StepOutcome::kProgress;
+      case 8:  // D <- t  (SWWP doorway on behalf of the writers)
+        s.sh.D = tok_side_of(w.t);
+        w.pc = 91;
+        return StepOutcome::kProgress;
+      case 91:  // acquire(M): enqueue
+        s.mq[s.mlen++] = static_cast<std::uint8_t>(i + 1);
+        w.pc = 92;
+        return StepOutcome::kProgress;
+      case 92:  // acquire(M): wait until head
+        if (s.mlen == 0 || s.mq[0] != i + 1) return StepOutcome::kBlocked;
+        w.pc = 10;
+        return StepOutcome::kProgress;
+      case 10:  // currD <- D, prevD <- ~currD
+        w.currD = s.sh.D;
+        w.prevD = 1 - w.currD;
+        w.pc = 11;
+        return StepOutcome::kProgress;
+      case 11:  // if (W-token in {0,1}) enter SWWP, else inherit the CS
+        if (tok_is_side(s.Wtoken)) {
+          w.pc = cfg_.skip_gate_wait ? 104 : 12;
+        } else {
+          w.pc = 14;
+        }
+        return StepOutcome::kProgress;
+      case 12:  // wait till Gate[prevD] (previous writer's line 20)
+        if (s.sh.Gate[w.prevD] == 0) return StepOutcome::kBlocked;
+        w.pc = 104;  // SWWP waiting room, line 4
+        return StepOutcome::kProgress;
+      case 14:  // in CS; leaving executes line 15: W-token <- p
+        s.Wtoken = tok_pid(i);
+        w.pc = 16;
+        return StepOutcome::kProgress;
+      case 16:  // F&A(Wcount, -1)
+        s.Wcount -= 1;
+        w.pc = 17;
+        return StepOutcome::kProgress;
+      case 17:  // release(M): dequeue
+        for (int k = 1; k < s.mlen; ++k) s.mq[k - 1] = s.mq[k];
+        s.mq[--s.mlen] = 0;
+        w.pc = 18;
+        return StepOutcome::kProgress;
+      case 18:  // if (Wcount == 0)
+        w.pc = (s.Wcount == 0) ? 19 : 1;
+        if (w.pc == 1) w.att -= 1;
+        return StepOutcome::kProgress;
+      case 19:  // CAS(W-token, p, prevD)
+        if (s.Wtoken == tok_pid(i)) {
+          s.Wtoken = tok_side(w.prevD);
+          w.pc = 20;
+        } else {
+          w.att -= 1;
+          w.pc = 1;
+        }
+        return StepOutcome::kProgress;
+      case 20:  // Gate[currD] <- true  (SWWP exit)
+        s.sh.Gate[w.currD] = 1;
+        w.att -= 1;
+        w.pc = 1;
+        return StepOutcome::kProgress;
+      default: {  // 104..112: embedded SWWP waiting room (lines 4..12)
+        std::uint8_t pc = static_cast<std::uint8_t>(w.pc - 100);
+        const auto oc =
+            swwp_writer_wr_step(s.sh, pc, w.prevD, /*skip_exit_wait=*/false);
+        w.pc = static_cast<std::uint8_t>(pc == 13 ? 14 : pc + 100);
+        return oc;
+      }
+    }
+  }
+
+  MwwpConfig cfg_;
+};
+
+}  // namespace
+
+namespace {
+ModelReport to_report(const ExploreResult& r) {
+  ModelReport rep;
+  rep.ok = r.ok;
+  rep.truncated = r.truncated;
+  rep.violation = r.violation;
+  rep.states = r.states;
+  rep.transitions = r.transitions;
+  rep.trace = r.trace;
+  return rep;
+}
+}  // namespace
+
+ModelReport check_mwwp(const MwwpConfig& cfg) {
+  MwwpModel model(cfg);
+  Explorer<MwwpModel> ex(model, cfg.max_states);
+  return to_report(ex.run());
+}
+
+ModelReport check_mwwp_random(const MwwpConfig& cfg, std::uint64_t walks,
+                              std::uint64_t max_steps, std::uint64_t seed) {
+  MwwpModel model(cfg);
+  Xoshiro256 rng(seed);
+  return to_report(random_walk(model, rng, walks, max_steps));
+}
+
+}  // namespace bjrw::model

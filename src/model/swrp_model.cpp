@@ -1,0 +1,317 @@
+#include "src/model/swrp_model.hpp"
+
+#include <sstream>
+
+#include "src/harness/prng.hpp"
+#include "src/model/explorer.hpp"
+
+namespace bjrw::model {
+namespace {
+
+constexpr int kMaxReaders = 4;
+constexpr std::uint8_t kTrue = 200;  // X value "true" (pids are 0..readers)
+
+// Promote pcs are the paper's 10..16.  Writer pcs: 1 remainder, 3 (line 3),
+// 5 (wait Permit), 6 (in CS), 8 (line 8), 9 (line 9), plus promote.
+// Reader pcs: 17 remainder, 19 (line 19), 20, 22, 23, 24 (wait), 25 (in CS),
+// plus promote.  Line 18 merges into the remainder-exit step; lines 11/21
+// (local tests) merge into the preceding shared read.
+struct SwrpState {
+  std::uint8_t D = 0;
+  std::uint8_t Gate[2] = {1, 0};
+  std::uint8_t X = 0;       // pid or kTrue; initialized to "any pid"
+  std::uint8_t Permit = 1;  // initialized to true
+  std::uint8_t C = 0;
+
+  std::uint8_t wpc = 1;
+  std::uint8_t wD = 0;   // currD of the writer's attempt
+  std::uint8_t wx = 0;   // Promote-local x
+  std::uint8_t wAtt = 0;
+
+  struct Reader {
+    std::uint8_t pc = 17;
+    std::uint8_t d = 0;
+    std::uint8_t x = 0;
+    std::uint8_t att = 0;
+  } r[kMaxReaders];
+};
+static_assert(sizeof(SwrpState) == 10 + 4 * kMaxReaders,
+              "state must have no padding (bytes are hashed raw)");
+
+class SwrpModel {
+ public:
+  using State = SwrpState;
+
+  explicit SwrpModel(const SwrpConfig& cfg) : cfg_(cfg) {}
+
+  State initial() const {
+    State s{};
+    s.wAtt = static_cast<std::uint8_t>(cfg_.writer_attempts);
+    for (int i = 0; i < cfg_.readers; ++i)
+      s.r[i].att = static_cast<std::uint8_t>(cfg_.reader_attempts);
+    return s;
+  }
+
+  int num_procs() const { return 1 + cfg_.readers; }
+
+  StepOutcome step(const State& in, int p, State& out) const {
+    out = in;
+    if (p == 0) return writer_step(out);
+    return reader_step(out, p - 1);
+  }
+
+  std::string check(const State& s) const {
+    // --- P1: mutual exclusion ---
+    if (s.wpc == 6) {
+      for (int i = 0; i < cfg_.readers; ++i)
+        if (s.r[i].pc == 25)
+          return "P1 violated: writer and reader " + std::to_string(i) +
+                 " both in CS";
+    }
+    if (cfg_.skip_reader_cas || cfg_.single_cas_promote) return {};
+
+    // --- Figure 5 global invariant: C counts registered readers ---
+    int reg = 0;
+    for (int i = 0; i < cfg_.readers; ++i) {
+      const auto pc = s.r[i].pc;
+      reg += (pc == 19 || pc == 20 || pc == 22 || pc == 23 || pc == 24 ||
+              pc == 25);
+    }
+    if (s.C != reg)
+      return "C=" + std::to_string(s.C) + " != registered readers " +
+             std::to_string(reg);
+
+    // --- §4.1: both gates never simultaneously open ---
+    if (s.Gate[0] == 1 && s.Gate[1] == 1) return "both gates open";
+
+    // --- gates relative to the writer's pc ---
+    if (s.wpc == 1 && (s.Gate[s.D] != 1 || s.Gate[1 - s.D] != 0))
+      return "gate invariant (writer remainder) violated";
+    if (is_writer_try(s.wpc) &&
+        (s.Gate[s.wD] != 0 || s.Gate[1 - s.wD] != 1))
+      return "gate invariant (writer try) violated at wpc=" +
+             std::to_string(s.wpc);
+    if (s.wpc == 9 && (s.Gate[s.wD] != 1 || s.Gate[1 - s.wD] != 0))
+      return "gate invariant (writer exit) violated";
+
+    // --- X relative to the writer's pc ---
+    if (s.wpc == 1 && s.X == kTrue) return "X == true in writer remainder";
+    if ((s.wpc == 6 || s.wpc == 8 || s.wpc == 9) && s.X != kTrue)
+      return "X != true while writer in CS/exit";
+
+    // --- §4.1 invariant 3: reader in CS -> X != true, or the writer has
+    //     already opened the gate and is at line 9 ---
+    for (int i = 0; i < cfg_.readers; ++i)
+      if (s.r[i].pc == 25 && s.X == kTrue &&
+          !(s.wpc == 9 && s.Gate[s.D] == 1))
+        return "reader in CS with X==true and writer not at line 9";
+
+    // --- at most one process poised at Promote line 16 ---
+    int at16 = (s.wpc == 16);
+    for (int i = 0; i < cfg_.readers; ++i) at16 += (s.r[i].pc == 16);
+    if (at16 > 1) return "two processes at Promote line 16";
+    if (s.wpc == 16 && (s.X != kTrue || s.Permit != 0))
+      return "writer at line 16 without X==true/Permit==false";
+
+    // --- Lemma 19 (reader-priority core): a reader in the waiting room
+    //     while the writer is in its remainder finds its gate open ---
+    for (int i = 0; i < cfg_.readers; ++i)
+      if (s.r[i].pc == 24 && s.wpc == 1 && s.Gate[s.r[i].d] != 1)
+        return "lemma 19 violated: reader waiting on a closed gate with "
+               "writer in remainder";
+    return {};
+  }
+
+  std::string describe(const State& s) const {
+    std::ostringstream os;
+    os << "w(pc=" << int(s.wpc) << ",D'=" << int(s.wD)
+       << ",att=" << int(s.wAtt) << ")";
+    for (int i = 0; i < cfg_.readers; ++i)
+      os << " r" << i << "(pc=" << int(s.r[i].pc) << ",d=" << int(s.r[i].d)
+         << ",att=" << int(s.r[i].att) << ")";
+    os << " | D=" << int(s.D) << " G=[" << int(s.Gate[0]) << int(s.Gate[1])
+       << "] X=" << (s.X == kTrue ? std::string("T") : std::to_string(s.X))
+       << " P=" << int(s.Permit) << " C=" << int(s.C);
+    return os.str();
+  }
+
+ private:
+  static bool is_writer_try(std::uint8_t pc) {
+    return pc == 3 || pc == 5 || (pc >= 10 && pc <= 16) || pc == 6;
+  }
+
+  std::uint8_t writer_pid() const {
+    return static_cast<std::uint8_t>(cfg_.readers);
+  }
+
+  // Promote (lines 10-16) shared by writer and readers.  Returns true when
+  // the call completed (caller resumes), false when it progressed to `next`.
+  // Implements ablation (B) when cfg_.single_cas_promote is set.
+  StepOutcome promote_step(State& s, std::uint8_t& pc, std::uint8_t& x,
+                           std::uint8_t me, bool& returned) const {
+    returned = false;
+    switch (pc) {
+      case 10:  // x <- X; line 11 local test merged
+        x = s.X;
+        if (x == kTrue) {
+          returned = true;
+        } else {
+          pc = cfg_.single_cas_promote ? 13 : 12;
+        }
+        return StepOutcome::kProgress;
+      case 12:  // CAS(X, x, i)
+        if (s.X == x) {
+          s.X = me;
+          pc = 13;
+        } else {
+          returned = true;
+        }
+        return StepOutcome::kProgress;
+      case 13:  // if (!Permit)
+        if (s.Permit != 0) {
+          returned = true;
+        } else {
+          pc = 14;
+        }
+        return StepOutcome::kProgress;
+      case 14:  // if (C == 0)
+        if (s.C != 0) {
+          returned = true;
+        } else {
+          pc = 15;
+        }
+        return StepOutcome::kProgress;
+      case 15: {  // CAS(X, i, true)   (ablation B: CAS(X, x, true))
+        const std::uint8_t expect = cfg_.single_cas_promote ? x : me;
+        if (s.X == expect) {
+          s.X = kTrue;
+          pc = 16;
+        } else {
+          returned = true;
+        }
+        return StepOutcome::kProgress;
+      }
+      case 16:  // Permit <- true
+        s.Permit = 1;
+        returned = true;
+        return StepOutcome::kProgress;
+      default:
+        returned = true;
+        return StepOutcome::kProgress;
+    }
+  }
+
+  StepOutcome writer_step(State& s) const {
+    switch (s.wpc) {
+      case 1:  // remainder; line 2: D <- ~D (single RMW by its only writer)
+        if (s.wAtt == 0) return StepOutcome::kDone;
+        s.D = 1 - s.D;
+        s.wD = s.D;
+        s.wpc = 3;
+        return StepOutcome::kProgress;
+      case 3:  // Permit <- false
+        s.Permit = 0;
+        s.wpc = 10;  // call Promote
+        return StepOutcome::kProgress;
+      case 5:  // wait till Permit
+        if (s.Permit == 0) return StepOutcome::kBlocked;
+        s.wpc = 6;  // enter CS
+        return StepOutcome::kProgress;
+      case 6:  // in CS; leaving executes line 7: Gate[~D] <- false
+        s.Gate[1 - s.wD] = 0;
+        s.wpc = 8;
+        return StepOutcome::kProgress;
+      case 8:  // Gate[D] <- true
+        s.Gate[s.wD] = 1;
+        s.wpc = 9;
+        return StepOutcome::kProgress;
+      case 9:  // X <- i
+        s.X = writer_pid();
+        s.wAtt -= 1;
+        s.wpc = 1;
+        return StepOutcome::kProgress;
+      default: {  // Promote lines 10-16; on return resume at line 5
+        bool returned = false;
+        const auto oc = promote_step(s, s.wpc, s.wx, writer_pid(), returned);
+        if (returned) s.wpc = 5;
+        return oc;
+      }
+    }
+  }
+
+  StepOutcome reader_step(State& s, int idx) const {
+    auto& r = s.r[idx];
+    const auto me = static_cast<std::uint8_t>(idx);
+    switch (r.pc) {
+      case 17:  // remainder; line 18: F&A(C, 1)
+        if (r.att == 0) return StepOutcome::kDone;
+        s.C += 1;
+        r.pc = 19;
+        return StepOutcome::kProgress;
+      case 19:  // d <- D
+        r.d = s.D;
+        r.pc = cfg_.skip_reader_cas ? 23 : 20;  // ablation (A) skips 20-22
+        return StepOutcome::kProgress;
+      case 20:  // x <- X; line 21 local test merged
+        r.x = s.X;
+        r.pc = (r.x != kTrue) ? 22 : 23;
+        return StepOutcome::kProgress;
+      case 22:  // CAS(X, x, i)
+        if (s.X == r.x) s.X = me;
+        r.pc = 23;
+        return StepOutcome::kProgress;
+      case 23:  // if (X == true) wait on gate, else straight to CS
+        r.pc = (s.X == kTrue) ? 24 : 25;
+        return StepOutcome::kProgress;
+      case 24:  // wait till Gate[d]
+        if (s.Gate[r.d] == 0) return StepOutcome::kBlocked;
+        r.pc = 25;  // enter CS
+        return StepOutcome::kProgress;
+      case 25:  // in CS; leaving executes line 26: F&A(C, -1)
+        s.C -= 1;
+        r.pc = 10;  // call Promote
+        return StepOutcome::kProgress;
+      default: {  // Promote lines 10-16; on return the attempt completes
+        bool returned = false;
+        const auto oc = promote_step(s, r.pc, r.x, me, returned);
+        if (returned) {
+          r.att -= 1;
+          r.pc = 17;
+        }
+        return oc;
+      }
+    }
+  }
+
+  SwrpConfig cfg_;
+};
+
+}  // namespace
+
+namespace {
+ModelReport to_report(const ExploreResult& r) {
+  ModelReport rep;
+  rep.ok = r.ok;
+  rep.truncated = r.truncated;
+  rep.violation = r.violation;
+  rep.states = r.states;
+  rep.transitions = r.transitions;
+  rep.trace = r.trace;
+  return rep;
+}
+}  // namespace
+
+ModelReport check_swrp(const SwrpConfig& cfg) {
+  SwrpModel model(cfg);
+  Explorer<SwrpModel> ex(model, cfg.max_states);
+  return to_report(ex.run());
+}
+
+ModelReport check_swrp_random(const SwrpConfig& cfg, std::uint64_t walks,
+                              std::uint64_t max_steps, std::uint64_t seed) {
+  SwrpModel model(cfg);
+  Xoshiro256 rng(seed);
+  return to_report(random_walk(model, rng, walks, max_steps));
+}
+
+}  // namespace bjrw::model

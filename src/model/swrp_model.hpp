@@ -1,0 +1,35 @@
+// Exhaustive model check of Figure 2 (single-writer, reader-priority lock) —
+// machine-checks Theorem 2's safety content and the Figure 5 invariants over
+// all reachable states of a bounded configuration, plus the two §4.3
+// counterexample ablations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/model/swwp_model.hpp"  // ModelReport
+
+namespace bjrw::model {
+
+struct SwrpConfig {
+  int readers = 2;          // 1..4
+  int reader_attempts = 2;
+  int writer_attempts = 2;
+  // Ablation (A), §4.3: readers skip lines 20-22 (no CAS of their pid into
+  // X).  Mutual exclusion must become violable.
+  bool skip_reader_cas = false;
+  // Ablation (B), §4.3: Promote performs a single CAS(X, x, true) instead of
+  // first installing its own pid (line 12) and then CAS(X, i, true).
+  // Mutual exclusion must become violable.
+  bool single_cas_promote = false;
+  std::uint64_t max_states = 50'000'000;
+};
+
+ModelReport check_swrp(const SwrpConfig& cfg);
+
+// Randomized-schedule variant for configurations beyond the exhaustive
+// budget (up to 4 readers); see check_swwp_random.
+ModelReport check_swrp_random(const SwrpConfig& cfg, std::uint64_t walks,
+                              std::uint64_t max_steps, std::uint64_t seed);
+
+}  // namespace bjrw::model

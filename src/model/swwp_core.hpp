@@ -1,0 +1,200 @@
+// Shared PC-level model of the Figure-1 (SWWP) protocol pieces.
+//
+// Used by two checkers: the single-writer model (swwp_model.cpp, Theorem 1)
+// and the multi-writer writer-priority model (mwwp_model.cpp, Theorem 5),
+// whose writers embed SWWP's waiting room (lines 4-12) and whose readers run
+// SWWP's reader protocol unchanged.
+//
+// Conventions:
+//  * One struct field per shared variable; all fields uint8_t so the state
+//    byte image is canonical (no padding).
+//  * pc = the paper's line number *about to execute*; merging purely-local
+//    lines (19) into the preceding shared-memory step.  A process "is in the
+//    CS" when its pc equals the CS line (writer 13, reader 25).
+//  * Reader-count membership is derivable from (pc, d, d2); invariant
+//    helpers below recompute it for the Appendix A checks.
+#pragma once
+
+#include <cstdint>
+
+#include "src/model/explorer.hpp"
+
+namespace bjrw::model {
+
+struct SwwpShared {
+  std::uint8_t D = 0;
+  std::uint8_t ExitPermit = 1;
+  std::uint8_t Permit[2] = {0, 0};
+  std::uint8_t Gate[2] = {1, 0};  // Gate[0]=true, Gate[1]=false
+  std::uint8_t Cww[2] = {0, 0};   // writer-waiting component of C[d]
+  std::uint8_t Crc[2] = {0, 0};   // reader-count component of C[d]
+  std::uint8_t ECww = 0;
+  std::uint8_t ECrc = 0;
+};
+
+struct SwwpReader {
+  std::uint8_t pc = 15;  // 15 = remainder section
+  std::uint8_t d = 0;
+  std::uint8_t d2 = 0;
+  std::uint8_t att = 0;  // attempts remaining
+};
+
+// One atomic step of SWWP's Read-lock/Read-unlock (paper lines 15-30).
+inline StepOutcome swwp_reader_step(SwwpShared& sh, SwwpReader& r) {
+  switch (r.pc) {
+    case 15:  // remainder
+      if (r.att == 0) return StepOutcome::kDone;
+      // line 16: d <- D
+      r.d = sh.D;
+      r.pc = 17;
+      return StepOutcome::kProgress;
+    case 17:  // F&A(C[d], [0,1])
+      sh.Crc[r.d] += 1;
+      r.pc = 18;
+      return StepOutcome::kProgress;
+    case 18:  // line 18: d' <- D ; line 19 (local test) merged
+      r.d2 = sh.D;
+      r.pc = (r.d != r.d2) ? 20 : 24;
+      return StepOutcome::kProgress;
+    case 20:  // F&A(C[d'], [0,1])
+      sh.Crc[r.d2] += 1;
+      r.pc = 21;
+      return StepOutcome::kProgress;
+    case 21:  // d <- D
+      r.d = sh.D;
+      r.pc = 22;
+      return StepOutcome::kProgress;
+    case 22: {  // if (F&A(C[~d], [0,-1]) == [1,1])
+      const std::uint8_t other = 1 - r.d;
+      const bool last = (sh.Cww[other] == 1 && sh.Crc[other] == 1);
+      sh.Crc[other] -= 1;
+      r.pc = last ? 23 : 24;
+      return StepOutcome::kProgress;
+    }
+    case 23:  // Permit[~d] <- true
+      sh.Permit[1 - r.d] = 1;
+      r.pc = 24;
+      return StepOutcome::kProgress;
+    case 24:  // wait till Gate[d]
+      if (sh.Gate[r.d] == 0) return StepOutcome::kBlocked;
+      r.pc = 25;  // enter CS
+      return StepOutcome::kProgress;
+    case 25:  // in CS; leaving executes line 26: F&A(EC, [0,1])
+      sh.ECrc += 1;
+      r.pc = 27;
+      return StepOutcome::kProgress;
+    case 27: {  // if (F&A(C[d], [0,-1]) == [1,1])
+      const bool last = (sh.Cww[r.d] == 1 && sh.Crc[r.d] == 1);
+      sh.Crc[r.d] -= 1;
+      r.pc = last ? 28 : 29;
+      return StepOutcome::kProgress;
+    }
+    case 28:  // Permit[d] <- true
+      sh.Permit[r.d] = 1;
+      r.pc = 29;
+      return StepOutcome::kProgress;
+    case 29: {  // if (F&A(EC, [0,-1]) == [1,1])
+      const bool last = (sh.ECww == 1 && sh.ECrc == 1);
+      sh.ECrc -= 1;
+      if (last) {
+        r.pc = 30;
+      } else {
+        r.att -= 1;
+        r.pc = 15;
+      }
+      return StepOutcome::kProgress;
+    }
+    case 30:  // ExitPermit <- true
+      sh.ExitPermit = 1;
+      r.att -= 1;
+      r.pc = 15;
+      return StepOutcome::kProgress;
+    default:
+      return StepOutcome::kDone;  // unreachable
+  }
+}
+
+// One atomic step of SWWP's writer waiting room (paper lines 4-12), the
+// piece Figure 4 reuses as "SW-waiting-room()".  `pc` must be in [4,12];
+// when it reaches 13 the writer may enter the CS.
+// If `skip_exit_wait` is set, lines 9-12 are skipped — the §3.3 ablation
+// that must break mutual exclusion.
+inline StepOutcome swwp_writer_wr_step(SwwpShared& sh, std::uint8_t& pc,
+                                       std::uint8_t prevD,
+                                       bool skip_exit_wait) {
+  switch (pc) {
+    case 4:  // Permit[prevD] <- false
+      sh.Permit[prevD] = 0;
+      pc = 5;
+      return StepOutcome::kProgress;
+    case 5: {  // if (F&A(C[prevD], [1,0]) != [0,0])
+      const bool empty = (sh.Cww[prevD] == 0 && sh.Crc[prevD] == 0);
+      sh.Cww[prevD] += 1;
+      pc = empty ? 7 : 6;
+      return StepOutcome::kProgress;
+    }
+    case 6:  // wait till Permit[prevD]
+      if (sh.Permit[prevD] == 0) return StepOutcome::kBlocked;
+      pc = 7;
+      return StepOutcome::kProgress;
+    case 7:  // F&A(C[prevD], [-1,0])
+      sh.Cww[prevD] -= 1;
+      pc = 8;
+      return StepOutcome::kProgress;
+    case 8:  // Gate[prevD] <- false
+      sh.Gate[prevD] = 0;
+      pc = skip_exit_wait ? 13 : 9;
+      return StepOutcome::kProgress;
+    case 9:  // ExitPermit <- false
+      sh.ExitPermit = 0;
+      pc = 10;
+      return StepOutcome::kProgress;
+    case 10: {  // if (F&A(EC, [1,0]) != [0,0])
+      const bool empty = (sh.ECww == 0 && sh.ECrc == 0);
+      sh.ECww += 1;
+      pc = empty ? 12 : 11;
+      return StepOutcome::kProgress;
+    }
+    case 11:  // wait till ExitPermit
+      if (sh.ExitPermit == 0) return StepOutcome::kBlocked;
+      pc = 12;
+      return StepOutcome::kProgress;
+    case 12:  // F&A(EC, [-1,0])
+      sh.ECww -= 1;
+      pc = 13;  // CS
+      return StepOutcome::kProgress;
+    default:
+      return StepOutcome::kDone;  // caller error
+  }
+}
+
+// ---- Appendix A derived-invariant helpers ----------------------------------
+
+// Is reader `r` currently registered in C(side)?  Derived from the step
+// function above: registration on d happens at line 17 and is dropped at
+// line 27; registration on d2 happens at line 20 and is dropped at line 22.
+inline bool swwp_reader_in_C(const SwwpReader& r, std::uint8_t side) {
+  switch (r.pc) {
+    case 18:
+    case 20:
+      return r.d == side;
+    case 21:
+    case 22:
+      return true;  // registered on both sides (d != d2 on this path)
+    case 23:
+    case 24:
+    case 25:
+    case 27:
+      return r.d == side;
+    default:
+      return false;
+  }
+}
+
+// Is reader `r` currently registered in EC?  (Incremented when leaving the
+// CS at line 26, dropped at line 29.)
+inline bool swwp_reader_in_EC(const SwwpReader& r) {
+  return r.pc == 27 || r.pc == 28 || r.pc == 29;
+}
+
+}  // namespace bjrw::model

@@ -1,0 +1,204 @@
+#include "src/model/swwp_model.hpp"
+
+#include <sstream>
+
+#include "src/harness/prng.hpp"
+#include "src/model/explorer.hpp"
+#include "src/model/swwp_core.hpp"
+
+namespace bjrw::model {
+namespace {
+
+constexpr int kMaxReaders = 4;
+
+struct SwwpState {
+  SwwpShared sh;
+  // Writer: pc uses the paper's line numbers; 1 = remainder, 13 = in CS.
+  std::uint8_t wpc = 1;
+  std::uint8_t wPrevD = 0;
+  std::uint8_t wCurrD = 0;
+  std::uint8_t wAtt = 0;
+  SwwpReader r[kMaxReaders];
+};
+static_assert(sizeof(SwwpState) ==
+                  sizeof(SwwpShared) + 4 + kMaxReaders * sizeof(SwwpReader),
+              "state must have no padding (bytes are hashed raw)");
+
+class SwwpModel {
+ public:
+  using State = SwwpState;
+
+  explicit SwwpModel(const SwwpConfig& cfg) : cfg_(cfg) {}
+
+  State initial() const {
+    State s{};
+    s.sh = SwwpShared{};
+    s.wpc = 1;
+    s.wAtt = static_cast<std::uint8_t>(cfg_.writer_attempts);
+    for (int i = 0; i < cfg_.readers; ++i) {
+      s.r[i] = SwwpReader{};
+      s.r[i].att = static_cast<std::uint8_t>(cfg_.reader_attempts);
+    }
+    return s;
+  }
+
+  int num_procs() const { return 1 + cfg_.readers; }
+
+  StepOutcome step(const State& in, int p, State& out) const {
+    out = in;
+    if (p == 0) return writer_step(out);
+    return swwp_reader_step(out.sh, out.r[p - 1]);
+  }
+
+  // Safety checks applied to every reachable state: P1 plus the Appendix A
+  // invariants reconstructed as derived predicates (DESIGN.md §5).
+  std::string check(const State& s) const {
+    // --- P1: mutual exclusion ---
+    if (s.wpc == 13) {
+      for (int i = 0; i < cfg_.readers; ++i)
+        if (s.r[i].pc == 25)
+          return "P1 violated: writer and reader " + std::to_string(i) +
+                 " both in CS";
+    }
+
+    // Ablation runs check P1 only: the remaining invariants describe the
+    // *correct* algorithm and are beside the point once lines 9-12 are gone.
+    if (cfg_.skip_exit_wait) return {};
+
+    // --- counter/membership consistency (Appendix A items 1,3,5,6) ---
+    for (int side = 0; side < 2; ++side) {
+      int members = 0;
+      for (int i = 0; i < cfg_.readers; ++i)
+        members += swwp_reader_in_C(s.r[i], static_cast<std::uint8_t>(side));
+      if (s.sh.Crc[side] != members)
+        return "C[" + std::to_string(side) + "].rc=" +
+               std::to_string(s.sh.Crc[side]) + " != derived membership " +
+               std::to_string(members);
+    }
+    {
+      int members = 0;
+      for (int i = 0; i < cfg_.readers; ++i)
+        members += swwp_reader_in_EC(s.r[i]);
+      if (s.sh.ECrc != members)
+        return "EC.rc=" + std::to_string(s.sh.ECrc) +
+               " != derived membership " + std::to_string(members);
+    }
+
+    // --- writer-waiting components track the writer's pc exactly ---
+    for (int side = 0; side < 2; ++side) {
+      const bool expect =
+          (s.wpc == 6 || s.wpc == 7) && s.wPrevD == side;
+      if ((s.sh.Cww[side] != 0) != expect)
+        return "C[" + std::to_string(side) + "].ww inconsistent at wpc=" +
+               std::to_string(s.wpc);
+    }
+    if (!cfg_.skip_exit_wait) {
+      const bool expect = (s.wpc == 11 || s.wpc == 12);
+      if ((s.sh.ECww != 0) != expect)
+        return "EC.ww inconsistent at wpc=" + std::to_string(s.wpc);
+    }
+
+    // --- gate states by writer pc (Appendix A item 2) ---
+    // Remainder / doorway: current side's gate open, other closed.
+    if (s.wpc == 1 || s.wpc == 3) {
+      if (s.sh.Gate[s.sh.D] != 1 || s.sh.Gate[1 - s.sh.D] != 0)
+        return "gate invariant (remainder) violated";
+    }
+    // After the doorway until line 8: previous side's gate still open.
+    if (s.wpc >= 4 && s.wpc <= 8) {
+      if (s.sh.Gate[s.wCurrD] != 0 || s.sh.Gate[s.wPrevD] != 1)
+        return "gate invariant (draining) violated at wpc=" +
+               std::to_string(s.wpc);
+    }
+    // Exit-section drain and CS: both gates closed.
+    if (!cfg_.skip_exit_wait && s.wpc >= 9 && s.wpc <= 13) {
+      if (s.sh.Gate[0] != 0 || s.sh.Gate[1] != 0)
+        return "gate invariant (CS) violated at wpc=" + std::to_string(s.wpc);
+    }
+
+    // --- Appendix A, PCw in {13,14}: no reader in CS or exit section ---
+    if (!cfg_.skip_exit_wait && s.wpc == 13) {
+      for (int i = 0; i < cfg_.readers; ++i) {
+        const auto pc = s.r[i].pc;
+        if (pc >= 25 && pc <= 30)
+          return "reader " + std::to_string(i) +
+                 " in CS/exit while writer in CS (pc=" + std::to_string(pc) +
+                 ")";
+      }
+    }
+    return {};
+  }
+
+  std::string describe(const State& s) const {
+    std::ostringstream os;
+    os << "w(pc=" << int(s.wpc) << ",prev=" << int(s.wPrevD)
+       << ",att=" << int(s.wAtt) << ")";
+    for (int i = 0; i < cfg_.readers; ++i)
+      os << " r" << i << "(pc=" << int(s.r[i].pc) << ",d=" << int(s.r[i].d)
+         << ",att=" << int(s.r[i].att) << ")";
+    os << " | D=" << int(s.sh.D) << " G=[" << int(s.sh.Gate[0])
+       << int(s.sh.Gate[1]) << "]"
+       << " C0=" << int(s.sh.Cww[0]) << "/" << int(s.sh.Crc[0])
+       << " C1=" << int(s.sh.Cww[1]) << "/" << int(s.sh.Crc[1])
+       << " EC=" << int(s.sh.ECww) << "/" << int(s.sh.ECrc)
+       << " P=[" << int(s.sh.Permit[0]) << int(s.sh.Permit[1])
+       << "] EP=" << int(s.sh.ExitPermit);
+    return os.str();
+  }
+
+ private:
+  StepOutcome writer_step(State& s) const {
+    switch (s.wpc) {
+      case 1:  // remainder; line 2 merged (prevD <- D, currD <- ~prevD)
+        if (s.wAtt == 0) return StepOutcome::kDone;
+        s.wPrevD = s.sh.D;
+        s.wCurrD = 1 - s.wPrevD;
+        s.wpc = 3;
+        return StepOutcome::kProgress;
+      case 3:  // D <- currD
+        s.sh.D = s.wCurrD;
+        s.wpc = 4;
+        return StepOutcome::kProgress;
+      case 13:  // in CS; leaving executes line 14: Gate[D] <- true
+        s.sh.Gate[s.wCurrD] = 1;
+        s.wAtt -= 1;
+        s.wpc = 1;
+        return StepOutcome::kProgress;
+      default:  // lines 4-12: the waiting room
+        return swwp_writer_wr_step(s.sh, s.wpc, s.wPrevD,
+                                   cfg_.skip_exit_wait);
+    }
+  }
+
+  SwwpConfig cfg_;
+};
+
+}  // namespace
+
+namespace {
+ModelReport to_report(const ExploreResult& r) {
+  ModelReport rep;
+  rep.ok = r.ok;
+  rep.truncated = r.truncated;
+  rep.violation = r.violation;
+  rep.states = r.states;
+  rep.transitions = r.transitions;
+  rep.trace = r.trace;
+  return rep;
+}
+}  // namespace
+
+ModelReport check_swwp(const SwwpConfig& cfg) {
+  SwwpModel model(cfg);
+  Explorer<SwwpModel> ex(model, cfg.max_states);
+  return to_report(ex.run());
+}
+
+ModelReport check_swwp_random(const SwwpConfig& cfg, std::uint64_t walks,
+                              std::uint64_t max_steps, std::uint64_t seed) {
+  SwwpModel model(cfg);
+  Xoshiro256 rng(seed);
+  return to_report(random_walk(model, rng, walks, max_steps));
+}
+
+}  // namespace bjrw::model

@@ -1,0 +1,39 @@
+// Exhaustive model check of Figure 1 (single-writer, writer-priority,
+// starvation-free lock) — machine-checks Theorem 1's safety content and the
+// Appendix A invariants over all reachable states of a bounded configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bjrw::model {
+
+struct SwwpConfig {
+  int readers = 2;          // 1..4
+  int reader_attempts = 2;  // CS entries per reader
+  int writer_attempts = 2;  // CS entries by the writer
+  // Ablation (§3.3): writer skips the exit-section wait (lines 9-12).
+  // With this set, mutual exclusion must become violable.
+  bool skip_exit_wait = false;
+  std::uint64_t max_states = 50'000'000;
+};
+
+struct ModelReport {
+  bool ok = true;
+  bool truncated = false;
+  std::string violation;
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  std::vector<std::string> trace;
+};
+
+ModelReport check_swwp(const SwwpConfig& cfg);
+
+// Randomized-schedule variant for configurations beyond the exhaustive
+// budget (up to 4 readers): `walks` independent adversarial schedules of up
+// to `max_steps` steps, invariants checked at every visited state.
+ModelReport check_swwp_random(const SwwpConfig& cfg, std::uint64_t walks,
+                              std::uint64_t max_steps, std::uint64_t seed);
+
+}  // namespace bjrw::model

@@ -1,0 +1,63 @@
+// CLH queue lock (Craig; Landin & Hagersten) — implicit-queue spin lock where
+// each thread spins on its predecessor's node.  O(1) RMR on CC machines
+// (the spin target migrates into the spinner's cache).  Substrate variety for
+// the mutex benchmarks; reference [17] territory in the paper's survey.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+
+#include "src/harness/spin.hpp"
+#include "src/rmr/provider.hpp"
+
+namespace bjrw {
+
+template <class Provider = StdProvider, class Spin = YieldSpin>
+class ClhLock {
+  template <class T>
+  using Atomic = typename Provider::template Atomic<T>;
+
+ public:
+  explicit ClhLock(int max_threads)
+      : pool_(std::make_unique<Node[]>(static_cast<std::size_t>(max_threads) + 1)),
+        ctx_(std::make_unique<PerThread[]>(static_cast<std::size_t>(max_threads))),
+        tail_(&pool_[0]) {
+    assert(max_threads >= 1);
+    pool_[0].locked.store(0);  // dummy node: lock starts free
+    for (int t = 0; t < max_threads; ++t) ctx_[t].mine = &pool_[t + 1];
+  }
+
+  void lock(int tid) {
+    PerThread& me = ctx_[tid];
+    me.mine->locked.store(1);
+    Node* pred = tail_.exchange(me.mine);
+    me.pred = pred;
+    spin_until<Spin>([&] { return pred->locked.load() == 0; });
+  }
+
+  void unlock(int tid) {
+    PerThread& me = ctx_[tid];
+    Node* released = me.mine;
+    released->locked.store(0);
+    // Classic CLH node recycling: take the predecessor's node for next time.
+    me.mine = me.pred;
+    me.pred = nullptr;
+  }
+
+ private:
+  struct alignas(64) Node {
+    Node() : locked(0) {}
+    Atomic<std::uint32_t> locked;
+  };
+  struct alignas(64) PerThread {
+    Node* mine = nullptr;
+    Node* pred = nullptr;
+  };
+
+  std::unique_ptr<Node[]> pool_;
+  std::unique_ptr<PerThread[]> ctx_;
+  Atomic<Node*> tail_;
+};
+
+}  // namespace bjrw

@@ -1,0 +1,67 @@
+// Mellor-Crummey & Scott queue lock (TOCS 1991) — the paper's reference [4],
+// the Dijkstra-Prize constant-RMR mutual exclusion algorithm for both CC and
+// DSM machines.  Included as a substrate alternative to Anderson's lock and
+// as a baseline in the mutex benchmarks.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+
+#include "src/harness/spin.hpp"
+#include "src/rmr/provider.hpp"
+
+namespace bjrw {
+
+template <class Provider = StdProvider, class Spin = YieldSpin>
+class McsLock {
+  template <class T>
+  using Atomic = typename Provider::template Atomic<T>;
+
+ public:
+  explicit McsLock(int max_threads)
+      : nodes_(std::make_unique<Node[]>(static_cast<std::size_t>(max_threads))),
+        tail_(nullptr) {
+    assert(max_threads >= 1);
+    // Each thread's queue node lives in that thread's memory module: this
+    // is what makes MCS constant-RMR on DSM machines as well as CC ([4]).
+    for (int t = 0; t < max_threads; ++t) {
+      nodes_[t].next.set_home(t);
+      nodes_[t].locked.set_home(t);
+    }
+  }
+
+  void lock(int tid) {
+    Node& me = nodes_[tid];
+    me.next.store(nullptr);
+    me.locked.store(1);
+    Node* pred = tail_.exchange(&me);
+    if (pred != nullptr) {
+      pred->next.store(&me);
+      spin_until<Spin>([&] { return me.locked.load() == 0; });
+    }
+  }
+
+  void unlock(int tid) {
+    Node& me = nodes_[tid];
+    Node* succ = me.next.load();
+    if (succ == nullptr) {
+      if (tail_.cas(&me, nullptr)) return;
+      // A successor is enqueueing; wait for it to link itself.
+      spin_until<Spin>([&] { return (succ = me.next.load()) != nullptr; });
+    }
+    succ->locked.store(0);
+  }
+
+ private:
+  struct alignas(64) Node {
+    Node() : next(nullptr), locked(0) {}
+    Atomic<Node*> next;
+    Atomic<std::uint32_t> locked;
+  };
+
+  std::unique_ptr<Node[]> nodes_;
+  Atomic<Node*> tail_;
+};
+
+}  // namespace bjrw

@@ -1,0 +1,37 @@
+// Ticket lock: FCFS centralized spin lock.  All waiters spin on the single
+// `serving` word, so each handoff invalidates every waiter's cache and the
+// RMR complexity is Θ(#waiters) per acquisition — the canonical *non*-local
+// -spin contrast case for the RMR experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "src/harness/spin.hpp"
+#include "src/rmr/provider.hpp"
+
+namespace bjrw {
+
+template <class Provider = StdProvider, class Spin = YieldSpin>
+class TicketLock {
+  template <class T>
+  using Atomic = typename Provider::template Atomic<T>;
+
+ public:
+  explicit TicketLock(int /*max_threads*/ = 0) : next_(0), serving_(0) {}
+
+  void lock(int /*tid*/) {
+    const std::uint64_t my = next_.fetch_add(1);
+    spin_until<Spin>([&] { return serving_.load() == my; });
+  }
+
+  void unlock(int /*tid*/) {
+    // Only the holder writes `serving`, so load+store is race-free.
+    serving_.store(serving_.load() + 1);
+  }
+
+ private:
+  Atomic<std::uint64_t> next_;
+  alignas(64) Atomic<std::uint64_t> serving_;
+};
+
+}  // namespace bjrw

@@ -1,0 +1,35 @@
+// Test-and-test-and-set lock: the simplest centralized spin lock.  Neither
+// fair nor local-spin (every release invalidates all waiters; every waiter
+// then storms the line), giving unbounded worst-case RMRs — the baseline the
+// 1990s local-spin literature, and this paper, improve on.
+#pragma once
+
+#include <cstdint>
+
+#include "src/harness/spin.hpp"
+#include "src/rmr/provider.hpp"
+
+namespace bjrw {
+
+template <class Provider = StdProvider, class Spin = YieldSpin>
+class TtasLock {
+  template <class T>
+  using Atomic = typename Provider::template Atomic<T>;
+
+ public:
+  explicit TtasLock(int /*max_threads*/ = 0) : flag_(0) {}
+
+  void lock(int /*tid*/) {
+    for (;;) {
+      spin_until<Spin>([&] { return flag_.load() == 0; });
+      if (flag_.exchange(1) == 0) return;
+    }
+  }
+
+  void unlock(int /*tid*/) { flag_.store(0); }
+
+ private:
+  Atomic<std::uint32_t> flag_;
+};
+
+}  // namespace bjrw

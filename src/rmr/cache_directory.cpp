@@ -1,0 +1,43 @@
+#include "src/rmr/cache_directory.hpp"
+
+namespace bjrw::rmr {
+
+namespace {
+thread_local int t_current_tid = 0;
+}  // namespace
+
+int current_tid() noexcept { return t_current_tid; }
+void set_current_tid(int tid) noexcept { t_current_tid = tid; }
+
+CacheDirectory& CacheDirectory::instance() {
+  static CacheDirectory dir;
+  return dir;
+}
+
+CacheDirectory::Location* CacheDirectory::register_location() {
+  std::lock_guard<std::mutex> g(registry_mu_);
+  locations_.emplace_back();
+  return &locations_.back();
+}
+
+std::uint64_t CacheDirectory::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& c : counters_) sum += c.rmrs.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void CacheDirectory::reset_counters() noexcept {
+  for (auto& c : counters_) c.rmrs.store(0, std::memory_order_relaxed);
+}
+
+void CacheDirectory::flush_caches() noexcept {
+  std::lock_guard<std::mutex> g(registry_mu_);
+  for (auto& loc : locations_) loc.present.store(0, std::memory_order_relaxed);
+}
+
+std::size_t CacheDirectory::num_locations() const {
+  std::lock_guard<std::mutex> g(registry_mu_);
+  return locations_.size();
+}
+
+}  // namespace bjrw::rmr

@@ -1,0 +1,150 @@
+// Write-invalidate cache-coherence model for RMR accounting.
+//
+// The paper defines RMR complexity on CC machines as: a reference by process
+// p to shared variable X is *remote* iff X is not in p's cache.  Under a
+// write-invalidate protocol this is captured exactly by a per-location
+// presence set:
+//
+//   read  by t : remote iff t not in present(X); afterwards t in present(X)
+//   write / RMW by t : remote iff present(X) != {t}; afterwards present(X)={t}
+//
+// A failed CAS is still an RMW touch of the line (it must obtain the line
+// to compare), so it is accounted like a write.
+//
+// Counting is exact and scheduler-independent: whatever interleaving the host
+// OS produces, each operation's remoteness depends only on the sequence of
+// operations on that location, which the atomics themselves serialize.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace bjrw::rmr {
+
+inline constexpr int kMaxThreads = 64;
+
+// Which machine model the directory accounts for (paper §1):
+//  * kCC:  a reference is remote iff the variable is not in the accessor's
+//          cache (write-invalidate presence sets, the default);
+//  * kDSM: a reference is remote iff the variable lives in a different
+//          processor's memory module — there is no caching, so every probe
+//          of a remote spin location counts.  Locations default to a
+//          "global" home that is remote to every thread; per-thread
+//          structures (e.g. MCS queue nodes) declare their home via
+//          Atomic::set_home.
+// The DSM mode exists to reproduce the paper's impossibility discussion:
+// Danek & Hadzilacos' bound implies no RW lock with concurrent entering can
+// be sublinear-RMR on DSM, while MCS mutual exclusion stays O(1) on both.
+enum class Mode : std::uint8_t { kCC, kDSM };
+
+// Identity of the running thread inside instrumented code.  Set by the
+// harness before an instrumented region; defaults to 0.
+int current_tid() noexcept;
+void set_current_tid(int tid) noexcept;
+
+// RAII helper for instrumented regions.
+class ScopedTid {
+ public:
+  explicit ScopedTid(int tid) : prev_(current_tid()) { set_current_tid(tid); }
+  ~ScopedTid() { set_current_tid(prev_); }
+  ScopedTid(const ScopedTid&) = delete;
+  ScopedTid& operator=(const ScopedTid&) = delete;
+
+ private:
+  int prev_;
+};
+
+class CacheDirectory {
+ public:
+  struct alignas(64) Location {
+    std::atomic<std::uint64_t> present{0};
+    std::atomic<int> home{kGlobalHome};  // DSM memory module; -1 = global
+  };
+  static constexpr int kGlobalHome = -1;
+
+  static CacheDirectory& instance();
+
+  Mode mode() const noexcept { return mode_.load(std::memory_order_relaxed); }
+  void set_mode(Mode m) noexcept {
+    mode_.store(m, std::memory_order_relaxed);
+  }
+
+  // Registers a new shared-memory location.  The returned pointer is stable
+  // for the lifetime of the process.
+  Location* register_location();
+
+  // Accounting entry points, called by InstrumentedAtomic.
+  void on_read(Location& loc) noexcept {
+    const int tid = current_tid();
+    if (mode() == Mode::kDSM) {
+      if (loc.home.load(std::memory_order_relaxed) != tid) bump(tid);
+      return;
+    }
+    const std::uint64_t bit = 1ULL << tid;
+    const std::uint64_t old =
+        loc.present.fetch_or(bit, std::memory_order_relaxed);
+    if ((old & bit) == 0) bump(tid);
+  }
+
+  void on_write(Location& loc) noexcept {
+    const int tid = current_tid();
+    if (mode() == Mode::kDSM) {
+      if (loc.home.load(std::memory_order_relaxed) != tid) bump(tid);
+      return;
+    }
+    const std::uint64_t bit = 1ULL << tid;
+    const std::uint64_t old =
+        loc.present.exchange(bit, std::memory_order_relaxed);
+    if (old != bit) bump(tid);
+  }
+
+  std::uint64_t count(int tid) const noexcept {
+    return counters_[tid].rmrs.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total() const noexcept;
+
+  // Zeroes all per-thread counters (presence sets are left alone: a reset
+  // models "start measuring now", not "flush all caches").
+  void reset_counters() noexcept;
+
+  // Invalidates every presence set, modeling cold caches.
+  void flush_caches() noexcept;
+
+  std::size_t num_locations() const;
+
+ private:
+  CacheDirectory() = default;
+
+  void bump(int tid) noexcept {
+    counters_[tid].rmrs.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  struct alignas(64) Counter {
+    std::atomic<std::uint64_t> rmrs{0};
+  };
+
+  mutable std::mutex registry_mu_;
+  std::deque<Location> locations_;  // deque: stable addresses under growth
+  Counter counters_[kMaxThreads];
+  std::atomic<Mode> mode_{Mode::kCC};
+};
+
+// Convenience: RMRs charged to `tid` between construction and sample().
+class RmrProbe {
+ public:
+  explicit RmrProbe(int tid)
+      : tid_(tid), start_(CacheDirectory::instance().count(tid)) {}
+  std::uint64_t sample() const {
+    return CacheDirectory::instance().count(tid_) - start_;
+  }
+  void rebase() { start_ = CacheDirectory::instance().count(tid_); }
+
+ private:
+  int tid_;
+  std::uint64_t start_;
+};
+
+}  // namespace bjrw::rmr

@@ -1,0 +1,105 @@
+// Atomics providers.
+//
+// Every lock in this library is a template over a Provider supplying
+// `Provider::Atomic<T>`, a sequentially-consistent atomic cell.  Two
+// providers exist:
+//
+//   * StdProvider          -- plain std::atomic, for production use and
+//                             wall-clock benchmarks.
+//   * InstrumentedProvider -- std::atomic plus the CacheDirectory RMR model,
+//                             for the paper's RMR-complexity experiments.
+//
+// All operations are memory_order_seq_cst on purpose: the paper's proofs
+// assume sequentially consistent shared memory, and seq_cst is its faithful
+// C++ mapping (see DESIGN.md §2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/rmr/cache_directory.hpp"
+
+namespace bjrw {
+
+struct StdProvider {
+  template <class T>
+  class Atomic {
+   public:
+    explicit Atomic(T init) noexcept : v_(init) {}
+    Atomic(const Atomic&) = delete;
+    Atomic& operator=(const Atomic&) = delete;
+
+    T load() const noexcept { return v_.load(std::memory_order_seq_cst); }
+    void store(T x) noexcept { v_.store(x, std::memory_order_seq_cst); }
+    T exchange(T x) noexcept {
+      return v_.exchange(x, std::memory_order_seq_cst);
+    }
+    T fetch_add(T d) noexcept {
+      return v_.fetch_add(d, std::memory_order_seq_cst);
+    }
+    T fetch_sub(T d) noexcept {
+      return v_.fetch_sub(d, std::memory_order_seq_cst);
+    }
+    // Paper-style CAS: returns whether the swap happened.
+    bool cas(T expected, T desired) noexcept {
+      return v_.compare_exchange_strong(expected, desired,
+                                        std::memory_order_seq_cst);
+    }
+    // DSM home declaration (see rmr::Mode); no-op without instrumentation.
+    void set_home(int /*tid*/) noexcept {}
+
+   private:
+    std::atomic<T> v_;
+  };
+};
+
+struct InstrumentedProvider {
+  template <class T>
+  class Atomic {
+   public:
+    explicit Atomic(T init) noexcept
+        : v_(init), loc_(rmr::CacheDirectory::instance().register_location()) {}
+    Atomic(const Atomic&) = delete;
+    Atomic& operator=(const Atomic&) = delete;
+
+    T load() const noexcept {
+      rmr::CacheDirectory::instance().on_read(*loc_);
+      return v_.load(std::memory_order_seq_cst);
+    }
+    void store(T x) noexcept {
+      rmr::CacheDirectory::instance().on_write(*loc_);
+      v_.store(x, std::memory_order_seq_cst);
+    }
+    T exchange(T x) noexcept {
+      rmr::CacheDirectory::instance().on_write(*loc_);
+      return v_.exchange(x, std::memory_order_seq_cst);
+    }
+    T fetch_add(T d) noexcept {
+      rmr::CacheDirectory::instance().on_write(*loc_);
+      return v_.fetch_add(d, std::memory_order_seq_cst);
+    }
+    T fetch_sub(T d) noexcept {
+      rmr::CacheDirectory::instance().on_write(*loc_);
+      return v_.fetch_sub(d, std::memory_order_seq_cst);
+    }
+    bool cas(T expected, T desired) noexcept {
+      // Even a failed CAS must obtain the cache line in exclusive mode, so
+      // it is charged as a write touch.
+      rmr::CacheDirectory::instance().on_write(*loc_);
+      return v_.compare_exchange_strong(expected, desired,
+                                        std::memory_order_seq_cst);
+    }
+    // Declares which processor's memory module hosts this variable in the
+    // DSM model (rmr::Mode::kDSM).  Queue locks whose nodes are per-thread
+    // (MCS) call this so their spins are local on DSM, exactly as in [4].
+    void set_home(int tid) noexcept {
+      loc_->home.store(tid, std::memory_order_relaxed);
+    }
+
+   private:
+    std::atomic<T> v_;
+    rmr::CacheDirectory::Location* loc_;
+  };
+};
+
+}  // namespace bjrw

@@ -1,0 +1,101 @@
+// Tests for the public API sugar: RAII guards, the ReaderWriterLock concept,
+// and the std::shared_mutex adapter.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "src/core/locks.hpp"
+#include "src/harness/thread_coord.hpp"
+
+namespace bjrw {
+namespace {
+
+TEST(Guards, ReadGuardReleasesOnScopeExit) {
+  WriterPriorityLock l(2);
+  {
+    ReadGuard g(l, 0);
+  }
+  // If the guard leaked the read hold, this writer acquisition would hang.
+  l.write_lock(1);
+  l.write_unlock(1);
+}
+
+TEST(Guards, WriteGuardReleasesOnScopeExit) {
+  WriterPriorityLock l(2);
+  {
+    WriteGuard g(l, 0);
+  }
+  l.read_lock(1);
+  l.read_unlock(1);
+}
+
+TEST(Guards, NestedScopesAlternate) {
+  StarvationFreeLock l(1);
+  for (int i = 0; i < 50; ++i) {
+    {
+      ReadGuard g(l, 0);
+    }
+    {
+      WriteGuard g(l, 0);
+    }
+  }
+}
+
+TEST(Guards, GuardsComposeWithRealWork) {
+  ReaderPriorityLock l(4);
+  std::uint64_t value = 0;
+  run_threads(4, [&](std::size_t tid) {
+    for (int i = 0; i < 200; ++i) {
+      if (tid == 0) {
+        WriteGuard g(l, static_cast<int>(tid));
+        ++value;
+      } else {
+        ReadGuard g(l, static_cast<int>(tid));
+        (void)value;
+      }
+    }
+  });
+  EXPECT_EQ(value, 200u);
+}
+
+TEST(Concept, AllLibraryLocksSatisfyReaderWriterLock) {
+  static_assert(ReaderWriterLock<StarvationFreeLock>);
+  static_assert(ReaderWriterLock<ReaderPriorityLock>);
+  static_assert(ReaderWriterLock<WriterPriorityLock>);
+  static_assert(ReaderWriterLock<SwWriterPrefLock<>>);
+  static_assert(ReaderWriterLock<SwReaderPrefLock<>>);
+  SUCCEED();
+}
+
+TEST(SharedMutexAdapter, WorksWithStdSharedLock) {
+  SharedMutexAdapter<WriterPriorityLock> mu(4);
+  std::uint64_t value = 0;
+  run_threads(4, [&](std::size_t tid) {
+    mu.register_this_thread(static_cast<int>(tid));
+    for (int i = 0; i < 150; ++i) {
+      if (tid == 0) {
+        std::unique_lock lk(mu);
+        ++value;
+      } else {
+        std::shared_lock lk(mu);
+        (void)value;
+      }
+    }
+  });
+  EXPECT_EQ(value, 150u);
+}
+
+TEST(SharedMutexAdapter, SingleThreadRoundTrips) {
+  SharedMutexAdapter<StarvationFreeLock> mu(1);
+  mu.register_this_thread(0);
+  for (int i = 0; i < 100; ++i) {
+    mu.lock();
+    mu.unlock();
+    mu.lock_shared();
+    mu.unlock_shared();
+  }
+}
+
+}  // namespace
+}  // namespace bjrw

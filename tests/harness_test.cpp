@@ -1,0 +1,167 @@
+// Unit tests for the harness substrate: stats, PRNG, workload generation,
+// thread coordination, table output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "src/harness/prng.hpp"
+#include "src/harness/stats.hpp"
+#include "src/harness/table.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/harness/timing.hpp"
+#include "src/harness/workload.hpp"
+
+namespace bjrw {
+namespace {
+
+TEST(Stats, SummaryOfKnownSamples) {
+  const auto s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, SummaryOfEmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const auto s = summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 42.0);
+}
+
+TEST(Stats, PercentilesAreOrderStatistics) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p90, 90.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+}
+
+TEST(Stats, StreamingMatchesBatch) {
+  Xoshiro256 rng(7);
+  std::vector<double> v;
+  StreamingStats st;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    v.push_back(x);
+    st.add(x);
+  }
+  const auto s = summarize(v);
+  EXPECT_EQ(st.count(), 1000u);
+  EXPECT_NEAR(st.mean(), s.mean, 1e-9);
+  EXPECT_NEAR(st.stddev(), s.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(st.min(), s.min);
+  EXPECT_DOUBLE_EQ(st.max(), s.max);
+}
+
+TEST(Stats, StreamingMergeMatchesSingleStream) {
+  StreamingStats a, b, whole;
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform01();
+    (i % 2 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+}
+
+TEST(Prng, DeterministicAcrossInstances) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Prng, BelowRespectsBound) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Prng, ChanceIsRoughlyCalibrated) {
+  Xoshiro256 rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(1, 10);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.1, 0.01);
+}
+
+TEST(Workload, MixMatchesReadFraction) {
+  WorkloadConfig cfg;
+  cfg.read_fraction = 0.9;
+  OpStream s(cfg, /*thread_salt=*/3, /*length=*/100000);
+  EXPECT_NEAR(static_cast<double>(s.reads()) / static_cast<double>(s.size()),
+              0.9, 0.01);
+}
+
+TEST(Workload, AllReadsAndAllWrites) {
+  WorkloadConfig cfg;
+  cfg.read_fraction = 1.0;
+  EXPECT_EQ(OpStream(cfg, 0, 1000).writes(), 0u);
+  cfg.read_fraction = 0.0;
+  EXPECT_EQ(OpStream(cfg, 0, 1000).reads(), 0u);
+}
+
+TEST(Workload, SpinWorkDependsOnIterations) {
+  EXPECT_NE(spin_work(10, 42), spin_work(11, 42));
+  EXPECT_EQ(spin_work(10, 42), spin_work(10, 42));
+}
+
+TEST(ThreadCoord, RunsAllThreadsWithDistinctTids) {
+  std::atomic<std::uint64_t> mask{0};
+  run_threads(8, [&](std::size_t tid) { mask.fetch_or(1ULL << tid); });
+  EXPECT_EQ(mask.load(), 0xFFu);
+}
+
+TEST(ThreadCoord, PropagatesWorkerException) {
+  EXPECT_THROW(
+      run_threads(4,
+                  [&](std::size_t tid) {
+                    if (tid == 2) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(Table, PrintsAlignedHeadersAndRows) {
+  Table t({"lock", "threads", "rmr"});
+  t.add_row({"fig1", "8", "3.00"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("lock"), std::string::npos);
+  EXPECT_NE(out.find("fig1"), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Timing, StopwatchMonotone) {
+  Stopwatch sw;
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 1000; ++i) sink += i;
+  EXPECT_GE(sw.elapsed_ns(), 0u);
+  EXPECT_GE(sw.elapsed_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace bjrw

@@ -1,0 +1,96 @@
+// Full-stack stress over the *instrumented* locks: the RMR accounting layer
+// must be exactly as thread-safe as the locks it observes, and the
+// accounting totals must be sane (monotone, consistent with per-thread
+// sums) under real contention.  Also pins the end-to-end invariant that
+// instrumentation never changes lock behaviour (same exact counts as the
+// uninstrumented run).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/core/mw_transform.hpp"
+#include "src/core/mw_writer_pref.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/rmr/cache_directory.hpp"
+
+namespace bjrw {
+namespace {
+
+using rmr::CacheDirectory;
+
+template <class Lock>
+void stress(int threads, int iters, std::uint64_t& counter_out) {
+  CacheDirectory::instance().flush_caches();
+  CacheDirectory::instance().reset_counters();
+  Lock lock(threads);
+  std::uint64_t counter = 0;
+  run_threads(static_cast<std::size_t>(threads), [&](std::size_t t) {
+    const int tid = static_cast<int>(t);
+    rmr::ScopedTid scoped(tid);
+    for (int i = 0; i < iters; ++i) {
+      if (tid % 3 == 0) {
+        lock.write_lock(tid);
+        ++counter;
+        lock.write_unlock(tid);
+      } else {
+        lock.read_lock(tid);
+        (void)counter;
+        lock.read_unlock(tid);
+      }
+    }
+  });
+  counter_out = counter;
+}
+
+TEST(InstrumentedStress, WriterPrefLockBehavesIdenticallyInstrumented) {
+  std::uint64_t counter = 0;
+  stress<MwWriterPrefLock<InstrumentedProvider, YieldSpin>>(6, 400, counter);
+  EXPECT_EQ(counter, 2u * 400);  // tids 0 and 3 write
+  EXPECT_GT(CacheDirectory::instance().total(), 0u);
+}
+
+TEST(InstrumentedStress, StarvationFreeLockBehavesIdenticallyInstrumented) {
+  std::uint64_t counter = 0;
+  stress<MwStarvationFreeLock<InstrumentedProvider, YieldSpin>>(6, 400,
+                                                                counter);
+  EXPECT_EQ(counter, 2u * 400);
+}
+
+TEST(InstrumentedStress, ReaderPrefLockBehavesIdenticallyInstrumented) {
+  std::uint64_t counter = 0;
+  stress<MwReaderPrefLock<InstrumentedProvider, YieldSpin>>(6, 400, counter);
+  EXPECT_EQ(counter, 2u * 400);
+}
+
+TEST(InstrumentedStress, TotalsEqualPerThreadSums) {
+  std::uint64_t counter = 0;
+  stress<MwWriterPrefLock<InstrumentedProvider, YieldSpin>>(5, 300, counter);
+  std::uint64_t sum = 0;
+  for (int t = 0; t < rmr::kMaxThreads; ++t)
+    sum += CacheDirectory::instance().count(t);
+  EXPECT_EQ(sum, CacheDirectory::instance().total());
+}
+
+TEST(InstrumentedStress, ChargesOnlyParticipatingThreads) {
+  std::uint64_t counter = 0;
+  stress<MwWriterPrefLock<InstrumentedProvider, YieldSpin>>(4, 200, counter);
+  for (int t = 4; t < rmr::kMaxThreads; ++t)
+    EXPECT_EQ(CacheDirectory::instance().count(t), 0u) << "tid " << t;
+}
+
+TEST(InstrumentedStress, CountersMonotoneAcrossPhases) {
+  CacheDirectory::instance().reset_counters();
+  MwWriterPrefLock<InstrumentedProvider, YieldSpin> lock(2);
+  rmr::ScopedTid scoped(1);
+  std::uint64_t last = CacheDirectory::instance().count(1);
+  for (int i = 0; i < 20; ++i) {
+    lock.read_lock(1);
+    lock.read_unlock(1);
+    const auto now = CacheDirectory::instance().count(1);
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace bjrw

@@ -1,0 +1,108 @@
+// Parameterized exhaustive model-check sweeps: every (readers,
+// reader_attempts, writer_attempts) combination below is a *separate
+// complete verification* of the algorithm over all interleavings of that
+// configuration.  This is the property-style counterpart of the targeted
+// suites in model_swwp_test.cpp / model_swrp_test.cpp / model_mwwp_test.cpp.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/model/mwwp_model.hpp"
+#include "src/model/swrp_model.hpp"
+#include "src/model/swwp_model.hpp"
+
+namespace bjrw::model {
+namespace {
+
+using Grid = std::tuple<int, int, int>;  // readers, reader_att, writer_att
+
+std::string grid_name(const ::testing::TestParamInfo<Grid>& info) {
+  const auto [r, ra, wa] = info.param;
+  return "r" + std::to_string(r) + "x" + std::to_string(ra) + "_w1x" +
+         std::to_string(wa);
+}
+
+class SwwpGridTest : public ::testing::TestWithParam<Grid> {};
+
+TEST_P(SwwpGridTest, AllInvariantsHoldExhaustively) {
+  const auto [readers, ra, wa] = GetParam();
+  SwwpConfig cfg;
+  cfg.readers = readers;
+  cfg.reader_attempts = ra;
+  cfg.writer_attempts = wa;
+  const auto r = check_swwp(cfg);
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_FALSE(r.truncated);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig1Sweep, SwwpGridTest,
+    ::testing::Values(Grid{1, 1, 1}, Grid{1, 1, 2}, Grid{1, 2, 1},
+                      Grid{1, 2, 2}, Grid{1, 3, 3}, Grid{1, 4, 2},
+                      Grid{2, 1, 1}, Grid{2, 1, 2}, Grid{2, 2, 1},
+                      Grid{2, 1, 3}, Grid{2, 3, 1}, Grid{2, 2, 3},
+                      Grid{2, 3, 2}, Grid{3, 1, 1}, Grid{3, 1, 3},
+                      Grid{3, 2, 1}, Grid{4, 1, 1}, Grid{4, 1, 2}),
+    grid_name);
+
+class SwrpGridTest : public ::testing::TestWithParam<Grid> {};
+
+TEST_P(SwrpGridTest, AllInvariantsHoldExhaustively) {
+  const auto [readers, ra, wa] = GetParam();
+  SwrpConfig cfg;
+  cfg.readers = readers;
+  cfg.reader_attempts = ra;
+  cfg.writer_attempts = wa;
+  const auto r = check_swrp(cfg);
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_FALSE(r.truncated);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig2Sweep, SwrpGridTest,
+    ::testing::Values(Grid{1, 1, 1}, Grid{1, 1, 2}, Grid{1, 2, 1},
+                      Grid{1, 2, 2}, Grid{1, 3, 3}, Grid{1, 4, 2},
+                      Grid{2, 1, 1}, Grid{2, 1, 2}, Grid{2, 2, 1},
+                      Grid{2, 1, 3}, Grid{2, 3, 1}, Grid{2, 2, 2},
+                      Grid{3, 1, 1}, Grid{3, 1, 2}),
+    grid_name);
+// Note: Figure 2 with 4 readers exceeds the exhaustive state budget even at
+// one attempt each (Promote local-x values multiply the space); 4-reader
+// coverage for Figure 2 comes from the randomized-schedule suite.
+
+// Figure 4 grid: (writers, readers, writer_attempts, reader_attempts).
+using MwGrid = std::tuple<int, int, int, int>;
+
+std::string mw_grid_name(const ::testing::TestParamInfo<MwGrid>& info) {
+  const auto [w, r, wa, ra] = info.param;
+  return "w" + std::to_string(w) + "x" + std::to_string(wa) + "_r" +
+         std::to_string(r) + "x" + std::to_string(ra);
+}
+
+class MwwpGridTest : public ::testing::TestWithParam<MwGrid> {};
+
+TEST_P(MwwpGridTest, AllInvariantsHoldExhaustively) {
+  const auto [writers, readers, wa, ra] = GetParam();
+  MwwpConfig cfg;
+  cfg.writers = writers;
+  cfg.readers = readers;
+  cfg.writer_attempts = wa;
+  cfg.reader_attempts = ra;
+  const auto r = check_mwwp(cfg);
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_FALSE(r.truncated);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig4Sweep, MwwpGridTest,
+    ::testing::Values(MwGrid{1, 1, 1, 1}, MwGrid{1, 1, 3, 3},
+                      MwGrid{1, 2, 2, 2}, MwGrid{1, 3, 2, 1},
+                      MwGrid{2, 0, 1, 0}, MwGrid{2, 0, 2, 0},
+                      MwGrid{2, 0, 4, 0}, MwGrid{2, 1, 1, 1},
+                      MwGrid{2, 1, 1, 2}, MwGrid{2, 1, 2, 1},
+                      MwGrid{2, 1, 3, 1}, MwGrid{2, 2, 1, 1},
+                      MwGrid{2, 2, 2, 1}, MwGrid{2, 3, 1, 1}),
+    mw_grid_name);
+
+}  // namespace
+}  // namespace bjrw::model

@@ -1,0 +1,100 @@
+// Exhaustive model-checks of Figure 1 (Theorem 1): mutual exclusion, the
+// reconstructed Appendix A invariants, and deadlock freedom over ALL
+// interleavings of bounded configurations (E3 in DESIGN.md §8).
+#include <gtest/gtest.h>
+
+#include "src/model/swwp_model.hpp"
+
+namespace bjrw::model {
+namespace {
+
+void expect_clean(const ModelReport& r) {
+  EXPECT_TRUE(r.ok) << r.violation << "\ntrace tail:\n"
+                    << [&] {
+                         std::string s;
+                         for (const auto& line : r.trace) s += line + "\n";
+                         return s;
+                       }();
+  EXPECT_FALSE(r.truncated) << "state budget exceeded";
+  EXPECT_GT(r.states, 0u);
+}
+
+TEST(ModelSwwp, OneReaderOneAttemptEach) {
+  SwwpConfig cfg;
+  cfg.readers = 1;
+  cfg.reader_attempts = 1;
+  cfg.writer_attempts = 1;
+  expect_clean(check_swwp(cfg));
+}
+
+TEST(ModelSwwp, OneReaderManyAttempts) {
+  SwwpConfig cfg;
+  cfg.readers = 1;
+  cfg.reader_attempts = 3;
+  cfg.writer_attempts = 3;
+  expect_clean(check_swwp(cfg));
+}
+
+TEST(ModelSwwp, TwoReadersTwoAttempts) {
+  SwwpConfig cfg;
+  cfg.readers = 2;
+  cfg.reader_attempts = 2;
+  cfg.writer_attempts = 2;
+  expect_clean(check_swwp(cfg));
+}
+
+TEST(ModelSwwp, TwoReadersThreeWriterAttempts) {
+  // Three writer attempts exercise both side parities against lagging
+  // readers (the regime the §3.3 exit-wait feature exists for).
+  SwwpConfig cfg;
+  cfg.readers = 2;
+  cfg.reader_attempts = 2;
+  cfg.writer_attempts = 3;
+  expect_clean(check_swwp(cfg));
+}
+
+TEST(ModelSwwp, ThreeReadersSmallAttempts) {
+  SwwpConfig cfg;
+  cfg.readers = 3;
+  cfg.reader_attempts = 1;
+  cfg.writer_attempts = 2;
+  expect_clean(check_swwp(cfg));
+}
+
+TEST(ModelSwwp, ThreeReadersTwoAttemptsEach) {
+  SwwpConfig cfg;
+  cfg.readers = 3;
+  cfg.reader_attempts = 2;
+  cfg.writer_attempts = 2;
+  expect_clean(check_swwp(cfg));
+}
+
+TEST(ModelSwwp, WriterOnlyConfiguration) {
+  SwwpConfig cfg;
+  cfg.readers = 1;
+  cfg.reader_attempts = 0;  // reader never leaves the remainder section
+  cfg.writer_attempts = 4;
+  expect_clean(check_swwp(cfg));
+}
+
+TEST(ModelSwwp, ReaderOnlyConfiguration) {
+  SwwpConfig cfg;
+  cfg.readers = 3;
+  cfg.reader_attempts = 2;
+  cfg.writer_attempts = 0;
+  expect_clean(check_swwp(cfg));
+}
+
+TEST(ModelSwwp, StateCountsAreReported) {
+  SwwpConfig cfg;
+  cfg.readers = 2;
+  cfg.reader_attempts = 1;
+  cfg.writer_attempts = 1;
+  const auto r = check_swwp(cfg);
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_GT(r.states, 100u);
+  EXPECT_GT(r.transitions, r.states);
+}
+
+}  // namespace
+}  // namespace bjrw::model

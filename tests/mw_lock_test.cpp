@@ -1,0 +1,176 @@
+// White-box tests specific to the multi-writer constructions: the Figure 3
+// transformation and the Figure 4 writer-priority algorithm (W-token
+// protocol, SWWP inheritance between consecutive writers).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/core/locks.hpp"
+#include "src/harness/thread_coord.hpp"
+
+namespace bjrw {
+namespace {
+
+// ---------- Figure 3 transformation ----------
+
+TEST(MwTransform, WritersSerializeThroughM) {
+  StarvationFreeLock l(4);
+  std::atomic<int> inside{0};
+  std::atomic<int> max_seen{0};
+  run_threads(4, [&](std::size_t tid) {
+    for (int i = 0; i < 400; ++i) {
+      l.write_lock(static_cast<int>(tid));
+      const int now = inside.fetch_add(1) + 1;
+      int expected = max_seen.load();
+      while (now > expected && !max_seen.compare_exchange_weak(expected, now)) {
+      }
+      inside.fetch_sub(1);
+      l.write_unlock(static_cast<int>(tid));
+    }
+  });
+  EXPECT_EQ(max_seen.load(), 1);
+}
+
+TEST(MwTransform, ReaderPriorityVariantKeepsSwrpBehaviour) {
+  ReaderPriorityLock l(4);
+  // Reader fast path with quiescent writers must survive the wrapping.
+  for (int i = 0; i < 100; ++i) {
+    l.read_lock(0);
+    l.read_unlock(0);
+  }
+  // Writers from several tids round-trip.
+  for (int tid = 0; tid < 4; ++tid) {
+    l.write_lock(tid);
+    l.write_unlock(tid);
+  }
+}
+
+TEST(MwTransform, UnderlyingSwLockSideTogglesPerWriteAttempt) {
+  StarvationFreeLock l(4);
+  const int s0 = l.sw().side();
+  l.write_lock(2);
+  l.write_unlock(2);
+  EXPECT_EQ(l.sw().side(), 1 - s0);
+  l.write_lock(3);
+  l.write_unlock(3);
+  EXPECT_EQ(l.sw().side(), s0);
+}
+
+// ---------- Figure 4 (MW writer priority) ----------
+
+TEST(MwWriterPref, SequentialWritersAlternateSides) {
+  WriterPriorityLock l(4);
+  // Consecutive solo writers each fully exit SWWP (Wcount drains to 0), so
+  // the side handed through W-token must alternate exactly as in SWWP.
+  int last = -1;
+  for (int i = 0; i < 6; ++i) {
+    l.write_lock(i % 4);
+    const int cur = l.sw().side();
+    if (last != -1) EXPECT_EQ(cur, 1 - last) << "attempt " << i;
+    last = cur;
+    l.write_unlock(i % 4);
+  }
+}
+
+TEST(MwWriterPref, SoloWriterLeavesGateOpenForReaders) {
+  WriterPriorityLock l(2);
+  l.write_lock(0);
+  l.write_unlock(0);
+  // No other writer: the exiting writer must have exited SWWP (line 19 CAS
+  // succeeds) and opened the gate, so a reader gets in without help.
+  l.read_lock(1);
+  l.read_unlock(1);
+}
+
+TEST(MwWriterPref, WriterCountObserverTracksTrySection) {
+  WriterPriorityLock l(2);
+  EXPECT_EQ(l.writer_count(), 0);
+  l.write_lock(0);
+  EXPECT_EQ(l.writer_count(), 1);
+  l.write_unlock(0);
+  EXPECT_EQ(l.writer_count(), 0);
+}
+
+TEST(MwWriterPref, BackToBackWritersInheritWithoutOpeningGates) {
+  // Two writers chained with a reader stuck behind them: the reader must
+  // not enter between the writers (that is the §5.1 failure of plain T),
+  // only after both are done.
+  WriterPriorityLock l(3);
+  std::atomic<int> phase{0};
+  std::atomic<bool> reader_in{false};
+  std::atomic<int> writers_done{0};
+
+  run_threads(3, [&](std::size_t tid) {
+    if (tid == 0) {  // first writer
+      l.write_lock(0);
+      phase.store(1);
+      // Hold until the second writer is registered in its try section and
+      // the reader is parked.
+      spin_until<YieldSpin>([&] { return phase.load() == 2; });
+      for (int i = 0; i < 200; ++i) std::this_thread::yield();
+      l.write_unlock(0);
+      writers_done.fetch_add(1);
+    } else if (tid == 1) {  // second writer
+      spin_until<YieldSpin>([&] { return phase.load() == 1; });
+      phase.store(2);
+      l.write_lock(1);
+      EXPECT_FALSE(reader_in.load())
+          << "reader overtook a doorway-preceding writer (WP1 violation)";
+      l.write_unlock(1);
+      writers_done.fetch_add(1);
+    } else {  // reader arriving after writer 1 owns the CS
+      spin_until<YieldSpin>([&] { return phase.load() >= 1; });
+      l.read_lock(2);
+      reader_in.store(true);
+      l.read_unlock(2);
+      spin_until<YieldSpin>([&] { return writers_done.load() == 2; });
+    }
+  });
+  EXPECT_TRUE(reader_in.load());
+  EXPECT_EQ(writers_done.load(), 2);
+}
+
+TEST(MwWriterPref, ManyWritersManyReadersExactCounts) {
+  constexpr int kThreads = 6;
+  constexpr int kIters = 500;
+  WriterPriorityLock l(kThreads);
+  std::uint64_t counter = 0;
+  run_threads(kThreads, [&](std::size_t tid) {
+    for (int i = 0; i < kIters; ++i) {
+      if (tid < 2) {
+        l.write_lock(static_cast<int>(tid));
+        ++counter;
+        l.write_unlock(static_cast<int>(tid));
+      } else {
+        l.read_lock(static_cast<int>(tid));
+        (void)counter;
+        l.read_unlock(static_cast<int>(tid));
+      }
+    }
+  });
+  EXPECT_EQ(counter, 2u * kIters);
+}
+
+TEST(MwWriterPref, SurvivesWriterChurnWithReaderFlood) {
+  constexpr int kThreads = 8;
+  WriterPriorityLock l(kThreads);
+  std::atomic<std::uint64_t> reads{0}, writes{0};
+  run_threads(kThreads, [&](std::size_t tid) {
+    for (int i = 0; i < 400; ++i) {
+      if (tid % 4 == 0) {
+        l.write_lock(static_cast<int>(tid));
+        writes.fetch_add(1);
+        l.write_unlock(static_cast<int>(tid));
+      } else {
+        l.read_lock(static_cast<int>(tid));
+        reads.fetch_add(1);
+        l.read_unlock(static_cast<int>(tid));
+      }
+    }
+  });
+  EXPECT_EQ(writes.load(), 2u * 400);
+  EXPECT_EQ(reads.load(), 6u * 400);
+}
+
+}  // namespace
+}  // namespace bjrw

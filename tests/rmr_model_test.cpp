@@ -1,0 +1,235 @@
+// Unit tests for the RMR accounting substrate: the write-invalidate presence
+// model must implement the paper's CC definition of "remote reference"
+// exactly (DESIGN.md §4).
+#include <gtest/gtest.h>
+
+#include "src/rmr/cache_directory.hpp"
+#include "src/rmr/provider.hpp"
+
+namespace bjrw {
+namespace {
+
+using rmr::CacheDirectory;
+using rmr::RmrProbe;
+using rmr::ScopedTid;
+
+class RmrModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CacheDirectory::instance().flush_caches();
+    CacheDirectory::instance().reset_counters();
+    rmr::set_current_tid(0);
+  }
+};
+
+TEST_F(RmrModelTest, FirstReadIsRemoteSecondIsLocal) {
+  InstrumentedProvider::Atomic<int> a(0);
+  RmrProbe probe(0);
+  (void)a.load();
+  EXPECT_EQ(probe.sample(), 1u);
+  (void)a.load();
+  (void)a.load();
+  EXPECT_EQ(probe.sample(), 1u) << "cached re-reads must be free";
+}
+
+TEST_F(RmrModelTest, WriteInvalidatesOtherReaders) {
+  InstrumentedProvider::Atomic<int> a(0);
+  {
+    ScopedTid t0(0);
+    (void)a.load();
+  }
+  {
+    ScopedTid t1(1);
+    (void)a.load();  // t1: remote (first touch)
+    a.store(5);      // t1: remote? t1 cached it by the load, but t0 also
+                     // holds it, so the write must invalidate -> RMR
+  }
+  {
+    ScopedTid t0(0);
+    RmrProbe probe(0);
+    (void)a.load();  // t0 was invalidated by t1's store -> remote again
+    EXPECT_EQ(probe.sample(), 1u);
+  }
+}
+
+TEST_F(RmrModelTest, WriteHitOnExclusiveLineIsLocal) {
+  InstrumentedProvider::Atomic<int> a(0);
+  ScopedTid t0(0);
+  a.store(1);  // first write: remote (line not exclusive yet)
+  RmrProbe probe(0);
+  a.store(2);  // exclusive in our cache: local
+  a.store(3);
+  (void)a.load();
+  EXPECT_EQ(probe.sample(), 0u);
+}
+
+TEST_F(RmrModelTest, SpinningOnCachedLocationIsFreeUntilInvalidated) {
+  InstrumentedProvider::Atomic<std::uint32_t> gate(0);
+  RmrProbe probe(1);
+  {
+    ScopedTid t1(1);
+    for (int i = 0; i < 100; ++i) (void)gate.load();  // local spin
+  }
+  EXPECT_EQ(probe.sample(), 1u) << "spin costs one miss, then cache hits";
+  {
+    ScopedTid t0(0);
+    gate.store(1);  // the "writer wakes all readers at once" CC argument
+  }
+  {
+    ScopedTid t1(1);
+    for (int i = 0; i < 100; ++i) (void)gate.load();
+  }
+  EXPECT_EQ(probe.sample(), 2u) << "one more miss after the invalidation";
+}
+
+TEST_F(RmrModelTest, RmwAlwaysChargedLikeWrite) {
+  InstrumentedProvider::Atomic<std::uint64_t> a(0);
+  {
+    ScopedTid t0(0);
+    a.fetch_add(1);  // remote: gains exclusive ownership
+    RmrProbe probe(0);
+    a.fetch_add(1);  // local: already exclusive
+    EXPECT_EQ(probe.sample(), 0u);
+  }
+  {
+    ScopedTid t1(1);
+    RmrProbe probe(1);
+    a.fetch_add(1);  // remote: steals the line
+    EXPECT_EQ(probe.sample(), 1u);
+  }
+}
+
+TEST_F(RmrModelTest, FailedCasIsStillATouch) {
+  InstrumentedProvider::Atomic<std::uint64_t> a(7);
+  ScopedTid t1(1);
+  RmrProbe probe(1);
+  EXPECT_FALSE(a.cas(99, 100));
+  EXPECT_EQ(probe.sample(), 1u);
+}
+
+TEST_F(RmrModelTest, PerThreadCountersAreIndependent) {
+  InstrumentedProvider::Atomic<int> a(0);
+  {
+    ScopedTid t0(0);
+    (void)a.load();
+  }
+  {
+    ScopedTid t3(3);
+    (void)a.load();
+  }
+  EXPECT_EQ(CacheDirectory::instance().count(0), 1u);
+  EXPECT_EQ(CacheDirectory::instance().count(3), 1u);
+  EXPECT_EQ(CacheDirectory::instance().count(1), 0u);
+  EXPECT_EQ(CacheDirectory::instance().total(), 2u);
+}
+
+TEST_F(RmrModelTest, ResetCountersKeepsPresence) {
+  InstrumentedProvider::Atomic<int> a(0);
+  ScopedTid t0(0);
+  (void)a.load();
+  CacheDirectory::instance().reset_counters();
+  RmrProbe probe(0);
+  (void)a.load();  // still cached: free
+  EXPECT_EQ(probe.sample(), 0u);
+}
+
+TEST_F(RmrModelTest, FlushCachesMakesEverythingRemoteAgain) {
+  InstrumentedProvider::Atomic<int> a(0);
+  ScopedTid t0(0);
+  (void)a.load();
+  CacheDirectory::instance().flush_caches();
+  RmrProbe probe(0);
+  (void)a.load();
+  EXPECT_EQ(probe.sample(), 1u);
+}
+
+TEST_F(RmrModelTest, SharedReadersAllCacheSimultaneously) {
+  InstrumentedProvider::Atomic<int> a(0);
+  for (int t = 0; t < 8; ++t) {
+    ScopedTid tid(t);
+    (void)a.load();
+  }
+  // Everyone now holds the line; more reads are free for all of them.
+  const auto before = CacheDirectory::instance().total();
+  for (int t = 0; t < 8; ++t) {
+    ScopedTid tid(t);
+    (void)a.load();
+  }
+  EXPECT_EQ(CacheDirectory::instance().total(), before);
+}
+
+// ---- DSM mode (rmr::Mode::kDSM) ----
+
+class DsmModeTest : public RmrModelTest {
+ protected:
+  void SetUp() override {
+    RmrModelTest::SetUp();
+    CacheDirectory::instance().set_mode(rmr::Mode::kDSM);
+  }
+  void TearDown() override {
+    CacheDirectory::instance().set_mode(rmr::Mode::kCC);
+  }
+};
+
+TEST_F(DsmModeTest, GlobalHomeIsRemoteToEveryone) {
+  InstrumentedProvider::Atomic<int> a(0);
+  for (int t = 0; t < 4; ++t) {
+    ScopedTid tid(t);
+    RmrProbe probe(t);
+    (void)a.load();
+    (void)a.load();  // no caching on DSM: every probe is remote
+    EXPECT_EQ(probe.sample(), 2u) << "thread " << t;
+  }
+}
+
+TEST_F(DsmModeTest, HomeThreadAccessesAreFree) {
+  InstrumentedProvider::Atomic<int> a(0);
+  a.set_home(2);
+  {
+    ScopedTid t2(2);
+    RmrProbe probe(2);
+    (void)a.load();
+    a.store(1);
+    a.fetch_add(1);
+    EXPECT_EQ(probe.sample(), 0u);
+  }
+  {
+    ScopedTid t3(3);
+    RmrProbe probe(3);
+    (void)a.load();
+    EXPECT_EQ(probe.sample(), 1u);
+  }
+}
+
+TEST_F(DsmModeTest, SpinningOnRemoteLocationCostsPerProbe) {
+  InstrumentedProvider::Atomic<std::uint32_t> gate(0);
+  gate.set_home(0);
+  ScopedTid t1(1);
+  RmrProbe probe(1);
+  for (int i = 0; i < 50; ++i) (void)gate.load();
+  EXPECT_EQ(probe.sample(), 50u)
+      << "DSM has no cache: remote busy-waiting is charged per probe";
+}
+
+TEST_F(DsmModeTest, ModeSwitchRestoresCcSemantics) {
+  InstrumentedProvider::Atomic<int> a(0);
+  CacheDirectory::instance().set_mode(rmr::Mode::kCC);
+  ScopedTid t1(1);
+  RmrProbe probe(1);
+  (void)a.load();
+  (void)a.load();
+  EXPECT_EQ(probe.sample(), 1u) << "CC mode caches again";
+}
+
+TEST_F(RmrModelTest, StdProviderCompilesWithSameInterface) {
+  StdProvider::Atomic<std::uint64_t> a(1);
+  EXPECT_EQ(a.load(), 1u);
+  EXPECT_EQ(a.fetch_add(2), 1u);
+  EXPECT_EQ(a.fetch_sub(1), 3u);
+  EXPECT_TRUE(a.cas(2, 9));
+  EXPECT_FALSE(a.cas(2, 9));
+  EXPECT_EQ(a.exchange(4), 9u);
+}
+
+}  // namespace
+}  // namespace bjrw

@@ -1,0 +1,148 @@
+// Heavier randomized stress over every reader-writer lock: mixed read/write
+// op streams, invariant sampling inside the CS, and oversubscription (more
+// threads than cores — on this host everything is oversubscribed, which is
+// exactly the adversarial-scheduler regime the paper's proofs quantify over).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/harness/prng.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/harness/workload.hpp"
+#include "tests/rwlock_support.hpp"
+
+namespace bjrw {
+namespace {
+
+using testing::RwParam;
+using testing::all_rw_locks;
+using testing::rw_param_name;
+
+class RwLockStressTest : public ::testing::TestWithParam<RwParam> {};
+
+// The canonical RW-lock stress: writers maintain a multi-word invariant that
+// readers verify.  Any exclusion bug shows up as a torn read; any lost
+// update shows up in the final tally.
+TEST_P(RwLockStressTest, MixedWorkloadPreservesMultiWordInvariant) {
+  constexpr int kThreads = 6;
+  constexpr int kOps = 1200;
+  std::shared_ptr<void> keep;
+  auto l = GetParam().factory(kThreads, keep);
+  const bool single_writer = GetParam().single_writer;
+
+  struct Shared {
+    std::uint64_t x = 0, y = 0, z = 0;  // invariant: y == 2x, z == x + y
+  } data;
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> writes_done{0};
+
+  run_threads(kThreads, [&](std::size_t tid) {
+    Xoshiro256 rng(tid * 7919 + 13);
+    const bool may_write = single_writer ? (tid == 0) : true;
+    for (int i = 0; i < kOps; ++i) {
+      const bool do_write = may_write && rng.chance(1, 5);
+      if (do_write) {
+        l.write_lock(static_cast<int>(tid));
+        data.x += 1;
+        std::this_thread::yield();
+        data.y = 2 * data.x;
+        data.z = data.x + data.y;
+        writes_done.fetch_add(1);
+        l.write_unlock(static_cast<int>(tid));
+      } else {
+        l.read_lock(static_cast<int>(tid));
+        const auto x = data.x, y = data.y, z = data.z;
+        if (y != 2 * x || z != x + y) torn.fetch_add(1);
+        l.read_unlock(static_cast<int>(tid));
+      }
+    }
+  });
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(data.x, writes_done.load());
+  EXPECT_EQ(data.y, 2 * data.x);
+}
+
+// Readers-only saturation: no writer ever arrives; total throughput must be
+// exact and the run must terminate (concurrent entering under load).
+TEST_P(RwLockStressTest, ReaderOnlySaturation) {
+  constexpr int kThreads = 8;
+  constexpr int kOps = 1500;
+  std::shared_ptr<void> keep;
+  auto l = GetParam().factory(kThreads, keep);
+  std::atomic<std::uint64_t> done{0};
+  run_threads(kThreads, [&](std::size_t tid) {
+    for (int i = 0; i < kOps; ++i) {
+      l.read_lock(static_cast<int>(tid));
+      done.fetch_add(1);
+      l.read_unlock(static_cast<int>(tid));
+    }
+  });
+  EXPECT_EQ(done.load(), static_cast<std::uint64_t>(kThreads) * kOps);
+}
+
+// Writer-heavy churn: exclusion plus progress when almost every op mutates.
+TEST_P(RwLockStressTest, WriterHeavyChurn) {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 800;
+  std::shared_ptr<void> keep;
+  auto l = GetParam().factory(kThreads, keep);
+  const bool single_writer = GetParam().single_writer;
+  std::uint64_t counter = 0;
+  std::atomic<std::uint64_t> expected{0};
+
+  run_threads(kThreads, [&](std::size_t tid) {
+    Xoshiro256 rng(tid + 1);
+    const bool may_write = single_writer ? (tid == 0) : true;
+    for (int i = 0; i < kOps; ++i) {
+      if (may_write && rng.chance(9, 10)) {
+        l.write_lock(static_cast<int>(tid));
+        ++counter;
+        expected.fetch_add(1);
+        l.write_unlock(static_cast<int>(tid));
+      } else {
+        l.read_lock(static_cast<int>(tid));
+        (void)counter;
+        l.read_unlock(static_cast<int>(tid));
+      }
+    }
+  });
+  EXPECT_EQ(counter, expected.load());
+}
+
+// Rapid role alternation by the same threads (read then write then read...)
+// catches per-thread context that leaks between roles, e.g. the Figure 1
+// reader-side `d` that must be re-derived on every attempt.
+TEST_P(RwLockStressTest, RoleAlternationReusesPerThreadContextSafely) {
+  constexpr int kThreads = 3;
+  constexpr int kRounds = 600;
+  std::shared_ptr<void> keep;
+  auto l = GetParam().factory(kThreads, keep);
+  const bool single_writer = GetParam().single_writer;
+  std::uint64_t counter = 0;
+
+  run_threads(kThreads, [&](std::size_t tid) {
+    const bool may_write = single_writer ? (tid == 0) : true;
+    for (int i = 0; i < kRounds; ++i) {
+      l.read_lock(static_cast<int>(tid));
+      (void)counter;
+      l.read_unlock(static_cast<int>(tid));
+      if (may_write) {
+        l.write_lock(static_cast<int>(tid));
+        ++counter;
+        l.write_unlock(static_cast<int>(tid));
+      }
+      l.read_lock(static_cast<int>(tid));
+      (void)counter;
+      l.read_unlock(static_cast<int>(tid));
+    }
+  });
+  const std::uint64_t writers = single_writer ? 1 : kThreads;
+  EXPECT_EQ(counter, writers * kRounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRwLocks, RwLockStressTest,
+                         ::testing::ValuesIn(all_rw_locks()), rw_param_name);
+
+}  // namespace
+}  // namespace bjrw

@@ -1,0 +1,85 @@
+// Shared support for the parameterized reader-writer lock test suites:
+// a type-erased handle plus factories over every lock in the library.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baseline/big_reader.hpp"
+#include "src/baseline/centralized_rw.hpp"
+#include "src/baseline/phase_fair.hpp"
+#include "src/baseline/shared_mutex_rw.hpp"
+#include "src/core/locks.hpp"
+
+namespace bjrw::testing {
+
+struct RwHandle {
+  std::function<void(int)> read_lock;
+  std::function<void(int)> read_unlock;
+  std::function<void(int)> write_lock;
+  std::function<void(int)> write_unlock;
+};
+
+using RwFactory =
+    std::function<RwHandle(int max_threads, std::shared_ptr<void>& keepalive)>;
+
+template <class L>
+RwFactory make_rw_factory() {
+  return [](int max_threads, std::shared_ptr<void>& keepalive) {
+    auto lk = std::make_shared<L>(max_threads);
+    keepalive = lk;
+    return RwHandle{[lk](int tid) { lk->read_lock(tid); },
+                    [lk](int tid) { lk->read_unlock(tid); },
+                    [lk](int tid) { lk->write_lock(tid); },
+                    [lk](int tid) { lk->write_unlock(tid); }};
+  };
+}
+
+struct RwParam {
+  std::string name;
+  RwFactory factory;
+  bool single_writer;   // lock supports only one concurrent writer thread
+  bool reader_priority;  // readers starve writers by design
+  bool writer_priority;  // writers starve readers by design
+};
+
+// The full parameter list: the paper's locks first, then the baselines.
+inline std::vector<RwParam> all_rw_locks() {
+  return {
+      // Paper, Figure 1 (single-writer, writer priority, starvation free).
+      {"fig1_sw_writer_pref", make_rw_factory<SwWriterPrefLock<>>(), true,
+       false, true},
+      // Paper, Figure 2 (single-writer, reader priority).
+      {"fig2_sw_reader_pref", make_rw_factory<SwReaderPrefLock<>>(), true,
+       true, false},
+      // Paper, Theorem 3 (T o Fig1): multi-writer starvation-free.
+      {"thm3_mw_starvation_free", make_rw_factory<StarvationFreeLock>(),
+       false, false, false},
+      // Paper, Theorem 4 (T o Fig2): multi-writer reader priority.
+      {"thm4_mw_reader_pref", make_rw_factory<ReaderPriorityLock>(), false,
+       true, false},
+      // Paper, Figure 4 / Theorem 5: multi-writer writer priority.
+      {"fig4_mw_writer_pref", make_rw_factory<WriterPriorityLock>(), false,
+       false, true},
+      // Baselines.
+      {"baseline_centralized_rpref",
+       make_rw_factory<CentralizedReaderPrefRwLock<>>(), false, true, false},
+      {"baseline_centralized_wpref",
+       make_rw_factory<CentralizedWriterPrefRwLock<>>(), false, false, true},
+      {"baseline_phase_fair", make_rw_factory<PhaseFairRwLock<>>(), false,
+       false, false},
+      {"baseline_big_reader", make_rw_factory<BigReaderLock<>>(), false,
+       false, false},
+      {"baseline_shared_mutex", make_rw_factory<SharedMutexRwLock>(), false,
+       false, false},
+  };
+}
+
+inline std::string rw_param_name(
+    const ::testing::TestParamInfo<RwParam>& info) {
+  return info.param.name;
+}
+
+}  // namespace bjrw::testing

@@ -1,0 +1,114 @@
+// Tests for ShardedMap, the reader-writer-lock-backed concurrent hash map.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "src/extras/sharded_map.hpp"
+#include "src/harness/prng.hpp"
+#include "src/harness/thread_coord.hpp"
+
+namespace bjrw {
+namespace {
+
+TEST(ShardedMap, BasicPutGetErase) {
+  ShardedMap<int, std::string> m(1);
+  EXPECT_FALSE(m.get(0, 7).has_value());
+  EXPECT_TRUE(m.put(0, 7, "seven"));
+  EXPECT_EQ(m.get(0, 7).value(), "seven");
+  EXPECT_FALSE(m.put(0, 7, "SEVEN"));  // overwrite, not insert
+  EXPECT_EQ(m.get(0, 7).value(), "SEVEN");
+  EXPECT_TRUE(m.erase(0, 7));
+  EXPECT_FALSE(m.erase(0, 7));
+  EXPECT_FALSE(m.contains(0, 7));
+}
+
+TEST(ShardedMap, PutIfAbsentSemantics) {
+  ShardedMap<std::string, int> m(1, /*shards=*/4);
+  EXPECT_TRUE(m.put_if_absent(0, "a", 1));
+  EXPECT_FALSE(m.put_if_absent(0, "a", 2));
+  EXPECT_EQ(m.get(0, "a").value(), 1);
+}
+
+TEST(ShardedMap, UpdateCreatesAndMutatesInPlace) {
+  ShardedMap<int, int> m(1);
+  m.update(0, 5, [](int& v) { v += 10; });  // default 0 -> 10
+  m.update(0, 5, [](int& v) { v += 10; });
+  EXPECT_EQ(m.get(0, 5).value(), 20);
+}
+
+TEST(ShardedMap, SizeAndForEachCoverAllShards) {
+  ShardedMap<int, int> m(1, /*shards=*/8);
+  for (int k = 0; k < 100; ++k) m.put(0, k, k * k);
+  EXPECT_EQ(m.size(0), 100u);
+  std::uint64_t sum = 0;
+  m.for_each(0, [&](int k, int v) {
+    EXPECT_EQ(v, k * k);
+    sum += static_cast<std::uint64_t>(v);
+  });
+  std::uint64_t expect = 0;
+  for (int k = 0; k < 100; ++k) expect += static_cast<std::uint64_t>(k) * k;
+  EXPECT_EQ(sum, expect);
+}
+
+TEST(ShardedMap, SingleShardDegenerateCaseStillCorrect) {
+  ShardedMap<int, int> m(2, /*shards=*/1);
+  for (int k = 0; k < 50; ++k) m.put(0, k, k);
+  EXPECT_EQ(m.size(1), 50u);
+}
+
+TEST(ShardedMap, ConcurrentCountersAreExact) {
+  constexpr int kThreads = 6;
+  constexpr int kIncrementsEach = 2000;
+  constexpr int kKeys = 10;
+  ShardedMap<int, std::uint64_t> m(kThreads);
+  run_threads(kThreads, [&](std::size_t tid) {
+    Xoshiro256 rng(tid + 99);
+    for (int i = 0; i < kIncrementsEach; ++i) {
+      const int key = static_cast<int>(rng.below(kKeys));
+      m.update(static_cast<int>(tid), key, [](std::uint64_t& v) { ++v; });
+    }
+  });
+  std::uint64_t total = 0;
+  m.for_each(0, [&](int, std::uint64_t v) { total += v; });
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kIncrementsEach);
+}
+
+TEST(ShardedMap, ReadersObserveConsistentPairs) {
+  // Writers keep (k, 2k) pairs; readers must never see a torn value.
+  constexpr int kThreads = 4;
+  ShardedMap<int, std::pair<std::uint64_t, std::uint64_t>> m(kThreads);
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<bool> stop{false};
+  run_threads(kThreads, [&](std::size_t tid) {
+    Xoshiro256 rng(tid);
+    if (tid == 0) {
+      for (std::uint64_t i = 1; i <= 3000; ++i) {
+        m.put(0, static_cast<int>(i % 7), {i, 2 * i});
+      }
+      stop.store(true);
+    } else {
+      while (!stop.load()) {
+        const auto v = m.get(static_cast<int>(tid),
+                             static_cast<int>(rng.below(7)));
+        if (v && v->second != 2 * v->first) torn.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(torn.load(), 0u);
+}
+
+TEST(ShardedMap, WorksWithEveryPriorityRegime) {
+  ShardedMap<int, int, StarvationFreeLock> a(2);
+  ShardedMap<int, int, ReaderPriorityLock> b(2);
+  ShardedMap<int, int, WriterPriorityLock> c(2);
+  a.put(0, 1, 10);
+  b.put(0, 1, 20);
+  c.put(0, 1, 30);
+  EXPECT_EQ(a.get(1, 1).value(), 10);
+  EXPECT_EQ(b.get(1, 1).value(), 20);
+  EXPECT_EQ(c.get(1, 1).value(), 30);
+}
+
+}  // namespace
+}  // namespace bjrw

@@ -1,0 +1,233 @@
+// White-box tests specific to the two single-writer algorithms (Figures 1
+// and 2): initial-state invariants, gate behaviour across attempts, the
+// side-toggling discipline, and the reader fast path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/core/sw_reader_pref.hpp"
+#include "src/core/sw_writer_pref.hpp"
+#include "src/harness/thread_coord.hpp"
+
+namespace bjrw {
+namespace {
+
+// ---------- Figure 1 (SWWP) ----------
+
+TEST(SwwpWhiteBox, InitialStateMatchesPaper) {
+  SwWriterPrefLock<> l(4);
+  EXPECT_EQ(l.side(), 0);       // D = 0
+  EXPECT_TRUE(l.gate_open(0));  // Gate[0] = true
+  EXPECT_FALSE(l.gate_open(1)); // Gate[1] = false
+}
+
+TEST(SwwpWhiteBox, WriterTogglesSideEveryAttempt) {
+  SwWriterPrefLock<> l(4);
+  for (int i = 0; i < 6; ++i) {
+    const int before = l.side();
+    l.write_lock();
+    EXPECT_EQ(l.side(), 1 - before) << "attempt " << i;
+    l.write_unlock();
+  }
+}
+
+TEST(SwwpWhiteBox, ExactlyOneGateOpenOutsideWriterAttempts) {
+  SwWriterPrefLock<> l(4);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NE(l.gate_open(0), l.gate_open(1));
+    EXPECT_TRUE(l.gate_open(l.side()));
+    l.write_lock();
+    // In the CS both gates are closed (Appendix A, PCw = 13).
+    EXPECT_FALSE(l.gate_open(0));
+    EXPECT_FALSE(l.gate_open(1));
+    l.write_unlock();
+  }
+}
+
+TEST(SwwpWhiteBox, ReaderEntersThroughCurrentSideGate) {
+  SwWriterPrefLock<> l(4);
+  l.write_lock();
+  l.write_unlock();  // now D == 1, Gate[1] open
+  ASSERT_EQ(l.side(), 1);
+  l.read_lock(0);  // must pass through Gate[1] without blocking
+  l.read_unlock(0);
+}
+
+TEST(SwwpWhiteBox, WriterDoorwayBlocksLaterReaders) {
+  // WP1 in its simplest observable form: once the writer completes its
+  // doorway, a newly arriving reader cannot enter until the writer exits.
+  SwWriterPrefLock<> l(2);
+  std::atomic<int> phase{0};
+  std::atomic<bool> reader_entered{false};
+
+  run_threads(2, [&](std::size_t tid) {
+    if (tid == 0) {
+      l.write_lock();
+      phase.store(1);
+      // Give the reader a generous window to (incorrectly) slip in.
+      for (int i = 0; i < 200; ++i) std::this_thread::yield();
+      EXPECT_FALSE(reader_entered.load())
+          << "reader entered while writer held the lock";
+      l.write_unlock();
+      spin_until<YieldSpin>([&] { return reader_entered.load(); });
+    } else {
+      spin_until<YieldSpin>([&] { return phase.load() == 1; });
+      l.read_lock(1);
+      reader_entered.store(true);
+      l.read_unlock(1);
+    }
+  });
+  EXPECT_TRUE(reader_entered.load());
+}
+
+TEST(SwwpWhiteBox, LastReaderWakesWaitingWriter) {
+  // Reader holds the CS; writer arrives and must wait; the reader's exit
+  // must hand the CS to the writer (lines 27-28 -> line 6).
+  SwWriterPrefLock<> l(2);
+  std::atomic<int> phase{0};
+  std::atomic<bool> writer_in{false};
+
+  run_threads(2, [&](std::size_t tid) {
+    if (tid == 0) {
+      l.read_lock(0);
+      phase.store(1);
+      // Wait until the writer is (very likely) parked in its waiting room.
+      for (int i = 0; i < 300; ++i) std::this_thread::yield();
+      EXPECT_FALSE(writer_in.load());
+      l.read_unlock(0);  // this must wake the writer
+      spin_until<YieldSpin>([&] { return writer_in.load(); });
+    } else {
+      spin_until<YieldSpin>([&] { return phase.load() == 1; });
+      l.write_lock();
+      writer_in.store(true);
+      l.write_unlock();
+    }
+  });
+  EXPECT_TRUE(writer_in.load());
+}
+
+TEST(SwwpWhiteBox, ManySequentialWriterAttemptsDrainCleanly) {
+  SwWriterPrefLock<> l(1);
+  for (int i = 0; i < 1000; ++i) {
+    l.write_lock();
+    l.write_unlock();
+  }
+  // After an even number of attempts the side is back to the initial one.
+  EXPECT_EQ(l.side(), 0);
+  EXPECT_TRUE(l.gate_open(0));
+}
+
+// ---------- Figure 2 (SWRP) ----------
+
+TEST(SwrpWhiteBox, InitialStateMatchesPaper) {
+  SwReaderPrefLock<> l(4);
+  EXPECT_EQ(l.side(), 0);
+  EXPECT_TRUE(l.gate_open(0));
+  EXPECT_FALSE(l.gate_open(1));
+  EXPECT_EQ(l.reader_count(), 0);
+}
+
+TEST(SwrpWhiteBox, ReaderFastPathWhenWriterQuiescent) {
+  // With the writer in its remainder section X != true, so a reader must
+  // take the no-wait path (line 23 false branch) — concurrent entering.
+  SwReaderPrefLock<> l(4);
+  for (int i = 0; i < 100; ++i) {
+    l.read_lock(0);
+    EXPECT_EQ(l.reader_count(), 1);
+    l.read_unlock(0);
+  }
+  EXPECT_EQ(l.reader_count(), 0);
+}
+
+TEST(SwrpWhiteBox, WriterTogglesSideAndRestoresGateInvariant) {
+  SwReaderPrefLock<> l(4);
+  const int writer_tid = 3;
+  for (int i = 0; i < 6; ++i) {
+    const int before = l.side();
+    l.write_lock(writer_tid);
+    EXPECT_EQ(l.side(), 1 - before);
+    l.write_unlock(writer_tid);
+    // §4.1 invariant 1: writer in remainder -> Gate[D] open; and never both.
+    EXPECT_TRUE(l.gate_open(l.side()));
+    EXPECT_FALSE(l.gate_open(1 - l.side()));
+  }
+}
+
+TEST(SwrpWhiteBox, ReaderCountTracksNestingAcrossThreads) {
+  SwReaderPrefLock<> l(4);
+  std::atomic<int> inside{0};
+  std::atomic<int> checked{0};
+  run_threads(3, [&](std::size_t tid) {
+    l.read_lock(static_cast<int>(tid));
+    inside.fetch_add(1);
+    spin_until<YieldSpin>([&] { return inside.load() == 3; });
+    EXPECT_EQ(l.reader_count(), 3);
+    checked.fetch_add(1);
+    // Nobody unlocks until everyone has observed the full count.
+    spin_until<YieldSpin>([&] { return checked.load() == 3; });
+    l.read_unlock(static_cast<int>(tid));
+  });
+  EXPECT_EQ(l.reader_count(), 0);
+}
+
+TEST(SwrpWhiteBox, LastExitingReaderPromotesWriter) {
+  SwReaderPrefLock<> l(3);
+  std::atomic<int> phase{0};
+  std::atomic<bool> writer_in{false};
+
+  run_threads(3, [&](std::size_t tid) {
+    if (tid == 0 || tid == 1) {
+      l.read_lock(static_cast<int>(tid));
+      phase.fetch_add(1);
+      spin_until<YieldSpin>([&] { return phase.load() >= 3; });
+      // Writer is now registered and waiting; readers leave one by one.
+      l.read_unlock(static_cast<int>(tid));
+      spin_until<YieldSpin>([&] { return writer_in.load(); });
+    } else {
+      spin_until<YieldSpin>([&] { return phase.load() == 2; });
+      phase.fetch_add(1);
+      l.write_lock(2);  // must be woken by the *last* exiting reader
+      writer_in.store(true);
+      l.write_unlock(2);
+    }
+  });
+  EXPECT_TRUE(writer_in.load());
+}
+
+TEST(SwrpWhiteBox, ReaderOvertakesWaitingWriterWhenReadersHoldCs) {
+  // RP2 (unstoppable reader), observable form: while reader A holds the CS
+  // and the writer waits, a newly arriving reader B must get in without
+  // waiting for the writer.
+  SwReaderPrefLock<> l(3);
+  std::atomic<int> phase{0};
+  std::atomic<bool> b_entered{false};
+  std::atomic<bool> writer_entered{false};
+
+  run_threads(3, [&](std::size_t tid) {
+    if (tid == 0) {  // reader A
+      l.read_lock(0);
+      phase.store(1);
+      // Hold the CS until reader B has proven it can co-occupy it.
+      spin_until<YieldSpin>([&] { return b_entered.load(); });
+      EXPECT_FALSE(writer_entered.load());
+      l.read_unlock(0);
+    } else if (tid == 1) {  // writer
+      spin_until<YieldSpin>([&] { return phase.load() == 1; });
+      phase.store(2);
+      l.write_lock(1);
+      writer_entered.store(true);
+      l.write_unlock(1);
+    } else {  // reader B
+      spin_until<YieldSpin>([&] { return phase.load() == 2; });
+      // Give the writer time to park in its waiting room.
+      for (int i = 0; i < 200; ++i) std::this_thread::yield();
+      l.read_lock(2);
+      b_entered.store(true);
+      l.read_unlock(2);
+    }
+  });
+  EXPECT_TRUE(writer_entered.load());
+}
+
+}  // namespace
+}  // namespace bjrw

@@ -1,0 +1,100 @@
+// Unit tests for the packed-word encodings (DESIGN.md §2): the paper's
+// multi-component fetch&add variables and tagged CAS sum types must round-
+// trip exactly, because every correctness argument leans on their return
+// values ([0,0] / [1,1] comparisons).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/core/words.hpp"
+
+namespace bjrw {
+namespace {
+
+TEST(WwRcWord, PackUnpackRoundTrip) {
+  for (std::uint32_t ww = 0; ww <= 1; ++ww) {
+    for (std::uint32_t rc : {0u, 1u, 2u, 63u, 0xFFFFu}) {
+      const auto w = wwrc::pack(ww, rc);
+      EXPECT_EQ(wwrc::writer_waiting(w), ww);
+      EXPECT_EQ(wwrc::reader_count(w), rc);
+    }
+  }
+}
+
+TEST(WwRcWord, ZeroIsBothComponentsZero) {
+  EXPECT_EQ(wwrc::kZero, wwrc::pack(0, 0));
+  EXPECT_EQ(wwrc::writer_waiting(wwrc::kZero), 0u);
+  EXPECT_EQ(wwrc::reader_count(wwrc::kZero), 0u);
+}
+
+TEST(WwRcWord, WaitingLastReaderIsOneOne) {
+  EXPECT_EQ(wwrc::kWaitingLastReader, wwrc::pack(1, 1));
+}
+
+TEST(WwRcWord, FetchAddOfReaderUnitOnlyTouchesReaderCount) {
+  std::atomic<std::uint64_t> w{wwrc::pack(1, 5)};
+  w.fetch_add(wwrc::kReaderUnit);
+  EXPECT_EQ(wwrc::writer_waiting(w.load()), 1u);
+  EXPECT_EQ(wwrc::reader_count(w.load()), 6u);
+}
+
+TEST(WwRcWord, FetchAddOfWriterWaitingOnlyTouchesWriterComponent) {
+  std::atomic<std::uint64_t> w{wwrc::pack(0, 7)};
+  w.fetch_add(wwrc::kWriterWaiting);
+  EXPECT_EQ(wwrc::writer_waiting(w.load()), 1u);
+  EXPECT_EQ(wwrc::reader_count(w.load()), 7u);
+}
+
+TEST(WwRcWord, DecrementFromOneOneReturnsPaperSentinel) {
+  std::atomic<std::uint64_t> w{wwrc::pack(1, 1)};
+  const auto prior = w.fetch_sub(wwrc::kReaderUnit);
+  EXPECT_EQ(prior, wwrc::kWaitingLastReader);
+  EXPECT_EQ(wwrc::reader_count(w.load()), 0u);
+  EXPECT_EQ(wwrc::writer_waiting(w.load()), 1u);
+}
+
+TEST(WwRcWord, NoCarryBetweenComponentsAtReaderCountBoundary) {
+  // reader-count must never carry into writer-waiting in any real execution;
+  // verify the representation keeps fields independent for large counts.
+  std::atomic<std::uint64_t> w{wwrc::pack(1, 0x7FFFFFFF)};
+  w.fetch_add(wwrc::kReaderUnit);
+  EXPECT_EQ(wwrc::writer_waiting(w.load()), 1u);
+  EXPECT_EQ(wwrc::reader_count(w.load()), 0x80000000u);
+}
+
+TEST(XWord, TrueIsNotAPid) {
+  EXPECT_FALSE(xword::is_pid(xword::kTrue));
+  for (int tid : {0, 1, 7, 63}) {
+    EXPECT_TRUE(xword::is_pid(xword::pid(tid)));
+    EXPECT_NE(xword::pid(tid), xword::kTrue);
+  }
+}
+
+TEST(XWord, PidsAreDistinct) {
+  EXPECT_NE(xword::pid(0), xword::pid(1));
+  EXPECT_NE(xword::pid(5), xword::pid(6));
+}
+
+TEST(WToken, SidesPidsAndFalseAreDisjoint) {
+  EXPECT_TRUE(wtoken::is_false(wtoken::kFalse));
+  EXPECT_FALSE(wtoken::is_side(wtoken::kFalse));
+  EXPECT_FALSE(wtoken::is_pid(wtoken::kFalse));
+
+  for (int d : {0, 1}) {
+    EXPECT_TRUE(wtoken::is_side(wtoken::side(d)));
+    EXPECT_FALSE(wtoken::is_pid(wtoken::side(d)));
+    EXPECT_FALSE(wtoken::is_false(wtoken::side(d)));
+    EXPECT_EQ(wtoken::side_of(wtoken::side(d)), d);
+  }
+
+  // The critical collision the tagging prevents: pids 0 and 1 vs sides 0/1.
+  for (int tid : {0, 1, 2, 40}) {
+    EXPECT_TRUE(wtoken::is_pid(wtoken::pid(tid)));
+    EXPECT_FALSE(wtoken::is_side(wtoken::pid(tid)));
+    EXPECT_NE(wtoken::pid(tid), wtoken::side(0));
+    EXPECT_NE(wtoken::pid(tid), wtoken::side(1));
+  }
+}
+
+}  // namespace
+}  // namespace bjrw
