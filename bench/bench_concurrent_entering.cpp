@@ -6,6 +6,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "src/core/mw_transform.hpp"
 #include "src/core/mw_writer_pref.hpp"
 #include "src/harness/stats.hpp"
@@ -50,36 +51,42 @@ Result reader_entry_rmr(int readers, int iters) {
   Result r;
   StreamingStats all;
   for (int t = 0; t < readers; ++t) {
-    all.merge(stats[t]);
-    r.max = std::max(r.max, maxima[t]);
+    all.merge(stats[idx(t)]);
+    r.max = std::max(r.max, maxima[idx(t)]);
   }
   r.mean = all.mean();
   return r;
 }
 
 template <class Lock>
-void sweep(Table& t, const std::string& name) {
+void sweep(BenchContext& ctx, Table& t, const std::string& name) {
+  const int iters = ctx.scaled_iters(100);
   for (int readers : {1, 4, 16, 48}) {
-    const auto r = reader_entry_rmr<Lock>(readers, 100);
+    const auto r = reader_entry_rmr<Lock>(readers, iters);
     t.add_row({name, std::to_string(readers), Table::cell(r.mean),
                Table::cell(r.max)});
+    ctx.row(name)
+        .metric("concurrent_readers", readers)
+        .metric("rmr_mean", r.mean)
+        .metric("rmr_max", static_cast<double>(r.max));
   }
 }
 
-int run() {
+void run(BenchContext& ctx) {
   std::cout << "E8: concurrent entering (P5) — RMRs per reader attempt with "
                "ALL writers quiescent\n"
             << "Expected: flat and tiny for every lock of the paper "
                "(readers never obstruct readers).\n\n";
   Table t({"lock", "concurrent_readers", "rmr_mean", "rmr_max"});
-  sweep<MwStarvationFreeLock<P, S>>(t, "thm3_mw_nopri");
-  sweep<MwReaderPrefLock<P, S>>(t, "thm4_mw_rpref");
-  sweep<MwWriterPrefLock<P, S>>(t, "fig4_mw_wpref");
+  sweep<MwStarvationFreeLock<P, S>>(ctx, t, "thm3_mw_nopri");
+  sweep<MwReaderPrefLock<P, S>>(ctx, t, "thm4_mw_rpref");
+  sweep<MwWriterPrefLock<P, S>>(ctx, t, "fig4_mw_wpref");
   t.print(std::cout);
-  return 0;
 }
+
+BJRW_BENCH("concurrent_entering",
+           "E8: concurrent-entering (P5) RMRs with writers quiescent",
+           run);
 
 }  // namespace
 }  // namespace bjrw::bench
-
-int main() { return bjrw::bench::run(); }

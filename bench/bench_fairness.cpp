@@ -13,6 +13,7 @@
 #include <mutex>
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "src/baseline/centralized_rw.hpp"
 #include "src/baseline/phase_fair.hpp"
 #include "src/core/locks.hpp"
@@ -58,31 +59,35 @@ std::uint64_t count_inversions() {
 }
 
 template <class Lock>
-void row(Table& t, const std::string& name) {
+void row(BenchContext& ctx, Table& t, const std::string& name) {
   const auto inv = count_inversions<Lock>();
   const double per_k =
       1000.0 * static_cast<double>(inv) / (kWriters * kOpsPerWriter);
   t.add_row({name, Table::cell(inv), Table::cell(per_k)});
+  ctx.row(name)
+      .metric("inversions", static_cast<double>(inv))
+      .metric("inversions_per_1000_entries", per_k);
 }
 
-int run() {
+void run(BenchContext& ctx) {
   std::cout << "E13: writer FCFS conformance (P3) — arrival-order "
                "inversions in CS-entry order, " << kWriters << " writers x "
             << kOpsPerWriter << " ops (window=16)\n"
             << "Expected: near-zero for the paper's locks (Anderson's M is "
                "FCFS); large for unordered centralized baselines.\n\n";
   Table t({"lock", "inversions", "per_1000_entries"});
-  row<StarvationFreeLock>(t, "thm3_mw_nopri");
-  row<ReaderPriorityLock>(t, "thm4_mw_rpref");
-  row<WriterPriorityLock>(t, "fig4_mw_wpref");
-  row<PhaseFairRwLock<>>(t, "base_phasefair(ticketed)");
-  row<CentralizedReaderPrefRwLock<>>(t, "base_central_rp(unordered)");
-  row<CentralizedWriterPrefRwLock<>>(t, "base_central_wp(unordered)");
+  row<StarvationFreeLock>(ctx, t, "thm3_mw_nopri");
+  row<ReaderPriorityLock>(ctx, t, "thm4_mw_rpref");
+  row<WriterPriorityLock>(ctx, t, "fig4_mw_wpref");
+  row<PhaseFairRwLock<>>(ctx, t, "base_phasefair(ticketed)");
+  row<CentralizedReaderPrefRwLock<>>(ctx, t, "base_central_rp(unordered)");
+  row<CentralizedWriterPrefRwLock<>>(ctx, t, "base_central_wp(unordered)");
   t.print(std::cout);
-  return 0;
 }
+
+BJRW_BENCH("fairness",
+           "E13: writer FCFS conformance -- arrival-order inversions",
+           run);
 
 }  // namespace
 }  // namespace bjrw::bench
-
-int main() { return bjrw::bench::run(); }

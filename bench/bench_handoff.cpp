@@ -9,6 +9,7 @@
 #include <atomic>
 #include <iostream>
 
+#include "bench/bench_common.hpp"
 #include "src/core/locks.hpp"
 #include "src/harness/stats.hpp"
 #include "src/harness/table.hpp"
@@ -33,7 +34,7 @@ Summary writer_to_readers(int readers) {
     std::atomic<std::uint64_t> release_ns{0};
     std::atomic<std::uint64_t> last_enter_ns{0};
 
-    run_threads(readers + 1, [&](std::size_t t) {
+    run_threads(static_cast<std::size_t>(readers) + 1, [&](std::size_t t) {
       const int tid = static_cast<int>(t);
       if (tid == 0) {
         lock.write_lock(0);
@@ -65,29 +66,33 @@ Summary writer_to_readers(int readers) {
 }
 
 template <class Lock>
-void sweep(Table& t, const std::string& name) {
+void sweep(BenchContext& ctx, Table& t, const std::string& name) {
   for (int readers : {1, 2, 4, 8}) {
     const auto s = writer_to_readers<Lock>(readers);
     t.add_row({name, std::to_string(readers), Table::cell(s.p50),
                Table::cell(s.p90), Table::cell(s.max)});
+    ctx.row(name)
+        .metric("parked_readers", readers)
+        .summary("handoff_us", s);
   }
 }
 
-int run() {
+void run(BenchContext& ctx) {
   std::cout << "E12: writer->readers handoff latency (us), gap from "
                "write_unlock to the LAST parked reader's entry\n"
             << "Expected: flat in the number of parked readers (single gate "
                "write releases the whole side). Values are dominated by "
                "scheduler wakeups on this host.\n\n";
   Table t({"lock", "parked_readers", "p50_us", "p90_us", "max_us"});
-  sweep<StarvationFreeLock>(t, "thm3_mw_nopri");
-  sweep<ReaderPriorityLock>(t, "thm4_mw_rpref");
-  sweep<WriterPriorityLock>(t, "fig4_mw_wpref");
+  sweep<StarvationFreeLock>(ctx, t, "thm3_mw_nopri");
+  sweep<ReaderPriorityLock>(ctx, t, "thm4_mw_rpref");
+  sweep<WriterPriorityLock>(ctx, t, "fig4_mw_wpref");
   t.print(std::cout);
-  return 0;
 }
+
+BJRW_BENCH("handoff",
+           "E12: writer->readers handoff latency through the gate",
+           run);
 
 }  // namespace
 }  // namespace bjrw::bench
-
-int main() { return bjrw::bench::run(); }

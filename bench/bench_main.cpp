@@ -1,0 +1,224 @@
+// Unified benchmark driver: one binary registering every bench in bench/.
+//
+//   bench_main [--list] [--bench=<regex>] [--threads=N] [--seconds=S]
+//              [--seed=K] [--json=<path>]
+//
+// Each selected bench prints its human-readable tables to stdout exactly as
+// the former standalone binaries did, and additionally reports structured
+// result rows (throughput, latency percentiles, RMR counts) which --json
+// dumps as a single machine-readable document, so runs can be recorded and
+// compared across commits (the BENCH_results.json trajectory).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/harness/timing.hpp"
+
+namespace bjrw::bench {
+
+std::vector<BenchCase>& bench_registry() {
+  static std::vector<BenchCase> cases;
+  return cases;
+}
+
+namespace {
+
+struct Options {
+  std::string bench_regex = ".*";
+  std::string json_path;
+  BenchParams params;
+  bool list = false;
+};
+
+[[noreturn]] void usage(int exit_code) {
+  std::cout <<
+      "bench_main -- unified bjrw benchmark driver\n"
+      "  --list            print registered benches and exit\n"
+      "  --bench=<regex>   run benches whose name matches (default: all)\n"
+      "  --threads=N       thread count for tunable benches (default 8)\n"
+      "  --seconds=S       per-bench time budget scale (default 0.5)\n"
+      "  --seed=K          workload PRNG seed (default 42)\n"
+      "  --json=<path>     write all result rows as one JSON document\n";
+  std::exit(exit_code);
+}
+
+bool consume(const std::string& arg, const std::string& key,
+             std::string* value) {
+  if (arg.rfind(key, 0) != 0) return false;
+  *value = arg.substr(key.size());
+  return true;
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    try {
+      if (arg == "--help" || arg == "-h") {
+        usage(0);
+      } else if (arg == "--list") {
+        o.list = true;
+      } else if (consume(arg, "--bench=", &v)) {
+        o.bench_regex = v;
+      } else if (consume(arg, "--json=", &v)) {
+        o.json_path = v;
+      } else if (consume(arg, "--threads=", &v)) {
+        o.params.threads = std::stoi(v);
+      } else if (consume(arg, "--seconds=", &v)) {
+        o.params.seconds = std::stod(v);
+      } else if (consume(arg, "--seed=", &v)) {
+        o.params.seed = std::stoull(v);
+      } else {
+        std::cerr << "unknown flag: " << arg << "\n\n";
+        usage(2);
+      }
+    } catch (const std::exception&) {  // stoi/stod on malformed numbers
+      std::cerr << "bad value in " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  if (o.params.threads < 1 || !std::isfinite(o.params.seconds) ||
+      o.params.seconds <= 0.0) {
+    std::cerr << "--threads must be >= 1 and --seconds a finite value > 0\n";
+    std::exit(2);
+  }
+  return o;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// JSON has no NaN/Inf literals; degenerate metrics become null.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+struct BenchRun {
+  std::string name;
+  double wall_s = 0.0;
+  std::deque<BenchRow> rows;
+};
+
+void write_json(std::ostream& os, const Options& o,
+                const std::vector<BenchRun>& runs) {
+  os << "{\n  \"schema\": \"bjrw-bench-v1\",\n";
+  os << "  \"params\": {\"threads\": " << o.params.threads
+     << ", \"seconds\": " << json_number(o.params.seconds)
+     << ", \"seed\": " << o.params.seed << "},\n";
+  os << "  \"benches\": [";
+  bool first_bench = true;
+  for (const auto& run : runs) {
+    os << (first_bench ? "\n" : ",\n");
+    first_bench = false;
+    os << "    {\"bench\": \"" << json_escape(run.name)
+       << "\", \"wall_s\": " << json_number(run.wall_s) << ", \"rows\": [";
+    bool first_row = true;
+    for (const auto& row : run.rows) {
+      os << (first_row ? "\n" : ",\n");
+      first_row = false;
+      os << "      {\"name\": \"" << json_escape(row.name)
+         << "\", \"metrics\": {";
+      bool first_metric = true;
+      for (const auto& [key, value] : row.metrics) {
+        if (!first_metric) os << ", ";
+        first_metric = false;
+        os << "\"" << json_escape(key) << "\": " << json_number(value);
+      }
+      os << "}}";
+    }
+    os << (first_row ? "]}" : "\n    ]}");
+  }
+  os << (first_bench ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+int run_driver(const Options& o) {
+  auto cases = bench_registry();
+  std::sort(cases.begin(), cases.end(),
+            [](const BenchCase& a, const BenchCase& b) { return a.name < b.name; });
+
+  if (o.list) {
+    for (const auto& c : cases)
+      std::cout << c.name << "\t" << c.description << "\n";
+    return 0;
+  }
+
+  std::regex re;
+  try {
+    re = std::regex(o.bench_regex);
+  } catch (const std::regex_error& e) {
+    std::cerr << "bad --bench regex: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::vector<BenchRun> runs;
+  for (const auto& c : cases) {
+    if (!std::regex_search(c.name, re)) continue;
+    std::cout << "==== bench: " << c.name << " ====\n";
+    BenchContext ctx(o.params);
+    Stopwatch sw;
+    c.fn(ctx);
+    BenchRun run;
+    run.name = c.name;
+    run.wall_s = sw.elapsed_s();
+    run.rows = ctx.rows();
+    runs.push_back(std::move(run));
+    std::cout << "\n";
+  }
+
+  if (runs.empty()) {
+    std::cerr << "no bench matched --bench=" << o.bench_regex
+              << " (try --list)\n";
+    return 1;
+  }
+
+  if (!o.json_path.empty()) {
+    std::ofstream f(o.json_path);
+    if (!f) {
+      std::cerr << "cannot open " << o.json_path << " for writing\n";
+      return 1;
+    }
+    write_json(f, o, runs);
+    std::cout << "wrote " << runs.size() << " bench result(s) to "
+              << o.json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bjrw::bench
+
+int main(int argc, char** argv) {
+  return bjrw::bench::run_driver(bjrw::bench::parse(argc, argv));
+}

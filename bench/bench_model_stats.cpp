@@ -5,6 +5,7 @@
 // the paper's evaluation is proof-based, not experimental.
 #include <iostream>
 
+#include "bench/bench_common.hpp"
 #include "src/harness/table.hpp"
 #include "src/model/mwwp_model.hpp"
 #include "src/model/swrp_model.hpp"
@@ -15,15 +16,24 @@ namespace {
 
 using namespace bjrw::model;
 
-void row(Table& t, const std::string& algo, const std::string& cfg,
-         const ModelReport& r, const std::string& expected) {
+// The ctx rows record the ledger numerically: `holds` is 1 when the
+// invariant battery passed, and ablation rows are *expected* to violate P1,
+// so holds=0 there is the passing outcome.
+void row(BenchContext& ctx, Table& t, const std::string& algo,
+         const std::string& cfg, const ModelReport& r,
+         const std::string& expected) {
   const std::string verdict =
       r.truncated ? "TRUNCATED" : (r.ok ? "all hold" : "VIOLATION");
   t.add_row({algo, cfg, Table::cell(r.states), Table::cell(r.transitions),
              verdict, expected});
+  ctx.row(algo + " " + cfg)
+      .metric("states", static_cast<double>(r.states))
+      .metric("transitions", static_cast<double>(r.transitions))
+      .metric("holds", r.ok ? 1.0 : 0.0)
+      .metric("truncated", r.truncated ? 1.0 : 0.0);
 }
 
-int run() {
+void run(BenchContext& ctx) {
   std::cout
       << "E3-E5: exhaustive model-check ledger for Theorems 1, 2 and 5\n"
       << "Checked at every reachable state: P1 (mutual exclusion), the\n"
@@ -38,53 +48,54 @@ int run() {
   {  // Theorem 1 — Figure 1
     SwwpConfig c;
     c.readers = 2, c.reader_attempts = 2, c.writer_attempts = 2;
-    row(t, "fig1 (Thm 1)", "2Rx2 / 1Wx2", check_swwp(c), "all hold");
+    row(ctx, t, "fig1 (Thm 1)", "2Rx2 / 1Wx2", check_swwp(c), "all hold");
     c.readers = 3, c.reader_attempts = 2, c.writer_attempts = 2;
-    row(t, "fig1 (Thm 1)", "3Rx2 / 1Wx2", check_swwp(c), "all hold");
+    row(ctx, t, "fig1 (Thm 1)", "3Rx2 / 1Wx2", check_swwp(c), "all hold");
     c.readers = 2, c.reader_attempts = 2, c.writer_attempts = 3;
     c.skip_exit_wait = true;
-    row(t, "fig1 - exit-wait (S3.3)", "2Rx2 / 1Wx3", check_swwp(c),
+    row(ctx, t, "fig1 - exit-wait (S3.3)", "2Rx2 / 1Wx3", check_swwp(c),
         "P1 violation");
   }
   {  // Theorem 2 — Figure 2
     SwrpConfig c;
     c.readers = 2, c.reader_attempts = 2, c.writer_attempts = 2;
-    row(t, "fig2 (Thm 2)", "2Rx2 / 1Wx2", check_swrp(c), "all hold");
+    row(ctx, t, "fig2 (Thm 2)", "2Rx2 / 1Wx2", check_swrp(c), "all hold");
     c.readers = 3, c.reader_attempts = 1, c.writer_attempts = 2;
-    row(t, "fig2 (Thm 2)", "3Rx1 / 1Wx2", check_swrp(c), "all hold");
+    row(ctx, t, "fig2 (Thm 2)", "3Rx1 / 1Wx2", check_swrp(c), "all hold");
     {
       SwrpConfig a;
       a.readers = 1, a.reader_attempts = 1, a.writer_attempts = 1;
       a.skip_reader_cas = true;
-      row(t, "fig2 - reader-CAS (S4.3 A)", "1Rx1 / 1Wx1", check_swrp(a),
+      row(ctx, t, "fig2 - reader-CAS (S4.3 A)", "1Rx1 / 1Wx1", check_swrp(a),
           "P1 violation");
     }
     {
       SwrpConfig b;
       b.readers = 3, b.reader_attempts = 2, b.writer_attempts = 2;
       b.single_cas_promote = true;
-      row(t, "fig2 - 2-step CAS (S4.3 B)", "3Rx2 / 1Wx2", check_swrp(b),
+      row(ctx, t, "fig2 - 2-step CAS (S4.3 B)", "3Rx2 / 1Wx2", check_swrp(b),
           "P1 violation");
     }
   }
   {  // Theorem 5 — Figure 4
     MwwpConfig c;
     c.writers = 2, c.readers = 0, c.writer_attempts = 3, c.reader_attempts = 0;
-    row(t, "fig4 (Thm 5)", "0R / 2Wx3", check_mwwp(c), "all hold");
+    row(ctx, t, "fig4 (Thm 5)", "0R / 2Wx3", check_mwwp(c), "all hold");
     c.writers = 2, c.readers = 1, c.writer_attempts = 2, c.reader_attempts = 2;
-    row(t, "fig4 (Thm 5)", "1Rx2 / 2Wx2", check_mwwp(c), "all hold");
+    row(ctx, t, "fig4 (Thm 5)", "1Rx2 / 2Wx2", check_mwwp(c), "all hold");
     c.writers = 2, c.readers = 2, c.writer_attempts = 2, c.reader_attempts = 1;
-    row(t, "fig4 (Thm 5)", "2Rx1 / 2Wx2", check_mwwp(c), "all hold");
+    row(ctx, t, "fig4 (Thm 5)", "2Rx1 / 2Wx2", check_mwwp(c), "all hold");
   }
 
   t.print(std::cout);
   std::cout << "\n(RxA = readers x attempts each; WxA = writers x attempts "
                "each.  Every row explores ALL interleavings of its "
                "configuration.)\n";
-  return 0;
 }
+
+BJRW_BENCH("model_stats",
+           "E3-E5: exhaustive model-check ledger for Theorems 1, 2 and 5",
+           run);
 
 }  // namespace
 }  // namespace bjrw::bench
-
-int main() { return bjrw::bench::run(); }

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <iostream>
 
+#include "bench/bench_common.hpp"
 #include "src/baseline/centralized_rw.hpp"
 #include "src/baseline/phase_fair.hpp"
 #include "src/core/locks.hpp"
@@ -71,30 +72,35 @@ Summary overtakes() {
 }
 
 template <class Lock>
-void row(Table& t, const std::string& name) {
+void row(BenchContext& ctx, Table& t, const std::string& name) {
   const auto s = overtakes<Lock>();
   t.add_row({name, Table::cell(s.mean), Table::cell(s.p50),
              Table::cell(s.max)});
+  ctx.row(name)
+      .metric("overtakes_mean", s.mean)
+      .metric("overtakes_p50", s.p50)
+      .metric("overtakes_max", s.max);
 }
 
-int run() {
+void run(BenchContext& ctx) {
   std::cout
       << "E9: reader entries that overtake one arriving writer, under a "
       << kReaders << "-reader flood (" << kRounds << " rounds)\n"
       << "Expected ordering: writer-pref ~ 0  <  no-pri (bounded)  <  "
          "reader-pref (unbounded, drains-dependent)\n\n";
   Table t({"lock", "overtakes_mean", "overtakes_p50", "overtakes_max"});
-  row<WriterPriorityLock>(t, "fig4_mw_wpref");
-  row<StarvationFreeLock>(t, "thm3_mw_nopri");
-  row<ReaderPriorityLock>(t, "thm4_mw_rpref");
-  row<CentralizedWriterPrefRwLock<>>(t, "base_central_wp");
-  row<PhaseFairRwLock<>>(t, "base_phasefair");
-  row<CentralizedReaderPrefRwLock<>>(t, "base_central_rp");
+  row<WriterPriorityLock>(ctx, t, "fig4_mw_wpref");
+  row<StarvationFreeLock>(ctx, t, "thm3_mw_nopri");
+  row<ReaderPriorityLock>(ctx, t, "thm4_mw_rpref");
+  row<CentralizedWriterPrefRwLock<>>(ctx, t, "base_central_wp");
+  row<PhaseFairRwLock<>>(ctx, t, "base_phasefair");
+  row<CentralizedReaderPrefRwLock<>>(ctx, t, "base_central_rp");
   t.print(std::cout);
-  return 0;
 }
+
+BJRW_BENCH("priority",
+           "E9: priority-regime conformance -- reader overtakes of a writer",
+           run);
 
 }  // namespace
 }  // namespace bjrw::bench
-
-int main() { return bjrw::bench::run(); }

@@ -19,6 +19,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "src/core/sw_writer_pref.hpp"
 #include "src/harness/stats.hpp"
 #include "src/harness/table.hpp"
@@ -102,7 +103,7 @@ std::uint64_t swwp_reader_dsm_rmr(int readers, int writer_dwell) {
   return m;
 }
 
-int run() {
+void run(BenchContext& ctx) {
   std::cout
       << "E14: RMRs under the DSM model (no caching; remote = other "
          "module)\n\n"
@@ -113,8 +114,15 @@ int run() {
   Table t1({"lock", "dwell=0", "dwell=8", "dwell=32"});
   {
     auto row = [&](const std::string& name, auto measure) {
-      t1.add_row({name, Table::cell(measure(0)), Table::cell(measure(8)),
-                  Table::cell(measure(32))});
+      auto& jr = ctx.row("mutex/" + name);
+      std::vector<std::string> cells{name};
+      for (int d : {0, 8, 32}) {
+        const auto rmrs = measure(d);
+        cells.push_back(Table::cell(rmrs));
+        jr.metric("max_rmr_dwell" + std::to_string(d),
+                  static_cast<double>(rmrs));
+      }
+      t1.add_row(cells);
     };
     row("mcs[4]", [](int d) { return mutex_dsm_max_rmr<McsLock<P, S>>(8, d); });
     row("anderson[3]",
@@ -132,14 +140,19 @@ int run() {
                "on DSM, so the paper targets CC machines only.\n\n";
   Table t2({"writer_dwell_yields", "worst_reader_rmr"});
   for (int dwell : {0, 8, 32, 128}) {
-    t2.add_row({std::to_string(dwell),
-                Table::cell(swwp_reader_dsm_rmr(4, dwell))});
+    const auto rmrs = swwp_reader_dsm_rmr(4, dwell);
+    t2.add_row({std::to_string(dwell), Table::cell(rmrs)});
+    ctx.row("fig1_swwp_reader")
+        .metric("writer_dwell_yields", dwell)
+        .metric("worst_reader_rmr", static_cast<double>(rmrs));
   }
   t2.print(std::cout);
-  return 0;
 }
+
+BJRW_BENCH("rmr_dsm",
+           "E14: DSM-model RMRs -- local-spin mutexes vs. the RW "
+           "impossibility",
+           run);
 
 }  // namespace
 }  // namespace bjrw::bench
-
-int main() { return bjrw::bench::run(); }

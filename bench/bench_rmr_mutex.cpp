@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "src/harness/stats.hpp"
 #include "src/harness/table.hpp"
 #include "src/harness/thread_coord.hpp"
@@ -86,38 +87,44 @@ Result measure(int threads, int iters) {
   Result r;
   StreamingStats all;
   for (int t = 0; t < threads; ++t) {
-    all.merge(stats[t]);
-    r.max = std::max(r.max, maxima[t]);
+    all.merge(stats[idx(t)]);
+    r.max = std::max(r.max, maxima[idx(t)]);
   }
   r.mean = all.mean();
   return r;
 }
 
 template <class Lock>
-void sweep(Table& t, const std::string& name) {
+void sweep(BenchContext& ctx, Table& t, const std::string& name) {
+  const int iters = ctx.scaled_iters(80);
   for (int threads : {1, 2, 4, 8, 16, 32, 48}) {
-    const auto r = measure<Lock>(threads, 80);
+    const auto r = measure<Lock>(threads, iters);
     t.add_row({name, std::to_string(threads), Table::cell(r.mean),
                Table::cell(r.max)});
+    ctx.row(name)
+        .metric("threads", threads)
+        .metric("rmr_mean", r.mean)
+        .metric("rmr_max", static_cast<double>(r.max));
   }
 }
 
-int run() {
+void run(BenchContext& ctx) {
   std::cout << "E2: RMRs per mutex acquisition vs. thread count (CC cache "
                "model)\n"
             << "Expected: Anderson/MCS/CLH flat (local spin); ticket/TTAS "
                "grow with waiters.\n\n";
   Table t({"lock", "threads", "rmr_mean", "rmr_max"});
-  sweep<AndersonLock<P, S>>(t, "anderson[3]");
-  sweep<McsLock<P, S>>(t, "mcs[4]");
-  sweep<ClhLock<P, S>>(t, "clh");
-  sweep<TicketLock<P, S>>(t, "ticket");
-  sweep<TtasLock<P, S>>(t, "ttas");
+  sweep<AndersonLock<P, S>>(ctx, t, "anderson[3]");
+  sweep<McsLock<P, S>>(ctx, t, "mcs[4]");
+  sweep<ClhLock<P, S>>(ctx, t, "clh");
+  sweep<TicketLock<P, S>>(ctx, t, "ticket");
+  sweep<TtasLock<P, S>>(ctx, t, "ttas");
   t.print(std::cout);
-  return 0;
 }
+
+BJRW_BENCH("rmr_mutex",
+           "E2: RMRs per mutex acquisition vs. thread count (CC model)",
+           run);
 
 }  // namespace
 }  // namespace bjrw::bench
-
-int main() { return bjrw::bench::run(); }

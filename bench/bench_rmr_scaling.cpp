@@ -24,21 +24,28 @@ namespace {
 using P = InstrumentedProvider;
 using S = YieldSpin;
 
-constexpr int kIters = 60;
-
 template <class Lock>
-void sweep(Table& t, const std::string& name, bool single_writer) {
+void sweep(BenchContext& ctx, Table& t, const std::string& name,
+           bool single_writer) {
+  const int iters = ctx.scaled_iters(60);
   for (int readers : {1, 2, 4, 8, 16, 32, 48}) {
     const int writers = single_writer ? 1 : 2;
     if (readers + writers > 60) continue;  // directory supports 64 threads
-    const auto r = measure_rmr<Lock>(readers, writers, kIters);
+    const auto r = measure_rmr<Lock>(readers, writers, iters);
     t.add_row({name, std::to_string(readers), std::to_string(writers),
                Table::cell(r.reader_mean), Table::cell(r.reader_max),
                Table::cell(r.writer_mean), Table::cell(r.writer_max)});
+    ctx.row(name)
+        .metric("readers", readers)
+        .metric("writers", writers)
+        .metric("rmr_reader_mean", r.reader_mean)
+        .metric("rmr_reader_max", static_cast<double>(r.reader_max))
+        .metric("rmr_writer_mean", r.writer_mean)
+        .metric("rmr_writer_max", static_cast<double>(r.writer_max));
   }
 }
 
-int run() {
+void run(BenchContext& ctx) {
   std::cout << "E1: RMRs per lock attempt vs. process count (CC cache "
                "model)\n"
             << "Paper claim: O(1) for Fig1/Fig2/Fig4 and Theorems 3/4; "
@@ -47,24 +54,25 @@ int run() {
   Table t({"lock", "readers", "writers", "rd_mean", "rd_max", "wr_mean",
            "wr_max"});
 
-  sweep<SwWriterPrefLock<P, S>>(t, "fig1_swwp", true);
-  sweep<SwReaderPrefLock<P, S>>(t, "fig2_swrp", true);
-  sweep<MwStarvationFreeLock<P, S>>(t, "thm3_mw_nopri", false);
-  sweep<MwReaderPrefLock<P, S>>(t, "thm4_mw_rpref", false);
-  sweep<MwWriterPrefLock<P, S>>(t, "fig4_mw_wpref", false);
-  sweep<BigReaderLock<P, S>>(t, "base_bigreader", false);
-  sweep<CentralizedReaderPrefRwLock<P, S>>(t, "base_central_rp", false);
-  sweep<CentralizedWriterPrefRwLock<P, S>>(t, "base_central_wp", false);
-  sweep<PhaseFairRwLock<P, S>>(t, "base_phasefair", false);
+  sweep<SwWriterPrefLock<P, S>>(ctx, t, "fig1_swwp", true);
+  sweep<SwReaderPrefLock<P, S>>(ctx, t, "fig2_swrp", true);
+  sweep<MwStarvationFreeLock<P, S>>(ctx, t, "thm3_mw_nopri", false);
+  sweep<MwReaderPrefLock<P, S>>(ctx, t, "thm4_mw_rpref", false);
+  sweep<MwWriterPrefLock<P, S>>(ctx, t, "fig4_mw_wpref", false);
+  sweep<BigReaderLock<P, S>>(ctx, t, "base_bigreader", false);
+  sweep<CentralizedReaderPrefRwLock<P, S>>(ctx, t, "base_central_rp", false);
+  sweep<CentralizedWriterPrefRwLock<P, S>>(ctx, t, "base_central_wp", false);
+  sweep<PhaseFairRwLock<P, S>>(ctx, t, "base_phasefair", false);
 
   t.print(std::cout);
   std::cout << "\nReading the table: rd/wr columns are RMRs per complete "
                "attempt (enter+exit).  'Flat as readers grows' = the paper's "
                "O(1) claim.\n";
-  return 0;
 }
+
+BJRW_BENCH("rmr_scaling",
+           "E1: RMRs per attempt vs. process count on the CC cache model",
+           run);
 
 }  // namespace
 }  // namespace bjrw::bench
-
-int main() { return bjrw::bench::run(); }

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <iostream>
 
+#include "bench/bench_common.hpp"
 #include "src/baseline/big_reader.hpp"
 #include "src/baseline/centralized_rw.hpp"
 #include "src/baseline/phase_fair.hpp"
@@ -22,26 +23,27 @@
 namespace bjrw::bench {
 namespace {
 
-constexpr int kThreads = 8;
-constexpr int kOpsPerThread = 4000;
-
 template <class Lock>
-double run_mix(double read_fraction) {
-  Lock lock(kThreads);
+double run_mix(const BenchContext& ctx, double read_fraction) {
+  const int threads = ctx.params().threads;
+  const int ops_per_thread = ctx.scaled_iters(4000);
+  Lock lock(threads);
   WorkloadConfig cfg;
   cfg.read_fraction = read_fraction;
+  cfg.seed = ctx.params().seed;
   std::vector<OpStream> streams;
-  streams.reserve(kThreads);
-  for (int t = 0; t < kThreads; ++t)
-    streams.emplace_back(cfg, static_cast<std::uint64_t>(t), kOpsPerThread);
+  streams.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    streams.emplace_back(cfg, static_cast<std::uint64_t>(t),
+                         static_cast<std::size_t>(ops_per_thread));
 
   std::atomic<std::uint64_t> sink{0};
   std::uint64_t shared_value = 0;
   Stopwatch sw;
-  run_threads(kThreads, [&](std::size_t t) {
+  run_threads(static_cast<std::size_t>(threads), [&](std::size_t t) {
     const int tid = static_cast<int>(t);
     std::uint64_t local = 0;
-    for (int i = 0; i < kOpsPerThread; ++i) {
+    for (int i = 0; i < ops_per_thread; ++i) {
       if (streams[t].at(static_cast<std::size_t>(i)) == OpKind::kRead) {
         lock.read_lock(tid);
         local += shared_value;
@@ -55,35 +57,40 @@ double run_mix(double read_fraction) {
     sink.fetch_add(local);
   });
   const double secs = sw.elapsed_s();
-  return static_cast<double>(kThreads) * kOpsPerThread / secs / 1e6;
+  return static_cast<double>(threads) * ops_per_thread / secs / 1e6;
 }
 
 template <class Lock>
-void sweep(Table& t, const std::string& name) {
+void sweep(BenchContext& ctx, Table& t, const std::string& name) {
   for (double rf : {0.0, 0.5, 0.9, 0.99, 1.0}) {
-    t.add_row({name, Table::cell(rf), Table::cell(run_mix<Lock>(rf), 3)});
+    const double mops = run_mix<Lock>(ctx, rf);
+    t.add_row({name, Table::cell(rf), Table::cell(mops, 3)});
+    ctx.row(name)
+        .metric("read_fraction", rf)
+        .metric("mops_per_s", mops);
   }
 }
 
-int run() {
-  std::cout << "E10: throughput (Mops/s) vs. read ratio, " << kThreads
-            << " threads\n"
+void run(BenchContext& ctx) {
+  std::cout << "E10: throughput (Mops/s) vs. read ratio, "
+            << ctx.params().threads << " threads\n"
             << "(single-core host: compare shapes across locks, not "
                "absolute numbers)\n\n";
   Table t({"lock", "read_ratio", "mops_per_s"});
-  sweep<StarvationFreeLock>(t, "thm3_mw_nopri");
-  sweep<ReaderPriorityLock>(t, "thm4_mw_rpref");
-  sweep<WriterPriorityLock>(t, "fig4_mw_wpref");
-  sweep<CentralizedReaderPrefRwLock<>>(t, "base_central_rp");
-  sweep<CentralizedWriterPrefRwLock<>>(t, "base_central_wp");
-  sweep<PhaseFairRwLock<>>(t, "base_phasefair");
-  sweep<BigReaderLock<>>(t, "base_bigreader");
-  sweep<SharedMutexRwLock>(t, "std_shared_mutex");
+  sweep<StarvationFreeLock>(ctx, t, "thm3_mw_nopri");
+  sweep<ReaderPriorityLock>(ctx, t, "thm4_mw_rpref");
+  sweep<WriterPriorityLock>(ctx, t, "fig4_mw_wpref");
+  sweep<CentralizedReaderPrefRwLock<>>(ctx, t, "base_central_rp");
+  sweep<CentralizedWriterPrefRwLock<>>(ctx, t, "base_central_wp");
+  sweep<PhaseFairRwLock<>>(ctx, t, "base_phasefair");
+  sweep<BigReaderLock<>>(ctx, t, "base_bigreader");
+  sweep<SharedMutexRwLock>(ctx, t, "std_shared_mutex");
   t.print(std::cout);
-  return 0;
 }
+
+BJRW_BENCH("throughput",
+           "E10: wall-clock throughput vs. read ratio for every RW lock",
+           run);
 
 }  // namespace
 }  // namespace bjrw::bench
-
-int main() { return bjrw::bench::run(); }

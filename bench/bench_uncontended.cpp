@@ -1,81 +1,179 @@
 // E11 (DESIGN.md §8): single-thread (uncontended) acquire/release cost of
-// every lock — the constant-factor price of the O(1)-RMR structure, via
-// google-benchmark.
-#include <benchmark/benchmark.h>
+// every lock — the constant-factor price of the O(1)-RMR structure — plus
+// the exact uncontended RMR charge per attempt from the cache model.
+#include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench/bench_common.hpp"
 #include "src/baseline/big_reader.hpp"
 #include "src/baseline/centralized_rw.hpp"
 #include "src/baseline/phase_fair.hpp"
 #include "src/baseline/shared_mutex_rw.hpp"
 #include "src/core/locks.hpp"
+#include "src/harness/table.hpp"
+#include "src/harness/timing.hpp"
 #include "src/mutex/anderson.hpp"
 #include "src/mutex/mcs.hpp"
 
 namespace bjrw::bench {
 namespace {
 
-template <class Lock>
-void BM_ReadAcquireRelease(benchmark::State& state) {
-  Lock lock(4);
-  for (auto _ : state) {
-    lock.read_lock(0);
-    benchmark::DoNotOptimize(&lock);
-    lock.read_unlock(0);
+using P = InstrumentedProvider;
+using S = YieldSpin;
+
+// Per-op latency summary.  The mean (which feeds mops_per_s and the
+// recorded baseline) comes from one batch measurement, so the two clock
+// reads cost ~nothing amortized over the batch; the per-op stamps feed the
+// percentiles only and carry the probe's own ~2x clock_gettime overhead —
+// compare p50/p99 across locks, not against the mean.
+template <class Op>
+Summary time_per_op(int iters, Op&& op) {
+  std::vector<double> ns;
+  ns.reserve(static_cast<std::size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    const std::uint64_t t0 = now_ns();
+    op();
+    ns.push_back(static_cast<double>(now_ns() - t0));
   }
+  Summary s = summarize(std::move(ns));
+
+  Stopwatch sw;
+  for (int i = 0; i < iters; ++i) op();
+  s.mean = static_cast<double>(sw.elapsed_ns()) / iters;
+  return s;
+}
+
+// Latency of one read or write acquire/release cycle on `lock`.
+template <class Lock>
+Summary time_rw_op(Lock& lock, bool write, int iters) {
+  return write ? time_per_op(iters,
+                             [&] {
+                               lock.write_lock(0);
+                               lock.write_unlock(0);
+                             })
+               : time_per_op(iters, [&] {
+                   lock.read_lock(0);
+                   lock.read_unlock(0);
+                 });
+}
+
+// One result row: wall-clock latency for StdProvider `Lock`, RMR charge for
+// its instrumented twin `InstrLock`.  `write` selects whether the row
+// exercises the read or the write path.
+template <class Lock, class InstrLock>
+void rw_row(BenchContext& ctx, Table& t, const std::string& name, bool write) {
+  Lock lock(4);
+  const Summary lat = time_rw_op(lock, write, ctx.scaled_iters(20000));
+  const RmrResult rmr = write ? measure_rmr<InstrLock>(0, 1, 200)
+                              : measure_rmr<InstrLock>(1, 0, 200);
+  // Steady-state attempts are cache-hot (mean ~0 on the CC model); the max
+  // is the cold first attempt, i.e. the lock's full footprint in lines.
+  const double rmr_per_op = write ? rmr.writer_mean : rmr.reader_mean;
+  const double rmr_cold =
+      static_cast<double>(write ? rmr.writer_max : rmr.reader_max);
+  const double mops = lat.mean > 0 ? 1e3 / lat.mean : 0.0;
+
+  t.add_row({name, Table::cell(lat.mean), Table::cell(lat.p50),
+             Table::cell(lat.p99), Table::cell(mops, 3),
+             Table::cell(rmr_per_op), Table::cell(rmr_cold)});
+  ctx.row(name)
+      .metric("ns_per_op_mean", lat.mean)
+      .metric("ns_per_op_p50", lat.p50)
+      .metric("ns_per_op_p99", lat.p99)
+      .metric("mops_per_s", mops)
+      .metric("rmr_per_op", rmr_per_op)
+      .metric("rmr_cold_attempt", rmr_cold);
+}
+
+// Timing-only row for locks without an instrumented twin (std::shared_mutex
+// has no Provider parameter).
+template <class Lock>
+void rw_row_timed(BenchContext& ctx, Table& t, const std::string& name,
+                  bool write) {
+  Lock lock(4);
+  const Summary lat = time_rw_op(lock, write, ctx.scaled_iters(20000));
+  const double mops = lat.mean > 0 ? 1e3 / lat.mean : 0.0;
+  t.add_row({name, Table::cell(lat.mean), Table::cell(lat.p50),
+             Table::cell(lat.p99), Table::cell(mops, 3), "-", "-"});
+  ctx.row(name)
+      .metric("ns_per_op_mean", lat.mean)
+      .metric("ns_per_op_p50", lat.p50)
+      .metric("ns_per_op_p99", lat.p99)
+      .metric("mops_per_s", mops);
 }
 
 template <class Lock>
-void BM_WriteAcquireRelease(benchmark::State& state) {
+void mutex_row(BenchContext& ctx, Table& t, const std::string& name) {
+  const int iters = ctx.scaled_iters(20000);
   Lock lock(4);
-  for (auto _ : state) {
-    lock.write_lock(0);
-    benchmark::DoNotOptimize(&lock);
-    lock.write_unlock(0);
-  }
-}
-
-template <class Lock>
-void BM_MutexAcquireRelease(benchmark::State& state) {
-  Lock lock(4);
-  for (auto _ : state) {
+  const Summary lat = time_per_op(iters, [&] {
     lock.lock(0);
-    benchmark::DoNotOptimize(&lock);
     lock.unlock(0);
-  }
+  });
+  const double mops = lat.mean > 0 ? 1e3 / lat.mean : 0.0;
+  t.add_row({name, Table::cell(lat.mean), Table::cell(lat.p50),
+             Table::cell(lat.p99), Table::cell(mops, 3), "-", "-"});
+  ctx.row(name)
+      .metric("ns_per_op_mean", lat.mean)
+      .metric("ns_per_op_p50", lat.p50)
+      .metric("ns_per_op_p99", lat.p99)
+      .metric("mops_per_s", mops);
 }
 
-BENCHMARK(BM_ReadAcquireRelease<StarvationFreeLock>)->Name("read/thm3_mw_nopri");
-BENCHMARK(BM_ReadAcquireRelease<ReaderPriorityLock>)->Name("read/thm4_mw_rpref");
-BENCHMARK(BM_ReadAcquireRelease<WriterPriorityLock>)->Name("read/fig4_mw_wpref");
-BENCHMARK(BM_ReadAcquireRelease<SwWriterPrefLock<>>)->Name("read/fig1_swwp");
-BENCHMARK(BM_ReadAcquireRelease<SwReaderPrefLock<>>)->Name("read/fig2_swrp");
-BENCHMARK(BM_ReadAcquireRelease<CentralizedReaderPrefRwLock<>>)
-    ->Name("read/base_central_rp");
-BENCHMARK(BM_ReadAcquireRelease<PhaseFairRwLock<>>)->Name("read/base_phasefair");
-BENCHMARK(BM_ReadAcquireRelease<BigReaderLock<>>)->Name("read/base_bigreader");
-BENCHMARK(BM_ReadAcquireRelease<SharedMutexRwLock>)
-    ->Name("read/std_shared_mutex");
+void run(BenchContext& ctx) {
+  std::cout << "E11: uncontended acquire+release cost (single thread) and "
+               "uncontended RMRs per attempt\n\n";
+  Table t({"op/lock", "ns_mean", "ns_p50", "ns_p99", "mops_per_s",
+           "rmr_per_op", "rmr_cold"});
 
-BENCHMARK(BM_WriteAcquireRelease<StarvationFreeLock>)
-    ->Name("write/thm3_mw_nopri");
-BENCHMARK(BM_WriteAcquireRelease<ReaderPriorityLock>)
-    ->Name("write/thm4_mw_rpref");
-BENCHMARK(BM_WriteAcquireRelease<WriterPriorityLock>)
-    ->Name("write/fig4_mw_wpref");
-BENCHMARK(BM_WriteAcquireRelease<SwWriterPrefLock<>>)->Name("write/fig1_swwp");
-BENCHMARK(BM_WriteAcquireRelease<SwReaderPrefLock<>>)->Name("write/fig2_swrp");
-BENCHMARK(BM_WriteAcquireRelease<CentralizedReaderPrefRwLock<>>)
-    ->Name("write/base_central_rp");
-BENCHMARK(BM_WriteAcquireRelease<PhaseFairRwLock<>>)
-    ->Name("write/base_phasefair");
-BENCHMARK(BM_WriteAcquireRelease<BigReaderLock<>>)->Name("write/base_bigreader");
-BENCHMARK(BM_WriteAcquireRelease<SharedMutexRwLock>)
-    ->Name("write/std_shared_mutex");
+  rw_row<StarvationFreeLock, MwStarvationFreeLock<P, S>>(
+      ctx, t, "read/thm3_mw_nopri", false);
+  rw_row<ReaderPriorityLock, MwReaderPrefLock<P, S>>(
+      ctx, t, "read/thm4_mw_rpref", false);
+  rw_row<WriterPriorityLock, MwWriterPrefLock<P, S>>(
+      ctx, t, "read/fig4_mw_wpref", false);
+  rw_row<SwWriterPrefLock<>, SwWriterPrefLock<P, S>>(ctx, t, "read/fig1_swwp",
+                                                     false);
+  rw_row<SwReaderPrefLock<>, SwReaderPrefLock<P, S>>(ctx, t, "read/fig2_swrp",
+                                                     false);
+  rw_row<CentralizedReaderPrefRwLock<>, CentralizedReaderPrefRwLock<P, S>>(
+      ctx, t, "read/base_central_rp", false);
+  rw_row<PhaseFairRwLock<>, PhaseFairRwLock<P, S>>(ctx, t,
+                                                   "read/base_phasefair",
+                                                   false);
+  rw_row<BigReaderLock<>, BigReaderLock<P, S>>(ctx, t, "read/base_bigreader",
+                                               false);
+  rw_row_timed<SharedMutexRwLock>(ctx, t, "read/std_shared_mutex", false);
 
-BENCHMARK(BM_MutexAcquireRelease<AndersonLock<>>)->Name("mutex/anderson");
-BENCHMARK(BM_MutexAcquireRelease<McsLock<>>)->Name("mutex/mcs");
+  rw_row<StarvationFreeLock, MwStarvationFreeLock<P, S>>(
+      ctx, t, "write/thm3_mw_nopri", true);
+  rw_row<ReaderPriorityLock, MwReaderPrefLock<P, S>>(
+      ctx, t, "write/thm4_mw_rpref", true);
+  rw_row<WriterPriorityLock, MwWriterPrefLock<P, S>>(
+      ctx, t, "write/fig4_mw_wpref", true);
+  rw_row<SwWriterPrefLock<>, SwWriterPrefLock<P, S>>(ctx, t,
+                                                     "write/fig1_swwp", true);
+  rw_row<SwReaderPrefLock<>, SwReaderPrefLock<P, S>>(ctx, t,
+                                                     "write/fig2_swrp", true);
+  rw_row<CentralizedReaderPrefRwLock<>, CentralizedReaderPrefRwLock<P, S>>(
+      ctx, t, "write/base_central_rp", true);
+  rw_row<PhaseFairRwLock<>, PhaseFairRwLock<P, S>>(ctx, t,
+                                                   "write/base_phasefair",
+                                                   true);
+  rw_row<BigReaderLock<>, BigReaderLock<P, S>>(ctx, t, "write/base_bigreader",
+                                               true);
+  rw_row_timed<SharedMutexRwLock>(ctx, t, "write/std_shared_mutex", true);
+
+  mutex_row<AndersonLock<>>(ctx, t, "mutex/anderson");
+  mutex_row<McsLock<>>(ctx, t, "mutex/mcs");
+
+  t.print(std::cout);
+}
+
+BJRW_BENCH("uncontended",
+           "E11: single-thread acquire/release latency + uncontended RMRs",
+           run);
 
 }  // namespace
 }  // namespace bjrw::bench
-
-BENCHMARK_MAIN();

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <iostream>
 
+#include "bench/bench_common.hpp"
 #include "src/baseline/centralized_rw.hpp"
 #include "src/core/mw_transform.hpp"
 #include "src/harness/spin.hpp"
@@ -73,7 +74,7 @@ std::uint64_t writer_rmr_under_churn(int churners, int churn_each) {
   return writer_rmrs;
 }
 
-int run() {
+void run(BenchContext& ctx) {
   std::cout
       << "E1b: RMRs charged to one waiting writer while readers churn "
          "(reader-priority locks; CC cache model)\n"
@@ -84,20 +85,27 @@ int run() {
   for (int churn : {4, 16, 64, 256}) {
     const auto r = writer_rmr_under_churn<MwReaderPrefLock<P, S>>(4, churn / 4);
     t.add_row({"thm4_mw_rpref", std::to_string(churn), Table::cell(r)});
+    ctx.row("thm4_mw_rpref")
+        .metric("churn_entries", churn)
+        .metric("writer_rmr", static_cast<double>(r));
   }
   for (int churn : {4, 16, 64, 256}) {
     const auto r =
         writer_rmr_under_churn<CentralizedReaderPrefRwLock<P, S>>(4, churn / 4);
     t.add_row({"base_central_rp", std::to_string(churn), Table::cell(r)});
+    ctx.row("base_central_rp")
+        .metric("churn_entries", churn)
+        .metric("writer_rmr", static_cast<double>(r));
   }
   t.print(std::cout);
   std::cout << "\nNote: on this single-core host the scheduler serializes "
                "threads, so the baseline's growth is a lower bound on its "
                "true contention cost.\n";
-  return 0;
 }
+
+BJRW_BENCH("writer_churn",
+           "E1b: waiting-writer RMRs while readers churn (CC model)",
+           run);
 
 }  // namespace
 }  // namespace bjrw::bench
-
-int main() { return bjrw::bench::run(); }

@@ -47,7 +47,8 @@ void demo(int readers) {
   });
 
   std::uint64_t rd = 0;
-  for (int t = 1; t < n; ++t) rd = std::max(rd, reader_worst[t]);
+  for (int t = 1; t < n; ++t)
+    rd = std::max(rd, reader_worst[static_cast<std::size_t>(t)]);
   std::cout << "  " << readers << " readers + 1 writer:  worst reader attempt = "
             << rd << " RMRs, worst writer attempt = " << writer_worst
             << " RMRs\n";

@@ -35,7 +35,7 @@ class BigReaderLock {
   }
 
   void read_lock(int tid) {
-    Slot& me = slots_[tid];
+    Slot& me = slots_[idx(tid)];
     for (;;) {
       me.flag.v.store(1);
       if (writer_active_.load() == 0) return;
@@ -45,14 +45,14 @@ class BigReaderLock {
     }
   }
 
-  void read_unlock(int tid) { slots_[tid].flag.v.store(0); }
+  void read_unlock(int tid) { slots_[idx(tid)].flag.v.store(0); }
 
   void write_lock(int tid) {
     wmutex_.lock(tid);  // serialize writers (FCFS ticket lock)
     writer_active_.store(1);
     // Wait for every in-flight reader to drain: Θ(n) remote references.
     for (int i = 0; i < n_; ++i)
-      spin_until<Spin>([&] { return slots_[i].flag.v.load() == 0; });
+      spin_until<Spin>([&] { return slots_[idx(i)].flag.v.load() == 0; });
   }
 
   void write_unlock(int tid) {

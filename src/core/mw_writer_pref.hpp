@@ -69,7 +69,7 @@ class MwWriterPrefLock {
     if (wtoken::is_side(t))                                 // line 7
       sw_.set_side(wtoken::side_of(t));                     // line 8: D <- t
     m_.lock(tid);                                           // line 9
-    WriterCtx& ctx = wctx_[tid];
+    WriterCtx& ctx = wctx_[idx(tid)];
     ctx.currD = sw_.side();                                 // line 10
     ctx.prevD = 1 - ctx.currD;
     if (wtoken::is_side(wtoken_.load())) {                  // line 11
@@ -81,7 +81,7 @@ class MwWriterPrefLock {
   }
 
   void write_unlock(int tid) {
-    WriterCtx& ctx = wctx_[tid];
+    WriterCtx& ctx = wctx_[idx(tid)];
     wtoken_.store(wtoken::pid(tid));                        // line 15
     wcount_.fetch_sub(1);                                   // line 16
     m_.unlock(tid);                                         // line 17

@@ -75,12 +75,12 @@ class SwWriterPrefLock {
           wwrc::kWaitingLastReader)                    // line 22
         permit_[other].v.store(1);                     // line 23
     }
-    rctx_[tid].d = d;
+    rctx_[idx(tid)].d = d;
     spin_until<Spin>([&] { return gate_[d].v.load() != 0; });  // line 24
   }
 
   void read_unlock(int tid) {
-    const int d = rctx_[tid].d;
+    const int d = rctx_[idx(tid)].d;
     ec_.fetch_add(wwrc::kReaderUnit);                  // line 26: F&A(EC,[0,1])
     if (c_[d].v.fetch_sub(wwrc::kReaderUnit) ==
         wwrc::kWaitingLastReader)                      // line 27

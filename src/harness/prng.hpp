@@ -7,8 +7,24 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdlib>
 
 namespace bjrw {
+
+// Exact high 64 bits of a*b via 32-bit limbs.  Portable twin of the
+// __int128 multiply in Xoshiro256::below; unit-checked against it so the
+// two paths can never diverge schedules across toolchains.
+inline constexpr std::uint64_t mulhi64(std::uint64_t a,
+                                       std::uint64_t b) noexcept {
+  const std::uint64_t al = a & 0xFFFFFFFFULL, ah = a >> 32;
+  const std::uint64_t bl = b & 0xFFFFFFFFULL, bh = b >> 32;
+  const std::uint64_t ll = al * bl;
+  const std::uint64_t lh = al * bh;
+  const std::uint64_t hl = ah * bl;
+  const std::uint64_t mid =
+      (ll >> 32) + (lh & 0xFFFFFFFFULL) + (hl & 0xFFFFFFFFULL);
+  return ah * bh + (lh >> 32) + (hl >> 32) + (mid >> 32);
+}
 
 // SplitMix64: used to seed the main generator and as a cheap standalone hash.
 class SplitMix64 {
@@ -47,10 +63,17 @@ class Xoshiro256 {
   }
 
   // Uniform draw in [0, bound) without modulo bias worth worrying about for
-  // workload mixes (Lemire-style multiply-shift).
+  // workload mixes (Lemire-style multiply-shift).  Both branches compute the
+  // exact high 64 bits of next()*bound, so schedules are identical across
+  // toolchains — a BJRW_TEST_SEED captured under gcc replays anywhere.
   constexpr std::uint64_t below(std::uint64_t bound) noexcept {
-    return static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+#if defined(__SIZEOF_INT128__)
+    __extension__ using Wide = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<Wide>(next()) * bound) >>
+                                      64);
+#else
+    return mulhi64(next(), bound);
+#endif
   }
 
   // Bernoulli draw with probability numer/denom.
@@ -69,5 +92,26 @@ class Xoshiro256 {
   }
   std::array<std::uint64_t, 4> s_;
 };
+
+// Deterministic-seed mode for randomized test suites.
+//
+// test_seed(salt) returns `salt` unchanged in normal runs, so every suite
+// keeps its historical schedules.  When the BJRW_TEST_SEED environment
+// variable is set (any uint64, parsed in base 10), the returned seed becomes
+// a SplitMix64 mix of the override and the salt: the whole run is re-seeded
+// coherently — distinct streams (per-thread salts, per-test parameters)
+// stay distinct, and identical BJRW_TEST_SEED values reproduce identical
+// schedules bit-for-bit.  The env var is re-read on every call so tests can
+// exercise the override in-process.
+inline std::uint64_t test_seed(std::uint64_t salt) noexcept {
+  const char* env = std::getenv("BJRW_TEST_SEED");
+  if (env == nullptr || *env == '\0') return salt;
+  char* end = nullptr;
+  const unsigned long long base = std::strtoull(env, &end, 10);
+  if (end == env) return salt;  // malformed override: ignore it
+  SplitMix64 sm(static_cast<std::uint64_t>(base) ^
+                (salt * 0x9E3779B97F4A7C15ULL));
+  return sm.next();
+}
 
 }  // namespace bjrw

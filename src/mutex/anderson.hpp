@@ -44,12 +44,12 @@ class AndersonLock {
   void lock(int tid) {
     const std::uint64_t ticket = tail_.fetch_add(1);
     const std::uint64_t slot = ticket & (nslots_ - 1);
-    my_slot_[tid].slot = slot;
+    my_slot_[idx(tid)].slot = slot;
     spin_until<Spin>([&] { return slots_[slot].flag.load() != 0; });
   }
 
   void unlock(int tid) {
-    const std::uint64_t slot = my_slot_[tid].slot;
+    const std::uint64_t slot = my_slot_[idx(tid)].slot;
     slots_[slot].flag.store(0);
     slots_[(slot + 1) & (nslots_ - 1)].flag.store(1);
   }

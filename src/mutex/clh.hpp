@@ -25,11 +25,11 @@ class ClhLock {
         tail_(&pool_[0]) {
     assert(max_threads >= 1);
     pool_[0].locked.store(0);  // dummy node: lock starts free
-    for (int t = 0; t < max_threads; ++t) ctx_[t].mine = &pool_[t + 1];
+    for (int t = 0; t < max_threads; ++t) ctx_[idx(t)].mine = &pool_[idx(t) + 1];
   }
 
   void lock(int tid) {
-    PerThread& me = ctx_[tid];
+    PerThread& me = ctx_[idx(tid)];
     me.mine->locked.store(1);
     Node* pred = tail_.exchange(me.mine);
     me.pred = pred;
@@ -37,7 +37,7 @@ class ClhLock {
   }
 
   void unlock(int tid) {
-    PerThread& me = ctx_[tid];
+    PerThread& me = ctx_[idx(tid)];
     Node* released = me.mine;
     released->locked.store(0);
     // Classic CLH node recycling: take the predecessor's node for next time.

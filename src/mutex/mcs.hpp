@@ -26,13 +26,13 @@ class McsLock {
     // Each thread's queue node lives in that thread's memory module: this
     // is what makes MCS constant-RMR on DSM machines as well as CC ([4]).
     for (int t = 0; t < max_threads; ++t) {
-      nodes_[t].next.set_home(t);
-      nodes_[t].locked.set_home(t);
+      nodes_[idx(t)].next.set_home(t);
+      nodes_[idx(t)].locked.set_home(t);
     }
   }
 
   void lock(int tid) {
-    Node& me = nodes_[tid];
+    Node& me = nodes_[idx(tid)];
     me.next.store(nullptr);
     me.locked.store(1);
     Node* pred = tail_.exchange(&me);
@@ -43,7 +43,7 @@ class McsLock {
   }
 
   void unlock(int tid) {
-    Node& me = nodes_[tid];
+    Node& me = nodes_[idx(tid)];
     Node* succ = me.next.load();
     if (succ == nullptr) {
       if (tail_.cas(&me, nullptr)) return;

@@ -15,11 +15,18 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 #include "src/rmr/cache_directory.hpp"
 
 namespace bjrw {
+
+// Index cast for tid-indexed arrays; tids are validated non-negative at the
+// lock API boundary (they are pids in [0, max_threads)).
+inline constexpr std::size_t idx(int i) noexcept {
+  return static_cast<std::size_t>(i);
+}
 
 struct StdProvider {
   template <class T>

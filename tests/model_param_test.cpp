@@ -16,10 +16,17 @@ namespace {
 
 using Grid = std::tuple<int, int, int>;  // readers, reader_att, writer_att
 
+// Built via append rather than operator+ chains: GCC 12's -Wrestrict
+// false-positives on the latter (PR 105329) under -Werror.
 std::string grid_name(const ::testing::TestParamInfo<Grid>& info) {
   const auto [r, ra, wa] = info.param;
-  return "r" + std::to_string(r) + "x" + std::to_string(ra) + "_w1x" +
-         std::to_string(wa);
+  std::string name = "r";
+  name += std::to_string(r);
+  name += "x";
+  name += std::to_string(ra);
+  name += "_w1x";
+  name += std::to_string(wa);
+  return name;
 }
 
 class SwwpGridTest : public ::testing::TestWithParam<Grid> {};
@@ -75,8 +82,15 @@ using MwGrid = std::tuple<int, int, int, int>;
 
 std::string mw_grid_name(const ::testing::TestParamInfo<MwGrid>& info) {
   const auto [w, r, wa, ra] = info.param;
-  return "w" + std::to_string(w) + "x" + std::to_string(wa) + "_r" +
-         std::to_string(r) + "x" + std::to_string(ra);
+  std::string name = "w";
+  name += std::to_string(w);
+  name += "x";
+  name += std::to_string(wa);
+  name += "_r";
+  name += std::to_string(r);
+  name += "x";
+  name += std::to_string(ra);
+  return name;
 }
 
 class MwwpGridTest : public ::testing::TestWithParam<MwGrid> {};

@@ -5,6 +5,7 @@
 // the exhaustive sweeps in model_param_test.cpp.
 #include <gtest/gtest.h>
 
+#include "src/harness/prng.hpp"
 #include "src/model/mwwp_model.hpp"
 #include "src/model/swrp_model.hpp"
 #include "src/model/swwp_model.hpp"
@@ -22,7 +23,7 @@ TEST_P(SeededRandomWalk, Fig1FourReadersDeepAttempts) {
   cfg.readers = 4;
   cfg.reader_attempts = 4;
   cfg.writer_attempts = 5;
-  const auto r = check_swwp_random(cfg, kWalks, kSteps, GetParam());
+  const auto r = check_swwp_random(cfg, kWalks, kSteps, test_seed(GetParam()));
   EXPECT_TRUE(r.ok) << r.violation;
   EXPECT_GT(r.transitions, 0u);
 }
@@ -32,7 +33,7 @@ TEST_P(SeededRandomWalk, Fig2FourReadersDeepAttempts) {
   cfg.readers = 4;
   cfg.reader_attempts = 4;
   cfg.writer_attempts = 5;
-  const auto r = check_swrp_random(cfg, kWalks, kSteps, GetParam());
+  const auto r = check_swrp_random(cfg, kWalks, kSteps, test_seed(GetParam()));
   EXPECT_TRUE(r.ok) << r.violation;
   EXPECT_GT(r.transitions, 0u);
 }
@@ -43,7 +44,7 @@ TEST_P(SeededRandomWalk, Fig4FullHouse) {
   cfg.readers = 3;
   cfg.writer_attempts = 4;
   cfg.reader_attempts = 3;
-  const auto r = check_mwwp_random(cfg, kWalks, kSteps, GetParam());
+  const auto r = check_mwwp_random(cfg, kWalks, kSteps, test_seed(GetParam()));
   EXPECT_TRUE(r.ok) << r.violation;
   EXPECT_GT(r.transitions, 0u);
 }

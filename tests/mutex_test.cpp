@@ -120,8 +120,8 @@ INSTANTIATE_TEST_SUITE_P(
         MutexParam{"clh", make_factory<ClhLock<>>(), true},
         MutexParam{"ticket", make_factory<TicketLock<>>(), true},
         MutexParam{"ttas", make_factory<TtasLock<>>(), false}),
-    [](const ::testing::TestParamInfo<MutexParam>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<MutexParam>& param_info) {
+      return param_info.param.name;
     });
 
 // Anderson's lock sizes its slot array from max_threads; exercising exactly

@@ -66,7 +66,9 @@ TEST(MwWriterPref, SequentialWritersAlternateSides) {
   for (int i = 0; i < 6; ++i) {
     l.write_lock(i % 4);
     const int cur = l.sw().side();
-    if (last != -1) EXPECT_EQ(cur, 1 - last) << "attempt " << i;
+    if (last != -1) {
+      EXPECT_EQ(cur, 1 - last) << "attempt " << i;
+    }
     last = cur;
     l.write_unlock(i % 4);
   }

@@ -66,9 +66,9 @@ RmrRun measure_rmr(int readers, int writers, int iters) {
   RmrRun r;
   for (int t = 0; t < n; ++t) {
     if (t < writers)
-      r.max_writer_rmr = std::max(r.max_writer_rmr, worst[t]);
+      r.max_writer_rmr = std::max(r.max_writer_rmr, worst[idx(t)]);
     else
-      r.max_reader_rmr = std::max(r.max_reader_rmr, worst[t]);
+      r.max_reader_rmr = std::max(r.max_reader_rmr, worst[idx(t)]);
   }
   return r;
 }

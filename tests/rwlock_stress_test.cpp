@@ -37,7 +37,7 @@ TEST_P(RwLockStressTest, MixedWorkloadPreservesMultiWordInvariant) {
   std::atomic<std::uint64_t> writes_done{0};
 
   run_threads(kThreads, [&](std::size_t tid) {
-    Xoshiro256 rng(tid * 7919 + 13);
+    Xoshiro256 rng(test_seed(tid * 7919 + 13));
     const bool may_write = single_writer ? (tid == 0) : true;
     for (int i = 0; i < kOps; ++i) {
       const bool do_write = may_write && rng.chance(1, 5);
@@ -92,7 +92,7 @@ TEST_P(RwLockStressTest, WriterHeavyChurn) {
   std::atomic<std::uint64_t> expected{0};
 
   run_threads(kThreads, [&](std::size_t tid) {
-    Xoshiro256 rng(tid + 1);
+    Xoshiro256 rng(test_seed(tid + 1));
     const bool may_write = single_writer ? (tid == 0) : true;
     for (int i = 0; i < kOps; ++i) {
       if (may_write && rng.chance(9, 10)) {

@@ -47,7 +47,8 @@ TEST(ShardedMap, SizeAndForEachCoverAllShards) {
     sum += static_cast<std::uint64_t>(v);
   });
   std::uint64_t expect = 0;
-  for (int k = 0; k < 100; ++k) expect += static_cast<std::uint64_t>(k) * k;
+  for (int k = 0; k < 100; ++k)
+    expect += static_cast<std::uint64_t>(k) * static_cast<std::uint64_t>(k);
   EXPECT_EQ(sum, expect);
 }
 
@@ -63,7 +64,7 @@ TEST(ShardedMap, ConcurrentCountersAreExact) {
   constexpr int kKeys = 10;
   ShardedMap<int, std::uint64_t> m(kThreads);
   run_threads(kThreads, [&](std::size_t tid) {
-    Xoshiro256 rng(tid + 99);
+    Xoshiro256 rng(test_seed(tid + 99));
     for (int i = 0; i < kIncrementsEach; ++i) {
       const int key = static_cast<int>(rng.below(kKeys));
       m.update(static_cast<int>(tid), key, [](std::uint64_t& v) { ++v; });
@@ -81,7 +82,7 @@ TEST(ShardedMap, ReadersObserveConsistentPairs) {
   std::atomic<std::uint64_t> torn{0};
   std::atomic<bool> stop{false};
   run_threads(kThreads, [&](std::size_t tid) {
-    Xoshiro256 rng(tid);
+    Xoshiro256 rng(test_seed(tid));
     if (tid == 0) {
       for (std::uint64_t i = 1; i <= 3000; ++i) {
         m.put(0, static_cast<int>(i % 7), {i, 2 * i});

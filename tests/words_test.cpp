@@ -62,6 +62,63 @@ TEST(WwRcWord, NoCarryBetweenComponentsAtReaderCountBoundary) {
   EXPECT_EQ(wwrc::reader_count(w.load()), 0x80000000u);
 }
 
+// --- overflow boundaries (ISSUE 1) ---------------------------------------
+//
+// The no-carry guarantee is what lets a single hardware F&A implement the
+// paper's two-component update: it holds only while reader-count stays
+// below 2^32.  These tests pin both sides of that boundary.
+
+TEST(WwRcWord, MaxThreadsWorthOfReadersNeverCarry) {
+  // The RMR harness supports 64 threads; a full house of readers entering
+  // and leaving under a waiting writer must round-trip exactly.
+  constexpr std::uint32_t kMaxThreads = 64;
+  std::atomic<std::uint64_t> w{wwrc::pack(1, 0)};
+  for (std::uint32_t i = 0; i < kMaxThreads; ++i) w.fetch_add(wwrc::kReaderUnit);
+  EXPECT_EQ(wwrc::writer_waiting(w.load()), 1u);
+  EXPECT_EQ(wwrc::reader_count(w.load()), kMaxThreads);
+  for (std::uint32_t i = 0; i < kMaxThreads - 1; ++i)
+    w.fetch_sub(wwrc::kReaderUnit);
+  // The last reader out observes the paper's [1,1] sentinel.
+  EXPECT_EQ(w.fetch_sub(wwrc::kReaderUnit), wwrc::kWaitingLastReader);
+  EXPECT_EQ(w.load(), wwrc::pack(1, 0));
+}
+
+TEST(WwRcWord, ReaderCountSaturationBoundaryIsTwoToTheThirtyTwo) {
+  // One increment below the field width is still carry-free...
+  std::atomic<std::uint64_t> w{wwrc::pack(0, 0xFFFFFFFEu)};
+  w.fetch_add(wwrc::kReaderUnit);
+  EXPECT_EQ(wwrc::writer_waiting(w.load()), 0u);
+  EXPECT_EQ(wwrc::reader_count(w.load()), 0xFFFFFFFFu);
+  // ...and the very next one carries into writer-waiting: the encoding's
+  // hard ceiling.  Real executions stay far below it (reader-count is
+  // bounded by the thread count < 2^31), which is exactly why the paper may
+  // treat the two components as independent.
+  w.fetch_add(wwrc::kReaderUnit);
+  EXPECT_EQ(wwrc::writer_waiting(w.load()), 1u);
+  EXPECT_EQ(wwrc::reader_count(w.load()), 0u);
+}
+
+TEST(WwRcWord, WriterWaitingSurvivesExtremeReaderCounts) {
+  for (std::uint32_t rc : {0u, 1u, 0x7FFFFFFFu, 0x80000000u, 0xFFFFFFFFu}) {
+    const auto w = wwrc::pack(1, rc);
+    EXPECT_EQ(wwrc::writer_waiting(w), 1u);
+    EXPECT_EQ(wwrc::reader_count(w), rc);
+  }
+}
+
+TEST(XWord, LargestPidsStayDistinctFromTrue) {
+  // Any conceivable tid (< 2^31) must never collide with the kTrue tag.
+  EXPECT_TRUE(xword::is_pid(xword::pid(0x7FFFFFFF)));
+  EXPECT_NE(xword::pid(0x7FFFFFFF), xword::kTrue);
+}
+
+TEST(WToken, LargestPidsKeepTagDisjointness) {
+  const auto t = wtoken::pid(0x7FFFFFFF);
+  EXPECT_TRUE(wtoken::is_pid(t));
+  EXPECT_FALSE(wtoken::is_side(t));
+  EXPECT_FALSE(wtoken::is_false(t));
+}
+
 TEST(XWord, TrueIsNotAPid) {
   EXPECT_FALSE(xword::is_pid(xword::kTrue));
   for (int tid : {0, 1, 7, 63}) {
