@@ -16,6 +16,7 @@
 #include "src/harness/stats.hpp"
 #include "src/harness/thread_coord.hpp"
 #include "src/rmr/cache_directory.hpp"
+#include "src/rmr/measure.hpp"
 #include "src/rmr/provider.hpp"
 
 namespace bjrw::bench {
@@ -108,60 +109,10 @@ struct BenchRegistrar {
     name, description, &(fn)                                          \
   }
 
-struct RmrResult {
-  double reader_mean = 0.0;
-  std::uint64_t reader_max = 0;
-  double writer_mean = 0.0;
-  std::uint64_t writer_max = 0;
-};
-
-// Runs `readers` + `writers` instrumented threads for `iters` attempts each
-// and aggregates per-attempt RMR charges.
-template <class Lock>
-RmrResult measure_rmr(int readers, int writers, int iters) {
-  auto& dir = rmr::CacheDirectory::instance();
-  dir.flush_caches();
-  dir.reset_counters();
-  const int n = readers + writers;
-  Lock lock(n);
-
-  std::vector<StreamingStats> stats(static_cast<std::size_t>(n));
-  std::vector<std::uint64_t> maxima(static_cast<std::size_t>(n), 0);
-
-  run_threads(static_cast<std::size_t>(n), [&](std::size_t t) {
-    const int tid = static_cast<int>(t);
-    rmr::ScopedTid scoped(tid);
-    const bool is_writer = tid < writers;
-    rmr::RmrProbe probe(tid);
-    for (int i = 0; i < iters; ++i) {
-      probe.rebase();
-      if (is_writer) {
-        lock.write_lock(tid);
-        lock.write_unlock(tid);
-      } else {
-        lock.read_lock(tid);
-        lock.read_unlock(tid);
-      }
-      const auto rmrs = probe.sample();
-      stats[t].add(static_cast<double>(rmrs));
-      maxima[t] = std::max(maxima[t], rmrs);
-    }
-  });
-
-  RmrResult r;
-  StreamingStats rd, wr;
-  for (int t = 0; t < n; ++t) {
-    if (t < writers) {
-      wr.merge(stats[idx(t)]);
-      r.writer_max = std::max(r.writer_max, maxima[idx(t)]);
-    } else {
-      rd.merge(stats[idx(t)]);
-      r.reader_max = std::max(r.reader_max, maxima[idx(t)]);
-    }
-  }
-  r.reader_mean = rd.count() ? rd.mean() : 0.0;
-  r.writer_mean = wr.count() ? wr.mean() : 0.0;
-  return r;
-}
+// Measurement primitives now live in src/rmr/measure.hpp (shared with the
+// tier-1 RMR regression gate); keep the historical bench-namespace names.
+using rmr::RmrResult;
+using rmr::measure_rmr;
+using rmr::writer_rmr_under_churn;
 
 }  // namespace bjrw::bench

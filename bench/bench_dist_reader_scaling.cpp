@@ -1,0 +1,149 @@
+// E15 (DESIGN.md §8): read-side scaling of the distributed reader-indicator
+// transform vs. the plain paper lock it wraps and the big-reader baseline.
+//
+// Two views:
+//  * Wall-clock: read-mostly mixes (90% / 95% / 99% reads) over a growing
+//    reader population.  The dist transform's fast path is one local F&A plus
+//    two gate loads, vs. the paper lock's ~5 shared seq_cst operations per
+//    read attempt — so its read throughput should pull ahead as reader
+//    parallelism grows, while the writer keeps the underlying O(1) turn
+//    (amortized over the slot sweep) instead of big-reader's Θ(n) scan.
+//  * RMR (instrumented CC model): the dist reader stays flat (steady-state
+//    zero — the slot line is thread-local), the dist writer pays O(slots),
+//    and the plain paper lock stays flat on both sides.
+#include <atomic>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/baseline/big_reader.hpp"
+#include "src/core/locks.hpp"
+#include "src/harness/table.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/harness/timing.hpp"
+#include "src/harness/workload.hpp"
+
+namespace bjrw::bench {
+namespace {
+
+using P = InstrumentedProvider;
+using S = YieldSpin;
+
+struct MixResult {
+  double read_mops = 0.0;
+  double total_mops = 0.0;
+};
+
+// Read-mostly mix over `threads` threads; returns read-side and total
+// throughput.  Thread 0 is the designated writer-heavy thread only via the
+// shared op stream mix, i.e. every thread draws from the same distribution —
+// the regime the issue's acceptance criterion quantifies.
+template <class Lock>
+MixResult run_mix(const BenchContext& ctx, int threads, double read_fraction) {
+  const int ops_per_thread = ctx.scaled_iters(3000);
+  Lock lock(threads);
+  WorkloadConfig cfg;
+  cfg.read_fraction = read_fraction;
+  cfg.seed = ctx.params().seed;
+  std::vector<OpStream> streams;
+  streams.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    streams.emplace_back(cfg, static_cast<std::uint64_t>(t),
+                         static_cast<std::size_t>(ops_per_thread));
+
+  std::atomic<std::uint64_t> sink{0};
+  std::atomic<std::uint64_t> reads_done{0};
+  std::uint64_t shared_value = 0;
+  Stopwatch sw;
+  run_threads(static_cast<std::size_t>(threads), [&](std::size_t t) {
+    const int tid = static_cast<int>(t);
+    std::uint64_t local = 0, local_reads = 0;
+    for (int i = 0; i < ops_per_thread; ++i) {
+      if (streams[t].at(static_cast<std::size_t>(i)) == OpKind::kRead) {
+        lock.read_lock(tid);
+        local += shared_value;
+        lock.read_unlock(tid);
+        ++local_reads;
+      } else {
+        lock.write_lock(tid);
+        shared_value += 1;
+        lock.write_unlock(tid);
+      }
+    }
+    sink.fetch_add(local);
+    reads_done.fetch_add(local_reads);
+  });
+  const double secs = sw.elapsed_s();
+  MixResult r;
+  r.total_mops = static_cast<double>(threads) * ops_per_thread / secs / 1e6;
+  r.read_mops = static_cast<double>(reads_done.load()) / secs / 1e6;
+  return r;
+}
+
+template <class Lock>
+void sweep_wallclock(BenchContext& ctx, Table& t, const std::string& name) {
+  for (int threads : {2, 4, 8, 16}) {
+    for (double rf : {0.90, 0.95, 0.99}) {
+      const MixResult r = run_mix<Lock>(ctx, threads, rf);
+      t.add_row({name, std::to_string(threads), Table::cell(rf),
+                 Table::cell(r.read_mops, 3), Table::cell(r.total_mops, 3)});
+      ctx.row(name)
+          .metric("threads", threads)
+          .metric("read_fraction", rf)
+          .metric("read_mops_per_s", r.read_mops)
+          .metric("total_mops_per_s", r.total_mops);
+    }
+  }
+}
+
+template <class Lock>
+void sweep_rmr(BenchContext& ctx, Table& t, const std::string& name) {
+  const int iters = ctx.scaled_iters(60);
+  for (int readers : {2, 4, 8, 16}) {
+    const auto r = measure_rmr<Lock>(readers, /*writers=*/2, iters);
+    t.add_row({name, std::to_string(readers), "2",
+               Table::cell(r.reader_mean), Table::cell(r.reader_max),
+               Table::cell(r.writer_mean), Table::cell(r.writer_max)});
+    ctx.row(name)
+        .metric("readers", readers)
+        .metric("writers", 2)
+        .metric("rmr_reader_mean", r.reader_mean)
+        .metric("rmr_reader_max", static_cast<double>(r.reader_max))
+        .metric("rmr_writer_mean", r.writer_mean)
+        .metric("rmr_writer_max", static_cast<double>(r.writer_max));
+  }
+}
+
+void run(BenchContext& ctx) {
+  std::cout << "E15: distributed reader indicators vs. the plain paper lock\n"
+            << "Wall-clock read-mostly mixes (read Mops/s should favour the "
+               "dist transform as readers grow), then instrumented RMRs "
+               "(dist reader flat, dist writer O(slots)).\n\n";
+
+  Table wall({"lock", "threads", "read_ratio", "read_mops", "total_mops"});
+  sweep_wallclock<WriterPriorityLock>(ctx, wall, "plain_mw_wpref");
+  sweep_wallclock<DistWriterPriorityLock>(ctx, wall, "dist_mw_wpref");
+  sweep_wallclock<BigReaderLock<>>(ctx, wall, "base_bigreader");
+  wall.print(std::cout);
+
+  std::cout << "\nInstrumented CC-model RMRs per attempt:\n";
+  Table rmr({"lock", "readers", "writers", "rd_mean", "rd_max", "wr_mean",
+             "wr_max"});
+  sweep_rmr<MwWriterPrefLock<P, S>>(ctx, rmr, "rmr/plain_mw_wpref");
+  sweep_rmr<DistMwWriterPrefLock<P, S>>(ctx, rmr, "rmr/dist_mw_wpref");
+  rmr.print(std::cout);
+
+  std::cout << "\nReading the tables: the dist fast path is one local F&A + "
+               "two gate loads, so rd_mean for dist should sit at or below "
+               "the plain lock's and its steady-state charge is zero; the "
+               "price is the writer's O(slots) sweep (wr columns).\n";
+}
+
+BJRW_BENCH("dist_reader_scaling",
+           "E15: read-side scaling of distributed reader indicators vs. the "
+           "plain paper locks",
+           run);
+
+}  // namespace
+}  // namespace bjrw::bench

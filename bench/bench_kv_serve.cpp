@@ -1,0 +1,143 @@
+// E16 (DESIGN.md §8): end-to-end KV serving workload over ShardedMap — the
+// zipfian read-mostly request mix the ROADMAP's serving north star implies —
+// with the per-shard lock type as the experimental variable.
+//
+// Each thread replays a pre-generated ServeStream (95% gets over a zipfian
+// key popularity, 5% puts); a slice of the gets is issued as batched
+// `get_many` calls to exercise the bulk path.  Compared locks: the paper's
+// writer-priority lock (Theorem 5), its distributed-reader wrapping (E15's
+// transform — the serving configuration), and std::shared_mutex as the
+// platform baseline.  Reported: throughput, hit rate (from the striped
+// stats), and the streams' realized read share (vs. the configured ratio).
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/baseline/shared_mutex_rw.hpp"
+#include "src/core/locks.hpp"
+#include "src/extras/sharded_map.hpp"
+#include "src/harness/table.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/harness/timing.hpp"
+#include "src/harness/workload.hpp"
+
+namespace bjrw::bench {
+namespace {
+
+constexpr std::size_t kShards = 32;
+constexpr std::size_t kBatch = 8;  // get_many batch size
+constexpr std::uint64_t kPreload = 1 << 14;
+
+template <class Lock>
+void serve_row(BenchContext& ctx, Table& t, const std::string& name,
+               double read_fraction) {
+  const int threads = ctx.params().threads;
+  const int ops_per_thread = ctx.scaled_iters(2000);
+
+  ServeConfig cfg;
+  cfg.read_fraction = read_fraction;
+  cfg.seed = ctx.params().seed;
+  std::vector<ServeStream> streams;
+  streams.reserve(static_cast<std::size_t>(threads));
+  std::size_t stream_reads = 0, stream_ops = 0;
+  for (int th = 0; th < threads; ++th) {
+    streams.emplace_back(cfg, static_cast<std::uint64_t>(th),
+                         static_cast<std::size_t>(ops_per_thread));
+    stream_reads += streams.back().reads();
+    stream_ops += streams.back().size();
+  }
+  const double realized_read_share =
+      stream_ops ? static_cast<double>(stream_reads) /
+                       static_cast<double>(stream_ops)
+                 : 0.0;
+
+  ShardedMap<std::uint64_t, std::uint64_t, Lock> map(threads, kShards);
+  // Preload a quarter of the key space so gets hit and miss in a realistic
+  // mix (hot zipfian keys are scattered over the whole space, so the hit
+  // rate lands near the preload fraction weighted by popularity).
+  for (std::uint64_t k = 0; k < kPreload; ++k)
+    map.put(0, scramble_rank(k, cfg.num_keys), k);
+
+  std::atomic<std::uint64_t> sink{0};
+  std::atomic<std::uint64_t> ops_done{0};
+  Stopwatch sw;
+  run_threads(static_cast<std::size_t>(threads), [&](std::size_t th) {
+    const int tid = static_cast<int>(th);
+    const ServeStream& stream = streams[th];
+    std::uint64_t local = 0, done = 0;
+    std::vector<std::uint64_t> batch;
+    batch.reserve(kBatch);
+    for (int i = 0; i < ops_per_thread; ++i) {
+      const ServeOp& op = stream.at(static_cast<std::size_t>(i));
+      if (op.kind == OpKind::kRead) {
+        batch.push_back(op.key);
+        if (batch.size() == kBatch) {  // every kBatch-th read flushes as bulk
+          const auto values = map.get_many(tid, batch);
+          for (const auto& v : values)
+            if (v) local += *v;
+          done += batch.size();
+          batch.clear();
+        }
+      } else {
+        map.put(tid, op.key, static_cast<std::uint64_t>(i));
+        ++done;
+      }
+    }
+    if (!batch.empty()) {
+      const auto values = map.get_many(tid, batch);
+      for (const auto& v : values)
+        if (v) local += *v;
+      done += batch.size();
+    }
+    sink.fetch_add(local);
+    ops_done.fetch_add(done);
+  });
+  const double secs = sw.elapsed_s();
+  const double mops = static_cast<double>(ops_done.load()) / secs / 1e6;
+
+  const MapStats stats = map.stats();
+  const std::uint64_t lookups = stats.hits + stats.misses;
+  const double hit_rate =
+      lookups ? static_cast<double>(stats.hits) / static_cast<double>(lookups)
+              : 0.0;
+
+  t.add_row({name, Table::cell(read_fraction),
+             Table::cell(realized_read_share, 3), Table::cell(mops, 3),
+             Table::cell(hit_rate, 3),
+             std::to_string(stats.size)});
+  ctx.row(name)
+      .metric("read_fraction", read_fraction)
+      .metric("realized_read_share", realized_read_share)
+      .metric("mops_per_s", mops)
+      .metric("hit_rate", hit_rate)
+      .metric("final_size", static_cast<double>(stats.size))
+      .metric("threads", threads);
+}
+
+void run(BenchContext& ctx) {
+  std::cout << "E16: zipfian KV serving over ShardedMap ("
+            << ctx.params().threads << " threads, " << kShards << " shards, "
+            << "get_many batch " << kBatch << ")\n"
+            << "Per-shard lock type is the variable; reads dominate, so the "
+               "dist transform's local read fast path should win as reader "
+               "parallelism grows.\n\n";
+  Table t({"shard_lock", "read_ratio", "real_read_share", "mops_per_s",
+           "hit_rate", "final_size"});
+  for (double rf : {0.95, 0.99}) {
+    serve_row<WriterPriorityLock>(ctx, t, "mw_wpref", rf);
+    serve_row<DistWriterPriorityLock>(ctx, t, "dist_mw_wpref", rf);
+    serve_row<SharedMutexRwLock>(ctx, t, "std_shared_mutex", rf);
+  }
+  t.print(std::cout);
+}
+
+BJRW_BENCH("kv_serve",
+           "E16: zipfian read-mostly KV serving over ShardedMap, per-shard "
+           "lock selectable",
+           run);
+
+}  // namespace
+}  // namespace bjrw::bench

@@ -12,6 +12,7 @@
 #include "src/baseline/big_reader.hpp"
 #include "src/baseline/centralized_rw.hpp"
 #include "src/baseline/phase_fair.hpp"
+#include "src/core/dist_reader.hpp"
 #include "src/core/mw_transform.hpp"
 #include "src/core/mw_writer_pref.hpp"
 #include "src/core/sw_reader_pref.hpp"
@@ -59,6 +60,7 @@ void run(BenchContext& ctx) {
   sweep<MwStarvationFreeLock<P, S>>(ctx, t, "thm3_mw_nopri", false);
   sweep<MwReaderPrefLock<P, S>>(ctx, t, "thm4_mw_rpref", false);
   sweep<MwWriterPrefLock<P, S>>(ctx, t, "fig4_mw_wpref", false);
+  sweep<DistMwWriterPrefLock<P, S>>(ctx, t, "dist_mw_wpref", false);
   sweep<BigReaderLock<P, S>>(ctx, t, "base_bigreader", false);
   sweep<CentralizedReaderPrefRwLock<P, S>>(ctx, t, "base_central_rp", false);
   sweep<CentralizedWriterPrefRwLock<P, S>>(ctx, t, "base_central_wp", false);

@@ -28,51 +28,9 @@ namespace {
 using P = InstrumentedProvider;
 using S = YieldSpin;
 
-// Thread layout: tid 0 = writer, tid 1 = pinning reader, tids 2.. = churners.
-template <class Lock>
-std::uint64_t writer_rmr_under_churn(int churners, int churn_each) {
-  auto& dir = rmr::CacheDirectory::instance();
-  dir.flush_caches();
-  dir.reset_counters();
-  const int n = 2 + churners;
-  Lock lock(n);
-  std::atomic<bool> writer_started{false};
-  std::atomic<int> churn_done{0};
-  std::uint64_t writer_rmrs = 0;
-
-  run_threads(static_cast<std::size_t>(n), [&](std::size_t t) {
-    const int tid = static_cast<int>(t);
-    rmr::ScopedTid scoped(tid);
-    if (tid == 0) {  // writer
-      spin_until<S>([&] { return writer_started.load(); });
-      rmr::RmrProbe probe(0);
-      lock.write_lock(0);
-      lock.write_unlock(0);
-      writer_rmrs = probe.sample();
-    } else if (tid == 1) {  // pinning reader
-      lock.read_lock(1);
-      writer_started.store(true);
-      // Hold the CS until all churn traffic has drained, guaranteeing the
-      // writer observed the full churn volume while waiting.
-      spin_until<S>([&] { return churn_done.load() == churners; });
-      lock.read_unlock(1);
-    } else {  // churners
-      spin_until<S>([&] { return writer_started.load(); });
-      // Give the writer a moment to actually park in its waiting room.
-      for (int i = 0; i < 50; ++i) S::relax();
-      for (int i = 0; i < churn_each; ++i) {
-        lock.read_lock(tid);
-        lock.read_unlock(tid);
-        // Yield between entries so the waiting writer is scheduled and
-        // actually probes its spin location between churn events — on a
-        // multi-core host this interleaving happens for free.
-        std::this_thread::yield();
-      }
-      churn_done.fetch_add(1);
-    }
-  });
-  return writer_rmrs;
-}
+// The measurement itself (pinned reader + churners vs. one parked writer)
+// lives in src/rmr/measure.hpp, shared with the tier-1 regression gate so
+// the bench and the CI ceiling can never disagree on the choreography.
 
 void run(BenchContext& ctx) {
   std::cout

@@ -1,0 +1,177 @@
+// Distributed reader-indicator transform over the paper's locks.
+//
+// Motivation (ROADMAP north star): the paper's locks are O(1) RMR, but every
+// reader still F&As the *same* word (C[d] in Figures 1/2), so on a real
+// multi-socket machine the read fast path serializes on one cache line and
+// read-side throughput stops scaling with cores.  The classic fix — big-reader
+// / brlock-style per-reader indicators (src/baseline/big_reader.hpp) — makes
+// readers local but pays Θ(n) *writer* RMRs and loses the paper's fairness
+// properties.
+//
+// DistributedReaderLock composes the two: the reader count is sharded across
+// cache-line-padded per-slot counters (slot = tid mod slot-count; one slot per
+// thread up to a cap), and the paper's lock is kept underneath as the slow
+// path and writer substrate.
+//
+//   Reader fast path (no writer about): one F&A on the *local* slot plus one
+//   load of the writer gate — a purely local operation in steady state (zero
+//   RMRs on the CC model once the slot line is owned).
+//
+//   Reader slow path (gate raised): back out of the slot, then take the
+//   underlying lock's read protocol — so while writers are around, readers
+//   inherit the underlying lock's regime (priority, fairness, O(1) RMR).
+//
+//   Writer: raise the gate (F&A on `wpending`), sweep the slots until the
+//   fast-path readers drain, then run the underlying lock's write protocol.
+//   The sweep is Θ(slots) cache-line touches, but consecutive writer turns
+//   amortize it: while any writer's gate is up the slots stay drained, so a
+//   back-to-back writer's sweep re-reads S cached zeros (zero RMRs on CC).
+//
+// Correctness sketch (all accesses seq_cst, as everywhere in this library):
+//
+//  * Exclusion (P1).  A fast-path reader increments its slot and *then* loads
+//    `wpending`; a writer increments `wpending` and *then* reads the slots.
+//    In the SC total order either the reader's load sees the writer's
+//    increment (reader backs out and goes through the underlying lock, which
+//    excludes it from the writer's CS), or the reader's load precedes the
+//    writer's increment — then the reader's slot increment also precedes the
+//    writer's sweep reads, so the sweep observes the reader and waits for its
+//    decrement.  The standard store/load (Dekker) argument, per slot.
+//
+//  * Sweep termination.  Readers check the gate *before* touching their
+//    slot, so once a writer's `wpending` increment completes, every later
+//    read attempt diverts to the slow path without bumping any slot — a
+//    churning reader flood cannot keep the sweep alive.  Only the bounded
+//    set of attempts whose first gate check overlapped the increment can
+//    transiently bump a slot, and each backs out with a matching decrement,
+//    so the sweep drains and the writer cannot be livelocked (unlike
+//    brlock-style retry loops).  Starvation freedom of the composition then
+//    reduces to the underlying lock's.
+//
+//  * Regime semantics.  The sweep happens *before* the underlying
+//    write_lock, so a writer waiting its turn waits inside the underlying
+//    lock's protocol, where diverted readers also queue.  With a
+//    writer-priority underlying lock, readers arriving after the writer's
+//    doorway wait for it (WP1); with a reader-priority underlying lock,
+//    diverted readers keep flowing past the waiting writer (RP1); with the
+//    starvation-free lock both sides stay starvation-free.  The transform's
+//    only weakening is the doorway itself: a writer's doorway completes at
+//    the underlying lock's doorway (after the sweep), so readers that arrive
+//    during the sweep may still be ordered ahead of it — a bounded window.
+//
+// RMR complexity (CC model): reader O(1) — at most the slot F&A, the gate
+// load, and the underlying lock's O(1) read path when diverted; writer
+// O(slots) for the sweep plus the underlying lock's O(1), amortized to O(1)
+// across a batch of consecutive writer turns.  This is the trade the
+// taxonomy row in DESIGN.md §3 records.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+#include "src/core/mw_transform.hpp"
+#include "src/core/mw_writer_pref.hpp"
+#include "src/harness/spin.hpp"
+#include "src/rmr/provider.hpp"
+
+namespace bjrw {
+
+template <class Lock, class Provider = StdProvider, class Spin = YieldSpin>
+class DistributedReaderLock {
+  template <class T>
+  using Atomic = typename Provider::template Atomic<T>;
+
+ public:
+  // Default slot-count cap: one slot per thread keeps the fast path
+  // contention-free; the cap bounds the writer's sweep (and its memory) when
+  // max_threads is huge, at the cost of slot sharing between tids.
+  static constexpr int kDefaultMaxSlots = 64;
+
+  explicit DistributedReaderLock(int max_threads, int slots = 0)
+      : slot_count_(slots > 0 ? std::min(slots, max_threads)
+                              : std::min(max_threads, kDefaultMaxSlots)),
+        wpending_(0),
+        inner_(max_threads),
+        slots_(std::make_unique<Slot[]>(static_cast<std::size_t>(slot_count_))),
+        rctx_(std::make_unique<ReaderCtx[]>(
+            static_cast<std::size_t>(max_threads))) {
+    assert(max_threads >= 1);
+  }
+
+  // ---- reader side ---------------------------------------------------------
+
+  void read_lock(int tid) {
+    if (wpending_.load() == 0) {         // writers quiescent: try fast path
+      Slot& s = slots_[idx(slot_of(tid))];
+      s.count.fetch_add(1);              // announce on the local slot
+      if (wpending_.load() == 0) {       // recheck: Dekker vs. writer's raise
+        rctx_[idx(tid)].fast = 1;
+        return;
+      }
+      s.count.fetch_sub(1);              // lost the race: back out
+    }
+    inner_.read_lock(tid);               // slow path: the paper lock's regime
+    rctx_[idx(tid)].fast = 0;
+  }
+
+  void read_unlock(int tid) {
+    if (rctx_[idx(tid)].fast != 0)
+      slots_[idx(slot_of(tid))].count.fetch_sub(1);  // local egress
+    else
+      inner_.read_unlock(tid);
+  }
+
+  // ---- writer side ---------------------------------------------------------
+
+  void write_lock(int tid) {
+    wpending_.fetch_add(1);            // raise the gate: new readers divert
+    for (int i = 0; i < slot_count_; ++i)  // drain fast-path readers
+      spin_until<Spin>([&] { return slots_[idx(i)].count.load() == 0; });
+    inner_.write_lock(tid);            // serialize writers, exclude slow path
+  }
+
+  void write_unlock(int tid) {
+    inner_.write_unlock(tid);
+    wpending_.fetch_sub(1);            // last writer out lowers the gate
+  }
+
+  // ---- observers (tests/benches) -------------------------------------------
+
+  int slot_count() const { return slot_count_; }
+  std::int64_t writers_pending() const { return wpending_.load(); }
+  const Lock& inner() const { return inner_; }
+
+ private:
+  struct alignas(64) Slot {
+    Slot() : count(0) {}
+    Atomic<std::int64_t> count;
+  };
+  struct alignas(64) ReaderCtx {
+    int fast = 0;
+  };
+
+  int slot_of(int tid) const { return tid % slot_count_; }
+
+  const int slot_count_;
+  alignas(64) Atomic<std::int64_t> wpending_;  // writer gate (count of turns)
+  Lock inner_;                                 // the paper lock underneath
+  std::unique_ptr<Slot[]> slots_;              // padded per-slot reader counts
+  std::unique_ptr<ReaderCtx[]> rctx_;          // per-tid fast/slow marker
+};
+
+// The three priority regimes with distributed reader indicators on top.
+template <class Provider = StdProvider, class Spin = YieldSpin>
+using DistMwStarvationFreeLock =
+    DistributedReaderLock<MwStarvationFreeLock<Provider, Spin>, Provider, Spin>;
+
+template <class Provider = StdProvider, class Spin = YieldSpin>
+using DistMwReaderPrefLock =
+    DistributedReaderLock<MwReaderPrefLock<Provider, Spin>, Provider, Spin>;
+
+template <class Provider = StdProvider, class Spin = YieldSpin>
+using DistMwWriterPrefLock =
+    DistributedReaderLock<MwWriterPrefLock<Provider, Spin>, Provider, Spin>;
+
+}  // namespace bjrw

@@ -13,6 +13,7 @@
 
 #include <concepts>
 
+#include "src/core/dist_reader.hpp"
 #include "src/core/mw_transform.hpp"
 #include "src/core/mw_writer_pref.hpp"
 #include "src/core/sw_reader_pref.hpp"
@@ -45,6 +46,20 @@ using WriterPriorityLock = MwWriterPrefLock<StdProvider, YieldSpin>;
 static_assert(ReaderWriterLock<StarvationFreeLock>);
 static_assert(ReaderWriterLock<ReaderPriorityLock>);
 static_assert(ReaderWriterLock<WriterPriorityLock>);
+
+// --- distributed-reader variants (dist_reader.hpp) ---------------------------
+//
+// Same three regimes with the reader count sharded across per-slot padded
+// counters: the read fast path becomes a purely local operation (the
+// many-core serving hot path), at the price of an O(slots) writer sweep.
+
+using DistStarvationFreeLock = DistMwStarvationFreeLock<StdProvider, YieldSpin>;
+using DistReaderPriorityLock = DistMwReaderPrefLock<StdProvider, YieldSpin>;
+using DistWriterPriorityLock = DistMwWriterPrefLock<StdProvider, YieldSpin>;
+
+static_assert(ReaderWriterLock<DistStarvationFreeLock>);
+static_assert(ReaderWriterLock<DistReaderPriorityLock>);
+static_assert(ReaderWriterLock<DistWriterPriorityLock>);
 
 // --- RAII guards -------------------------------------------------------------
 

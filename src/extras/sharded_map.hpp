@@ -1,19 +1,40 @@
-// ShardedMap: a concurrent hash map built on the library's reader-writer
-// locks — the downstream artifact the paper's introduction motivates
-// ("reader-writer locks are used extensively ... to implement shared data
-// structures, where processes whose operations modify the state are modeled
-// as writers and processes that merely sense the state as readers").
+// ShardedMap: a serving-grade concurrent hash map built on the library's
+// reader-writer locks — the downstream artifact the paper's introduction
+// motivates ("reader-writer locks are used extensively ... to implement
+// shared data structures, where processes whose operations modify the state
+// are modeled as writers and processes that merely sense the state as
+// readers").
 //
 // Keys are partitioned over S shards; each shard pairs a std::unordered_map
 // with one lock.  Lookups take the shard's read lock, mutations its write
 // lock, so readers of different keys never serialize and readers of the
 // same shard share the critical section (concurrent entering, P5).
 //
-// The lock type is a template parameter constrained to the library's
-// ReaderWriterLock concept; the default is the writer-priority lock
-// (Theorem 5) so bursts of updates are not starved by lookup floods.
+// Serving-grade features on top of the basic map:
+//
+//  * The lock type is a template parameter constrained to ReaderWriterLock,
+//    so the per-shard lock is selectable per deployment: the default
+//    `WriterPriorityLock` (Theorem 5) keeps bursts of updates from being
+//    starved by lookup floods; `DistWriterPriorityLock` makes the lookup
+//    fast path a purely local operation for read-mostly serving (E16
+//    measures the difference).
+//
+//  * Striped statistics, striped the same way the load is: hit/miss
+//    counters (bumped on the *read* path) are striped per thread — each
+//    lookup RMWs only its own padded line, so stat upkeep never undoes the
+//    distributed-reader lock's local fast path.  Size/put/erase counters
+//    (write-path only) are striped per shard and mutated under the shard's
+//    write lock.  `size()` and `stats()` sum the stripes — exact at
+//    quiescence, momentarily approximate under concurrent mutation (the
+//    usual striped-counter contract).
+//
+//  * Bulk lookups: `get_many` groups keys by shard and takes each shard's
+//    read lock once per batch, amortizing lock traffic for the
+//    multi-get-heavy serving workloads E16 models.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -26,6 +47,15 @@
 
 namespace bjrw {
 
+// Aggregate of the striped per-shard counters (see ShardedMap::stats).
+struct MapStats {
+  std::uint64_t size = 0;    // live entries
+  std::uint64_t hits = 0;    // get/contains/get_many that found the key
+  std::uint64_t misses = 0;  // ... that did not
+  std::uint64_t puts = 0;    // put/put_if_absent/update calls that mutated
+  std::uint64_t erases = 0;  // successful erase calls
+};
+
 template <class Key, class Value, ReaderWriterLock Lock = WriterPriorityLock,
           class Hash = std::hash<Key>>
 class ShardedMap {
@@ -33,7 +63,10 @@ class ShardedMap {
   // `max_threads` bounds the tids passed to the member functions (same
   // contract as the locks); `shards` trades memory for write parallelism.
   explicit ShardedMap(int max_threads, std::size_t shards = 16)
-      : hash_() {
+      : hash_(),
+        read_stats_(std::make_unique<ReadStats[]>(
+            static_cast<std::size_t>(max_threads))),
+        max_threads_(max_threads) {
     shards_.reserve(shards);
     for (std::size_t i = 0; i < shards; ++i)
       shards_.push_back(std::make_unique<Shard>(max_threads));
@@ -44,34 +77,100 @@ class ShardedMap {
     const Shard& s = shard(key);
     ReadGuard g(s.lock, tid);
     const auto it = s.map.find(key);
-    if (it == s.map.end()) return std::nullopt;
+    if (it == s.map.end()) {
+      bump_miss(tid, 1);
+      return std::nullopt;
+    }
+    bump_hit(tid, 1);
     return it->second;
   }
 
   bool contains(int tid, const Key& key) const {
     const Shard& s = shard(key);
     ReadGuard g(s.lock, tid);
-    return s.map.count(key) > 0;
+    const bool found = s.map.count(key) > 0;
+    if (found) {
+      bump_hit(tid, 1);
+    } else {
+      bump_miss(tid, 1);
+    }
+    return found;
+  }
+
+  // Bulk lookup: results[i] corresponds to keys[i].  Keys are grouped by
+  // shard so each shard's read lock is taken at most once per call; within a
+  // shard the lookups share one reader critical section (P5 at work).
+  // Serving-sized batches (<= kSmallBatch keys) are grouped in place with a
+  // stack bitmask — no allocation beyond the result vector; larger batches
+  // fall back to per-shard index buckets.
+  std::vector<std::optional<Value>> get_many(
+      int tid, const std::vector<Key>& keys) const {
+    std::vector<std::optional<Value>> out(keys.size());
+    if (keys.empty()) return out;
+    std::uint64_t hits = 0, misses = 0;
+    if (keys.size() <= kSmallBatch) {
+      std::array<std::size_t, kSmallBatch> shard_of{};
+      for (std::size_t i = 0; i < keys.size(); ++i)
+        shard_of[i] = shard_index(keys[i]);
+      std::uint64_t done = 0;  // bit i: keys[i] already resolved
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (done & (1ULL << i)) continue;
+        const Shard& s = *shards_[shard_of[i]];
+        ReadGuard g(s.lock, tid);
+        for (std::size_t j = i; j < keys.size(); ++j) {
+          if ((done & (1ULL << j)) || shard_of[j] != shard_of[i]) continue;
+          done |= 1ULL << j;
+          lookup_into(s, keys[j], &out[j], &hits, &misses);
+        }
+      }
+    } else {
+      std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+      for (std::size_t i = 0; i < keys.size(); ++i)
+        by_shard[shard_index(keys[i])].push_back(i);
+      for (std::size_t si = 0; si < by_shard.size(); ++si) {
+        if (by_shard[si].empty()) continue;
+        const Shard& s = *shards_[si];
+        ReadGuard g(s.lock, tid);
+        for (const std::size_t i : by_shard[si])
+          lookup_into(s, keys[i], &out[i], &hits, &misses);
+      }
+    }
+    if (hits) bump_hit(tid, hits);
+    if (misses) bump_miss(tid, misses);
+    return out;
   }
 
   // Inserts or overwrites; returns true if the key was newly inserted.
   bool put(int tid, const Key& key, Value value) {
     Shard& s = shard(key);
     WriteGuard g(s.lock, tid);
-    return s.map.insert_or_assign(key, std::move(value)).second;
+    const bool inserted = s.map.insert_or_assign(key, std::move(value)).second;
+    s.stats.puts.fetch_add(1, std::memory_order_relaxed);
+    if (inserted) s.stats.size.fetch_add(1, std::memory_order_relaxed);
+    return inserted;
   }
 
   // Inserts only if absent; returns true on insertion.
   bool put_if_absent(int tid, const Key& key, Value value) {
     Shard& s = shard(key);
     WriteGuard g(s.lock, tid);
-    return s.map.emplace(key, std::move(value)).second;
+    const bool inserted = s.map.emplace(key, std::move(value)).second;
+    if (inserted) {
+      s.stats.puts.fetch_add(1, std::memory_order_relaxed);
+      s.stats.size.fetch_add(1, std::memory_order_relaxed);
+    }
+    return inserted;
   }
 
   bool erase(int tid, const Key& key) {
     Shard& s = shard(key);
     WriteGuard g(s.lock, tid);
-    return s.map.erase(key) > 0;
+    const bool erased = s.map.erase(key) > 0;
+    if (erased) {
+      s.stats.erases.fetch_add(1, std::memory_order_relaxed);
+      s.stats.size.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return erased;
   }
 
   // Read-modify-write of a single key under the shard's write lock.
@@ -80,7 +179,11 @@ class ShardedMap {
   void update(int tid, const Key& key, Fn&& fn) {
     Shard& s = shard(key);
     WriteGuard g(s.lock, tid);
+    const std::size_t before = s.map.size();
     fn(s.map[key]);
+    s.stats.puts.fetch_add(1, std::memory_order_relaxed);
+    if (s.map.size() != before)
+      s.stats.size.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Applies `fn(key, value)` to every element, shard by shard, under read
@@ -94,33 +197,91 @@ class ShardedMap {
     }
   }
 
-  std::size_t size(int tid) const {
-    std::size_t total = 0;
+  // Striped size: sums the per-shard counters without taking any lock —
+  // exact at quiescence (each stripe is maintained under its shard's write
+  // lock), approximate while mutations are in flight.
+  std::size_t size(int /*tid*/ = 0) const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_)
+      total += s->stats.size.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(total);
+  }
+
+  // Aggregated striped statistics (same consistency contract as size()).
+  MapStats stats(int /*tid*/ = 0) const {
+    MapStats m;
     for (const auto& s : shards_) {
-      ReadGuard g(s->lock, tid);
-      total += s->map.size();
+      m.size += s->stats.size.load(std::memory_order_relaxed);
+      m.puts += s->stats.puts.load(std::memory_order_relaxed);
+      m.erases += s->stats.erases.load(std::memory_order_relaxed);
     }
-    return total;
+    for (int t = 0; t < max_threads_; ++t) {
+      m.hits += read_stats_[idx(t)].hits.load(std::memory_order_relaxed);
+      m.misses += read_stats_[idx(t)].misses.load(std::memory_order_relaxed);
+    }
+    return m;
   }
 
   std::size_t shard_count() const { return shards_.size(); }
 
  private:
+  static constexpr std::size_t kSmallBatch = 64;  // bits in the done mask
+
+  // Write-path stripe, one per shard: size/puts/erases are only written
+  // under the shard's write lock but are read lock-free by size()/stats(),
+  // so they are atomics; padded so neighbouring shards never share a line.
+  struct alignas(64) ShardStats {
+    std::atomic<std::uint64_t> size{0};
+    std::atomic<std::uint64_t> puts{0};
+    std::atomic<std::uint64_t> erases{0};
+  };
+
+  // Read-path stripe, one per thread: hit/miss upkeep must not put a shared
+  // RMW on the lookup path (that would undo the distributed-reader lock's
+  // local fast path), so each tid bumps only its own padded line.
+  struct alignas(64) ReadStats {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+  };
+
   struct Shard {
     explicit Shard(int max_threads) : lock(max_threads) {}
     mutable Lock lock;
     std::unordered_map<Key, Value, Hash> map;
+    mutable ShardStats stats;
   };
 
-  Shard& shard(const Key& key) {
-    return *shards_[hash_(key) % shards_.size()];
+  void bump_hit(int tid, std::uint64_t n) const {
+    read_stats_[idx(tid)].hits.fetch_add(n, std::memory_order_relaxed);
   }
+  void bump_miss(int tid, std::uint64_t n) const {
+    read_stats_[idx(tid)].misses.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // One lookup in shard `s` (whose read lock the caller holds) into `*slot`.
+  void lookup_into(const Shard& s, const Key& key, std::optional<Value>* slot,
+                   std::uint64_t* hits, std::uint64_t* misses) const {
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      ++*misses;
+    } else {
+      *slot = it->second;
+      ++*hits;
+    }
+  }
+
+  std::size_t shard_index(const Key& key) const {
+    return hash_(key) % shards_.size();
+  }
+  Shard& shard(const Key& key) { return *shards_[shard_index(key)]; }
   const Shard& shard(const Key& key) const {
-    return *shards_[hash_(key) % shards_.size()];
+    return *shards_[shard_index(key)];
   }
 
   Hash hash_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ReadStats[]> read_stats_;  // per-tid hit/miss stripes
+  int max_threads_;
 };
 
 }  // namespace bjrw

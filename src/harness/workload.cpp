@@ -1,5 +1,8 @@
 #include "src/harness/workload.hpp"
 
+#include <cmath>
+#include <stdexcept>
+
 namespace bjrw {
 
 OpStream::OpStream(const WorkloadConfig& cfg, std::uint64_t thread_salt,
@@ -14,6 +17,65 @@ OpStream::OpStream(const WorkloadConfig& cfg, std::uint64_t thread_salt,
     reads_ += is_read ? 1 : 0;
   }
   if (ops_.empty()) ops_.push_back(OpKind::kRead);
+}
+
+ZipfianRanks::ZipfianRanks(std::uint64_t num_keys, double theta,
+                           std::uint64_t seed)
+    : n_(num_keys ? num_keys : 1),
+      theta_(theta),
+      rng_(seed) {
+  // A real check, not an assert: Release builds (the bench preset that
+  // records baselines) must not silently degenerate on theta >= 1, where
+  // alpha = 1/(1-theta) and eta's denominator blow up.
+  if (!(theta > 0.0 && theta < 1.0))
+    throw std::invalid_argument(
+        "ZipfianRanks: theta must be in (0,1) (YCSB-style zipfian)");
+  double zetan = 0.0;
+  for (std::uint64_t k = 0; k < n_; ++k)
+    zetan += 1.0 / std::pow(static_cast<double>(k + 1), theta_);
+  zetan_ = zetan;
+  alpha_ = 1.0 / (1.0 - theta_);
+  const double zeta2 = 1.0 + std::pow(0.5, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  threshold1_ = 1.0 / zetan_;
+  threshold2_ = threshold1_ * (1.0 + std::pow(0.5, theta_));
+}
+
+std::uint64_t ZipfianRanks::next() {
+  const double u = rng_.uniform01();
+  if (u < threshold1_) return 0;
+  if (u < threshold2_ && n_ > 1) return 1;
+  const double r = static_cast<double>(n_) *
+                   std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  std::uint64_t rank = r < 0.0 ? 0 : static_cast<std::uint64_t>(r);
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+std::uint64_t scramble_rank(std::uint64_t rank, std::uint64_t num_keys) {
+  if (num_keys < 2) return 0;
+  SplitMix64 sm(rank);
+  // Lemire multiply-shift keeps the scramble in [0, num_keys) without bias
+  // worth worrying about for workload generation.
+  return mulhi64(sm.next(), num_keys);
+}
+
+ServeStream::ServeStream(const ServeConfig& cfg, std::uint64_t thread_salt,
+                         std::size_t length) {
+  Xoshiro256 op_rng(cfg.seed ^ (thread_salt * 0xD1B54A32D192ED03ULL));
+  ZipfianRanks ranks(cfg.num_keys, cfg.zipf_theta,
+                     cfg.seed ^ (thread_salt * 0xA24BAED4963EE407ULL));
+  ops_.reserve(length);
+  const auto threshold =
+      static_cast<std::uint64_t>(cfg.read_fraction * 1e9);
+  for (std::size_t i = 0; i < length; ++i) {
+    const bool is_read = op_rng.below(1000000000ULL) < threshold;
+    ops_.push_back({is_read ? OpKind::kRead : OpKind::kWrite,
+                    scramble_rank(ranks.next(), cfg.num_keys)});
+    reads_ += is_read ? 1 : 0;
+  }
+  if (ops_.empty()) ops_.push_back({OpKind::kRead, 0});
 }
 
 std::uint64_t spin_work(std::uint32_t iterations, std::uint64_t salt) noexcept {

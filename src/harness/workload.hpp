@@ -42,4 +42,66 @@ class OpStream {
 // Opaque CPU work; returns a value that must be consumed to defeat DCE.
 std::uint64_t spin_work(std::uint32_t iterations, std::uint64_t salt) noexcept;
 
+// --- KV serving workload -----------------------------------------------------
+//
+// A read-mostly key-value "serve" stream over a skewed key popularity
+// distribution — the workload shape the ROADMAP's serving north star implies:
+// most requests sense state (gets, some batched), few mutate it, and request
+// popularity follows a zipfian law so a handful of hot keys dominate.
+
+// Zipfian rank sampler (Gray et al. / YCSB construction): rank 0 is the
+// hottest key; P(rank k) ∝ 1/(k+1)^theta.  The zeta normalization constant is
+// precomputed once in the constructor (O(num_keys)); draws are O(1).
+class ZipfianRanks {
+ public:
+  ZipfianRanks(std::uint64_t num_keys, double theta, std::uint64_t seed);
+
+  std::uint64_t num_keys() const { return n_; }
+  std::uint64_t next();  // rank in [0, num_keys), 0 = most popular
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double threshold1_;  // P(rank 0)
+  double threshold2_;  // P(rank 0) + P(rank 1)
+  Xoshiro256 rng_;
+};
+
+// Scatters a zipfian rank over the key space so the hot keys are not
+// clustered in adjacent table slots (YCSB's fnv-style scramble, here a
+// SplitMix64 mix truncated back into [0, num_keys)).
+std::uint64_t scramble_rank(std::uint64_t rank, std::uint64_t num_keys);
+
+struct ServeConfig {
+  std::uint64_t num_keys = 1 << 16;  // key-space size
+  double zipf_theta = 0.99;          // YCSB default skew
+  double read_fraction = 0.95;       // gets (single or batched) vs puts
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+};
+
+struct ServeOp {
+  OpKind kind;        // kRead = get, kWrite = put
+  std::uint64_t key;  // scrambled zipfian-popular key
+};
+
+// Pre-generated serve stream (mirrors OpStream): draws happen outside the
+// measured section and are identical across compared lock types.
+class ServeStream {
+ public:
+  ServeStream(const ServeConfig& cfg, std::uint64_t thread_salt,
+              std::size_t length);
+
+  const ServeOp& at(std::size_t i) const { return ops_[i % ops_.size()]; }
+  std::size_t size() const { return ops_.size(); }
+  std::size_t reads() const { return reads_; }
+  std::size_t writes() const { return ops_.size() - reads_; }
+
+ private:
+  std::vector<ServeOp> ops_;
+  std::size_t reads_ = 0;
+};
+
 }  // namespace bjrw

@@ -1,0 +1,130 @@
+// Instrumented-RMR measurement over any lock type — shared by the benches
+// (bench_common.hpp) and the tier-1 RMR regression gate
+// (tests/rmr_regression_test.cpp), so the two can never disagree on what an
+// "RMRs per attempt" number means.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/harness/spin.hpp"
+#include "src/harness/stats.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/rmr/cache_directory.hpp"
+#include "src/rmr/provider.hpp"
+
+namespace bjrw::rmr {
+
+struct RmrResult {
+  double reader_mean = 0.0;
+  std::uint64_t reader_max = 0;
+  double writer_mean = 0.0;
+  std::uint64_t writer_max = 0;
+};
+
+// Runs `readers` + `writers` instrumented threads for `iters` attempts each
+// and aggregates per-attempt RMR charges.  Caches are flushed and counters
+// reset first, so the max includes one cold attempt per thread (the lock's
+// full footprint in cache lines).
+template <class Lock>
+RmrResult measure_rmr(int readers, int writers, int iters) {
+  auto& dir = CacheDirectory::instance();
+  dir.flush_caches();
+  dir.reset_counters();
+  const int n = readers + writers;
+  Lock lock(n);
+
+  std::vector<StreamingStats> stats(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> maxima(static_cast<std::size_t>(n), 0);
+
+  run_threads(static_cast<std::size_t>(n), [&](std::size_t t) {
+    const int tid = static_cast<int>(t);
+    ScopedTid scoped(tid);
+    const bool is_writer = tid < writers;
+    RmrProbe probe(tid);
+    for (int i = 0; i < iters; ++i) {
+      probe.rebase();
+      if (is_writer) {
+        lock.write_lock(tid);
+        lock.write_unlock(tid);
+      } else {
+        lock.read_lock(tid);
+        lock.read_unlock(tid);
+      }
+      const auto rmrs = probe.sample();
+      stats[t].add(static_cast<double>(rmrs));
+      maxima[t] = std::max(maxima[t], rmrs);
+    }
+  });
+
+  RmrResult r;
+  StreamingStats rd, wr;
+  for (int t = 0; t < n; ++t) {
+    if (t < writers) {
+      wr.merge(stats[idx(t)]);
+      r.writer_max = std::max(r.writer_max, maxima[idx(t)]);
+    } else {
+      rd.merge(stats[idx(t)]);
+      r.reader_max = std::max(r.reader_max, maxima[idx(t)]);
+    }
+  }
+  r.reader_mean = rd.count() ? rd.mean() : 0.0;
+  r.writer_mean = wr.count() ? wr.mean() : 0.0;
+  return r;
+}
+
+// One waiting-writer attempt while readers churn through the lock — the E1b
+// (bench_writer_churn) choreography, shared with the tier-1 regression gate:
+// a pinned reader keeps the writer parked until `churners * churn_each`
+// reader entries have completed, so the writer's charge for its one attempt
+// reflects the full churn volume.  Thread layout: tid 0 = writer, tid 1 =
+// pinning reader, tids 2.. = churners.
+template <class Lock, class Spin = YieldSpin>
+std::uint64_t writer_rmr_under_churn(int churners, int churn_each) {
+  auto& dir = CacheDirectory::instance();
+  dir.flush_caches();
+  dir.reset_counters();
+  const int n = 2 + churners;
+  Lock lock(n);
+  std::atomic<bool> writer_started{false};
+  std::atomic<int> churn_done{0};
+  std::uint64_t writer_rmrs = 0;
+
+  run_threads(static_cast<std::size_t>(n), [&](std::size_t t) {
+    const int tid = static_cast<int>(t);
+    ScopedTid scoped(tid);
+    if (tid == 0) {  // writer
+      spin_until<Spin>([&] { return writer_started.load(); });
+      RmrProbe probe(0);
+      lock.write_lock(0);
+      lock.write_unlock(0);
+      writer_rmrs = probe.sample();
+    } else if (tid == 1) {  // pinning reader
+      lock.read_lock(1);
+      writer_started.store(true);
+      // Hold the CS until all churn traffic has drained, guaranteeing the
+      // writer observed the full churn volume while waiting.
+      spin_until<Spin>([&] { return churn_done.load() == churners; });
+      lock.read_unlock(1);
+    } else {  // churners
+      spin_until<Spin>([&] { return writer_started.load(); });
+      // Give the writer a moment to actually park in its waiting room.
+      for (int i = 0; i < 50; ++i) Spin::relax();
+      for (int i = 0; i < churn_each; ++i) {
+        lock.read_lock(tid);
+        lock.read_unlock(tid);
+        // Yield between entries so the waiting writer is scheduled and
+        // actually probes its spin location between churn events — on a
+        // multi-core host this interleaving happens for free.
+        std::this_thread::yield();
+      }
+      churn_done.fetch_add(1);
+    }
+  });
+  return writer_rmrs;
+}
+
+}  // namespace bjrw::rmr

@@ -1,0 +1,124 @@
+// Bench-driver smoke gate (tier1): runs the real bench_main binary end to
+// end (`--bench=uncontended --seconds=0.1 --json=...`) and validates the
+// bjrw-bench-v1 JSON document it writes — schema tag, params echo, row
+// count, per-row metrics, non-zero throughput — so the machine-readable
+// trajectory the BENCH_baseline.json workflow depends on cannot silently
+// rot.
+//
+// The path to bench_main is passed as argv[1] by CMake
+// (add_test ... $<TARGET_FILE:bench_main>), hence the custom main below.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+
+namespace bjrw {
+namespace {
+
+std::string g_bench_main_path;  // set in main() from argv[1]
+
+std::string output_json_path() {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string path = ::testing::TempDir();
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += "bjrw_bench_smoke_";
+  path += info->name();
+  path += ".json";
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+std::size_t count_matches(const std::string& text, const std::regex& re) {
+  return static_cast<std::size_t>(std::distance(
+      std::sregex_iterator(text.begin(), text.end(), re),
+      std::sregex_iterator()));
+}
+
+class BenchSmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_FALSE(g_bench_main_path.empty())
+        << "bench_main path missing: run via ctest (CMake passes "
+           "$<TARGET_FILE:bench_main> as argv[1])";
+  }
+
+  // Runs bench_main with `flags`, asserts exit 0, returns the JSON text.
+  std::string run_driver(const std::string& flags, const std::string& json) {
+    std::string cmd = "\"" + g_bench_main_path + "\" " + flags +
+                      " --json=\"" + json + "\" > /dev/null 2>&1";
+    const int rc = std::system(cmd.c_str());
+    EXPECT_EQ(rc, 0) << "bench_main failed: " << cmd;
+    const std::string text = read_file(json);
+    EXPECT_FALSE(text.empty()) << "bench_main wrote no JSON to " << json;
+    std::remove(json.c_str());
+    return text;
+  }
+};
+
+TEST_F(BenchSmokeTest, UncontendedRunEmitsValidBenchV1Document) {
+  const std::string text =
+      run_driver("--bench=uncontended --seconds=0.1", output_json_path());
+
+  // Schema tag and params echo.
+  EXPECT_NE(text.find("\"schema\": \"bjrw-bench-v1\""), std::string::npos);
+  EXPECT_NE(text.find("\"params\": {\"threads\": "), std::string::npos);
+  EXPECT_NE(text.find("\"benches\": ["), std::string::npos);
+  EXPECT_NE(text.find("\"bench\": \"uncontended\""), std::string::npos);
+
+  // E11 emits one row per (op, lock) pair plus the mutex rows; the exact
+  // count moves as locks are added, so gate on a sane floor.
+  const std::size_t rows =
+      count_matches(text, std::regex("\\{\"name\": \""));
+  EXPECT_GE(rows, 10u) << "uncontended should report one row per lock/op";
+
+  // Every row carries a metrics object.
+  EXPECT_EQ(count_matches(text, std::regex("\"metrics\": \\{")), rows);
+
+  // Throughput must be present and non-zero somewhere: extract every
+  // mops_per_s value and require a positive one (a driver bug that zeroes
+  // timing or drops metrics would fail here).
+  const std::regex mops_re("\"mops_per_s\": ([0-9.eE+-]+)");
+  std::size_t mops_count = 0;
+  bool positive = false;
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), mops_re);
+       it != std::sregex_iterator(); ++it) {
+    ++mops_count;
+    if (std::stod((*it)[1].str()) > 0.0) positive = true;
+  }
+  EXPECT_GE(mops_count, 10u);
+  EXPECT_TRUE(positive) << "all mops_per_s values were zero";
+
+  // No NaN/Inf may leak into the document (the writer nulls them).
+  EXPECT_EQ(text.find(": nan"), std::string::npos);
+  EXPECT_EQ(text.find(": inf"), std::string::npos);
+  EXPECT_EQ(text.find(": -inf"), std::string::npos);
+}
+
+TEST_F(BenchSmokeTest, BadBenchRegexFailsCleanly) {
+  const std::string json = output_json_path();
+  const std::string cmd = "\"" + g_bench_main_path +
+                          "\" --bench=no_such_bench_xyz --json=\"" + json +
+                          "\" > /dev/null 2>&1";
+  EXPECT_NE(std::system(cmd.c_str()), 0)
+      << "an unmatched --bench regex must exit non-zero";
+}
+
+}  // namespace
+}  // namespace bjrw
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc > 1) bjrw::g_bench_main_path = argv[1];
+  return RUN_ALL_TESTS();
+}

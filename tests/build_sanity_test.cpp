@@ -49,6 +49,9 @@ void exercise_all_rw() {
   exercise_rw<MwStarvationFreeLock<P, YieldSpin>>();
   exercise_rw<MwReaderPrefLock<P, YieldSpin>>();
   exercise_rw<MwWriterPrefLock<P, YieldSpin>>();
+  exercise_rw<DistMwStarvationFreeLock<P, YieldSpin>>();
+  exercise_rw<DistMwReaderPrefLock<P, YieldSpin>>();
+  exercise_rw<DistMwWriterPrefLock<P, YieldSpin>>();
   exercise_rw<BigReaderLock<P, YieldSpin>>();
   exercise_rw<CentralizedReaderPrefRwLock<P, YieldSpin>>();
   exercise_rw<CentralizedWriterPrefRwLock<P, YieldSpin>>();
@@ -108,6 +111,36 @@ TEST(BuildSanity, ShardedMapInstantiates) {
   const auto out = map.get(0, 1);
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(*out, 2);
+}
+
+TEST(BuildSanity, ShardedMapOverDistLockWithBulkAndStats) {
+  // The serving configuration: dist-reader per-shard locks, bulk lookups,
+  // striped stats.
+  ShardedMap<int, int, DistWriterPriorityLock> map(kThreads, /*shards=*/4);
+  EXPECT_TRUE(map.put(0, 1, 10));
+  EXPECT_TRUE(map.put(0, 2, 20));
+  const auto many = map.get_many(0, {1, 2, 3});
+  ASSERT_EQ(many.size(), 3u);
+  EXPECT_EQ(many[0].value(), 10);
+  EXPECT_EQ(many[1].value(), 20);
+  EXPECT_FALSE(many[2].has_value());
+  const MapStats st = map.stats();
+  EXPECT_EQ(st.size, 2u);
+  EXPECT_EQ(st.hits, 2u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.puts, 2u);
+}
+
+TEST(BuildSanity, DistLockObserversAndSlotCap) {
+  DistWriterPriorityLock lock(kThreads, /*slots=*/2);
+  EXPECT_EQ(lock.slot_count(), 2);
+  EXPECT_EQ(lock.writers_pending(), 0);
+  lock.read_lock(3);  // tid 3 maps onto slot 1 with the cap
+  lock.read_unlock(3);
+  lock.write_lock(0);
+  EXPECT_EQ(lock.writers_pending(), 1);
+  lock.write_unlock(0);
+  EXPECT_EQ(lock.writers_pending(), 0);
 }
 
 }  // namespace

@@ -128,6 +128,105 @@ TEST(Fairness, ReaderPriorityAdmitsReadersPastWaitingWriter) {
   EXPECT_GE(reads_while_writer_waiting.load(), 2u);
 }
 
+// WP1 through the distributed-reader transform: the gate diverts late
+// readers into the underlying writer-priority lock, so a reader arriving
+// while a writer waits must still queue behind it.  Mirrors
+// WriterPriorityBlocksLateReaders over DistWriterPriorityLock.
+TEST(Fairness, DistWriterPriorityBlocksLateReaders) {
+  for (int round = 0; round < 10; ++round) {
+    DistWriterPriorityLock l(3);
+    std::atomic<int> phase{0};
+    std::atomic<bool> reader_in{false};
+    run_threads(3, [&](std::size_t tid) {
+      if (tid == 0) {
+        l.write_lock(0);
+        phase.store(1);
+        spin_until<YieldSpin>([&] { return phase.load() == 2; });
+        for (int i = 0; i < 300; ++i) std::this_thread::yield();
+        l.write_unlock(0);
+      } else if (tid == 1) {
+        spin_until<YieldSpin>([&] { return phase.load() == 1; });
+        phase.store(2);
+        l.write_lock(1);
+        EXPECT_FALSE(reader_in.load())
+            << "WP1 violated through the dist transform in round " << round;
+        l.write_unlock(1);
+      } else {
+        spin_until<YieldSpin>([&] { return phase.load() == 2; });
+        for (int i = 0; i < 100; ++i) std::this_thread::yield();
+        l.read_lock(2);
+        reader_in.store(true);
+        l.read_unlock(2);
+      }
+    });
+    EXPECT_TRUE(reader_in.load());
+  }
+}
+
+// RP1 through the distributed-reader transform: while a writer waits for a
+// pinned fast-path reader to drain (it is parked in the slot sweep), late
+// readers divert to the underlying reader-priority lock — which is free —
+// and must flow past the waiting writer.
+TEST(Fairness, DistReaderPriorityAdmitsReadersPastWaitingWriter) {
+  DistReaderPriorityLock l(4);
+  std::atomic<int> phase{0};
+  std::atomic<bool> writer_in{false};
+  std::atomic<std::uint64_t> reads_while_writer_waiting{0};
+
+  run_threads(4, [&](std::size_t tid) {
+    if (tid == 0) {  // pinning reader: enters on the fast path (no writer yet)
+      l.read_lock(0);
+      phase.store(1);
+      spin_until<YieldSpin>([&] { return phase.load() == 2; });
+      // Writer is parked in its slot sweep behind this reader's slot count.
+      spin_until<YieldSpin>(
+          [&] { return reads_while_writer_waiting.load() >= 2; });
+      EXPECT_FALSE(writer_in.load());
+      l.read_unlock(0);
+    } else if (tid == 1) {  // writer
+      spin_until<YieldSpin>([&] { return phase.load() == 1; });
+      phase.store(2);
+      l.write_lock(1);
+      writer_in.store(true);
+      l.write_unlock(1);
+    } else {  // late readers: gate is up, so they take the slow path
+      spin_until<YieldSpin>([&] { return phase.load() == 2; });
+      for (int i = 0; i < 150; ++i) std::this_thread::yield();
+      l.read_lock(static_cast<int>(tid));
+      reads_while_writer_waiting.fetch_add(1);
+      l.read_unlock(static_cast<int>(tid));
+    }
+  });
+  EXPECT_TRUE(writer_in.load());
+  EXPECT_GE(reads_while_writer_waiting.load(), 2u);
+}
+
+// P7 through the distributed-reader transform: the gate check precedes the
+// slot touch, so a churning reader flood cannot keep the writer's sweep
+// alive; the writer must complete its 50 turns.
+TEST(Fairness, DistStarvationFreeWriterSurvivesReaderFlood) {
+  DistStarvationFreeLock l(5);
+  std::atomic<bool> writer_done{false};
+  std::atomic<std::uint64_t> reads{0};
+  run_threads(5, [&](std::size_t tid) {
+    if (tid == 0) {
+      for (int i = 0; i < 50; ++i) {
+        l.write_lock(0);
+        l.write_unlock(0);
+      }
+      writer_done.store(true);
+    } else {
+      for (int i = 0; i < 20 || !writer_done.load(); ++i) {
+        l.read_lock(static_cast<int>(tid));
+        reads.fetch_add(1);
+        l.read_unlock(static_cast<int>(tid));
+      }
+    }
+  });
+  EXPECT_TRUE(writer_done.load());
+  EXPECT_GE(reads.load(), 80u);
+}
+
 // P7 for the starvation-free lock: a single writer must complete against a
 // continuous reader flood (the test terminates only if the writer gets in).
 TEST(Fairness, StarvationFreeWriterSurvivesReaderFlood) {

@@ -63,6 +63,14 @@ inline std::vector<RwParam> all_rw_locks() {
       // Paper, Figure 4 / Theorem 5: multi-writer writer priority.
       {"fig4_mw_writer_pref", make_rw_factory<WriterPriorityLock>(), false,
        false, true},
+      // Distributed reader-indicator transform over each regime
+      // (dist_reader.hpp): local read fast path, paper lock as slow path.
+      {"dist_mw_starvation_free", make_rw_factory<DistStarvationFreeLock>(),
+       false, false, false},
+      {"dist_mw_reader_pref", make_rw_factory<DistReaderPriorityLock>(),
+       false, true, false},
+      {"dist_mw_writer_pref", make_rw_factory<DistWriterPriorityLock>(),
+       false, false, true},
       // Baselines.
       {"baseline_centralized_rpref",
        make_rw_factory<CentralizedReaderPrefRwLock<>>(), false, true, false},

@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/extras/sharded_map.hpp"
 #include "src/harness/prng.hpp"
@@ -97,6 +99,100 @@ TEST(ShardedMap, ReadersObserveConsistentPairs) {
     }
   });
   EXPECT_EQ(torn.load(), 0u);
+}
+
+TEST(ShardedMap, GetManyMatchesSingleGets) {
+  ShardedMap<int, int> m(1, /*shards=*/8);
+  for (int k = 0; k < 64; k += 2) m.put(0, k, k * 3);
+  std::vector<int> keys;
+  for (int k = 0; k < 64; ++k) keys.push_back(k);
+  const auto many = m.get_many(0, keys);
+  ASSERT_EQ(many.size(), keys.size());
+  for (int k = 0; k < 64; ++k) {
+    const auto single = m.get(0, k);
+    ASSERT_EQ(many[static_cast<std::size_t>(k)].has_value(),
+              single.has_value())
+        << "key " << k;
+    if (single) {
+      EXPECT_EQ(*many[static_cast<std::size_t>(k)], *single);
+    }
+  }
+  EXPECT_FALSE(m.get_many(0, {}).size());
+}
+
+TEST(ShardedMap, StripedStatsCountHitsMissesPutsErases) {
+  ShardedMap<int, int> m(1, /*shards=*/4);
+  EXPECT_TRUE(m.put(0, 1, 10));       // put + size
+  EXPECT_FALSE(m.put(0, 1, 11));      // overwrite: put, no size change
+  EXPECT_TRUE(m.put_if_absent(0, 2, 20));
+  EXPECT_FALSE(m.put_if_absent(0, 2, 21));  // no-op: not a put
+  m.update(0, 3, [](int& v) { v = 30; });   // insert via update
+  (void)m.get(0, 1);                  // hit
+  (void)m.get(0, 99);                 // miss
+  EXPECT_TRUE(m.contains(0, 2));      // hit
+  EXPECT_FALSE(m.contains(0, 98));    // miss
+  (void)m.get_many(0, {1, 2, 3, 97});  // 3 hits + 1 miss
+  EXPECT_TRUE(m.erase(0, 3));
+  EXPECT_FALSE(m.erase(0, 3));        // no-op: not an erase
+
+  const MapStats st = m.stats();
+  EXPECT_EQ(st.size, 2u);
+  EXPECT_EQ(m.size(0), 2u);
+  EXPECT_EQ(st.hits, 5u);
+  EXPECT_EQ(st.misses, 3u);
+  EXPECT_EQ(st.puts, 4u);   // 2 puts + 1 successful put_if_absent + 1 update
+  EXPECT_EQ(st.erases, 1u);
+}
+
+// The serving contract under churn: concurrent get_many sees consistent
+// (k, 2k) pairs through its bulk read locks, and afterwards the striped size
+// and put/erase stripes reconcile exactly with the ground truth.
+TEST(ShardedMap, GetManyAndStripedStatsConsistentUnderMutation) {
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 32;
+  constexpr std::uint64_t kWriterOps = 2000;
+  ShardedMap<int, std::pair<std::uint64_t, std::uint64_t>, DistWriterPriorityLock>
+      m(kThreads, /*shards=*/8);
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> puts_issued{0};
+  std::atomic<std::uint64_t> erases_succeeded{0};
+  std::atomic<int> writers_left{2};
+  std::vector<int> all_keys;
+  for (int k = 0; k < kKeys; ++k) all_keys.push_back(k);
+
+  run_threads(kThreads, [&](std::size_t tid) {
+    Xoshiro256 rng(test_seed(tid * 31 + 5));
+    if (tid < 2) {  // writers: keep (i, 2i) pairs, occasionally erase
+      for (std::uint64_t i = 1; i <= kWriterOps; ++i) {
+        const int key = static_cast<int>(rng.below(kKeys));
+        if (rng.chance(1, 10)) {
+          if (m.erase(static_cast<int>(tid), key))
+            erases_succeeded.fetch_add(1);
+        } else {
+          m.put(static_cast<int>(tid), key, {i, 2 * i});
+          puts_issued.fetch_add(1);
+        }
+      }
+      writers_left.fetch_sub(1);
+    } else {  // bulk readers (at least one pass even if writers finish first)
+      do {
+        const auto values = m.get_many(static_cast<int>(tid), all_keys);
+        for (const auto& v : values)
+          if (v && v->second != 2 * v->first) torn.fetch_add(1);
+      } while (writers_left.load() > 0);
+    }
+  });
+
+  EXPECT_EQ(torn.load(), 0u);
+  // Stripes must reconcile exactly at quiescence.
+  std::size_t ground_truth = 0;
+  m.for_each(0, [&](int, const auto&) { ++ground_truth; });
+  const MapStats st = m.stats();
+  EXPECT_EQ(st.size, ground_truth);
+  EXPECT_EQ(m.size(0), ground_truth);
+  EXPECT_EQ(st.puts, puts_issued.load());
+  EXPECT_EQ(st.erases, erases_succeeded.load());
+  EXPECT_GE(st.hits + st.misses, 1u);
 }
 
 TEST(ShardedMap, WorksWithEveryPriorityRegime) {
