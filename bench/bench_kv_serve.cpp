@@ -6,8 +6,9 @@
 // key popularity, 5% puts); a slice of the gets is issued as batched
 // `get_many` calls to exercise the bulk path.  Compared locks: the paper's
 // writer-priority lock (Theorem 5), its distributed-reader wrapping (E15's
-// transform — the serving configuration), and std::shared_mutex as the
-// platform baseline.  Reported: throughput, hit rate (from the striped
+// transform — the serving configuration), its topology-aware cohort
+// wrapping (E17's transform, detected topology), and std::shared_mutex as
+// the platform baseline.  Reported: throughput, hit rate (from the striped
 // stats), and the streams' realized read share (vs. the configured ratio).
 #include <atomic>
 #include <cstdint>
@@ -129,6 +130,7 @@ void run(BenchContext& ctx) {
   for (double rf : {0.95, 0.99}) {
     serve_row<WriterPriorityLock>(ctx, t, "mw_wpref", rf);
     serve_row<DistWriterPriorityLock>(ctx, t, "dist_mw_wpref", rf);
+    serve_row<CohortWriterPriorityLock>(ctx, t, "cohort_mw_wpref", rf);
     serve_row<SharedMutexRwLock>(ctx, t, "std_shared_mutex", rf);
   }
   t.print(std::cout);

@@ -18,10 +18,12 @@
 #include <iostream>
 #include <regex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.hpp"
 #include "src/harness/timing.hpp"
+#include "src/harness/topology.hpp"
 
 namespace bjrw::bench {
 
@@ -131,9 +133,50 @@ struct BenchRun {
   std::deque<BenchRow> rows;
 };
 
+// Compiler identity baked in at build time, so a JSON document read months
+// later still says which toolchain produced its numbers.
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#elif defined(_MSC_VER)
+  return "msvc";
+#else
+  return "unknown";
+#endif
+}
+
+// CMake stamps the configuration ($<CONFIG>) into BJRW_BUILD_TYPE; a build
+// outside the harness falls back to what NDEBUG implies.
+std::string build_type() {
+#if defined(BJRW_BUILD_TYPE)
+  return BJRW_BUILD_TYPE;
+#elif defined(NDEBUG)
+  return "Release?";
+#else
+  return "Debug?";
+#endif
+}
+
+// Machine metadata header (bjrw-bench-v1): what this run's numbers mean is
+// a function of the hardware and build that produced them, so baseline
+// comparisons across runners (scripts/bench_compare.py) need the context
+// stamped into the document itself.
+void write_machine_json(std::ostream& os) {
+  const Topology topo = Topology::detect();
+  os << "  \"machine\": {\"hardware_concurrency\": "
+     << std::thread::hardware_concurrency()
+     << ", \"topology\": \"" << json_escape(topo.describe())
+     << "\", \"topology_source\": \"" << json_escape(topo.source())
+     << "\", \"compiler\": \"" << json_escape(compiler_id())
+     << "\", \"build_type\": \"" << json_escape(build_type()) << "\"},\n";
+}
+
 void write_json(std::ostream& os, const Options& o,
                 const std::vector<BenchRun>& runs) {
   os << "{\n  \"schema\": \"bjrw-bench-v1\",\n";
+  write_machine_json(os);
   os << "  \"params\": {\"threads\": " << o.params.threads
      << ", \"seconds\": " << json_number(o.params.seconds)
      << ", \"seed\": " << o.params.seed << "},\n";

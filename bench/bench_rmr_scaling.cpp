@@ -12,6 +12,7 @@
 #include "src/baseline/big_reader.hpp"
 #include "src/baseline/centralized_rw.hpp"
 #include "src/baseline/phase_fair.hpp"
+#include "src/core/cohort.hpp"
 #include "src/core/dist_reader.hpp"
 #include "src/core/mw_transform.hpp"
 #include "src/core/mw_writer_pref.hpp"
@@ -61,6 +62,7 @@ void run(BenchContext& ctx) {
   sweep<MwReaderPrefLock<P, S>>(ctx, t, "thm4_mw_rpref", false);
   sweep<MwWriterPrefLock<P, S>>(ctx, t, "fig4_mw_wpref", false);
   sweep<DistMwWriterPrefLock<P, S>>(ctx, t, "dist_mw_wpref", false);
+  sweep<CohortMwWriterPrefLock<P, S>>(ctx, t, "cohort_mw_wpref", false);
   sweep<BigReaderLock<P, S>>(ctx, t, "base_bigreader", false);
   sweep<CentralizedReaderPrefRwLock<P, S>>(ctx, t, "base_central_rp", false);
   sweep<CentralizedWriterPrefRwLock<P, S>>(ctx, t, "base_central_wp", false);

@@ -81,6 +81,7 @@ void run(BenchContext& ctx) {
   sweep<ReaderPriorityLock>(ctx, t, "thm4_mw_rpref");
   sweep<WriterPriorityLock>(ctx, t, "fig4_mw_wpref");
   sweep<DistWriterPriorityLock>(ctx, t, "dist_mw_wpref");
+  sweep<CohortWriterPriorityLock>(ctx, t, "cohort_mw_wpref");
   sweep<CentralizedReaderPrefRwLock<>>(ctx, t, "base_central_rp");
   sweep<CentralizedWriterPrefRwLock<>>(ctx, t, "base_central_wp");
   sweep<PhaseFairRwLock<>>(ctx, t, "base_phasefair");

@@ -137,6 +137,8 @@ void run(BenchContext& ctx) {
                                                      false);
   rw_row<SwReaderPrefLock<>, SwReaderPrefLock<P, S>>(ctx, t, "read/fig2_swrp",
                                                      false);
+  rw_row<CohortWriterPriorityLock, CohortMwWriterPrefLock<P, S>>(
+      ctx, t, "read/cohort_mw_wpref", false);
   rw_row<CentralizedReaderPrefRwLock<>, CentralizedReaderPrefRwLock<P, S>>(
       ctx, t, "read/base_central_rp", false);
   rw_row<PhaseFairRwLock<>, PhaseFairRwLock<P, S>>(ctx, t,
@@ -156,6 +158,8 @@ void run(BenchContext& ctx) {
                                                      "write/fig1_swwp", true);
   rw_row<SwReaderPrefLock<>, SwReaderPrefLock<P, S>>(ctx, t,
                                                      "write/fig2_swrp", true);
+  rw_row<CohortWriterPriorityLock, CohortMwWriterPrefLock<P, S>>(
+      ctx, t, "write/cohort_mw_wpref", true);
   rw_row<CentralizedReaderPrefRwLock<>, CentralizedReaderPrefRwLock<P, S>>(
       ctx, t, "write/base_central_rp", true);
   rw_row<PhaseFairRwLock<>, PhaseFairRwLock<P, S>>(ctx, t,

@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over the bjrw-bench-v1 trajectory.
+
+Diffs a fresh ``bench_main --json`` run against the committed baseline
+(``BENCH_baseline.json``) and fails when either
+
+  * an RMR ceiling breaks: a paper lock's reader/writer per-attempt maximum
+    (or a dist/cohort transform's *reader* maximum — their writer sweep is
+    O(slots) by design) exceeds the flat ceiling the tier-1 gate pins, or
+
+  * throughput regresses: on a pinned comparison group, the median
+    fresh/baseline ratio over the group's matched rows drops by more than
+    ``--max-drop`` (default 25%).
+
+Rows are matched by (bench, row name, identity metrics); medians are taken
+per group so one noisy row cannot fail the gate.
+
+The RMR checks are exact counts from the instrumented cache model and are
+runner-independent, so they are always hard failures.  Wall-clock
+throughput is only meaningfully comparable between runs from comparable
+machines, which is what the bjrw-bench-v1 machine header decides: when the
+baseline and fresh documents disagree on hardware_concurrency or compiler
+family, throughput regressions are reported as warnings instead of
+failures (pass --strict-throughput to force them hard, e.g. on a runner
+fleet known to be homogeneous).
+
+Usage:
+  bench_compare.py BASELINE FRESH [--report OUT.md] [--max-drop 0.25]
+                   [--rmr-ceiling 40] [--strict-throughput]
+
+Exit status: 0 = no regression, 1 = regression detected, 2 = usage/schema
+error.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+SCHEMA = "bjrw-bench-v1"
+
+# Flat-ceiling contracts (mirrors tests/rmr_regression_test.cpp): lock-name
+# prefixes whose reader AND writer maxima must stay under the ceiling, and
+# prefixes gated on the reader side only (their writer pays a documented
+# O(slots) sweep).  Names appear both bare and as "rmr/<name>" rows.
+FLAT_BOTH_PREFIXES = (
+    "fig1_swwp", "fig2_swrp", "thm3_mw_nopri", "thm4_mw_rpref",
+    "fig4_mw_wpref",
+)
+FLAT_READER_PREFIXES = ("dist_", "cohort_")
+
+# Pinned throughput groups: (bench, row-name prefix).  Every matched row in
+# the group contributes its ratio; the group's MEDIAN must not drop.
+PINNED_GROUPS = [
+    ("throughput", "thm3_mw_nopri"),
+    ("throughput", "thm4_mw_rpref"),
+    ("throughput", "fig4_mw_wpref"),
+    ("throughput", "dist_mw_wpref"),
+    ("throughput", "cohort_mw_wpref"),
+    ("uncontended", "read/"),
+    ("uncontended", "write/"),
+]
+
+THROUGHPUT_METRICS = ("mops_per_s", "read_mops_per_s", "total_mops_per_s")
+
+# Metrics that parameterize a row (vs. measure it): used to match rows
+# between the two documents.
+IDENTITY_METRICS = ("readers", "writers", "threads", "read_fraction",
+                    "nodes")
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"error: {path} is not a {SCHEMA} document "
+                 f"(schema={doc.get('schema')!r})")
+    return doc
+
+
+def row_key(bench, row):
+    ident = tuple((k, row.get("metrics", {}).get(k))
+                  for k in IDENTITY_METRICS)
+    return (bench, row.get("name"), ident)
+
+
+def index_rows(doc):
+    out = {}
+    for bench in doc.get("benches", []):
+        for row in bench.get("rows", []):
+            # Duplicate keys (repeated row names without distinguishing
+            # identity metrics) keep the first occurrence: stable and
+            # symmetric across both documents.
+            out.setdefault(row_key(bench.get("bench"), row), row)
+    return out
+
+
+def strip_rmr_prefix(name):
+    return name[4:] if name.startswith("rmr/") else name
+
+
+def check_rmr_ceilings(fresh, ceiling):
+    """Absolute flat-ceiling check on the fresh run (exact model counts)."""
+    failures = []
+    for bench in fresh.get("benches", []):
+        for row in bench.get("rows", []):
+            metrics = row.get("metrics", {})
+            name = strip_rmr_prefix(row.get("name", ""))
+            reader_gated = name.startswith(
+                FLAT_BOTH_PREFIXES) or name.startswith(FLAT_READER_PREFIXES)
+            writer_gated = name.startswith(FLAT_BOTH_PREFIXES)
+            for metric, gated in (("rmr_reader_max", reader_gated),
+                                  ("rmr_writer_max", writer_gated)):
+                value = metrics.get(metric)
+                if gated and value is not None and value > ceiling:
+                    failures.append(
+                        f"{bench.get('bench')}/{row.get('name')}: "
+                        f"{metric}={value:g} exceeds flat ceiling {ceiling}")
+    return failures
+
+
+def check_throughput(baseline_idx, fresh_idx, max_drop):
+    """Median fresh/baseline ratio per pinned group must not drop.
+
+    A baseline row whose fresh metric is missing or zero contributes ratio
+    0.0: a collapsed lock is the worst regression, not a skip.  Two cases
+    are *structural* (always-hard, regardless of machine comparability):
+    a pinned group with no baseline rows at all (renamed lock — update
+    PINNED_GROUPS and the baseline together), and a group whose rows exist
+    in the baseline but are entirely absent from the fresh run (broken
+    bench registration).
+
+    Returns (structural_failures, throughput_failures, table).
+    """
+    structural, failures, table = [], [], []
+    for bench, prefix in PINNED_GROUPS:
+        ratios = []
+        fresh_seen = 0
+        for key, base_row in baseline_idx.items():
+            if key[0] != bench or not key[1].startswith(prefix):
+                continue
+            fresh_row = fresh_idx.get(key)
+            if fresh_row is not None:
+                fresh_seen += 1
+            for metric in THROUGHPUT_METRICS:
+                b = base_row.get("metrics", {}).get(metric)
+                if not b or b <= 0:
+                    continue  # baseline carries no usable number to pin
+                f = (fresh_row or {}).get("metrics", {}).get(metric)
+                ratios.append(f / b if f and f > 0 else 0.0)
+        if not ratios:
+            table.append((bench, prefix, None, "NO BASELINE ROWS"))
+            structural.append(
+                f"{bench}/{prefix}*: pinned group has no baseline rows — "
+                f"update PINNED_GROUPS and BENCH_baseline.json together")
+            continue
+        if fresh_seen == 0:
+            table.append((bench, prefix, 0.0, "MISSING IN FRESH RUN"))
+            structural.append(
+                f"{bench}/{prefix}*: baseline rows have no counterpart in "
+                f"the fresh run — bench or row registration broke")
+            continue
+        median = statistics.median(ratios)
+        ok = median >= 1.0 - max_drop
+        table.append((bench, prefix, median, "ok" if ok else "REGRESSED"))
+        if not ok:
+            failures.append(
+                f"{bench}/{prefix}*: median throughput ratio {median:.3f} "
+                f"below allowed {1.0 - max_drop:.2f} "
+                f"({len(ratios)} matched metrics)")
+    return structural, failures, table
+
+
+def comparable_machines(baseline, fresh):
+    """True when wall-clock numbers from the two runs can be held against
+    each other: same hardware_concurrency and same compiler family."""
+    b, f = baseline.get("machine"), fresh.get("machine")
+    if not b or not f:
+        return False
+    if b.get("hardware_concurrency") != f.get("hardware_concurrency"):
+        return False
+    b_cc = str(b.get("compiler", "")).split(" ")[0]
+    f_cc = str(f.get("compiler", "")).split(" ")[0]
+    return b_cc == f_cc and b_cc != ""
+
+
+def fmt_machine(doc):
+    m = doc.get("machine")
+    if not m:
+        return "(no machine metadata — pre-metadata document)"
+    return (f"{m.get('hardware_concurrency', '?')} hw threads, "
+            f"topology {m.get('topology', '?')} "
+            f"({m.get('topology_source', '?')}), "
+            f"{m.get('compiler', '?')}, {m.get('build_type', '?')}")
+
+
+def write_report(path, args, baseline, fresh, rmr_failures, tp_table,
+                 tp_failures, tp_hard, matched, baseline_only, fresh_only):
+    lines = ["# bench-regression report", ""]
+    lines.append(f"* baseline: `{args.baseline}` — {fmt_machine(baseline)}")
+    lines.append(f"* fresh:    `{args.fresh}` — {fmt_machine(fresh)}")
+    lines.append(f"* rows matched: {matched} "
+                 f"(baseline-only: {baseline_only}, fresh-only: {fresh_only})")
+    lines.append("")
+    lines.append(f"## Hard checks: RMR flat ceilings (<= {args.rmr_ceiling}) "
+                 f"+ structural row coverage")
+    lines.append("")
+    if rmr_failures:
+        lines += [f"* **FAIL** {f}" for f in rmr_failures]
+    else:
+        lines.append("* all gated rows under the ceiling, all pinned groups "
+                     "present")
+    lines.append("")
+    lines.append(f"## Pinned throughput groups "
+                 f"(median ratio >= {1.0 - args.max_drop:.2f}, "
+                 f"{'hard' if tp_hard else 'advisory — machines differ'})")
+    lines.append("")
+    lines.append("| bench | group | median fresh/baseline | verdict |")
+    lines.append("|---|---|---|---|")
+    for bench, prefix, median, verdict in tp_table:
+        med = "-" if median is None else f"{median:.3f}"
+        lines.append(f"| {bench} | {prefix}* | {med} | {verdict} |")
+    lines.append("")
+    hard_tp = tp_failures if tp_hard else []
+    if tp_failures and not tp_hard:
+        lines.append("Throughput drops above were downgraded to warnings: "
+                     "the two documents come from non-comparable machines "
+                     "(see headers above).  Refresh the baseline from this "
+                     "runner class or pass --strict-throughput to gate "
+                     "anyway.")
+        lines.append("")
+    verdict = "REGRESSION" if (rmr_failures or hard_tp) else "clean"
+    lines.append(f"**Overall: {verdict}**")
+    lines.append("")
+    text = "\n".join(lines)
+    if path:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+    return text
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed BENCH_baseline.json")
+    ap.add_argument("fresh", help="fresh bench_main --json output")
+    ap.add_argument("--report", help="write a markdown report here")
+    ap.add_argument("--max-drop", type=float, default=0.25,
+                    help="allowed fractional median-throughput drop "
+                         "(default 0.25)")
+    ap.add_argument("--rmr-ceiling", type=float, default=40,
+                    help="flat per-attempt RMR ceiling (default 40, the "
+                         "tier-1 gate's constant)")
+    ap.add_argument("--strict-throughput", action="store_true",
+                    help="fail on throughput drops even when the machine "
+                         "headers say the runs are not comparable")
+    args = ap.parse_args()
+    if not 0 <= args.max_drop < 1:
+        ap.error("--max-drop must be in [0, 1)")
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    baseline_idx = index_rows(baseline)
+    fresh_idx = index_rows(fresh)
+    matched = sum(1 for k in baseline_idx if k in fresh_idx)
+
+    rmr_failures = check_rmr_ceilings(fresh, args.rmr_ceiling)
+    structural, tp_failures, tp_table = check_throughput(
+        baseline_idx, fresh_idx, args.max_drop)
+    tp_hard = args.strict_throughput or comparable_machines(baseline, fresh)
+
+    text = write_report(args.report, args, baseline, fresh,
+                        rmr_failures + structural, tp_table, tp_failures,
+                        tp_hard, matched,
+                        len(baseline_idx) - matched,
+                        len(fresh_idx) - matched)
+    print(text)
+    hard_failures = (rmr_failures + structural +
+                     (tp_failures if tp_hard else []))
+    if hard_failures:
+        print("bench-regression: FAILED", file=sys.stderr)
+        for f in hard_failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("bench-regression: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@
 
 #include <concepts>
 
+#include "src/core/cohort.hpp"
 #include "src/core/dist_reader.hpp"
 #include "src/core/mw_transform.hpp"
 #include "src/core/mw_writer_pref.hpp"
@@ -60,6 +61,26 @@ using DistWriterPriorityLock = DistMwWriterPrefLock<StdProvider, YieldSpin>;
 static_assert(ReaderWriterLock<DistStarvationFreeLock>);
 static_assert(ReaderWriterLock<DistReaderPriorityLock>);
 static_assert(ReaderWriterLock<DistWriterPriorityLock>);
+
+// --- topology-aware cohort variants (cohort.hpp) -----------------------------
+//
+// Same three regimes again, but node-aware: per-node reader-indicator
+// groups (readers touch only node-local lines), per-node writer gates, and
+// intra-node writer handoff over the wrapped paper lock.  Constructed with
+// the detected topology (BJRW_TOPOLOGY=<nodes>x<cpus> overrides, sysfs
+// NUMA layout otherwise, flat fallback); pass a Topology explicitly to
+// simulate other shapes.
+
+using CohortStarvationFreeLock =
+    CohortMwStarvationFreeLock<StdProvider, YieldSpin>;
+using CohortReaderPriorityLock =
+    CohortMwReaderPrefLock<StdProvider, YieldSpin>;
+using CohortWriterPriorityLock =
+    CohortMwWriterPrefLock<StdProvider, YieldSpin>;
+
+static_assert(ReaderWriterLock<CohortStarvationFreeLock>);
+static_assert(ReaderWriterLock<CohortReaderPriorityLock>);
+static_assert(ReaderWriterLock<CohortWriterPriorityLock>);
 
 // --- RAII guards -------------------------------------------------------------
 

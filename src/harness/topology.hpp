@@ -1,0 +1,268 @@
+// Machine-topology abstraction for the topology-aware (cohort) locks.
+//
+// The paper's O(1)-RMR guarantee is stated against a flat CC/DSM machine,
+// but real serving hardware is hierarchical: sockets and NUMA nodes today,
+// disaggregated memory pods tomorrow.  On such machines "one RMR" is not
+// one cost — a cache line bouncing across nodes is several times more
+// expensive than one staying inside a node — so topology-aware lock layers
+// (src/core/cohort.hpp) need to know which threads share a node.
+//
+// A Topology answers exactly that: it maps tids to CPUs, CPUs to nodes, and
+// gives each tid a node-local "lane" (its index among the node's CPUs) that
+// the cohort lock uses to pick a node-local reader slot.  Three sources, in
+// priority order:
+//
+//   1. `BJRW_TOPOLOGY=<nodes>x<cpus>` environment override — a *simulated*
+//      topology ("2x4" = 2 nodes of 4 CPUs).  This is how benches and tests
+//      reproduce NUMA-shaped behaviour on any host, including CI runners
+//      and this repo's single-core box.
+//   2. sysfs (`/sys/devices/system/node/node*/cpulist`) — the host's real
+//      NUMA layout, when visible.
+//   3. Flat fallback: one node spanning `hardware_concurrency()` CPUs.
+//
+// Thread→CPU mapping is the canonical round-robin `cpu = tid % cpu_count`,
+// which matches block CPU numbering (node 0 owns CPUs [0, C), node 1 owns
+// [C, 2C), ...) the way Linux enumerates most machines.  `pin_this_thread`
+// turns the mapping into an actual affinity when the OS supports it; a
+// simulated topology wider than the real machine makes it return false,
+// which callers treat as "run unpinned".
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace bjrw {
+
+class Topology {
+ public:
+  // Scan cap for sysfs node directories; nodes are enumerated contiguously
+  // from node0, so the scan stops at the first gap.
+  static constexpr int kMaxNodes = 256;
+
+  // A synthetic topology: `nodes` nodes of `cpus_per_node` CPUs each, CPUs
+  // numbered in blocks (node d owns [d*C, (d+1)*C)).  Degenerate inputs are
+  // clamped to 1 so a Topology is always usable.
+  static Topology simulated(int nodes, int cpus_per_node) {
+    nodes = nodes < 1 ? 1 : nodes;
+    cpus_per_node = cpus_per_node < 1 ? 1 : cpus_per_node;
+    Topology t;
+    t.source_ = "simulated";
+    for (int d = 0; d < nodes; ++d) {
+      std::vector<int> cpus;
+      cpus.reserve(static_cast<std::size_t>(cpus_per_node));
+      for (int c = 0; c < cpus_per_node; ++c)
+        cpus.push_back(d * cpus_per_node + c);
+      t.add_node(cpus);
+    }
+    return t;
+  }
+
+  // Parses a "<nodes>x<cpus>" spec ("2x4", case-insensitive 'x').  Returns
+  // nullopt on anything malformed — callers fall through to detection.
+  static std::optional<Topology> from_spec(const std::string& spec) {
+    const std::size_t sep = spec.find_first_of("xX");
+    if (sep == std::string::npos || sep == 0 || sep + 1 >= spec.size())
+      return std::nullopt;
+    int nodes = 0, cpus = 0;
+    try {
+      std::size_t used = 0;
+      nodes = std::stoi(spec.substr(0, sep), &used);
+      if (used != sep) return std::nullopt;
+      const std::string rest = spec.substr(sep + 1);
+      cpus = std::stoi(rest, &used);
+      if (used != rest.size()) return std::nullopt;
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    if (nodes < 1 || cpus < 1 || nodes > kMaxNodes) return std::nullopt;
+    Topology t = simulated(nodes, cpus);
+    t.source_ = "env";
+    return t;
+  }
+
+  // Detection: BJRW_TOPOLOGY override, else sysfs, else flat fallback.
+  static Topology detect() {
+    if (const char* env = std::getenv("BJRW_TOPOLOGY")) {
+      if (auto t = from_spec(env)) return *t;
+    }
+    if (auto t = from_sysfs()) return *t;
+    return flat();
+  }
+
+  // Process-wide cached detection: the machine does not change, so callers
+  // that construct many locks (one per ShardedMap shard) must not re-scan
+  // sysfs each time.  Environment changes after the first call are not
+  // observed — tests that flip BJRW_TOPOLOGY mid-process use detect() or
+  // from_spec()/simulated() directly.
+  static const Topology& detected() {
+    static const Topology cached = detect();
+    return cached;
+  }
+
+  // One node spanning the host's advertised concurrency.
+  static Topology flat() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    Topology t = simulated(1, hc > 0 ? static_cast<int>(hc) : 1);
+    t.source_ = "flat";
+    return t;
+  }
+
+  // ---- shape ----------------------------------------------------------------
+
+  int node_count() const { return static_cast<int>(node_size_.size()); }
+  int cpu_count() const { return static_cast<int>(cpu_node_.size()); }
+  int cpus_in_node(int node) const {
+    return node_size_[static_cast<std::size_t>(node)];
+  }
+  // Size of the largest node — what a uniform per-node slot array must hold.
+  int max_cpus_per_node() const {
+    int m = 1;
+    for (const int s : node_size_) m = s > m ? s : m;
+    return m;
+  }
+
+  // ---- tid mapping ----------------------------------------------------------
+
+  int cpu_of_tid(int tid) const { return tid % cpu_count(); }
+  int node_of_tid(int tid) const {
+    return cpu_node_[static_cast<std::size_t>(cpu_of_tid(tid))];
+  }
+  // The tid's CPU's index within its node — the node-local lane used to pick
+  // a reader slot.
+  int lane_of_tid(int tid) const {
+    return cpu_lane_[static_cast<std::size_t>(cpu_of_tid(tid))];
+  }
+
+  // "env" | "sysfs" | "flat" | "simulated"
+  const std::string& source() const { return source_; }
+
+  // "2x4" for uniform layouts, "3n10c" (nodes/total CPUs) for ragged ones.
+  std::string describe() const {
+    const int n = node_count();
+    bool uniform = true;
+    for (const int s : node_size_)
+      if (s != node_size_[0]) uniform = false;
+    std::ostringstream os;
+    if (uniform)
+      os << n << "x" << node_size_[0];
+    else
+      os << n << "n" << cpu_count() << "c";
+    return os.str();
+  }
+
+  // ---- pinning --------------------------------------------------------------
+
+  // Pins the calling thread to its mapped CPU's OS id.  Returns false when
+  // the platform has no affinity API or the CPU does not exist on the real
+  // machine (simulated topologies wider than the host) — callers run
+  // unpinned in that case.
+  bool pin_this_thread(int tid) const {
+#if defined(__linux__)
+    const int cpu = os_cpu_[static_cast<std::size_t>(cpu_of_tid(tid))];
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(cpu), &set);
+    return sched_setaffinity(0, sizeof set, &set) == 0;
+#else
+    (void)tid;
+    return false;
+#endif
+  }
+
+ private:
+  Topology() = default;
+
+  void add_node(const std::vector<int>& os_cpus) {
+    const int node = node_count();
+    int lane = 0;
+    for (const int cpu : os_cpus) {
+      cpu_node_.push_back(node);
+      cpu_lane_.push_back(lane++);
+      os_cpu_.push_back(cpu);
+    }
+    node_size_.push_back(lane);
+  }
+
+  // "0-3,8-11" -> {0,1,2,3,8,9,10,11}; nullopt on malformed input.
+  static std::optional<std::vector<int>> parse_cpulist(const std::string& s) {
+    std::vector<int> cpus;
+    std::istringstream is(s);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+      // Trim whitespace/newlines sysfs may append.
+      while (!tok.empty() && (tok.back() == '\n' || tok.back() == ' '))
+        tok.pop_back();
+      if (tok.empty()) continue;
+      try {
+        std::size_t used = 0;
+        const std::size_t dash = tok.find('-');
+        if (dash == std::string::npos) {
+          const int c = std::stoi(tok, &used);
+          if (used != tok.size() || c < 0) return std::nullopt;
+          cpus.push_back(c);
+        } else {
+          const int lo = std::stoi(tok.substr(0, dash), &used);
+          if (used != dash) return std::nullopt;
+          const std::string hi_s = tok.substr(dash + 1);
+          const int hi = std::stoi(hi_s, &used);
+          if (used != hi_s.size() || lo < 0 || hi < lo) return std::nullopt;
+          for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+        }
+      } catch (const std::exception&) {
+        return std::nullopt;
+      }
+    }
+    if (cpus.empty()) return std::nullopt;
+    return cpus;
+  }
+
+  static std::optional<Topology> from_sysfs() {
+    // Candidate node ids from the kernel's own list ("0-3,8" style) so a
+    // sparse numbering (hot-removed node, some NPS/CXL configs) is walked
+    // completely; fall back to a full-range scan if `possible` is missing.
+    std::vector<int> candidates;
+    {
+      std::ifstream poss("/sys/devices/system/node/possible");
+      std::string line;
+      if (poss && std::getline(poss, line)) {
+        if (auto ids = parse_cpulist(line)) candidates = *ids;
+      }
+    }
+    if (candidates.empty())
+      for (int node = 0; node < kMaxNodes; ++node) candidates.push_back(node);
+
+    Topology t;
+    t.source_ = "sysfs";
+    for (const int node : candidates) {
+      if (node >= kMaxNodes) break;
+      std::ostringstream path;
+      path << "/sys/devices/system/node/node" << node << "/cpulist";
+      std::ifstream f(path.str());
+      if (!f) continue;  // possible-but-offline node: keep scanning
+      std::string line;
+      std::getline(f, line);
+      const auto cpus = parse_cpulist(line);
+      if (!cpus) continue;  // memory-only node (no CPUs): skip
+      t.add_node(*cpus);
+    }
+    if (t.node_count() == 0 || t.cpu_count() == 0) return std::nullopt;
+    return t;
+  }
+
+  std::vector<int> cpu_node_;   // logical cpu -> node
+  std::vector<int> cpu_lane_;   // logical cpu -> index within its node
+  std::vector<int> os_cpu_;     // logical cpu -> OS cpu id (for pinning)
+  std::vector<int> node_size_;  // node -> cpu count
+  std::string source_;
+};
+
+}  // namespace bjrw

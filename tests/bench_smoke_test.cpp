@@ -76,6 +76,25 @@ TEST_F(BenchSmokeTest, UncontendedRunEmitsValidBenchV1Document) {
   EXPECT_NE(text.find("\"benches\": ["), std::string::npos);
   EXPECT_NE(text.find("\"bench\": \"uncontended\""), std::string::npos);
 
+  // Machine metadata header: baseline comparisons across runners
+  // (scripts/bench_compare.py) are interpretable only if the document says
+  // what hardware/toolchain produced it.  hardware_concurrency must be a
+  // positive integer; topology/compiler/build_type must be non-empty.
+  std::smatch m;
+  ASSERT_TRUE(std::regex_search(
+      text, m, std::regex("\"machine\": \\{\"hardware_concurrency\": "
+                          "([0-9]+), \"topology\": \"([^\"]+)\", "
+                          "\"topology_source\": \"([^\"]+)\", "
+                          "\"compiler\": \"([^\"]+)\", "
+                          "\"build_type\": \"([^\"]+)\"\\}")))
+      << "machine metadata block missing or malformed";
+  EXPECT_GT(std::stoi(m[1].str()), 0);
+  EXPECT_NE(m[2].str(), "");
+  const std::string source = m[3].str();
+  EXPECT_TRUE(source == "env" || source == "sysfs" || source == "flat" ||
+              source == "simulated")
+      << "unexpected topology_source: " << source;
+
   // E11 emits one row per (op, lock) pair plus the mutex rows; the exact
   // count moves as locks are added, so gate on a sane floor.
   const std::size_t rows =
@@ -103,6 +122,21 @@ TEST_F(BenchSmokeTest, UncontendedRunEmitsValidBenchV1Document) {
   EXPECT_EQ(text.find(": nan"), std::string::npos);
   EXPECT_EQ(text.find(": inf"), std::string::npos);
   EXPECT_EQ(text.find(": -inf"), std::string::npos);
+}
+
+TEST_F(BenchSmokeTest, TopologyOverrideIsStampedIntoMetadata) {
+  // BJRW_TOPOLOGY drives the simulated-NUMA workflow end to end: the driver
+  // must record the override (value and source) in the machine header so a
+  // recorded run is attributable to the topology it simulated.
+  const std::string json = output_json_path();
+  const std::string cmd = "BJRW_TOPOLOGY=2x4 \"" + g_bench_main_path +
+                          "\" --bench=uncontended --seconds=0.05 --json=\"" +
+                          json + "\" > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  const std::string text = read_file(json);
+  std::remove(json.c_str());
+  EXPECT_NE(text.find("\"topology\": \"2x4\""), std::string::npos);
+  EXPECT_NE(text.find("\"topology_source\": \"env\""), std::string::npos);
 }
 
 TEST_F(BenchSmokeTest, BadBenchRegexFailsCleanly) {

@@ -52,6 +52,9 @@ void exercise_all_rw() {
   exercise_rw<DistMwStarvationFreeLock<P, YieldSpin>>();
   exercise_rw<DistMwReaderPrefLock<P, YieldSpin>>();
   exercise_rw<DistMwWriterPrefLock<P, YieldSpin>>();
+  exercise_rw<CohortMwStarvationFreeLock<P, YieldSpin>>();
+  exercise_rw<CohortMwReaderPrefLock<P, YieldSpin>>();
+  exercise_rw<CohortMwWriterPrefLock<P, YieldSpin>>();
   exercise_rw<BigReaderLock<P, YieldSpin>>();
   exercise_rw<CentralizedReaderPrefRwLock<P, YieldSpin>>();
   exercise_rw<CentralizedWriterPrefRwLock<P, YieldSpin>>();
@@ -129,6 +132,19 @@ TEST(BuildSanity, ShardedMapOverDistLockWithBulkAndStats) {
   EXPECT_EQ(st.hits, 2u);
   EXPECT_EQ(st.misses, 1u);
   EXPECT_EQ(st.puts, 2u);
+}
+
+TEST(BuildSanity, ShardedMapOverCohortLockOnSimulatedTopology) {
+  // The NUMA serving configuration: cohort per-shard locks over a simulated
+  // 2-node machine, exercised through the bulk path.  ShardedMap constructs
+  // shard locks as Lock(max_threads), so the topology comes from detection;
+  // here the default-detected shape (flat on CI) just has to instantiate.
+  ShardedMap<int, int, CohortWriterPriorityLock> map(kThreads, /*shards=*/4);
+  EXPECT_TRUE(map.put(0, 7, 70));
+  const auto many = map.get_many(0, {7, 8});
+  ASSERT_EQ(many.size(), 2u);
+  EXPECT_EQ(many[0].value(), 70);
+  EXPECT_FALSE(many[1].has_value());
 }
 
 TEST(BuildSanity, DistLockObserversAndSlotCap) {

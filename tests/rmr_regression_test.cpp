@@ -44,6 +44,9 @@ using InstDistSf = DistMwStarvationFreeLock<P, S>;
 using InstDistRp = DistMwReaderPrefLock<P, S>;
 using InstDistWp = DistMwWriterPrefLock<P, S>;
 using InstCentralRp = CentralizedReaderPrefRwLock<P, S>;
+using InstCohortSf = CohortMwStarvationFreeLock<P, S>;
+using InstCohortRp = CohortMwReaderPrefLock<P, S>;
+using InstCohortWp = CohortMwWriterPrefLock<P, S>;
 
 // One flat ceiling for every paper lock at every tested scale.  Each attempt
 // touches a fixed set of shared variables a fixed number of times plus at
@@ -120,6 +123,18 @@ TEST(RmrRegression, DistReaderPathStaysFlatInEveryRegime) {
   expect_reader_flat<InstDistSf>("dist_mw_nopri");
   expect_reader_flat<InstDistRp>("dist_mw_rpref");
   expect_reader_flat<InstDistWp>("dist_mw_wpref");
+}
+
+// The cohort transform's read path obeys the same flat ceiling (fast
+// attempts touch two node-local lines; diverted attempts inherit the paper
+// lock's O(1)).  The writer is deliberately not gated: the leader's
+// raise+sweep is O(nodes * slots) by design, amortized over the handoff
+// batch (DESIGN.md §3).  Constructed with the detected topology — the
+// simulated 2-node variant is gated in tests/cohort_test.cpp.
+TEST(RmrRegression, CohortReaderPathStaysFlatInEveryRegime) {
+  expect_reader_flat<InstCohortSf>("cohort_mw_nopri");
+  expect_reader_flat<InstCohortRp>("cohort_mw_rpref");
+  expect_reader_flat<InstCohortWp>("cohort_mw_wpref");
 }
 
 TEST(RmrRegression, DistFastPathIsLocalWhenWritersQuiescent) {

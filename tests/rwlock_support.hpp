@@ -37,6 +37,22 @@ RwFactory make_rw_factory() {
   };
 }
 
+// Cohort locks under a simulated multi-node topology (the shape CI hosts
+// don't have): same type-erased handle, explicit Topology.
+template <class L>
+RwFactory make_cohort_sim_factory(int nodes, int cpus_per_node) {
+  return [nodes, cpus_per_node](int max_threads,
+                                std::shared_ptr<void>& keepalive) {
+    auto lk = std::make_shared<L>(max_threads,
+                                  Topology::simulated(nodes, cpus_per_node));
+    keepalive = lk;
+    return RwHandle{[lk](int tid) { lk->read_lock(tid); },
+                    [lk](int tid) { lk->read_unlock(tid); },
+                    [lk](int tid) { lk->write_lock(tid); },
+                    [lk](int tid) { lk->write_unlock(tid); }};
+  };
+}
+
 struct RwParam {
   std::string name;
   RwFactory factory;
@@ -71,6 +87,23 @@ inline std::vector<RwParam> all_rw_locks() {
        false, true, false},
       {"dist_mw_writer_pref", make_rw_factory<DistWriterPriorityLock>(),
        false, false, true},
+      // Topology-aware cohort transform over each regime (cohort.hpp):
+      // node-local reader groups, per-node writer gates with bounded
+      // intra-node handoff, paper lock as the global layer.  Once with the
+      // detected (CI: flat) topology, once simulating a 2-node machine so
+      // the multi-node paths run everywhere.
+      {"cohort_mw_starvation_free",
+       make_rw_factory<CohortStarvationFreeLock>(), false, false, false},
+      {"cohort_mw_reader_pref", make_rw_factory<CohortReaderPriorityLock>(),
+       false, true, false},
+      {"cohort_mw_writer_pref", make_rw_factory<CohortWriterPriorityLock>(),
+       false, false, true},
+      {"cohort_sim2_mw_starvation_free",
+       make_cohort_sim_factory<CohortStarvationFreeLock>(2, 4), false, false,
+       false},
+      {"cohort_sim2_mw_writer_pref",
+       make_cohort_sim_factory<CohortWriterPriorityLock>(2, 4), false, false,
+       true},
       // Baselines.
       {"baseline_centralized_rpref",
        make_rw_factory<CentralizedReaderPrefRwLock<>>(), false, true, false},
