@@ -28,6 +28,9 @@ struct BenchParams {
   int threads = 8;
   double seconds = 0.5;
   std::uint64_t seed = 42;
+  bool pin = false;  // --pin: workload threads pinned round-robin (driver
+                     // arms set_pin_run_threads and stamps the machine
+                     // header; pinned and unpinned runs never compare)
 };
 
 // One named result row of a bench run (typically: one lock at one

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "src/harness/thread_coord.hpp"
 #include "src/harness/timing.hpp"
 #include "src/harness/topology.hpp"
 
@@ -49,6 +50,9 @@ struct Options {
       "  --threads=N       thread count for tunable benches (default 8)\n"
       "  --seconds=S       per-bench time budget scale (default 0.5)\n"
       "  --seed=K          workload PRNG seed (default 42)\n"
+      "  --pin             pin workload threads round-robin over the\n"
+      "                    detected topology (stamped into the machine\n"
+      "                    header; pinned runs only compare to pinned)\n"
       "  --json=<path>     write all result rows as one JSON document\n";
   std::exit(exit_code);
 }
@@ -80,6 +84,8 @@ Options parse(int argc, char** argv) {
         o.params.seconds = std::stod(v);
       } else if (consume(arg, "--seed=", &v)) {
         o.params.seed = std::stoull(v);
+      } else if (arg == "--pin") {
+        o.params.pin = true;
       } else {
         std::cerr << "unknown flag: " << arg << "\n\n";
         usage(2);
@@ -162,21 +168,27 @@ std::string build_type() {
 // Machine metadata header (bjrw-bench-v1): what this run's numbers mean is
 // a function of the hardware and build that produced them, so baseline
 // comparisons across runners (scripts/bench_compare.py) need the context
-// stamped into the document itself.
-void write_machine_json(std::ostream& os) {
+// stamped into the document itself.  `pinned` records the *realized*
+// regime (--pin requested and every pin attempt succeeded) — pinned
+// wall-clock numbers live in a different regime from unpinned ones, and
+// the comparison gate refuses to hold them against each other.
+void write_machine_json(std::ostream& os, bool pinned) {
   const Topology topo = Topology::detect();
   os << "  \"machine\": {\"hardware_concurrency\": "
      << std::thread::hardware_concurrency()
      << ", \"topology\": \"" << json_escape(topo.describe())
      << "\", \"topology_source\": \"" << json_escape(topo.source())
      << "\", \"compiler\": \"" << json_escape(compiler_id())
-     << "\", \"build_type\": \"" << json_escape(build_type()) << "\"},\n";
+     << "\", \"build_type\": \"" << json_escape(build_type())
+     << "\", \"pinned\": " << (pinned ? "true" : "false") << "},\n";
 }
 
 void write_json(std::ostream& os, const Options& o,
                 const std::vector<BenchRun>& runs) {
   os << "{\n  \"schema\": \"bjrw-bench-v1\",\n";
-  write_machine_json(os);
+  const bool pinned = o.params.pin && pin_attempt_count().load() > 0 &&
+                      pin_failure_count().load() == 0;
+  write_machine_json(os, pinned);
   os << "  \"params\": {\"threads\": " << o.params.threads
      << ", \"seconds\": " << json_number(o.params.seconds)
      << ", \"seed\": " << o.params.seed << "},\n";
@@ -223,6 +235,16 @@ int run_driver(const Options& o) {
   } catch (const std::regex_error& e) {
     std::cerr << "bad --bench regex: " << e.what() << "\n";
     return 2;
+  }
+
+  // Arm round-robin pinning for every bench's run_threads workers, and pin
+  // the driver thread itself (single-threaded benches measure on it).
+  // Every attempt is tallied; the machine header stamps "pinned": true
+  // only if all of them succeeded, so a run whose pins failed (simulated
+  // topology wider than the host) is not misfiled into the pinned regime.
+  if (o.params.pin) {
+    set_pin_run_threads(true);
+    record_pin_attempt(Topology::detected().pin_this_thread(0));
   }
 
   std::vector<BenchRun> runs;

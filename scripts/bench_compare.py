@@ -174,11 +174,26 @@ def check_throughput(baseline_idx, fresh_idx, max_drop):
     return structural, failures, table
 
 
+def pinned_mismatch(baseline, fresh):
+    """True when one run pinned its workload threads and the other did not.
+
+    Pinned and unpinned wall-clock numbers live in different regimes (a
+    pinned run removes migration noise and changes the contention shape),
+    so they are never held against each other — not even under
+    --strict-throughput.  Documents predating the `pinned` header key count
+    as unpinned."""
+    b, f = baseline.get("machine") or {}, fresh.get("machine") or {}
+    return bool(b.get("pinned", False)) != bool(f.get("pinned", False))
+
+
 def comparable_machines(baseline, fresh):
     """True when wall-clock numbers from the two runs can be held against
-    each other: same hardware_concurrency and same compiler family."""
+    each other: same hardware_concurrency, same compiler family, and the
+    same pinning regime."""
     b, f = baseline.get("machine"), fresh.get("machine")
     if not b or not f:
+        return False
+    if pinned_mismatch(baseline, fresh):
         return False
     if b.get("hardware_concurrency") != f.get("hardware_concurrency"):
         return False
@@ -194,11 +209,13 @@ def fmt_machine(doc):
     return (f"{m.get('hardware_concurrency', '?')} hw threads, "
             f"topology {m.get('topology', '?')} "
             f"({m.get('topology_source', '?')}), "
-            f"{m.get('compiler', '?')}, {m.get('build_type', '?')}")
+            f"{m.get('compiler', '?')}, {m.get('build_type', '?')}, "
+            f"{'pinned' if m.get('pinned') else 'unpinned'}")
 
 
 def write_report(path, args, baseline, fresh, rmr_failures, tp_table,
-                 tp_failures, tp_hard, matched, baseline_only, fresh_only):
+                 tp_failures, tp_hard, matched, baseline_only, fresh_only,
+                 pin_differs=False):
     lines = ["# bench-regression report", ""]
     lines.append(f"* baseline: `{args.baseline}` — {fmt_machine(baseline)}")
     lines.append(f"* fresh:    `{args.fresh}` — {fmt_machine(fresh)}")
@@ -225,7 +242,13 @@ def write_report(path, args, baseline, fresh, rmr_failures, tp_table,
         lines.append(f"| {bench} | {prefix}* | {med} | {verdict} |")
     lines.append("")
     hard_tp = tp_failures if tp_hard else []
-    if tp_failures and not tp_hard:
+    if pin_differs:
+        lines.append("One document is pinned and the other is not: pinned "
+                     "rows are never compared against unpinned baselines "
+                     "(not even under --strict-throughput).  Re-run the "
+                     "baseline with the matching --pin setting.")
+        lines.append("")
+    elif tp_failures and not tp_hard:
         lines.append("Throughput drops above were downgraded to warnings: "
                      "the two documents come from non-comparable machines "
                      "(see headers above).  Refresh the baseline from this "
@@ -269,13 +292,15 @@ def main():
     rmr_failures = check_rmr_ceilings(fresh, args.rmr_ceiling)
     structural, tp_failures, tp_table = check_throughput(
         baseline_idx, fresh_idx, args.max_drop)
-    tp_hard = args.strict_throughput or comparable_machines(baseline, fresh)
+    pin_differs = pinned_mismatch(baseline, fresh)
+    tp_hard = (args.strict_throughput or
+               comparable_machines(baseline, fresh)) and not pin_differs
 
     text = write_report(args.report, args, baseline, fresh,
                         rmr_failures + structural, tp_table, tp_failures,
                         tp_hard, matched,
                         len(baseline_idx) - matched,
-                        len(fresh_idx) - matched)
+                        len(fresh_idx) - matched, pin_differs)
     print(text)
     hard_failures = (rmr_failures + structural +
                      (tp_failures if tp_hard else []))

@@ -96,7 +96,62 @@ template <class Provider, class Spin>
 struct CohortReaderPreempt<MwWriterPrefLock<Provider, Spin>>
     : std::false_type {};
 
-template <class Lock, class Provider = StdProvider, class Spin = YieldSpin>
+// ---- handoff-budget policies ------------------------------------------------
+//
+// How many consecutive intra-node handoffs a batch may run is a policy: the
+// releasing writer consults `budget()` before each handoff and reports every
+// batch end through `on_batch_end`.  One policy instance lives per node,
+// inside that node's queue line, and is touched only by the writer currently
+// holding the node ticket — so policies are plain unsynchronized state, like
+// the statistics stripes (exact to read at quiescence only).
+
+inline constexpr int kCohortHandoffBudgetDefault = 16;
+
+// The historical behavior: a constructor constant, never adjusted.
+class FixedBudget {
+ public:
+  FixedBudget() = default;
+  explicit FixedBudget(int budget) : budget_(budget < 0 ? 0 : budget) {}
+  int budget() const { return budget_; }
+  void on_batch_end(bool /*exhausted*/, bool /*preempted*/) {}
+
+ private:
+  int budget_ = kCohortHandoffBudgetDefault;
+};
+
+// Reactive budget (ROADMAP "adaptive handoff budget"): multiplicative
+// increase / decrease over the batch outcomes the release path already
+// observes.  A batch that ran its full budget with a node-mate still queued
+// means write demand outruns the budget — double it (up to kMax), widening
+// batches amortizes the leader's raise+sweep further.  A batch cut short by
+// a waiting diverted reader means batching is taxing readers — halve it
+// (down to kMin), so read-mostly phases converge to short batches and the
+// reader-preemption aborts they cause largely disappear.  A batch that
+// simply drained (no local successor) says nothing about the budget and
+// leaves it unchanged.  The state is one int per node under the node
+// ticket; the control law costs the handoff path nothing.
+class AdaptiveBudget {
+ public:
+  static constexpr int kMin = 1;
+  static constexpr int kMax = 64;
+
+  AdaptiveBudget() = default;
+  explicit AdaptiveBudget(int initial) : budget_(clamp(initial)) {}
+  int budget() const { return budget_; }
+  void on_batch_end(bool exhausted, bool preempted) {
+    if (preempted)
+      budget_ = clamp(budget_ / 2);
+    else if (exhausted)
+      budget_ = clamp(budget_ * 2);
+  }
+
+ private:
+  static int clamp(int b) { return b < kMin ? kMin : (b > kMax ? kMax : b); }
+  int budget_ = kCohortHandoffBudgetDefault;
+};
+
+template <class Lock, class Provider = StdProvider, class Spin = YieldSpin,
+          class Budget = FixedBudget>
 class CohortLock {
   template <class T>
   using Atomic = typename Provider::template Atomic<T>;
@@ -105,7 +160,8 @@ class CohortLock {
   // Consecutive intra-node handoffs before the global lock must be
   // released: bounds remote writers' and diverted readers' extra wait to
   // one batch while amortizing the leader's raise+sweep over the batch.
-  static constexpr int kDefaultHandoffBudget = 16;
+  // (For AdaptiveBudget this is the initial value of the control law.)
+  static constexpr int kDefaultHandoffBudget = kCohortHandoffBudgetDefault;
   // Per-node reader-slot cap; bounds the leader's sweep and the slot
   // memory on huge nodes, at the cost of slot sharing between lanes.
   static constexpr int kMaxSlotsPerNode = 16;
@@ -141,6 +197,8 @@ class CohortLock {
           idx(node * slots_per_node_ + topo_.lane_of_tid(t) % slots_per_node_));
       wctx_[idx(t)].node = node;
     }
+    for (int d = 0; d < node_count_; ++d)
+      queues_[idx(d)].policy = Budget(budget_);
   }
 
   // ---- reader side ---------------------------------------------------------
@@ -196,14 +254,27 @@ class CohortLock {
 
   void write_unlock(int tid) {
     NodeQueue& q = queues_[idx(wctx_[idx(tid)].node)];
-    if (q.batch < budget_ &&
-        q.tickets.load() > wctx_[idx(tid)].ticket + 1 && !reader_preempted()) {
+    const bool successor = q.tickets.load() > wctx_[idx(tid)].ticket + 1;
+    const bool exhausted = q.batch >= q.policy.budget();
+    if (!exhausted && successor && !reader_preempted()) {
       ++q.batch;                 // pass the whole batch state to the next
       ++q.handoffs;
       q.handoff = 1;             // local writer: global lock stays held
       q.serving.fetch_add(1);
       return;
     }
+    // Batch ends.  Reaching here with a non-exhausted budget and a queued
+    // successor means reader_preempted() fired — that is the only way the
+    // conjunction above fails — so the cut reason is fully determined.
+    const bool preempted = !exhausted && successor;
+    if (preempted) ++q.preempt_aborts;
+    q.policy.on_batch_end(exhausted && successor, preempted);
+    if constexpr (kReaderPreempt)
+      // The release below admits the waiting readers whatever the cut
+      // reason, so the advisory flag must not outlive the batch: carried
+      // into the next batch it would be mis-attributed as a fresh
+      // preemption (phantom abort, spuriously narrowed AdaptiveBudget).
+      reader_waiting_.store(0, std::memory_order_relaxed);
     inner_.write_unlock(q.owner_tid);      // release under the leader's tid
     for (int d = 0; d < node_count_; ++d)  // reopen the fast path
       gates_[idx(d)].rgate.fetch_sub(1);
@@ -242,6 +313,26 @@ class CohortLock {
       total += queues_[idx(d)].global_acquires;
     return total;
   }
+  // Batches cut short by a waiting diverted reader (the adaptive policy's
+  // narrow signal); same quiescence contract as handoffs().
+  std::uint64_t preempt_aborts() const {
+    std::uint64_t total = 0;
+    for (int d = 0; d < node_count_; ++d)
+      total += queues_[idx(d)].preempt_aborts;
+    return total;
+  }
+  // The budget the node's policy currently grants (== the constructor value
+  // for FixedBudget; the control-law state for AdaptiveBudget).
+  int current_budget(int node) const {
+    return queues_[idx(node)].policy.budget();
+  }
+  // The advisory reader-preemption signal is raised and not yet consumed
+  // (always false in regimes with preemption disabled).  Like
+  // writers_queued: approximate under concurrency, exact when the test
+  // choreography pins who can raise/consume it.
+  bool reader_waiting() const {
+    return reader_waiting_.load(std::memory_order_relaxed) != 0;
+  }
 
  private:
   static constexpr bool kReaderPreempt = CohortReaderPreempt<Lock>::value;
@@ -279,8 +370,10 @@ class CohortLock {
     int handoff = 0;    // next served writer inherits the batch
     int owner_tid = 0;  // tid under which the wrapped lock is held
     int batch = 0;      // handoffs since the leader's acquisition
+    Budget policy;      // per-node budget state, under the ticket like the rest
     std::uint64_t handoffs = 0;         // statistics stripes (see handoffs())
     std::uint64_t global_acquires = 0;
+    std::uint64_t preempt_aborts = 0;   // batches ended by reader preemption
   };
   // Per-tid contexts, resolved once at construction (node/slot) and padded
   // so each thread's hot-path line is its own.
@@ -325,5 +418,25 @@ using CohortMwReaderPrefLock =
 template <class Provider = StdProvider, class Spin = YieldSpin>
 using CohortMwWriterPrefLock =
     CohortLock<MwWriterPrefLock<Provider, Spin>, Provider, Spin>;
+
+// The same regimes with the reactive handoff budget (see AdaptiveBudget).
+// The fixed-budget aliases above keep their API and constant-budget
+// semantics; the one cross-policy behavior change of the policy refactor
+// is that every batch end now clears the advisory reader flag (so a stale
+// flag cannot cut the next batch) and counts preemption aborts.
+template <class Provider = StdProvider, class Spin = YieldSpin>
+using AdaptiveCohortMwStarvationFreeLock =
+    CohortLock<MwStarvationFreeLock<Provider, Spin>, Provider, Spin,
+               AdaptiveBudget>;
+
+template <class Provider = StdProvider, class Spin = YieldSpin>
+using AdaptiveCohortMwReaderPrefLock =
+    CohortLock<MwReaderPrefLock<Provider, Spin>, Provider, Spin,
+               AdaptiveBudget>;
+
+template <class Provider = StdProvider, class Spin = YieldSpin>
+using AdaptiveCohortMwWriterPrefLock =
+    CohortLock<MwWriterPrefLock<Provider, Spin>, Provider, Spin,
+               AdaptiveBudget>;
 
 }  // namespace bjrw

@@ -82,6 +82,22 @@ static_assert(ReaderWriterLock<CohortStarvationFreeLock>);
 static_assert(ReaderWriterLock<CohortReaderPriorityLock>);
 static_assert(ReaderWriterLock<CohortWriterPriorityLock>);
 
+// Cohort variants with the reactive handoff budget (cohort.hpp
+// AdaptiveBudget): batches widen under sustained write bursts and narrow
+// when they start costing diverted readers preemption aborts.  The serving
+// runtime (src/serve/) selects these per deployment.
+
+using AdaptiveCohortStarvationFreeLock =
+    AdaptiveCohortMwStarvationFreeLock<StdProvider, YieldSpin>;
+using AdaptiveCohortReaderPriorityLock =
+    AdaptiveCohortMwReaderPrefLock<StdProvider, YieldSpin>;
+using AdaptiveCohortWriterPriorityLock =
+    AdaptiveCohortMwWriterPrefLock<StdProvider, YieldSpin>;
+
+static_assert(ReaderWriterLock<AdaptiveCohortStarvationFreeLock>);
+static_assert(ReaderWriterLock<AdaptiveCohortReaderPriorityLock>);
+static_assert(ReaderWriterLock<AdaptiveCohortWriterPriorityLock>);
+
 // --- RAII guards -------------------------------------------------------------
 
 template <ReaderWriterLock L>

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <stdexcept>
@@ -11,8 +12,42 @@
 #include <vector>
 
 #include "src/harness/spin.hpp"
+#include "src/harness/topology.hpp"
 
 namespace bjrw {
+
+// Process-wide opt-in pinning for run_threads workers (the bench driver's
+// --pin flag): when enabled, every worker pins itself round-robin through
+// the detected topology (tid -> CPU, best-effort) before the start gate, so
+// one switch turns any bench's workload threads into pinned ones.  Off by
+// default — tests and library users are unaffected unless they opt in.
+inline std::atomic<bool>& pin_run_threads_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+inline void set_pin_run_threads(bool on) {
+  pin_run_threads_flag().store(on, std::memory_order_relaxed);
+}
+inline bool pin_run_threads_enabled() {
+  return pin_run_threads_flag().load(std::memory_order_relaxed);
+}
+// Attempt/failure tally while the flag is on, so the driver can stamp what
+// actually happened rather than what was requested: a simulated topology
+// wider than the host makes pin_this_thread fail, and a run whose pins
+// failed measured the unpinned regime whatever the flag said.
+inline std::atomic<std::uint64_t>& pin_attempt_count() {
+  static std::atomic<std::uint64_t> n{0};
+  return n;
+}
+inline std::atomic<std::uint64_t>& pin_failure_count() {
+  static std::atomic<std::uint64_t> n{0};
+  return n;
+}
+inline void record_pin_attempt(bool succeeded) {
+  pin_attempt_count().fetch_add(1, std::memory_order_relaxed);
+  if (!succeeded)
+    pin_failure_count().fetch_add(1, std::memory_order_relaxed);
+}
 
 // All workers block on wait() until release() flips the gate.  This makes the
 // measured region start with every thread actually running, which matters on
@@ -41,6 +76,9 @@ inline void run_threads(std::size_t n,
 
   for (std::size_t tid = 0; tid < n; ++tid) {
     workers.emplace_back([&, tid] {
+      if (pin_run_threads_enabled())
+        record_pin_attempt(
+            Topology::detected().pin_this_thread(static_cast<int>(tid)));
       gate.wait();
       try {
         body(tid);

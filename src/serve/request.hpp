@@ -1,0 +1,92 @@
+// Request/response vocabulary of the serving runtime (src/serve/).
+//
+// The runtime is a submit/complete pipeline: a client thread fills a
+// Request, the server splits it into node-owned SubRequests (see
+// server.hpp), the owning nodes' pinned workers execute them against the
+// placed map, and the client joins on a completion latch.  Two choices keep
+// the hot path allocation- and lock-free on the client side:
+//
+//  * Requests are *client-owned*: the client provides the Request (stack or
+//    pool), the key span, and the result array, and must keep them alive
+//    until wait() returns.  The submit path never copies keys and performs
+//    no per-request allocation (the queue items are two-word SubRequest
+//    descriptors); workers gather their slice into thread-local scratch
+//    whose capacity persists, so the steady-state hot path does not
+//    allocate either.
+//
+//  * Completion is a counting latch, not a future chain: `pending` is
+//    initialized to the number of node sub-requests before the first
+//    enqueue, each worker decrements it (release) after writing its slice
+//    of the results, and the client waits for zero (acquire) — so a batch
+//    split across nodes completes exactly when its last slice does, and
+//    every result write happens-before the client's read.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/harness/spin.hpp"
+
+namespace bjrw::serve {
+
+enum class RequestKind : std::uint8_t {
+  kGet,       // point lookup of keys[0]
+  kGetBatch,  // bulk lookup of keys[0..key_count)
+  kPut,       // upsert key -> value
+  kErase,     // remove key
+};
+
+// One client request.  For kGet/kGetBatch the client points `keys` at its
+// key span and (optionally) `out` at a result array of the same length;
+// for kPut/kErase only `key`/`value` are read.  Everything above the
+// "filled by the runtime" line is owned by the client and must stay alive
+// until done().
+struct Request {
+  RequestKind kind = RequestKind::kGet;
+  const std::uint64_t* keys = nullptr;
+  std::uint32_t key_count = 0;
+  std::optional<std::uint64_t>* out = nullptr;  // optional per-key results
+  std::uint64_t key = 0;    // kPut/kErase
+  std::uint64_t value = 0;  // kPut
+
+  // --- filled by the runtime -------------------------------------------------
+  // Key indices grouped by owning node (server-side scratch; SubRequests
+  // slice into it).  Reused across submissions of the same Request object.
+  std::vector<std::uint32_t> order;
+  std::uint64_t submit_ns = 0;                // stamped at dispatch
+  std::atomic<std::uint64_t> hits{0};         // keys found (gets), 1/0 (erase)
+  std::atomic<std::uint64_t> value_sum{0};    // checksum over found values
+  std::atomic<std::uint32_t> pending{0};      // outstanding sub-requests
+
+  bool done() const {
+    return pending.load(std::memory_order_acquire) == 0;
+  }
+  // Spin-joins the completion latch (yielding — client threads may share
+  // cores with the workers they wait for).
+  void wait() const {
+    spin_until<YieldSpin>([&] { return done(); });
+  }
+  // Resets the runtime-filled fields for resubmission of the same object.
+  void reset() {
+    hits.store(0, std::memory_order_relaxed);
+    value_sum.store(0, std::memory_order_relaxed);
+    pending.store(0, std::memory_order_relaxed);
+    submit_ns = 0;
+  }
+};
+
+// The queue item: one node's slice of a request.  [begin, end) indexes into
+// parent->order for kGetBatch; point ops carry the degenerate [0, 0).
+// `owner` is the slice's owning node, computed once at dispatch (under
+// oblivious dispatch the executing pool's node differs — the worker still
+// needs the owner to pick the right sub-map).
+struct SubRequest {
+  Request* parent = nullptr;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::int32_t owner = 0;
+};
+
+}  // namespace bjrw::serve

@@ -1,0 +1,316 @@
+// KvServer: the serving-runtime front-end tying the layers together —
+// placement (placement.hpp) decides which node owns each key, the pinned
+// per-node pools (worker_pool.hpp) execute there, and clients talk to the
+// server through client-owned Requests (request.hpp).
+//
+// Dispatch: a batched get is grouped by owning node (one counting sort)
+// and becomes one SubRequest per involved node; point ops become one.
+// Under node-local dispatch each slice is enqueued on its *owning* node's
+// pool, so the worker that takes the shard's read lock, walks the shard
+// table, and bumps the stats stripe is a thread the topology maps to the
+// node where all of those lines were first-touched.  Under node-oblivious
+// dispatch (the E18 control arm) the same slices round-robin across all
+// pools: identical work, identical batching, only the placement awareness
+// removed — the difference between the two rows is pure node-locality.
+//
+// Completion is the Request's counting latch; the worker whose decrement
+// completes a request records its latency into the executing node's stats.
+// All server statistics follow the repo's quiescence contract: plain
+// per-worker stripes, exact once the traffic they describe has completed
+// (every result write happens-before the client's latch read).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/core/locks.hpp"
+#include "src/harness/stats.hpp"
+#include "src/harness/timing.hpp"
+#include "src/harness/topology.hpp"
+#include "src/rmr/provider.hpp"
+#include "src/serve/placement.hpp"
+#include "src/serve/request.hpp"
+#include "src/serve/worker_pool.hpp"
+
+namespace bjrw::serve {
+
+// Per-node aggregate the observers report (see node_stats()).
+struct NodeServeStats {
+  std::uint64_t sub_requests = 0;   // queue items executed by the node's pool
+  std::uint64_t ops = 0;            // keys looked up / point ops applied
+  std::uint64_t completed = 0;      // requests whose final slice ran here
+  std::uint64_t backpressure = 0;   // full-queue submit retries
+  double latency_mean_ns = 0.0;     // over `completed` requests
+  double latency_max_ns = 0.0;
+  // Cohort-lock counters summed over the node's shard locks (0 when the
+  // per-shard lock type does not expose them).
+  std::uint64_t handoffs = 0;
+  std::uint64_t global_acquires = 0;
+  std::uint64_t preempt_aborts = 0;
+};
+
+template <ReaderWriterLock Lock = CohortWriterPriorityLock>
+class KvServer {
+ public:
+  using Map = NumaShardedMap<std::uint64_t, std::uint64_t, Lock>;
+
+  struct Config {
+    std::size_t shards_per_node = 8;
+    int workers_per_node = 1;
+    std::size_t queue_capacity = 1024;  // per-node, rounded up to 2^k
+    bool pin_workers = true;
+    bool node_local_dispatch = true;  // false: round-robin (oblivious)
+    bool node_local_alloc = true;     // false: caller-thread construction
+  };
+
+  explicit KvServer(const Topology& topo, Config cfg = {})
+      : cfg_(cfg),
+        map_(topo, cfg.shards_per_node, cfg.node_local_alloc),
+        worker_stats_(std::make_unique<WorkerStats[]>(
+            static_cast<std::size_t>(map_.max_threads()))),
+        pool_(topo,
+              typename WorkerPool<SubRequest>::Config{
+                  cfg.workers_per_node, cfg.queue_capacity, cfg.pin_workers},
+              [this](int tid, int node, SubRequest& s) {
+                execute(tid, node, s);
+              }) {}
+
+  ~KvServer() { shutdown(); }
+  KvServer(const KvServer&) = delete;
+  KvServer& operator=(const KvServer&) = delete;
+
+  // ---- client API -----------------------------------------------------------
+
+  // Asynchronous submission: the caller owns `*req` (keys, out array) until
+  // req->wait() returns.  False when the server is shutting down — any
+  // slices not enqueued are already discounted from the latch, so wait()
+  // still terminates (with partial results).
+  bool submit(Request* req) {
+    req->submit_ns = now_ns();
+    if (req->kind == RequestKind::kGetBatch) {
+      static thread_local std::vector<std::pair<std::uint32_t, std::uint32_t>>
+          ranges;
+      map_.group_by_node(req->keys, req->key_count, req->order, ranges);
+      std::uint32_t subs = 0;
+      for (const auto& [begin, end] : ranges) subs += begin != end ? 1 : 0;
+      req->pending.store(subs, std::memory_order_relaxed);
+      bool ok = true;
+      for (std::size_t d = 0; d < ranges.size(); ++d) {
+        const auto [begin, end] = ranges[d];
+        if (begin == end) continue;
+        if (!pool_.submit(dispatch_node(static_cast<int>(d)),
+                          SubRequest{req, begin, end,
+                                     static_cast<std::int32_t>(d)})) {
+          req->pending.fetch_sub(1, std::memory_order_release);
+          ok = false;
+        }
+      }
+      return ok;
+    }
+    const std::uint64_t routing_key =
+        req->kind == RequestKind::kGet ? req->keys[0] : req->key;
+    req->pending.store(1, std::memory_order_relaxed);
+    const int owner = map_.node_of_key(routing_key);
+    if (!pool_.submit(dispatch_node(owner),
+                      SubRequest{req, 0, 0,
+                                 static_cast<std::int32_t>(owner)})) {
+      req->pending.fetch_sub(1, std::memory_order_release);
+      return false;
+    }
+    return true;
+  }
+
+  // Synchronous conveniences over submit()/wait().
+  void put(std::uint64_t key, std::uint64_t value) {
+    Request r;
+    r.kind = RequestKind::kPut;
+    r.key = key;
+    r.value = value;
+    submit(&r);
+    r.wait();
+  }
+
+  bool erase(std::uint64_t key) {
+    Request r;
+    r.kind = RequestKind::kErase;
+    r.key = key;
+    submit(&r);
+    r.wait();
+    return r.hits.load(std::memory_order_relaxed) != 0;
+  }
+
+  std::optional<std::uint64_t> get(std::uint64_t key) {
+    Request r;
+    std::optional<std::uint64_t> out;
+    r.kind = RequestKind::kGet;
+    r.keys = &key;
+    r.key_count = 1;
+    r.out = &out;
+    submit(&r);
+    r.wait();
+    return out;
+  }
+
+  // Batched get: fills out[i] for keys[i] when `out` is non-null; returns
+  // the hit count.
+  std::uint64_t get_many(const std::vector<std::uint64_t>& keys,
+                         std::optional<std::uint64_t>* out = nullptr) {
+    Request r;
+    r.kind = RequestKind::kGetBatch;
+    r.keys = keys.data();
+    r.key_count = static_cast<std::uint32_t>(keys.size());
+    r.out = out;
+    submit(&r);
+    r.wait();
+    return r.hits.load(std::memory_order_relaxed);
+  }
+
+  // ---- lifecycle ------------------------------------------------------------
+
+  // Refuses new requests, drains everything queued, joins the workers.
+  // Idempotent; the destructor calls it.
+  void shutdown() { pool_.shutdown(); }
+
+  // ---- observers ------------------------------------------------------------
+
+  // Direct map access: preloading before traffic starts (any tid <
+  // topology.cpu_count() is safe while no requests are in flight), and
+  // post-run inspection.
+  Map& map() { return map_; }
+  const Map& map() const { return map_; }
+
+  const Config& config() const { return cfg_; }
+  int node_count() const { return map_.node_count(); }
+  int pinned_workers() const { return pool_.pinned_workers(); }
+  int workers_per_node() const { return pool_.workers_per_node(); }
+
+  // Quiescence contract: exact once the pool is quiescent — after
+  // shutdown(), or while no requests are in flight AND no completion is
+  // being recorded (the completing worker writes its latency sample just
+  // *after* releasing the request's latch, so "my request returned" alone
+  // does not order that write; shutdown()'s join does).
+  NodeServeStats node_stats(int node) const {
+    NodeServeStats out;
+    out.backpressure = pool_.backpressure(node);
+    StreamingStats latency;
+    for (int w = 0; w < pool_.workers_per_node(); ++w) {
+      const WorkerStats& ws = worker_stats_[idx(pool_.worker_tid(node, w))];
+      out.sub_requests += ws.subs;
+      out.ops += ws.ops;
+      latency.merge(ws.latency);
+    }
+    out.completed = static_cast<std::uint64_t>(latency.count());
+    out.latency_mean_ns = latency.count() ? latency.mean() : 0.0;
+    out.latency_max_ns = latency.count() ? latency.max() : 0.0;
+    if constexpr (kLockHasCohortCounters) {
+      const auto& sub = map_.sub_map(node);
+      for (std::size_t s = 0; s < sub.shard_count(); ++s) {
+        const Lock& l = sub.shard_lock(s);
+        out.handoffs += l.handoffs();
+        out.global_acquires += l.global_acquires();
+        out.preempt_aborts += l.preempt_aborts();
+      }
+    }
+    return out;
+  }
+
+ private:
+  static constexpr bool kLockHasCohortCounters =
+      requires(const Lock& l) {
+        { l.handoffs() } -> std::convertible_to<std::uint64_t>;
+        { l.global_acquires() } -> std::convertible_to<std::uint64_t>;
+        { l.preempt_aborts() } -> std::convertible_to<std::uint64_t>;
+      };
+
+  struct alignas(64) WorkerStats {
+    StreamingStats latency;  // per request completed by this worker
+    std::uint64_t ops = 0;
+    std::uint64_t subs = 0;
+  };
+
+  int dispatch_node(int owner) {
+    if (cfg_.node_local_dispatch) return owner;
+    return static_cast<int>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                            static_cast<std::uint64_t>(map_.node_count()));
+  }
+
+  // Runs on a pool worker; `tid` is the worker's pool tid.
+  void execute(int tid, int /*node*/, SubRequest& s) {
+    Request* req = s.parent;
+    WorkerStats& ws = worker_stats_[idx(tid)];
+    switch (req->kind) {
+      case RequestKind::kPut:
+        map_.put(tid, req->key, req->value);
+        ws.ops += 1;
+        break;
+      case RequestKind::kErase:
+        if (map_.erase(tid, req->key))
+          req->hits.fetch_add(1, std::memory_order_relaxed);
+        ws.ops += 1;
+        break;
+      case RequestKind::kGet: {
+        const auto v = map_.get(tid, req->keys[0]);
+        if (v) {
+          req->hits.fetch_add(1, std::memory_order_relaxed);
+          req->value_sum.fetch_add(*v, std::memory_order_relaxed);
+        }
+        if (req->out) req->out[0] = v;
+        ws.ops += 1;
+        break;
+      }
+      case RequestKind::kGetBatch: {
+        // The slice [begin, end) of req->order is one owning node's keys
+        // (the dispatch may still have *run* it elsewhere — that is the
+        // oblivious arm).  Gather into reusable worker scratch and go
+        // through the owning sub-map's deduplicated bulk lookup; both
+        // scratch vectors keep their capacity across requests, so the
+        // steady-state hot path does not allocate.
+        static thread_local std::vector<std::uint64_t> gathered;
+        static thread_local std::vector<std::optional<std::uint64_t>> got;
+        gathered.clear();
+        gathered.reserve(s.end - s.begin);
+        for (std::uint32_t k = s.begin; k < s.end; ++k)
+          gathered.push_back(req->keys[req->order[k]]);
+        got.assign(gathered.size(), std::nullopt);
+        map_.sub_map(s.owner).get_many_into(tid, gathered.data(),
+                                            gathered.size(), got.data());
+        std::uint64_t hits = 0, sum = 0;
+        for (std::uint32_t k = s.begin; k < s.end; ++k) {
+          const auto& v = got[k - s.begin];
+          if (v) {
+            ++hits;
+            sum += *v;
+          }
+          if (req->out) req->out[req->order[k]] = v;
+        }
+        if (hits) {
+          req->hits.fetch_add(hits, std::memory_order_relaxed);
+          req->value_sum.fetch_add(sum, std::memory_order_relaxed);
+        }
+        ws.ops += s.end - s.begin;
+        break;
+      }
+    }
+    ws.subs += 1;
+    // The completing decrement publishes every result write above to the
+    // waiting client — and releases the client-owned request: the moment
+    // it lands, the client may destroy or reuse *req, so everything we
+    // need is snapshotted first and req is never touched afterwards.
+    const std::uint64_t elapsed_ns = now_ns() - req->submit_ns;
+    if (req->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      ws.latency.add(static_cast<double>(elapsed_ns));
+  }
+
+  Config cfg_;
+  Map map_;
+  std::unique_ptr<WorkerStats[]> worker_stats_;  // indexed by pool tid
+  alignas(64) std::atomic<std::uint64_t> rr_{0};  // oblivious round-robin
+  WorkerPool<SubRequest> pool_;  // last member: workers see the rest built
+};
+
+}  // namespace bjrw::serve

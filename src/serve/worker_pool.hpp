@@ -1,0 +1,290 @@
+// Pinned per-node worker pools over bounded MPMC queues — the execution
+// layer of the serving runtime.
+//
+// Each topology node owns one queue and `workers_per_node` worker threads.
+// A worker is pinned (Topology::pin_this_thread) to one of its node's CPUs
+// and is handed the *pool tid* matching that CPU, so every lock and map
+// stripe the worker touches resolves — through the same tid→node mapping
+// the cohort locks use — to its own node.  That is what makes "node-local
+// placement" real: the dispatch layer (server.hpp) routes a shard's work to
+// the shard's owning node, and the worker executing it is the thread whose
+// tid the topology maps there.
+//
+// The queue is Dmitry Vyukov's bounded MPMC ring: each cell carries a
+// sequence number; producers claim cells with a CAS on the head when the
+// cell's sequence says "free at this lap", consumers symmetrically on the
+// tail.  Under contention every operation is one CAS plus two cell-line
+// accesses; head, tail, and the cells are cache-line padded so producers on
+// one node and its consumers never false-share.  Memory ordering follows
+// the published algorithm (acquire/release on the cell sequence, relaxed
+// cursor loads); like the statistics stripes, this infrastructure sits
+// outside the paper protocol and the seq_cst-everywhere rule of DESIGN.md
+// §2, which governs the proven lock algorithms.
+//
+// Shutdown is graceful by construction: shutdown() flips `stopping`, after
+// which submissions are refused, and workers keep popping until their queue
+// answers empty *after* stopping was observed — so everything enqueued
+// before shutdown() is executed, never dropped (the in-flight-request
+// drain the tests pin).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/harness/spin.hpp"
+#include "src/harness/topology.hpp"
+#include "src/rmr/provider.hpp"
+
+namespace bjrw::serve {
+
+// Vyukov bounded MPMC queue.  Capacity is rounded up to a power of two
+// (minimum 2) so cell addressing is a mask, not a division.
+template <class T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // False when the queue is full at the moment of the attempt.
+  bool try_push(const T& value) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& c = cells_[pos & mask_];
+      const std::size_t seq = c.seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;  // cell claimed; pos holds our slot
+        // CAS failure reloaded pos; retry against the new cursor.
+      } else if (diff < 0) {
+        return false;  // cell still holds last lap's value: full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);  // raced; refresh
+      }
+    }
+    Cell& c = cells_[pos & mask_];
+    c.value = value;
+    c.seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // True when every claimed cell has also been consumed: the pop cursor
+  // has caught up with the push cursor.  Distinguishes "truly empty" from
+  // "a producer has claimed a cell but not yet published it" (try_pop
+  // reports empty for both) — the shutdown drain needs the distinction.
+  bool drained() const {
+    return tail_.load(std::memory_order_seq_cst) ==
+           head_.load(std::memory_order_seq_cst);
+  }
+
+  // False when the queue is empty at the moment of the attempt.
+  bool try_pop(T* out) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& c = cells_[pos & mask_];
+      const std::size_t seq = c.seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return false;  // producer has not published this lap yet: empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    Cell& c = cells_[pos & mask_];
+    *out = c.value;
+    c.seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::size_t> seq;
+    T value;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 1;
+  alignas(64) std::atomic<std::size_t> head_{0};  // producer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer cursor
+};
+
+// Per-node pools of pinned workers draining per-node queues.  Item is the
+// queue element (the runtime uses SubRequest); the handler runs on the
+// worker thread as handler(pool_tid, node, item).
+template <class Item>
+class WorkerPool {
+ public:
+  struct Config {
+    int workers_per_node = 1;       // clamped to the smallest node's width
+    std::size_t queue_capacity = 1024;  // per node, rounded up to 2^k
+    bool pin = true;                // best-effort Topology::pin_this_thread
+  };
+
+  using Handler = std::function<void(int tid, int node, Item& item)>;
+
+  WorkerPool(const Topology& topo, Config cfg, Handler handler)
+      : topo_(topo), handler_(std::move(handler)) {
+    const int nodes = topo_.node_count();
+    // Pool tids are logical-CPU indices: node d's w-th worker gets the tid
+    // of that node's w-th CPU, which node_of_tid maps straight back to d.
+    // More workers than the narrowest node has CPUs would force tids into
+    // other nodes' ranges, so the width is clamped instead.
+    int width = cfg.workers_per_node < 1 ? 1 : cfg.workers_per_node;
+    for (int d = 0; d < nodes; ++d)
+      width = width < topo_.cpus_in_node(d) ? width : topo_.cpus_in_node(d);
+    workers_per_node_ = width;
+    node_base_.resize(static_cast<std::size_t>(nodes));
+    int base = 0;
+    for (int d = 0; d < nodes; ++d) {
+      node_base_[idx(d)] = base;
+      base += topo_.cpus_in_node(d);
+    }
+    nodes_ = std::make_unique<NodeState[]>(static_cast<std::size_t>(nodes));
+    for (int d = 0; d < nodes; ++d)
+      nodes_[idx(d)].queue =
+          std::make_unique<BoundedMpmcQueue<Item>>(cfg.queue_capacity);
+    threads_.reserve(static_cast<std::size_t>(nodes * width));
+    for (int d = 0; d < nodes; ++d)
+      for (int w = 0; w < width; ++w)
+        threads_.emplace_back([this, d, w, pin = cfg.pin] {
+          worker_main(d, w, pin);
+        });
+  }
+
+  ~WorkerPool() { shutdown(); }
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int node_count() const { return topo_.node_count(); }
+  int workers_per_node() const { return workers_per_node_; }
+  int worker_count() const { return topo_.node_count() * workers_per_node_; }
+  // The tid worker w of node d passes to locks/maps (a logical CPU index,
+  // so callers sizing max_threads use topo.cpu_count()).
+  int worker_tid(int node, int w) const { return node_base_[idx(node)] + w; }
+  // Workers whose pin_this_thread succeeded (0 on hosts narrower than the
+  // simulated topology — the pool then runs unpinned but correctly mapped).
+  int pinned_workers() const {
+    return pinned_.load(std::memory_order_relaxed);
+  }
+
+  // Enqueues onto node `d`'s queue, yielding through full-queue
+  // backpressure.  False only when the pool is stopping; a true return
+  // means the item is published and the shutdown drain will execute it —
+  // even when submit races shutdown().  The guarantee is carried by the
+  // per-node `submitting` window (seq_cst, like shutdown's stop store and
+  // the workers' exit check): a submit whose stop load read false ordered
+  // its window-open before the stop store in the single total order, so a
+  // draining worker cannot observe its node's window count at 0 until
+  // that submit has either published its item or refused.  The window
+  // lives in the target node's padded NodeState line, so submits to
+  // different nodes never contend on it.
+  bool submit(int d, const Item& item) {
+    NodeState& n = nodes_[idx(d)];
+    n.submitting.fetch_add(1, std::memory_order_seq_cst);
+    if (stopping_.load(std::memory_order_seq_cst)) {
+      n.submitting.fetch_sub(1, std::memory_order_seq_cst);
+      return false;
+    }
+    while (!n.queue->try_push(item)) {
+      if (stopping_.load(std::memory_order_seq_cst)) {
+        n.submitting.fetch_sub(1, std::memory_order_seq_cst);
+        return false;
+      }
+      n.backpressure.fetch_add(1, std::memory_order_relaxed);
+      YieldSpin::relax();
+    }
+    n.submitting.fetch_sub(1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  // Refuses new work, drains everything already queued, joins the workers.
+  // Idempotent; also run by the destructor.
+  void shutdown() {
+    stopping_.store(true, std::memory_order_seq_cst);
+    for (auto& t : threads_)
+      if (t.joinable()) t.join();
+  }
+
+  std::uint64_t executed(int d) const {
+    return nodes_[idx(d)].executed.load(std::memory_order_relaxed);
+  }
+  std::uint64_t backpressure(int d) const {
+    return nodes_[idx(d)].backpressure.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) NodeState {
+    std::unique_ptr<BoundedMpmcQueue<Item>> queue;
+    std::atomic<int> submitting{0};  // open submit windows (see submit())
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> backpressure{0};
+  };
+
+  void worker_main(int d, int w, bool pin) {
+    const int tid = worker_tid(d, w);
+    if (pin && topo_.pin_this_thread(tid))
+      pinned_.fetch_add(1, std::memory_order_relaxed);
+    NodeState& n = nodes_[idx(d)];
+    Item item;
+    for (;;) {
+      if (n.queue->try_pop(&item)) {
+        handler_(tid, d, item);
+        n.executed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // Empty right now.  Exit only once, after observing stopping, the
+      // queue is *drained* (every claimed cell consumed — not merely
+      // "try_pop said empty", which a claimed-but-unpublished cell also
+      // produces) and no submit window is open.  Together with submit()'s
+      // seq_cst window this closes the race where a push that passed its
+      // stop check lands after a worker's last empty probe: such a push
+      // holds the window open until its item is published, and a
+      // published item keeps drained() false until popped.
+      // Order matters: the window check precedes the drain check.  A
+      // window observed closed published its item *before* the close, so
+      // the later drained() read sees that item if it is unconsumed; a
+      // window opened after the 0-read observes stopping (its open
+      // follows this check, hence the stop store, in the seq_cst total
+      // order) and refuses.  Checked the other way around, an item could
+      // publish between a stale drained() read and the 0-read and be
+      // stranded.
+      if (stopping_.load(std::memory_order_seq_cst)) {
+        if (n.submitting.load(std::memory_order_seq_cst) == 0 &&
+            n.queue->drained())
+          return;
+      }
+      YieldSpin::relax();
+    }
+  }
+
+  const Topology topo_;
+  Handler handler_;
+  int workers_per_node_ = 1;
+  std::vector<int> node_base_;  // node -> first logical CPU index (pool tid)
+  std::unique_ptr<NodeState[]> nodes_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> pinned_{0};
+};
+
+}  // namespace bjrw::serve

@@ -16,6 +16,8 @@
 #include <sstream>
 #include <string>
 
+#include "src/harness/topology.hpp"
+
 namespace bjrw {
 namespace {
 
@@ -86,7 +88,8 @@ TEST_F(BenchSmokeTest, UncontendedRunEmitsValidBenchV1Document) {
                           "([0-9]+), \"topology\": \"([^\"]+)\", "
                           "\"topology_source\": \"([^\"]+)\", "
                           "\"compiler\": \"([^\"]+)\", "
-                          "\"build_type\": \"([^\"]+)\"\\}")))
+                          "\"build_type\": \"([^\"]+)\", "
+                          "\"pinned\": (true|false)\\}")))
       << "machine metadata block missing or malformed";
   EXPECT_GT(std::stoi(m[1].str()), 0);
   EXPECT_NE(m[2].str(), "");
@@ -94,6 +97,7 @@ TEST_F(BenchSmokeTest, UncontendedRunEmitsValidBenchV1Document) {
   EXPECT_TRUE(source == "env" || source == "sysfs" || source == "flat" ||
               source == "simulated")
       << "unexpected topology_source: " << source;
+  EXPECT_EQ(m[6].str(), "false") << "run without --pin must stamp unpinned";
 
   // E11 emits one row per (op, lock) pair plus the mutex rows; the exact
   // count moves as locks are added, so gate on a sane floor.
@@ -137,6 +141,20 @@ TEST_F(BenchSmokeTest, TopologyOverrideIsStampedIntoMetadata) {
   std::remove(json.c_str());
   EXPECT_NE(text.find("\"topology\": \"2x4\""), std::string::npos);
   EXPECT_NE(text.find("\"topology_source\": \"env\""), std::string::npos);
+}
+
+TEST_F(BenchSmokeTest, PinFlagIsStampedIntoMetadata) {
+  // --pin must stamp the *realized* regime: true when the pins land, false
+  // when the environment refuses them (non-Linux, cpuset-restricted
+  // container) — scripts/bench_compare.py keys regime comparisons off the
+  // stamp, so it has to reflect what actually ran.  uncontended is
+  // single-threaded, so the driver-thread pin of tid 0 is the only
+  // attempt; probe the same call to know what this host allows.
+  const bool can_pin = Topology::detect().pin_this_thread(0);
+  const std::string text = run_driver("--bench=uncontended --seconds=0.05 --pin",
+                                      output_json_path());
+  EXPECT_NE(text.find(can_pin ? "\"pinned\": true" : "\"pinned\": false"),
+            std::string::npos);
 }
 
 TEST_F(BenchSmokeTest, BadBenchRegexFailsCleanly) {

@@ -1,0 +1,189 @@
+// Stress suite (label: stress; CI runs it under ThreadSanitizer) for the
+// serving runtime's concurrency backbone:
+//  * BoundedMpmcQueue hammered by symmetric producer/consumer fleets —
+//    conservation (every pushed token popped exactly once, checksums
+//    match) under sustained full/empty boundary churn;
+//  * WorkerPool + KvServer soak with mixed clients, plus shutdown racing a
+//    full request pipeline: the drain guarantee must hold with queues
+//    deep and workers oversubscribed.
+//
+// Deterministic replay: BJRW_TEST_SEED=<uint64> (see prng.hpp test_seed).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/locks.hpp"
+#include "src/harness/prng.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/harness/topology.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/worker_pool.hpp"
+
+namespace bjrw {
+namespace {
+
+using serve::BoundedMpmcQueue;
+using serve::KvServer;
+using serve::Request;
+using serve::RequestKind;
+using serve::WorkerPool;
+
+TEST(ServeQueueSoak, MpmcConservationUnderProducerConsumerChurn) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = 40000;
+  BoundedMpmcQueue<std::uint64_t> q(/*capacity=*/64);  // small: lap churn
+
+  std::atomic<int> producers_live{kProducers};
+  std::atomic<std::uint64_t> popped{0};
+  std::atomic<std::uint64_t> pushed_sum{0};
+  std::atomic<std::uint64_t> popped_sum{0};
+
+  run_threads(kProducers + kConsumers, [&](std::size_t t) {
+    if (t < kProducers) {
+      Xoshiro256 rng(test_seed(t));
+      std::uint64_t sum = 0;
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t token = rng.next() | 1;
+        sum += token;
+        while (!q.try_push(token)) YieldSpin::relax();
+      }
+      pushed_sum.fetch_add(sum);
+      producers_live.fetch_sub(1);
+    } else {
+      std::uint64_t sum = 0, count = 0, token = 0;
+      for (;;) {
+        if (q.try_pop(&token)) {
+          sum += token;
+          ++count;
+          continue;
+        }
+        // Only exit on empty observed after all producers finished —
+        // the same drain shape the worker pool uses.
+        if (producers_live.load() == 0) {
+          if (!q.try_pop(&token)) break;
+          sum += token;
+          ++count;
+          continue;
+        }
+        YieldSpin::relax();
+      }
+      popped_sum.fetch_add(sum);
+      popped.fetch_add(count);
+    }
+  });
+  EXPECT_EQ(popped.load(), kPerProducer * kProducers);
+  EXPECT_EQ(popped_sum.load(), pushed_sum.load());
+}
+
+TEST(ServeQueueSoak, SubmitRacingShutdownNeverStrandsAcceptedItems) {
+  // The pool's contract under a genuine submit/shutdown race: a submit
+  // that returned true is executed before the workers exit, a submit that
+  // raced the stop is refused — never accepted-then-stranded (which would
+  // show up as executed < accepted) and never blocked forever (run_threads
+  // would hang).  Varying stagger shifts the race window across rounds.
+  for (int round = 0; round < 60; ++round) {
+    const Topology topo = Topology::simulated(2, 2);
+    std::atomic<std::uint64_t> executed{0};
+    WorkerPool<int> pool(topo, {/*workers_per_node=*/1, /*capacity=*/16,
+                                /*pin=*/false},
+                         [&](int, int, int&) { executed.fetch_add(1); });
+    std::atomic<std::uint64_t> accepted{0};
+    run_threads(3, [&](std::size_t t) {
+      if (t == 2) {
+        for (int i = 0; i < (round * 7) % 97; ++i) YieldSpin::relax();
+        pool.shutdown();
+      } else {
+        for (int i = 0; i < 300; ++i) {
+          if (!pool.submit(static_cast<int>(t) % 2, i)) break;
+          accepted.fetch_add(1);
+        }
+      }
+    });
+    pool.shutdown();
+    ASSERT_EQ(executed.load(), accepted.load()) << "round " << round;
+  }
+}
+
+TEST(ServeQueueSoak, KvServerMixedTrafficConservesOps) {
+  const Topology topo = Topology::simulated(2, 4);
+  KvServer<AdaptiveCohortStarvationFreeLock>::Config cfg;
+  cfg.workers_per_node = 2;
+  cfg.queue_capacity = 128;  // small queues: backpressure path exercised
+  KvServer<AdaptiveCohortStarvationFreeLock> server(topo, cfg);
+
+  for (std::uint64_t k = 0; k < 1024; ++k) server.map().put(0, k, k * 3);
+
+  constexpr int kClients = 6;
+  constexpr int kOps = 3000;
+  std::atomic<std::uint64_t> total_hits{0};
+  run_threads(kClients, [&](std::size_t c) {
+    Xoshiro256 rng(test_seed(c + 100));
+    std::vector<std::uint64_t> batch;
+    std::uint64_t hits = 0;
+    for (int i = 0; i < kOps; ++i) {
+      const std::uint64_t key = rng.next() % 2048;
+      if (rng.next() % 10 == 0) {
+        server.put(key, key * 3);
+      } else {
+        batch.push_back(key);
+        if (batch.size() == 8) {
+          hits += server.get_many(batch);
+          batch.clear();
+        }
+      }
+    }
+    if (!batch.empty()) hits += server.get_many(batch);
+    total_hits.fetch_add(hits);
+  });
+  server.shutdown();
+
+  std::uint64_t pool_ops = 0;
+  for (int d = 0; d < server.node_count(); ++d)
+    pool_ops += server.node_stats(d).ops;
+  EXPECT_EQ(pool_ops, static_cast<std::uint64_t>(kClients * kOps));
+  EXPECT_GT(total_hits.load(), 0u);
+  EXPECT_LE(server.map().size(), 2048u);
+}
+
+TEST(ServeQueueSoak, ShutdownRacesDeepPipelinesWithoutDroppingRequests) {
+  // Many rounds of: fill the pipeline with async batches, shut down while
+  // the pools are mid-drain, verify every request completed with the right
+  // answer.  This is the scheduling-dependent version of the tier-1
+  // shutdown test.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < 32; ++k) keys.push_back(k);
+  std::uint64_t expected_sum = 0;
+  for (std::uint64_t k = 0; k < 32; ++k) expected_sum += 5 * k;
+
+  for (int round = 0; round < 30; ++round) {
+    const Topology topo = Topology::simulated(2, 2);
+    KvServer<CohortWriterPriorityLock>::Config cfg;
+    cfg.workers_per_node = 1;
+    cfg.queue_capacity = 1024;
+    KvServer<CohortWriterPriorityLock> server(topo, cfg);
+    for (std::uint64_t k = 0; k < 32; ++k) server.map().put(0, k, 5 * k);
+
+    std::vector<std::unique_ptr<Request>> reqs;
+    for (int r = 0; r < 40; ++r) {
+      auto req = std::make_unique<Request>();
+      req->kind = RequestKind::kGetBatch;
+      req->keys = keys.data();
+      req->key_count = static_cast<std::uint32_t>(keys.size());
+      ASSERT_TRUE(server.submit(req.get()));
+      reqs.push_back(std::move(req));
+    }
+    server.shutdown();
+    for (const auto& req : reqs) {
+      req->wait();
+      ASSERT_EQ(req->hits.load(), 32u) << "round " << round;
+      ASSERT_EQ(req->value_sum.load(), expected_sum) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bjrw

@@ -1,0 +1,517 @@
+// Tier-1 suite for the serving runtime (src/serve/) and the adaptive
+// cohort handoff budget (src/core/cohort.hpp AdaptiveBudget):
+//  * ShardPlacement / NumaShardedMap — shard→node mapping total and stable
+//    across simulated 1/2/4-node topologies, batch grouping is a partition,
+//    routed operations agree with direct ones;
+//  * BoundedMpmcQueue — FIFO, bounded, empty/full edges;
+//  * WorkerPool — work lands on the pool of the node it was submitted to,
+//    with tids the topology maps to that node; graceful shutdown drains
+//    queued items and refuses later submissions;
+//  * AdaptiveBudget — clamped to [kMin, kMax], widens on exhaustion,
+//    narrows on preemption, converges under scripted traces; the preempt
+//    path decrements the live lock's budget and counts the abort;
+//  * KvServer — end-to-end correctness, node-local routing observed in the
+//    per-node stats, shutdown completes in-flight requests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/core/locks.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/harness/topology.hpp"
+#include "src/serve/placement.hpp"
+#include "src/serve/request.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/worker_pool.hpp"
+
+namespace bjrw {
+namespace {
+
+using serve::BoundedMpmcQueue;
+using serve::KvServer;
+using serve::NumaShardedMap;
+using serve::Request;
+using serve::RequestKind;
+using serve::ShardPlacement;
+using serve::SubRequest;
+using serve::WorkerPool;
+
+// ---- placement --------------------------------------------------------------
+
+TEST(ShardPlacement, MappingIsTotalStableAndCoversAllNodes) {
+  for (const auto& [nodes, cpus] : {std::pair{1, 4}, {2, 4}, {4, 2}}) {
+    const Topology topo = Topology::simulated(nodes, cpus);
+    const ShardPlacement p(topo, /*shards_per_node=*/8);
+    EXPECT_EQ(p.node_count(), nodes);
+    EXPECT_EQ(p.shard_count(), static_cast<std::size_t>(nodes) * 8);
+    std::set<int> owners;
+    for (std::size_t s = 0; s < p.shard_count(); ++s) {
+      const int owner = p.node_of_shard(s);
+      ASSERT_GE(owner, 0);
+      ASSERT_LT(owner, nodes);
+      EXPECT_EQ(owner, p.node_of_shard(s)) << "unstable mapping at " << s;
+      owners.insert(owner);
+    }
+    EXPECT_EQ(static_cast<int>(owners.size()), nodes)
+        << "some node owns no shard at " << nodes << "x" << cpus;
+    for (std::uint64_t h = 0; h < 1000; ++h)
+      ASSERT_LT(p.shard_of_hash(h * 0x9E3779B97F4A7C15ULL), p.shard_count());
+  }
+}
+
+TEST(NumaShardedMap, KeyRoutingIsStableAndGroupingPartitionsTheBatch) {
+  for (const auto& [nodes, cpus] : {std::pair{1, 8}, {2, 4}, {4, 2}}) {
+    const Topology topo = Topology::simulated(nodes, cpus);
+    NumaShardedMap<std::uint64_t, std::uint64_t, WriterPriorityLock> map(
+        topo, /*shards_per_node=*/4);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t k = 0; k < 257; ++k) keys.push_back(k * k + 1);
+
+    std::vector<std::uint32_t> order;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+    map.group_by_node(keys.data(), static_cast<std::uint32_t>(keys.size()),
+                      order, ranges);
+    ASSERT_EQ(ranges.size(), static_cast<std::size_t>(nodes));
+    ASSERT_EQ(order.size(), keys.size());
+
+    // `order` is a permutation of [0, n) and every range slice holds
+    // exactly the keys whose stable owner is that node.
+    std::set<std::uint32_t> seen;
+    std::uint32_t covered = 0;
+    for (std::size_t d = 0; d < ranges.size(); ++d) {
+      const auto [begin, end] = ranges[d];
+      ASSERT_LE(begin, end);
+      covered += end - begin;
+      for (std::uint32_t k = begin; k < end; ++k) {
+        ASSERT_TRUE(seen.insert(order[k]).second);
+        EXPECT_EQ(map.node_of_key(keys[order[k]]), static_cast<int>(d));
+        EXPECT_EQ(map.node_of_key(keys[order[k]]),
+                  map.node_of_key(keys[order[k]]));
+      }
+    }
+    EXPECT_EQ(covered, keys.size());
+  }
+}
+
+TEST(NumaShardedMap, RoutedOperationsAgreeWithDirectSubMapState) {
+  const Topology topo = Topology::simulated(2, 4);
+  for (const bool first_touch : {true, false}) {
+    NumaShardedMap<std::uint64_t, std::uint64_t, WriterPriorityLock> map(
+        topo, 4, first_touch);
+    for (std::uint64_t k = 0; k < 500; ++k)
+      EXPECT_TRUE(map.put(0, k, 3 * k));
+    EXPECT_EQ(map.size(), 500u);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t k = 0; k < 600; ++k) keys.push_back(k);
+    const auto got = map.get_many(1, keys);
+    for (std::uint64_t k = 0; k < 600; ++k) {
+      ASSERT_EQ(got[k].has_value(), k < 500) << "key " << k;
+      if (got[k]) {
+        EXPECT_EQ(*got[k], 3 * k);
+      }
+      ASSERT_EQ(map.get(2, k).has_value(), k < 500);
+    }
+    EXPECT_TRUE(map.erase(3, 7));
+    EXPECT_FALSE(map.erase(3, 7));
+    EXPECT_FALSE(map.get(0, 7).has_value());
+    const MapStats s = map.stats();
+    EXPECT_EQ(s.size, 499u);
+    EXPECT_EQ(s.puts, 500u);
+    EXPECT_EQ(s.erases, 1u);
+  }
+}
+
+// ---- bounded MPMC queue -----------------------------------------------------
+
+TEST(BoundedMpmcQueue, FifoBoundedAndEdgeConditions) {
+  BoundedMpmcQueue<int> q(/*capacity=*/5);  // rounds up to 8
+  EXPECT_EQ(q.capacity(), 8u);
+  int out = 0;
+  EXPECT_FALSE(q.try_pop(&out));  // empty
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(&out));
+    EXPECT_EQ(out, i);  // FIFO
+  }
+  EXPECT_FALSE(q.try_pop(&out));
+  // Wrap several laps to exercise the sequence-number arithmetic.
+  for (int lap = 0; lap < 5; ++lap) {
+    for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.try_push(lap * 10 + i));
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(q.try_pop(&out));
+      EXPECT_EQ(out, lap * 10 + i);
+    }
+  }
+}
+
+// ---- worker pool ------------------------------------------------------------
+
+TEST(WorkerPool, WorkRunsOnTheSubmittedNodeWithNodeMappedTids) {
+  const Topology topo = Topology::simulated(2, 4);
+  struct Seen {
+    std::atomic<int> node{-1};
+    std::atomic<int> tid{-1};
+  };
+  std::vector<std::unique_ptr<Seen>> seen;
+  for (int i = 0; i < 40; ++i) seen.push_back(std::make_unique<Seen>());
+
+  WorkerPool<int> pool(
+      topo, {/*workers_per_node=*/2, /*queue_capacity=*/64, /*pin=*/true},
+      [&](int tid, int node, int& item) {
+        seen[static_cast<std::size_t>(item)]->node.store(node);
+        seen[static_cast<std::size_t>(item)]->tid.store(tid);
+      });
+  EXPECT_EQ(pool.node_count(), 2);
+  EXPECT_EQ(pool.workers_per_node(), 2);
+  for (int i = 0; i < 40; ++i) EXPECT_TRUE(pool.submit(i % 2, i));
+  pool.shutdown();
+
+  for (int i = 0; i < 40; ++i) {
+    const int node = seen[static_cast<std::size_t>(i)]->node.load();
+    const int tid = seen[static_cast<std::size_t>(i)]->tid.load();
+    ASSERT_EQ(node, i % 2) << "item " << i << " ran on the wrong pool";
+    // The executing tid maps back to the node it executed for.
+    EXPECT_EQ(topo.node_of_tid(tid), node);
+  }
+  EXPECT_EQ(pool.executed(0) + pool.executed(1), 40u);
+}
+
+TEST(WorkerPool, GracefulShutdownDrainsQueuedItemsAndRefusesNewOnes) {
+  const Topology topo = Topology::simulated(2, 2);
+  std::atomic<std::uint64_t> sum{0};
+  auto pool = std::make_unique<WorkerPool<int>>(
+      topo, typename WorkerPool<int>::Config{1, 256, false},
+      [&](int, int, int& item) {
+        std::this_thread::yield();  // let the queue back up
+        sum.fetch_add(static_cast<std::uint64_t>(item));
+      });
+  std::uint64_t expect = 0;
+  for (int i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(pool->submit(i % 2, i));
+    expect += static_cast<std::uint64_t>(i);
+  }
+  pool->shutdown();  // must drain all 100, not drop the queued tail
+  EXPECT_EQ(sum.load(), expect);
+  EXPECT_FALSE(pool->submit(0, 7)) << "submit after shutdown must refuse";
+  EXPECT_EQ(sum.load(), expect);
+  pool.reset();  // double-shutdown via destructor is fine
+}
+
+TEST(WorkerPool, ClampsWidthToTheNarrowestNode) {
+  const Topology topo = Topology::simulated(2, 2);
+  WorkerPool<int> pool(topo, {/*workers_per_node=*/8, 16, false},
+                       [](int, int, int&) {});
+  // 8 requested, but node width is 2: wider pools would hand out tids the
+  // topology maps to *other* nodes.
+  EXPECT_EQ(pool.workers_per_node(), 2);
+  EXPECT_EQ(topo.node_of_tid(pool.worker_tid(1, 1)), 1);
+  pool.shutdown();
+}
+
+// ---- adaptive budget --------------------------------------------------------
+
+TEST(AdaptiveBudget, ClampsWidensNarrowsAndConverges) {
+  EXPECT_EQ(AdaptiveBudget(-5).budget(), AdaptiveBudget::kMin);
+  EXPECT_EQ(AdaptiveBudget(1000).budget(), AdaptiveBudget::kMax);
+
+  AdaptiveBudget b(8);
+  b.on_batch_end(/*exhausted=*/true, /*preempted=*/false);
+  EXPECT_EQ(b.budget(), 16);
+  b.on_batch_end(false, /*preempted=*/true);
+  EXPECT_EQ(b.budget(), 8);
+  b.on_batch_end(false, false);  // drained batch: no signal, no change
+  EXPECT_EQ(b.budget(), 8);
+
+  // Scripted traces converge to the rails and stay inside [kMin, kMax].
+  for (int i = 0; i < 20; ++i) {
+    b.on_batch_end(true, false);
+    ASSERT_GE(b.budget(), AdaptiveBudget::kMin);
+    ASSERT_LE(b.budget(), AdaptiveBudget::kMax);
+  }
+  EXPECT_EQ(b.budget(), AdaptiveBudget::kMax);
+  for (int i = 0; i < 20; ++i) {
+    b.on_batch_end(false, true);
+    ASSERT_GE(b.budget(), AdaptiveBudget::kMin);
+    ASSERT_LE(b.budget(), AdaptiveBudget::kMax);
+  }
+  EXPECT_EQ(b.budget(), AdaptiveBudget::kMin);
+  // A 1:1 exhaust/preempt mix oscillates in place instead of drifting.
+  AdaptiveBudget mix(8);
+  for (int i = 0; i < 50; ++i) {
+    mix.on_batch_end(true, false);
+    mix.on_batch_end(false, true);
+  }
+  EXPECT_EQ(mix.budget(), 8);
+}
+
+TEST(AdaptiveCohort, AccountingBalancesAndBudgetStaysInRange) {
+  constexpr int kEach = 40;
+  AdaptiveCohortStarvationFreeLock l(4, Topology::simulated(2, 4),
+                                     /*initial=*/2);
+  run_threads(2, [&](std::size_t t) {
+    for (int i = 0; i < kEach; ++i) {
+      l.write_lock(static_cast<int>(t));
+      l.write_unlock(static_cast<int>(t));
+    }
+  });
+  EXPECT_EQ(l.handoffs() + l.global_acquires(),
+            static_cast<std::uint64_t>(2 * kEach));
+  for (int d = 0; d < l.node_count(); ++d) {
+    EXPECT_GE(l.current_budget(d), AdaptiveBudget::kMin);
+    EXPECT_LE(l.current_budget(d), AdaptiveBudget::kMax);
+  }
+}
+
+TEST(AdaptiveCohort, ReaderPreemptionEndsBatchCountsAbortAndNarrowsBudget) {
+  // tids 0/1 share node 0 of 2x4; tid 2 is a reader on the same node.
+  // Writer 0 holds the CS, writer 1 queues behind it, and the reader
+  // arrives (gate up -> diverts into the wrapped lock, raising the
+  // advisory flag).  Writer 0's release must then end the batch: no
+  // handoff, one preempt abort, budget halved from 8 to 4.
+  AdaptiveCohortStarvationFreeLock l(4, Topology::simulated(2, 4),
+                                     /*initial=*/8);
+  std::atomic<bool> holding{false};
+  run_threads(3, [&](std::size_t t) {
+    if (t == 0) {
+      l.write_lock(0);
+      holding.store(true);
+      // Release only once both the successor writer and the diverted
+      // reader are *provably* visible (only this unlock consumes the
+      // advisory flag, so the spin is deterministic, not a grace window).
+      spin_until<YieldSpin>([&] { return l.writers_queued(0) == 2; });
+      spin_until<YieldSpin>([&] { return l.reader_waiting(); });
+      l.write_unlock(0);
+    } else if (t == 1) {
+      spin_until<YieldSpin>([&] { return holding.load(); });
+      l.write_lock(1);
+      l.write_unlock(1);
+    } else {
+      spin_until<YieldSpin>([&] { return holding.load(); });
+      l.read_lock(2);
+      l.read_unlock(2);
+    }
+  });
+  EXPECT_EQ(l.preempt_aborts(), 1u);
+  EXPECT_EQ(l.handoffs(), 0u);
+  EXPECT_EQ(l.global_acquires(), 2u);
+  EXPECT_EQ(l.current_budget(0), 4);
+}
+
+TEST(AdaptiveCohort, StaleReaderFlagDoesNotPhantomPreemptTheNextBatch) {
+  // A batch that ends *exhausted* while a diverted reader waits must not
+  // leave the advisory flag armed: the release admits that reader, and a
+  // carried-over flag would be mis-attributed as a fresh preemption by
+  // the next batch's first release (phantom abort, spuriously halved
+  // budget).  Choreography on node 0 of 2x4 (tids 0..3), reader on node 1
+  // (tid 4), initial budget 1:
+  //   w0 -> w1 handoff (batch = budget), reader raises the flag during
+  //   w1's hold, w1's release ends the batch EXHAUSTED (budget doubles to
+  //   2, flag must be cleared); then w2 -> w3 must be a clean handoff —
+  //   not a phantom preempt abort.
+  AdaptiveCohortStarvationFreeLock l(5, Topology::simulated(2, 4),
+                                     /*initial=*/1);
+  std::atomic<bool> h0{false}, h1{false}, h2{false};
+  run_threads(5, [&](std::size_t t) {
+    switch (t) {
+      case 0:
+        l.write_lock(0);
+        h0.store(true);
+        spin_until<YieldSpin>([&] { return l.writers_queued(0) == 2; });
+        l.write_unlock(0);  // handoff to w1: batch reaches the budget
+        break;
+      case 1:
+        spin_until<YieldSpin>([&] { return h0.load(); });
+        l.write_lock(1);
+        h1.store(true);
+        spin_until<YieldSpin>([&] {
+          return l.reader_waiting() && l.writers_queued(0) == 2;
+        });
+        l.write_unlock(1);  // exhausted end with the flag raised
+        break;
+      case 2:
+        spin_until<YieldSpin>([&] { return h1.load(); });
+        l.write_lock(2);
+        h2.store(true);
+        spin_until<YieldSpin>([&] { return l.writers_queued(0) == 2; });
+        l.write_unlock(2);  // must hand off to w3, not phantom-preempt
+        break;
+      case 3:
+        spin_until<YieldSpin>([&] { return h2.load(); });
+        l.write_lock(3);
+        l.write_unlock(3);
+        break;
+      default:  // reader: diverts during w1's hold, raising the flag
+        spin_until<YieldSpin>([&] { return h1.load(); });
+        l.read_lock(4);
+        l.read_unlock(4);
+        break;
+    }
+  });
+  EXPECT_EQ(l.preempt_aborts(), 0u) << "stale flag phantom-preempted";
+  EXPECT_EQ(l.handoffs(), 2u);         // w0->w1 and w2->w3
+  EXPECT_EQ(l.global_acquires(), 2u);  // w0 and w2 leaders only
+  EXPECT_EQ(l.current_budget(0), 2);   // doubled once, never halved
+}
+
+TEST(FixedBudgetCohort, PreemptAbortsAreCountedButBudgetIsConstant) {
+  CohortStarvationFreeLock l(4, Topology::simulated(2, 4), /*budget=*/8);
+  EXPECT_EQ(l.current_budget(0), 8);
+  EXPECT_EQ(l.preempt_aborts(), 0u);
+  l.write_lock(0);
+  l.write_unlock(0);
+  EXPECT_EQ(l.current_budget(0), 8);
+}
+
+// ---- KvServer ---------------------------------------------------------------
+
+template <class Lock>
+void roundtrip_trial(bool node_local) {
+  const Topology topo = Topology::simulated(2, 4);
+  typename KvServer<Lock>::Config cfg;
+  cfg.workers_per_node = 2;
+  cfg.node_local_dispatch = node_local;
+  cfg.node_local_alloc = node_local;
+  KvServer<Lock> server(topo, cfg);
+
+  for (std::uint64_t k = 0; k < 200; ++k) server.put(k, k + 1000);
+  EXPECT_EQ(server.map().size(), 200u);
+  for (std::uint64_t k = 0; k < 200; k += 17) {
+    const auto v = server.get(k);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, k + 1000);
+  }
+  EXPECT_FALSE(server.get(9999).has_value());
+
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 150; k < 250; ++k) keys.push_back(k);
+  std::vector<std::optional<std::uint64_t>> out(keys.size());
+  const std::uint64_t hits = server.get_many(keys, out.data());
+  EXPECT_EQ(hits, 50u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(out[i].has_value(), keys[i] < 200) << "key " << keys[i];
+    if (out[i]) {
+      EXPECT_EQ(*out[i], keys[i] + 1000);
+    }
+  }
+
+  EXPECT_TRUE(server.erase(0));
+  EXPECT_FALSE(server.erase(0));
+  server.shutdown();
+}
+
+TEST(KvServer, RoundtripsUnderBothDispatchArms) {
+  roundtrip_trial<CohortWriterPriorityLock>(true);
+  roundtrip_trial<CohortWriterPriorityLock>(false);
+  roundtrip_trial<AdaptiveCohortStarvationFreeLock>(true);
+  roundtrip_trial<WriterPriorityLock>(true);  // non-cohort locks serve too
+}
+
+TEST(KvServer, NodeLocalDispatchRunsBatchesOnlyOnOwningPools) {
+  const Topology topo = Topology::simulated(2, 4);
+  KvServer<CohortWriterPriorityLock>::Config cfg;
+  cfg.workers_per_node = 2;
+  KvServer<CohortWriterPriorityLock> server(topo, cfg);
+
+  // Collect keys owned by node 1 only (preload goes through map(), so the
+  // pools see no traffic before the batch).
+  std::vector<std::uint64_t> node1_keys;
+  for (std::uint64_t k = 0; node1_keys.size() < 32; ++k)
+    if (server.map().node_of_key(k) == 1) node1_keys.push_back(k);
+  for (const std::uint64_t k : node1_keys) server.map().put(0, k, k);
+
+  const std::uint64_t hits = server.get_many(node1_keys);
+  EXPECT_EQ(hits, node1_keys.size());
+  server.shutdown();
+  const serve::NodeServeStats n0 = server.node_stats(0);
+  const serve::NodeServeStats n1 = server.node_stats(1);
+  EXPECT_EQ(n0.ops, 0u) << "node 0's pool saw node 1's keys";
+  EXPECT_EQ(n1.ops, node1_keys.size());
+  EXPECT_EQ(n1.completed, 1u);
+  EXPECT_GT(n1.latency_mean_ns, 0.0);
+}
+
+TEST(KvServer, ShutdownCompletesInFlightRequestsAndRefusesNewOnes) {
+  const Topology topo = Topology::simulated(2, 4);
+  KvServer<CohortWriterPriorityLock>::Config cfg;
+  cfg.workers_per_node = 1;
+  cfg.queue_capacity = 512;
+  KvServer<CohortWriterPriorityLock> server(topo, cfg);
+  for (std::uint64_t k = 0; k < 64; ++k) server.map().put(0, k, 7 * k);
+
+  // Pile up async batches, then shut down with them in flight: every
+  // submitted request must still complete with correct results.
+  constexpr int kRequests = 60;
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < 64; ++k) keys.push_back(k);
+  std::vector<std::unique_ptr<Request>> reqs;
+  for (int r = 0; r < kRequests; ++r) {
+    auto req = std::make_unique<Request>();
+    req->kind = RequestKind::kGetBatch;
+    req->keys = keys.data();
+    req->key_count = static_cast<std::uint32_t>(keys.size());
+    ASSERT_TRUE(server.submit(req.get()));
+    reqs.push_back(std::move(req));
+  }
+  server.shutdown();
+  std::uint64_t expected_sum = 0;
+  for (std::uint64_t k = 0; k < 64; ++k) expected_sum += 7 * k;
+  for (const auto& req : reqs) {
+    req->wait();  // must terminate: drained, not dropped
+    EXPECT_EQ(req->hits.load(), 64u);
+    EXPECT_EQ(req->value_sum.load(), expected_sum);
+  }
+
+  // After shutdown: refused, but the latch still resolves.
+  Request late;
+  late.kind = RequestKind::kGetBatch;
+  late.keys = keys.data();
+  late.key_count = static_cast<std::uint32_t>(keys.size());
+  EXPECT_FALSE(server.submit(&late));
+  late.wait();
+  EXPECT_EQ(late.hits.load(), 0u);
+}
+
+TEST(KvServer, ConcurrentClientsKeepAggregatesConsistent) {
+  const Topology topo = Topology::simulated(2, 4);
+  KvServer<AdaptiveCohortStarvationFreeLock>::Config cfg;
+  cfg.workers_per_node = 2;
+  KvServer<AdaptiveCohortStarvationFreeLock> server(topo, cfg);
+
+  constexpr int kClients = 4;
+  constexpr int kOps = 120;
+  run_threads(kClients, [&](std::size_t c) {
+    std::vector<std::uint64_t> batch;
+    for (int i = 0; i < kOps; ++i) {
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(c) * 1000 + static_cast<std::uint64_t>(i);
+      if (i % 3 == 0) {
+        server.put(key, key);
+      } else {
+        batch.push_back(key);
+        if (batch.size() == 8) {
+          (void)server.get_many(batch);
+          batch.clear();
+        }
+      }
+    }
+    if (!batch.empty()) (void)server.get_many(batch);
+  });
+  server.shutdown();
+  const MapStats s = server.map().stats();
+  EXPECT_EQ(s.puts, static_cast<std::uint64_t>(kClients * 40));
+  EXPECT_EQ(s.size, static_cast<std::uint64_t>(kClients * 40));
+  std::uint64_t pool_ops = 0;
+  for (int d = 0; d < server.node_count(); ++d)
+    pool_ops += server.node_stats(d).ops;
+  EXPECT_EQ(pool_ops, static_cast<std::uint64_t>(kClients * kOps));
+}
+
+}  // namespace
+}  // namespace bjrw

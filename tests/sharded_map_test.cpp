@@ -207,5 +207,79 @@ TEST(ShardedMap, WorksWithEveryPriorityRegime) {
   EXPECT_EQ(c.get(1, 1).value(), 30);
 }
 
+// Probe lock counting read-side acquisitions — the instrument behind the
+// get_many lock-dedup contract below.
+class CountingLock {
+ public:
+  explicit CountingLock(int max_threads) : inner_(max_threads) {}
+  void read_lock(int tid) {
+    read_locks.fetch_add(1, std::memory_order_relaxed);
+    inner_.read_lock(tid);
+  }
+  void read_unlock(int tid) { inner_.read_unlock(tid); }
+  void write_lock(int tid) { inner_.write_lock(tid); }
+  void write_unlock(int tid) { inner_.write_unlock(tid); }
+
+  std::atomic<std::uint64_t> read_locks{0};
+
+ private:
+  WriterPriorityLock inner_;
+};
+static_assert(ReaderWriterLock<CountingLock>);
+
+// The serving contract behind the bulk path: a batch takes each shard's
+// read lock exactly once per *distinct shard touched*, never once per key —
+// on both the small-batch (bitmask) and large-batch (bucket) groupings —
+// and duplicated keys are still all resolved.
+TEST(ShardedMap, GetManyTakesEachShardLockOncePerBatch) {
+  constexpr std::size_t kShards = 8;
+  ShardedMap<std::uint64_t, std::uint64_t, CountingLock> m(1, kShards);
+  for (std::uint64_t k = 0; k < 64; ++k) m.put(0, k, k);
+
+  const auto read_locks_taken = [&] {
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < m.shard_count(); ++s)
+      total += m.shard_lock(s).read_locks.load(std::memory_order_relaxed);
+    return total;
+  };
+  const auto distinct_shards = [&](const std::vector<std::uint64_t>& keys) {
+    std::vector<bool> seen(kShards, false);
+    std::size_t n = 0;
+    for (const std::uint64_t k : keys) {
+      const std::size_t s = std::hash<std::uint64_t>{}(k) % kShards;
+      if (!seen[s]) ++n;
+      seen[s] = true;
+    }
+    return static_cast<std::uint64_t>(n);
+  };
+
+  // Small-batch path (<= 64 keys), duplicates included: 24 keys but at
+  // most kShards distinct shards.
+  std::vector<std::uint64_t> small;
+  for (std::uint64_t k = 0; k < 12; ++k) {
+    small.push_back(k);
+    small.push_back(k);  // hot-key duplicate, same shard by definition
+  }
+  const std::uint64_t before_small = read_locks_taken();
+  const auto got_small = m.get_many(0, small);
+  EXPECT_EQ(read_locks_taken() - before_small, distinct_shards(small));
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    ASSERT_TRUE(got_small[i].has_value());
+    EXPECT_EQ(*got_small[i], small[i]);
+  }
+
+  // Large-batch path (> 64 keys): 200 lookups, at most kShards lock
+  // acquisitions.
+  std::vector<std::uint64_t> large;
+  for (std::uint64_t k = 0; k < 200; ++k) large.push_back(k % 50);
+  const std::uint64_t before_large = read_locks_taken();
+  const auto got_large = m.get_many(0, large);
+  EXPECT_EQ(read_locks_taken() - before_large, distinct_shards(large));
+  for (std::size_t i = 0; i < large.size(); ++i) {
+    ASSERT_TRUE(got_large[i].has_value());
+    EXPECT_EQ(*got_large[i], large[i]);
+  }
+}
+
 }  // namespace
 }  // namespace bjrw
