@@ -124,6 +124,9 @@ void run(BenchContext& ctx) {
   Table wall({"lock", "threads", "read_ratio", "read_mops", "total_mops"});
   sweep_wallclock<WriterPriorityLock>(ctx, wall, "plain_mw_wpref");
   sweep_wallclock<DistWriterPriorityLock>(ctx, wall, "dist_mw_wpref");
+  // Policy column (DESIGN.md §2): the same transform with the proven
+  // hot-path weakenings honored; E19 (fence_cost) has the per-op breakdown.
+  sweep_wallclock<HotDistWriterPriorityLock>(ctx, wall, "dist_mw_wpref/hot");
   sweep_wallclock<BigReaderLock<>>(ctx, wall, "base_bigreader");
   wall.print(std::cout);
 
@@ -132,6 +135,11 @@ void run(BenchContext& ctx) {
              "wr_max"});
   sweep_rmr<MwWriterPrefLock<P, S>>(ctx, rmr, "rmr/plain_mw_wpref");
   sweep_rmr<DistMwWriterPrefLock<P, S>>(ctx, rmr, "rmr/dist_mw_wpref");
+  // RMR counts are ordering-independent by construction (§2); this row
+  // recording the hot-path policy under the instrumented cache model keeps
+  // that claim measured rather than assumed.
+  sweep_rmr<DistMwWriterPrefLock<InstrumentedHotPathProvider, S>>(
+      ctx, rmr, "rmr/dist_mw_wpref/hot");
   rmr.print(std::cout);
 
   std::cout << "\nReading the tables: the dist fast path is one local F&A + "

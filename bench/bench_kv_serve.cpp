@@ -130,6 +130,9 @@ void run(BenchContext& ctx) {
   for (double rf : {0.95, 0.99}) {
     serve_row<WriterPriorityLock>(ctx, t, "mw_wpref", rf);
     serve_row<DistWriterPriorityLock>(ctx, t, "dist_mw_wpref", rf);
+    // Policy column (DESIGN.md §2): the serving configuration with the
+    // hot-path ordering policy on the per-shard dist locks.
+    serve_row<HotDistWriterPriorityLock>(ctx, t, "dist_mw_wpref/hot", rf);
     serve_row<CohortWriterPriorityLock>(ctx, t, "cohort_mw_wpref", rf);
     serve_row<SharedMutexRwLock>(ctx, t, "std_shared_mutex", rf);
   }

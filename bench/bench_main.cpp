@@ -180,6 +180,10 @@ void write_machine_json(std::ostream& os, bool pinned) {
      << "\", \"topology_source\": \"" << json_escape(topo.source())
      << "\", \"compiler\": \"" << json_escape(compiler_id())
      << "\", \"build_type\": \"" << json_escape(build_type())
+     // The build's memory-ordering policy (DESIGN.md §2): like `pinned`,
+     // a different policy is a different measurement regime, and
+     // scripts/bench_compare.py refuses to hold the two against each other.
+     << "\", \"order_policy\": \"" << json_escape(DefaultOrderPolicy::name())
      << "\", \"pinned\": " << (pinned ? "true" : "false") << "},\n";
 }
 

@@ -53,6 +53,14 @@ struct SimCohortSf : CohortMwStarvationFreeLock<> {
   explicit SimCohortSf(int n)
       : CohortMwStarvationFreeLock<>(n, Topology::simulated(N, C)) {}
 };
+// Policy column (DESIGN.md §2): the same cohort shard locks with the
+// hot-path ordering policy honored.
+template <int N, int C>
+struct SimHotCohortWp : CohortMwWriterPrefLock<HotPathProvider> {
+  explicit SimHotCohortWp(int n)
+      : CohortMwWriterPrefLock<HotPathProvider>(n, Topology::simulated(N, C)) {
+  }
+};
 template <int N, int C>
 struct SimAdaptiveCohortSf : AdaptiveCohortMwStarvationFreeLock<> {
   explicit SimAdaptiveCohortSf(int n)
@@ -229,6 +237,8 @@ void run(BenchContext& ctx) {
       ctx, t, {"place/local/2x4", 2, 4, 0.95, true, true});
   runtime_row<SimCohortWp<2, 4>>(
       ctx, t, {"place/oblivious/2x4", 2, 4, 0.95, false, true});
+  runtime_row<SimHotCohortWp<2, 4>>(
+      ctx, t, {"place/local/2x4/hot", 2, 4, 0.95, true, true});
   runtime_row<SimCohortWp<4, 2>>(
       ctx, t, {"place/local/4x2", 4, 2, 0.95, true, true});
   runtime_row<SimCohortWp<4, 2>>(

@@ -186,6 +186,20 @@ def pinned_mismatch(baseline, fresh):
     return bool(b.get("pinned", False)) != bool(f.get("pinned", False))
 
 
+def order_policy_mismatch(baseline, fresh):
+    """True when the two runs were built with different memory-ordering
+    policies (DESIGN.md §2).
+
+    Same rule as `pinned`: a hotpath build executes different fence
+    instructions, so its wall-clock numbers are a different measurement
+    regime from a seq_cst build's and the two are never compared — not even
+    under --strict-throughput.  Documents predating the `order_policy`
+    header key are seq_cst (the only policy that existed)."""
+    b, f = baseline.get("machine") or {}, fresh.get("machine") or {}
+    return (b.get("order_policy", "seq_cst") !=
+            f.get("order_policy", "seq_cst"))
+
+
 def comparable_machines(baseline, fresh):
     """True when wall-clock numbers from the two runs can be held against
     each other: same hardware_concurrency, same compiler family, and the
@@ -194,6 +208,8 @@ def comparable_machines(baseline, fresh):
     if not b or not f:
         return False
     if pinned_mismatch(baseline, fresh):
+        return False
+    if order_policy_mismatch(baseline, fresh):
         return False
     if b.get("hardware_concurrency") != f.get("hardware_concurrency"):
         return False
@@ -210,12 +226,13 @@ def fmt_machine(doc):
             f"topology {m.get('topology', '?')} "
             f"({m.get('topology_source', '?')}), "
             f"{m.get('compiler', '?')}, {m.get('build_type', '?')}, "
+            f"order_policy {m.get('order_policy', 'seq_cst')}, "
             f"{'pinned' if m.get('pinned') else 'unpinned'}")
 
 
 def write_report(path, args, baseline, fresh, rmr_failures, tp_table,
                  tp_failures, tp_hard, matched, baseline_only, fresh_only,
-                 pin_differs=False):
+                 pin_differs=False, policy_differs=False):
     lines = ["# bench-regression report", ""]
     lines.append(f"* baseline: `{args.baseline}` — {fmt_machine(baseline)}")
     lines.append(f"* fresh:    `{args.fresh}` — {fmt_machine(fresh)}")
@@ -247,6 +264,14 @@ def write_report(path, args, baseline, fresh, rmr_failures, tp_table,
                      "rows are never compared against unpinned baselines "
                      "(not even under --strict-throughput).  Re-run the "
                      "baseline with the matching --pin setting.")
+        lines.append("")
+    elif policy_differs:
+        lines.append("The two documents were built with different memory-"
+                     "ordering policies (BJRW_ORDER_POLICY): a hotpath "
+                     "build executes different fence instructions, so its "
+                     "wall-clock rows are never compared against a seq_cst "
+                     "baseline (not even under --strict-throughput).  "
+                     "Refresh the baseline from a matching-policy build.")
         lines.append("")
     elif tp_failures and not tp_hard:
         lines.append("Throughput drops above were downgraded to warnings: "
@@ -293,14 +318,17 @@ def main():
     structural, tp_failures, tp_table = check_throughput(
         baseline_idx, fresh_idx, args.max_drop)
     pin_differs = pinned_mismatch(baseline, fresh)
+    policy_differs = order_policy_mismatch(baseline, fresh)
     tp_hard = (args.strict_throughput or
-               comparable_machines(baseline, fresh)) and not pin_differs
+               comparable_machines(baseline, fresh)) \
+        and not pin_differs and not policy_differs
 
     text = write_report(args.report, args, baseline, fresh,
                         rmr_failures + structural, tp_table, tp_failures,
                         tp_hard, matched,
                         len(baseline_idx) - matched,
-                        len(fresh_idx) - matched, pin_differs)
+                        len(fresh_idx) - matched, pin_differs,
+                        policy_differs)
     print(text)
     hard_failures = (rmr_failures + structural +
                      (tp_failures if tp_hard else []))

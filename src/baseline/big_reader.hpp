@@ -20,7 +20,7 @@
 
 namespace bjrw {
 
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 class BigReaderLock {
   template <class T>
   using Atomic = typename Provider::template Atomic<T>;

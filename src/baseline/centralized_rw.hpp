@@ -17,7 +17,7 @@
 namespace bjrw {
 
 // State word: bit 63 = writer active; bits 0..31 = active reader count.
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 class CentralizedReaderPrefRwLock {
   template <class T>
   using Atomic = typename Provider::template Atomic<T>;
@@ -53,7 +53,7 @@ class CentralizedReaderPrefRwLock {
 
 // State word: bit 63 = writer active; bits 40..62 = writers waiting;
 // bits 0..31 = active reader count.  New readers defer to waiting writers.
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 class CentralizedWriterPrefRwLock {
   template <class T>
   using Atomic = typename Provider::template Atomic<T>;

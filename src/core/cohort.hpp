@@ -32,7 +32,12 @@
 //   reader overtake a node-mate writer queued in the cohort layer, outside
 //   the wrapped lock's doorway.
 //
-// Correctness (all shared accesses seq_cst, as everywhere in this library):
+// Correctness (seq_cst under the default SeqCstPolicy; the annotated
+// ordering requests below are honored only under HotPathPolicy, and every
+// such site appears in the DESIGN.md §2 ordering ledger with its proof
+// gate — the per-node Dekker pair is RMW-vs-RMW exactly like
+// dist_reader.hpp, and the node-ticket handoff is a release publish /
+// acquire consume pair):
 //
 //  * Exclusion (P1).  Fast-path reader: bump own slot, then load own node's
 //    gate.  Batch leader: F&A every node's gate, then sweep every slot,
@@ -150,7 +155,7 @@ class AdaptiveBudget {
   int budget_ = kCohortHandoffBudgetDefault;
 };
 
-template <class Lock, class Provider = StdProvider, class Spin = YieldSpin,
+template <class Lock, class Provider = DefaultProvider, class Spin = YieldSpin,
           class Budget = FixedBudget>
 class CohortLock {
   template <class T>
@@ -190,13 +195,21 @@ class CohortLock {
     // The tid→node/slot mapping is fixed at construction, so resolve it once
     // into each tid's own padded context line: the hot paths then read one
     // line they already own instead of walking the topology tables per op.
+    // While resolving, detect whether the map is injective: an exclusively
+    // owned slot is a single-writer counter, which lets the reader egress
+    // weaken to a release store (ledger site C4, same proof as dist D4).
+    std::unique_ptr<int[]> occupancy = std::make_unique<int[]>(
+        static_cast<std::size_t>(node_count_ * slots_per_node_));
+    bool exclusive = true;
     for (int t = 0; t < max_threads; ++t) {
       const int node = topo_.node_of_tid(t);
       rctx_[idx(t)].node = node;
       rctx_[idx(t)].slot = static_cast<int>(
           idx(node * slots_per_node_ + topo_.lane_of_tid(t) % slots_per_node_));
       wctx_[idx(t)].node = node;
+      if (++occupancy[idx(rctx_[idx(t)].slot)] > 1) exclusive = false;
     }
+    exclusive_slots_ = exclusive;
     for (int d = 0; d < node_count_; ++d)
       queues_[idx(d)].policy = Budget(budget_);
   }
@@ -206,14 +219,17 @@ class CohortLock {
   void read_lock(int tid) {
     ReaderCtx& ctx = rctx_[idx(tid)];
     NodeGate& g = gates_[idx(ctx.node)];
-    if (g.rgate.load() == 0) {           // writers quiescent: try fast path
+    // Ledger sites C1-C3 (DESIGN.md §2): same shape as dist_reader.hpp's
+    // D1-D3, per node — the slot F&A is the reader's Dekker RMW, the gate
+    // checks are acquires.
+    if (g.rgate.load(ord::acquire) == 0) {  // writers quiescent: fast path
       Slot& s = slots_[idx(ctx.slot)];
-      s.count.fetch_add(1);              // announce on the node-local slot
-      if (g.rgate.load() == 0) {         // recheck: Dekker vs. the raise
+      s.count.fetch_add(1, ord::acq_rel);  // announce on the node-local slot
+      if (g.rgate.load(ord::acquire) == 0) {  // recheck: Dekker vs. raise
         ctx.fast = 1;
         return;
       }
-      s.count.fetch_sub(1);              // lost the race: back out
+      slot_release(s);                     // lost the race: back out
     }
     if constexpr (kReaderPreempt)
       reader_waiting_.store(1, std::memory_order_relaxed);  // advisory signal
@@ -224,7 +240,7 @@ class CohortLock {
   void read_unlock(int tid) {
     ReaderCtx& ctx = rctx_[idx(tid)];
     if (ctx.fast != 0)
-      slots_[idx(ctx.slot)].count.fetch_sub(1);  // node-local egress
+      slot_release(slots_[idx(ctx.slot)]);  // node-local egress (C4)
     else
       inner_.read_unlock(tid);
   }
@@ -233,19 +249,24 @@ class CohortLock {
 
   void write_lock(int tid) {
     NodeQueue& q = queues_[idx(wctx_[idx(tid)].node)];
-    const std::int64_t my = q.tickets.fetch_add(1);  // join the node queue
+    // Ledger sites C5-C8: the ticket draw needs only RMW atomicity (the
+    // handoff happens-before edge rides the serving release/acquire pair,
+    // C6/C10, which also carries the plain batch fields); the gate raise is
+    // the leader's Dekker RMW and the sweep probes are acquires (C7/C8).
+    const std::int64_t my = q.tickets.fetch_add(1, ord::relaxed);
     wctx_[idx(tid)].ticket = my;
-    spin_until<Spin>([&] { return q.serving.load() == my; });
+    spin_until<Spin>([&] { return q.serving.load(ord::acquire) == my; });
     if (q.handoff != 0) {     // inherit the batch: gates up, slots drained,
       q.handoff = 0;          // wrapped lock still held under owner_tid
       return;
     }
     // Cohort leader: fresh global acquisition.
     for (int d = 0; d < node_count_; ++d)  // raise every node's gate
-      gates_[idx(d)].rgate.fetch_add(1);
+      gates_[idx(d)].rgate.fetch_add(1, ord::acq_rel);
     const int total = node_count_ * slots_per_node_;
     for (int i = 0; i < total; ++i)        // drain fast-path readers
-      spin_until<Spin>([&] { return slots_[idx(i)].count.load() == 0; });
+      spin_until<Spin>(
+          [&] { return slots_[idx(i)].count.load(ord::acquire) == 0; });
     inner_.write_lock(tid);                // the paper lock arbitrates nodes
     q.owner_tid = tid;
     q.batch = 0;
@@ -254,13 +275,20 @@ class CohortLock {
 
   void write_unlock(int tid) {
     NodeQueue& q = queues_[idx(wctx_[idx(tid)].node)];
-    const bool successor = q.tickets.load() > wctx_[idx(tid)].ticket + 1;
+    // Ledger site C9: the successor probe is a monotone-counter read — a
+    // stale (smaller) value only misses a handoff and ends the batch, which
+    // is always safe — so it needs no ordering at all.
+    const bool successor =
+        q.tickets.load(ord::relaxed) > wctx_[idx(tid)].ticket + 1;
     const bool exhausted = q.batch >= q.policy.budget();
     if (!exhausted && successor && !reader_preempted()) {
       ++q.batch;                 // pass the whole batch state to the next
       ++q.handoffs;
       q.handoff = 1;             // local writer: global lock stays held
-      q.serving.fetch_add(1);
+      // Ledger site C10: the batch-handoff publish — the release half
+      // carries every plain NodeQueue field (handoff, owner_tid, batch,
+      // policy state) to the successor's acquire spin (C6).
+      q.serving.fetch_add(1, ord::release);
       return;
     }
     // Batch ends.  Reaching here with a non-exhausted budget and a queued
@@ -277,8 +305,11 @@ class CohortLock {
       reader_waiting_.store(0, std::memory_order_relaxed);
     inner_.write_unlock(q.owner_tid);      // release under the leader's tid
     for (int d = 0; d < node_count_; ++d)  // reopen the fast path
-      gates_[idx(d)].rgate.fetch_sub(1);
-    q.serving.fetch_add(1);
+      // Ledger site C11: release half publishes the batch's CS writes to
+      // fast-path readers admitted by a later acquire gate check (C1).
+      gates_[idx(d)].rgate.fetch_sub(1, ord::acq_rel);
+    // Ledger site C10 again: the batch-end publish to the next leader.
+    q.serving.fetch_add(1, ord::release);
   }
 
   // ---- observers (tests/benches) -------------------------------------------
@@ -362,7 +393,8 @@ class CohortLock {
   };
   // The plain fields are guarded by the ticket protocol: they are accessed
   // only between observing serving == my-ticket and the matching serving
-  // increment, whose seq_cst pairing carries the happens-before edge.
+  // increment, whose release/acquire pairing (seq_cst under the default
+  // policy) carries the happens-before edge.
   struct alignas(64) NodeQueue {
     NodeQueue() : tickets(0), serving(0) {}
     Atomic<std::int64_t> tickets;
@@ -387,10 +419,33 @@ class CohortLock {
     int node = 0;
   };
 
+  // Ledger site C4: the reader egress, identical reasoning to dist D4 —
+  // not a Dekker side, so an exclusively owned slot (injective tid→slot
+  // map, detected at construction) weakens to relaxed load + release
+  // store; shared slots (lanes folded modulo slots_per_node) keep the
+  // acq_rel RMW.  Proven by the explorer's kStoreEgress configuration
+  // (weak_model.hpp) under both drain disciplines.  As in dist_reader,
+  // the split egress is compiled only when the policy honors the release
+  // request, so a SeqCstPolicy build keeps the historical single RMW.
+  static constexpr bool kWeakEgress =
+      Provider::OrderPolicy::template map<ord::Release>() !=
+      std::memory_order_seq_cst;
+
+  void slot_release(Slot& s) {
+    if constexpr (kWeakEgress) {
+      if (exclusive_slots_) {
+        s.count.store(s.count.load(ord::relaxed) - 1, ord::release);
+        return;
+      }
+    }
+    s.count.fetch_sub(1, ord::acq_rel);
+  }
+
   const Topology topo_;
   const int node_count_;
   const int slots_per_node_;
   const int budget_;
+  bool exclusive_slots_ = false;  // tid→slot injective: single-writer slots
   // Reader-preemption signal: set (relaxed) by a diverting reader before it
   // enters the wrapped lock's read protocol, consumed by the releasing
   // writer, which ends its batch.  Advisory only — batch length is bounded
@@ -407,15 +462,15 @@ class CohortLock {
 };
 
 // The three priority regimes with the cohort transform on top.
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 using CohortMwStarvationFreeLock =
     CohortLock<MwStarvationFreeLock<Provider, Spin>, Provider, Spin>;
 
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 using CohortMwReaderPrefLock =
     CohortLock<MwReaderPrefLock<Provider, Spin>, Provider, Spin>;
 
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 using CohortMwWriterPrefLock =
     CohortLock<MwWriterPrefLock<Provider, Spin>, Provider, Spin>;
 
@@ -424,17 +479,17 @@ using CohortMwWriterPrefLock =
 // semantics; the one cross-policy behavior change of the policy refactor
 // is that every batch end now clears the advisory reader flag (so a stale
 // flag cannot cut the next batch) and counts preemption aborts.
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 using AdaptiveCohortMwStarvationFreeLock =
     CohortLock<MwStarvationFreeLock<Provider, Spin>, Provider, Spin,
                AdaptiveBudget>;
 
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 using AdaptiveCohortMwReaderPrefLock =
     CohortLock<MwReaderPrefLock<Provider, Spin>, Provider, Spin,
                AdaptiveBudget>;
 
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 using AdaptiveCohortMwWriterPrefLock =
     CohortLock<MwWriterPrefLock<Provider, Spin>, Provider, Spin,
                AdaptiveBudget>;

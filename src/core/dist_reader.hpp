@@ -27,7 +27,9 @@
 //   amortize it: while any writer's gate is up the slots stay drained, so a
 //   back-to-back writer's sweep re-reads S cached zeros (zero RMRs on CC).
 //
-// Correctness sketch (all accesses seq_cst, as everywhere in this library):
+// Correctness sketch (seq_cst under the default SeqCstPolicy; the annotated
+// ordering *requests* below are honored only under HotPathPolicy — see the
+// DESIGN.md §2 ordering ledger for each site's proof gate):
 //
 //  * Exclusion (P1).  A fast-path reader increments its slot and *then* loads
 //    `wpending`; a writer increments `wpending` and *then* reads the slots.
@@ -37,6 +39,13 @@
 //    writer's increment — then the reader's slot increment also precedes the
 //    writer's sweep reads, so the sweep observes the reader and waits for its
 //    decrement.  The standard store/load (Dekker) argument, per slot.
+//    Under HotPathPolicy the argument survives because both Dekker sides
+//    are *RMWs* (slot F&A, gate F&A): an RMW drains the store buffer
+//    before acting, so the "both sides miss" outcome of relaxed
+//    store-buffering cannot occur — the property the explorer's TSO mode
+//    checks exhaustively (src/model/weak_model.hpp, including the
+//    store-indicator ablation that must break) and the litmus SB shape
+//    pins on hardware (tests/litmus_test.cpp).
 //
 //  * Sweep termination.  Readers check the gate *before* touching their
 //    slot, so once a writer's `wpending` increment completes, every later
@@ -78,7 +87,7 @@
 
 namespace bjrw {
 
-template <class Lock, class Provider = StdProvider, class Spin = YieldSpin>
+template <class Lock, class Provider = DefaultProvider, class Spin = YieldSpin>
 class DistributedReaderLock {
   template <class T>
   using Atomic = typename Provider::template Atomic<T>;
@@ -92,6 +101,7 @@ class DistributedReaderLock {
   explicit DistributedReaderLock(int max_threads, int slots = 0)
       : slot_count_(slots > 0 ? std::min(slots, max_threads)
                               : std::min(max_threads, kDefaultMaxSlots)),
+        exclusive_slots_(slot_count_ == max_threads),
         wpending_(0),
         inner_(max_threads),
         slots_(std::make_unique<Slot[]>(static_cast<std::size_t>(slot_count_))),
@@ -103,14 +113,19 @@ class DistributedReaderLock {
   // ---- reader side ---------------------------------------------------------
 
   void read_lock(int tid) {
-    if (wpending_.load() == 0) {         // writers quiescent: try fast path
+    // Ledger sites D1-D3 (DESIGN.md §2): the first gate check is advisory
+    // (correctness comes from the recheck), the slot F&A is the reader's
+    // Dekker side (the RMW's buffer drain is what the TSO explorer proves),
+    // and the recheck is an acquire so a seen raise also orders the diverted
+    // reader behind the raising writer's prior release of the gate.
+    if (wpending_.load(ord::acquire) == 0) {  // writers quiescent: fast path
       Slot& s = slots_[idx(slot_of(tid))];
-      s.count.fetch_add(1);              // announce on the local slot
-      if (wpending_.load() == 0) {       // recheck: Dekker vs. writer's raise
+      s.count.fetch_add(1, ord::acq_rel);  // announce on the local slot
+      if (wpending_.load(ord::acquire) == 0) {  // recheck: Dekker vs. raise
         rctx_[idx(tid)].fast = 1;
         return;
       }
-      s.count.fetch_sub(1);              // lost the race: back out
+      slot_release(s);                   // lost the race: back out
     }
     inner_.read_lock(tid);               // slow path: the paper lock's regime
     rctx_[idx(tid)].fast = 0;
@@ -118,7 +133,7 @@ class DistributedReaderLock {
 
   void read_unlock(int tid) {
     if (rctx_[idx(tid)].fast != 0)
-      slots_[idx(slot_of(tid))].count.fetch_sub(1);  // local egress
+      slot_release(slots_[idx(slot_of(tid))]);  // local egress (D4)
     else
       inner_.read_unlock(tid);
   }
@@ -126,15 +141,21 @@ class DistributedReaderLock {
   // ---- writer side ---------------------------------------------------------
 
   void write_lock(int tid) {
-    wpending_.fetch_add(1);            // raise the gate: new readers divert
+    // Ledger sites D5-D6: the raise is the writer's Dekker RMW; each sweep
+    // probe is an acquire load, so the observed decrement of the last
+    // draining reader happens-before the writer's CS.
+    wpending_.fetch_add(1, ord::acq_rel);  // raise: new readers divert
     for (int i = 0; i < slot_count_; ++i)  // drain fast-path readers
-      spin_until<Spin>([&] { return slots_[idx(i)].count.load() == 0; });
+      spin_until<Spin>(
+          [&] { return slots_[idx(i)].count.load(ord::acquire) == 0; });
     inner_.write_lock(tid);            // serialize writers, exclude slow path
   }
 
   void write_unlock(int tid) {
     inner_.write_unlock(tid);
-    wpending_.fetch_sub(1);            // last writer out lowers the gate
+    // Ledger site D7: the release half publishes the writer's CS writes to
+    // fast-path readers admitted by a subsequent acquire gate check.
+    wpending_.fetch_sub(1, ord::acq_rel);  // last writer out lowers the gate
   }
 
   // ---- observers (tests/benches) -------------------------------------------
@@ -154,7 +175,42 @@ class DistributedReaderLock {
 
   int slot_of(int tid) const { return tid % slot_count_; }
 
+  // Ledger site D4: the reader's egress.  Unlike the announce (D2), the
+  // egress is not a Dekker side — nothing the reader does afterwards
+  // depends on its visibility, and a delayed decrement only makes the
+  // writer's sweep wait longer.  So when the tid→slot map is injective
+  // (slot_count == max_threads — what the default configuration yields up
+  // to the kDefaultMaxSlots=64 cap; beyond it slots are shared and the
+  // RMW branch below governs) the slot is a
+  // single-writer counter and the decrement weakens all the way to a
+  // relaxed load + release store — on x86 that replaces a lock-prefixed
+  // RMW with a plain store, the dist fast path's E19 win.  The explorer's
+  // store-buffer mode proves the store-egress protocol safe under both
+  // drain disciplines (weak_model.hpp kStoreEgress — contrast with the
+  // *announce*-store ablation, which it proves broken), and the release
+  // half still publishes the reader's CS reads to the sweeping writer's
+  // acquire probe.  Shared slots (an explicit narrow `slots` argument)
+  // keep the acq_rel RMW: two owners' plain stores would lose decrements.
+  // The split egress is taken only when the policy actually honors the
+  // release request: under SeqCstPolicy it would lower to two seq_cst
+  // operations — a strictly worse spelling of the historical fetch_sub —
+  // so the default build keeps the pre-port protocol bit-for-bit.
+  static constexpr bool kWeakEgress =
+      Provider::OrderPolicy::template map<ord::Release>() !=
+      std::memory_order_seq_cst;
+
+  void slot_release(Slot& s) {
+    if constexpr (kWeakEgress) {
+      if (exclusive_slots_) {
+        s.count.store(s.count.load(ord::relaxed) - 1, ord::release);
+        return;
+      }
+    }
+    s.count.fetch_sub(1, ord::acq_rel);
+  }
+
   const int slot_count_;
+  const bool exclusive_slots_;  // tid→slot injective: slots single-writer
   alignas(64) Atomic<std::int64_t> wpending_;  // writer gate (count of turns)
   Lock inner_;                                 // the paper lock underneath
   std::unique_ptr<Slot[]> slots_;              // padded per-slot reader counts
@@ -162,15 +218,17 @@ class DistributedReaderLock {
 };
 
 // The three priority regimes with distributed reader indicators on top.
-template <class Provider = StdProvider, class Spin = YieldSpin>
+// The wrapped paper lock requests no sub-seq_cst orderings, so it stays SC
+// under either policy; only the transform's own sites weaken.
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 using DistMwStarvationFreeLock =
     DistributedReaderLock<MwStarvationFreeLock<Provider, Spin>, Provider, Spin>;
 
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 using DistMwReaderPrefLock =
     DistributedReaderLock<MwReaderPrefLock<Provider, Spin>, Provider, Spin>;
 
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 using DistMwWriterPrefLock =
     DistributedReaderLock<MwWriterPrefLock<Provider, Spin>, Provider, Spin>;
 

@@ -34,15 +34,21 @@ concept ReaderWriterLock = requires(L& l, int tid) {
 };
 
 // --- the headline locks ----------------------------------------------------
+//
+// All headline aliases resolve their atomics through DefaultProvider, which
+// follows the build-level memory-ordering policy (DESIGN.md §2): seq_cst
+// everywhere by default, or the proven hot-path weakenings under
+// -DBJRW_ORDER_POLICY=hotpath.  A default (seq_cst) build is type-identical
+// to the historical StdProvider aliases.
 
 // No-priority regime: starvation-free for readers and writers (Theorem 3).
-using StarvationFreeLock = MwStarvationFreeLock<StdProvider, YieldSpin>;
+using StarvationFreeLock = MwStarvationFreeLock<DefaultProvider, YieldSpin>;
 
 // Reader-priority regime (Theorem 4).
-using ReaderPriorityLock = MwReaderPrefLock<StdProvider, YieldSpin>;
+using ReaderPriorityLock = MwReaderPrefLock<DefaultProvider, YieldSpin>;
 
 // Writer-priority regime (Theorem 5).
-using WriterPriorityLock = MwWriterPrefLock<StdProvider, YieldSpin>;
+using WriterPriorityLock = MwWriterPrefLock<DefaultProvider, YieldSpin>;
 
 static_assert(ReaderWriterLock<StarvationFreeLock>);
 static_assert(ReaderWriterLock<ReaderPriorityLock>);
@@ -54,9 +60,9 @@ static_assert(ReaderWriterLock<WriterPriorityLock>);
 // counters: the read fast path becomes a purely local operation (the
 // many-core serving hot path), at the price of an O(slots) writer sweep.
 
-using DistStarvationFreeLock = DistMwStarvationFreeLock<StdProvider, YieldSpin>;
-using DistReaderPriorityLock = DistMwReaderPrefLock<StdProvider, YieldSpin>;
-using DistWriterPriorityLock = DistMwWriterPrefLock<StdProvider, YieldSpin>;
+using DistStarvationFreeLock = DistMwStarvationFreeLock<DefaultProvider, YieldSpin>;
+using DistReaderPriorityLock = DistMwReaderPrefLock<DefaultProvider, YieldSpin>;
+using DistWriterPriorityLock = DistMwWriterPrefLock<DefaultProvider, YieldSpin>;
 
 static_assert(ReaderWriterLock<DistStarvationFreeLock>);
 static_assert(ReaderWriterLock<DistReaderPriorityLock>);
@@ -72,11 +78,11 @@ static_assert(ReaderWriterLock<DistWriterPriorityLock>);
 // simulate other shapes.
 
 using CohortStarvationFreeLock =
-    CohortMwStarvationFreeLock<StdProvider, YieldSpin>;
+    CohortMwStarvationFreeLock<DefaultProvider, YieldSpin>;
 using CohortReaderPriorityLock =
-    CohortMwReaderPrefLock<StdProvider, YieldSpin>;
+    CohortMwReaderPrefLock<DefaultProvider, YieldSpin>;
 using CohortWriterPriorityLock =
-    CohortMwWriterPrefLock<StdProvider, YieldSpin>;
+    CohortMwWriterPrefLock<DefaultProvider, YieldSpin>;
 
 static_assert(ReaderWriterLock<CohortStarvationFreeLock>);
 static_assert(ReaderWriterLock<CohortReaderPriorityLock>);
@@ -88,15 +94,43 @@ static_assert(ReaderWriterLock<CohortWriterPriorityLock>);
 // runtime (src/serve/) selects these per deployment.
 
 using AdaptiveCohortStarvationFreeLock =
-    AdaptiveCohortMwStarvationFreeLock<StdProvider, YieldSpin>;
+    AdaptiveCohortMwStarvationFreeLock<DefaultProvider, YieldSpin>;
 using AdaptiveCohortReaderPriorityLock =
-    AdaptiveCohortMwReaderPrefLock<StdProvider, YieldSpin>;
+    AdaptiveCohortMwReaderPrefLock<DefaultProvider, YieldSpin>;
 using AdaptiveCohortWriterPriorityLock =
-    AdaptiveCohortMwWriterPrefLock<StdProvider, YieldSpin>;
+    AdaptiveCohortMwWriterPrefLock<DefaultProvider, YieldSpin>;
 
 static_assert(ReaderWriterLock<AdaptiveCohortStarvationFreeLock>);
 static_assert(ReaderWriterLock<AdaptiveCohortReaderPriorityLock>);
 static_assert(ReaderWriterLock<AdaptiveCohortWriterPriorityLock>);
+
+// --- explicit hot-path-policy variants ---------------------------------------
+//
+// The weakened-ordering builds of the two transforms that carry weakened
+// sites, independent of the build-level default: these are what the litmus
+// and stress matrices exercise in every configuration, so the hot-path
+// protocol is compiled and run even when the build default is seq_cst.
+// (The paper locks have no annotated sites — a HotPathProvider paper lock
+// is operationally identical to the seq_cst one — so only the transforms
+// get named hot aliases.)
+
+using HotDistStarvationFreeLock =
+    DistMwStarvationFreeLock<HotPathProvider, YieldSpin>;
+using HotDistReaderPriorityLock =
+    DistMwReaderPrefLock<HotPathProvider, YieldSpin>;
+using HotDistWriterPriorityLock =
+    DistMwWriterPrefLock<HotPathProvider, YieldSpin>;
+using HotCohortStarvationFreeLock =
+    CohortMwStarvationFreeLock<HotPathProvider, YieldSpin>;
+using HotCohortReaderPriorityLock =
+    CohortMwReaderPrefLock<HotPathProvider, YieldSpin>;
+using HotCohortWriterPriorityLock =
+    CohortMwWriterPrefLock<HotPathProvider, YieldSpin>;
+
+static_assert(ReaderWriterLock<HotDistStarvationFreeLock>);
+static_assert(ReaderWriterLock<HotDistWriterPriorityLock>);
+static_assert(ReaderWriterLock<HotCohortStarvationFreeLock>);
+static_assert(ReaderWriterLock<HotCohortWriterPriorityLock>);
 
 // --- RAII guards -------------------------------------------------------------
 

@@ -49,12 +49,12 @@ class MwTransform {
 };
 
 // Theorem 3: multi-writer multi-reader, starvation-free, no priority.
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 using MwStarvationFreeLock =
     MwTransform<SwWriterPrefLock<Provider, Spin>, AndersonLock<Provider, Spin>>;
 
 // Theorem 4: multi-writer multi-reader, reader priority.
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 using MwReaderPrefLock =
     MwTransform<SwReaderPrefLock<Provider, Spin>, AndersonLock<Provider, Spin>>;
 

@@ -32,7 +32,7 @@
 
 namespace bjrw {
 
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 class SwWriterPrefLock {
   template <class T>
   using Atomic = typename Provider::template Atomic<T>;

@@ -5,6 +5,16 @@
 // sum types (PID ∪ {true}; PID ∪ {false} ∪ {0,1}).  We pack each into one
 // 64-bit word so a single hardware F&A / CAS performs exactly the
 // multi-component atomic operation the paper assumes.
+//
+// Memory-ordering note (ledger site W1, DESIGN.md §2): the helpers here are
+// pure bit arithmetic and carry no ordering of their own — single-RMW
+// multi-component updates need only per-word atomicity and carry-freedom,
+// which hold under *every* ordering policy.  The ordering of the packed
+// words' accesses is whatever the enclosing protocol requests through its
+// Provider; the paper locks request none, so their composite words stay
+// seq_cst under HotPathPolicy too.  The weak-memory litmus suite
+// (tests/litmus_test.cpp) reuses these encodings for its reader-indicator
+// shapes so the packed-word path is exercised under honored weak orderings.
 #pragma once
 
 #include <cstdint>

@@ -9,6 +9,7 @@
 // scheduled; that is the default policy.
 #pragma once
 
+#include <atomic>
 #include <thread>
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -29,9 +30,20 @@ struct PauseSpin {
   static void relax() noexcept {
 #if defined(__x86_64__) || defined(__i386__)
     _mm_pause();
-#else
-    // Fall back to a compiler barrier so the loop is not optimized away.
+#elif defined(__aarch64__)
+    // `isb` stalls the front end for a few cycles — long enough to yield
+    // the store port to the sibling, short enough to notice the spin
+    // target promptly.  Preferred over `yield`, which many cores retire as
+    // a pure NOP (folly/absl use the same idiom); on weakly-ordered ARM it
+    // is also where the relaxed in-loop reloads of the hot-path policy
+    // (DESIGN.md §2) pick up remote invalidations.
+    asm volatile("isb" ::: "memory");
+#elif defined(__GNUC__) || defined(__clang__)
+    // Portable fallback: a compiler barrier so the loop body is re-read
+    // from memory instead of being optimized away.
     asm volatile("" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
 #endif
   }
 };

@@ -33,6 +33,93 @@
 
 namespace bjrw::model {
 
+// --- store-buffer / reordering machinery (relaxed-memory gate, §2) ----------
+//
+// The BFS explorer above/below is memory-model-agnostic: a Model's step
+// function defines what a "shared-memory operation" does.  The paper models
+// execute under sequential consistency; the weak-memory models
+// (src/model/weak_model.hpp) thread this per-process store buffer through
+// their state instead, which turns the same explorer into a store-buffer
+// model checker:
+//
+//   * plain stores enter the process's bounded FIFO buffer and become
+//     globally visible only when a separate, nondeterministically scheduled
+//     *flush* transition drains them (the explorer enumerates every drain
+//     timing);
+//   * loads forward from the process's own buffer (newest entry for the
+//     location) before falling back to memory — TSO store-to-load
+//     forwarding;
+//   * RMWs drain the whole buffer first (modeled as: enabled only when the
+//     buffer is empty), then act on memory atomically — the x86-TSO rule
+//     that makes lock-prefixed operations full barriers, and the C++-level
+//     behaviour of an acq_rel RMW with respect to the thread's own earlier
+//     stores.
+//
+// Two drain disciplines are exposed: kTso drains oldest-first (FIFO write
+// buffer — x86-TSO delayed visibility), and kReordered drains *any* buffered
+// store (stores to different locations may overtake each other — the
+// weaker-than-TSO behaviour a plain relaxed store has in the C++ model when
+// no release edge orders it).  A protocol proven under kReordered needs no
+// ordering between its buffered stores at all; one proven only under kTso
+// is documenting a release edge (or an RMW drain) as load-bearing.
+namespace tso {
+
+// Oldest-first is index 0.  The struct is raw-byte-hashed as part of the
+// model state, so vacated entries are re-zeroed to keep keys canonical.
+struct Buffer {
+  static constexpr int kCap = 3;
+
+  std::uint8_t n = 0;
+  struct Entry {
+    std::uint8_t loc = 0;
+    std::uint8_t val = 0;
+  } e[kCap];
+
+  bool empty() const { return n == 0; }
+  bool full() const { return n == kCap; }
+
+  void push(std::uint8_t loc, std::uint8_t val) {
+    e[n].loc = loc;
+    e[n].val = val;
+    ++n;
+  }
+
+  // TSO store-to-load forwarding: the *newest* buffered store to `loc`.
+  bool forward(std::uint8_t loc, std::uint8_t* out) const {
+    for (int i = n; i-- > 0;) {
+      if (e[i].loc == loc) {
+        *out = e[i].val;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Drains entry `i` (0 = oldest).  Under kTso only i == 0 is legal.
+  Entry drain(int i) {
+    const Entry out = e[i];
+    for (int j = i; j + 1 < n; ++j) e[j] = e[j + 1];
+    --n;
+    e[n] = Entry{};  // canonical bytes for the visited-set key
+    return out;
+  }
+};
+
+enum class Drain : std::uint8_t {
+  kTso,        // FIFO: only the oldest buffered store may become visible
+  kReordered,  // any buffered store may become visible (weaker than TSO)
+};
+
+// A load as the weak models execute it: own-buffer forwarding, else memory.
+inline std::uint8_t read(const std::uint8_t* mem, const Buffer& buf,
+                         std::uint8_t loc) {
+  std::uint8_t fwd = 0;
+  if (buf.forward(loc, &fwd)) return fwd;
+  return mem[loc];
+}
+
+}  // namespace tso
+
 enum class StepOutcome : std::uint8_t {
   kProgress,  // proc took a step; `out` is the successor state
   kBlocked,   // proc is spinning on a condition that is currently false

@@ -1,0 +1,435 @@
+// Weak-memory models of the hot-path protocols (DESIGN.md §2 gate 1).
+//
+// These models re-express the *weakened* protocol sites — the ones that
+// request sub-seq_cst orderings under HotPathPolicy — at the level the
+// store-buffer machinery in explorer.hpp understands: plain stores are
+// buffered and drain nondeterministically, loads forward from the issuing
+// process's own buffer, RMWs drain the buffer before acting.  The explorer
+// then enumerates every interleaving *and* every drain timing of a bounded
+// configuration, checking mutual exclusion (or publish visibility) in every
+// reachable state.
+//
+// Two protocols, each with ablations that must be caught:
+//
+//   WeakDistReaderModel — the distributed reader-indicator fast path
+//   (dist_reader.hpp sites D1-D7; the cohort per-node groups C1-C4/C7-C8
+//   are the same shape per node).  The sound protocol's Dekker pair is
+//   RMW-vs-RMW, so its store buffers stay empty and its reachable states
+//   coincide with the SC ones — that collapse, verified exhaustively, is
+//   the proof that the acq_rel weakening cannot introduce delayed-
+//   visibility behaviours.  The kStoreEgress configuration additionally
+//   clears the shipped exclusive-slot egress optimization (D4/C4: relaxed
+//   load + release store instead of an RMW): the egress is not a Dekker
+//   side, and the model verifies its buffered form safe under both drain
+//   disciplines.  Ablations:
+//     * kStoreIndicator: the slot announce becomes a buffered plain store
+//       (the "cheaper" brlock-style indicator one might be tempted to
+//       write, since each slot has one owner) — the classic store-buffering
+//       outcome appears and the explorer must report the P1 violation;
+//     * kNoRecheck: the gate recheck after the announce is removed — an
+//       interleaving (not even a reordering) bug the checker must catch,
+//       proving its detection power does not hinge on buffer effects.
+//
+//   WeakCohortHandoffModel — the node-ticket batch-handoff publish
+//   (cohort.hpp sites C6/C10): the releasing writer writes plain batch
+//   fields (handoff flag, owner/batch data), then bumps `serving`; the
+//   successor spins on `serving` and reads the plain fields.  Sound
+//   variant: the bump is an RMW (the release-RMW publish) — safe under
+//   both drain disciplines.  Ablation kPlainPublish: the bump is a
+//   buffered plain store; under kTso the FIFO buffer still saves it
+//   (recorded as exactly the TSO-only guarantee), under kReordered the
+//   serving bump overtakes the field writes and the explorer must report
+//   the stale-field violation — the C++-model justification for the
+//   release edge on C10.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/model/explorer.hpp"
+
+namespace bjrw::model {
+
+// Shared flush transition for models that expose their buffers as
+// `State::buf[]` and memory as `State::mem[]`: pseudo-proc q addresses
+// (proc, buffer entry) pairs, and the drain discipline decides which
+// entries may become visible.  One definition so both models below —
+// and any future weak model — check the *same* store-buffer semantics.
+template <class State>
+StepOutcome tso_flush_step(const State& s, int q, tso::Drain drain,
+                           State& out) {
+  const int proc = q / tso::Buffer::kCap;
+  const int entry = q % tso::Buffer::kCap;
+  if (entry >= s.buf[proc].n) return StepOutcome::kDone;
+  if (drain == tso::Drain::kTso && entry != 0) return StepOutcome::kDone;
+  out = s;
+  const tso::Buffer::Entry e = out.buf[proc].drain(entry);
+  out.mem[e.loc] = e.val;
+  return StepOutcome::kProgress;
+}
+
+// --- distributed reader-indicator fast path ---------------------------------
+
+class WeakDistReaderModel {
+ public:
+  enum class Ablation : std::uint8_t {
+    kNone,            // the shipped HotPathPolicy protocol (RMW everywhere)
+    kStoreEgress,     // shipped exclusive-slot optimization: announce stays
+                      // an RMW, egress (exit/backout) is a buffered plain
+                      // store — must verify SAFE; this run is what clears
+                      // the D4/C4 release-store egress
+    kStoreIndicator,  // the *announce* too becomes a buffered plain store
+                      // — must break (the Dekker side needs the RMW drain)
+    kNoRecheck,       // gate recheck after the announce removed — must break
+  };
+
+  static constexpr int kMaxReaders = 3;
+  static constexpr int kMaxWriters = 2;
+  static constexpr int kMaxProcs = kMaxReaders + kMaxWriters;
+  static constexpr int kLocGate = 0;  // loc 1+r = reader r's slot
+
+  struct State {
+    std::uint8_t mem[1 + kMaxReaders];
+    std::uint8_t pc[kMaxProcs];
+    std::uint8_t att[kMaxProcs];    // attempts completed
+    std::uint8_t sweep[kMaxProcs];  // writer sweep index
+    std::uint8_t inner_readers;     // SC abstraction of the wrapped lock
+    std::uint8_t inner_writer;
+    tso::Buffer buf[kMaxProcs];
+  };
+
+  WeakDistReaderModel(int readers, int writers, int attempts,
+                      Ablation ablation = Ablation::kNone,
+                      tso::Drain drain = tso::Drain::kTso)
+      : readers_(readers),
+        writers_(writers),
+        attempts_(attempts),
+        ablation_(ablation),
+        drain_(drain) {}
+
+  State initial() const {
+    State s{};
+    for (int p = readers_ + writers_; p < kMaxProcs; ++p)
+      s.pc[p] = kPcFinished;
+    return s;
+  }
+
+  // Program procs [0, n), then one flush pseudo-proc per (proc, buffer
+  // slot): draining buffered stores is a transition like any other, so the
+  // explorer enumerates every visibility timing.
+  int num_procs() const {
+    return (readers_ + writers_) * (1 + tso::Buffer::kCap);
+  }
+
+  StepOutcome step(const State& s, int proc, State& out) const {
+    const int n = readers_ + writers_;
+    if (proc >= n) return tso_flush_step(s, proc - n, drain_, out);
+    if (s.pc[proc] == kPcFinished) return StepOutcome::kDone;
+    out = s;
+    return proc < readers_ ? reader_step(out, proc)
+                           : writer_step(out, proc);
+  }
+
+  std::string check(const State& s) const {
+    int fast_cs = 0, slow_cs = 0, writer_cs = 0;
+    for (int r = 0; r < readers_; ++r) {
+      if (s.pc[r] == kPcFastCs) ++fast_cs;
+      if (s.pc[r] == kPcSlowCs) ++slow_cs;
+    }
+    for (int w = readers_; w < readers_ + writers_; ++w)
+      if (s.pc[w] == kPcWriterCs) ++writer_cs;
+    if (writer_cs > 1) return "P1 violation: two writers in the CS";
+    if (writer_cs == 1 && (fast_cs > 0 || slow_cs > 0)) {
+      std::string why = "P1 violation: reader and writer in the CS (fast=";
+      why += std::to_string(fast_cs);
+      why += " slow=";
+      why += std::to_string(slow_cs);
+      why += ")";
+      return why;
+    }
+    return "";
+  }
+
+  std::string describe(const State& s) const {
+    std::string d = "gate=";
+    d += std::to_string(s.mem[kLocGate]);
+    d += " slots=[";
+    for (int r = 0; r < readers_; ++r) {
+      if (r) d += ",";
+      d += std::to_string(s.mem[1 + r]);
+    }
+    d += "] pc=[";
+    for (int p = 0; p < readers_ + writers_; ++p) {
+      if (p) d += ",";
+      d += std::to_string(s.pc[p]);
+      if (!s.buf[p].empty()) {
+        d += "+";
+        d += std::to_string(s.buf[p].n);
+        d += "buf";
+      }
+    }
+    d += "] inner(r=";
+    d += std::to_string(s.inner_readers);
+    d += ",w=";
+    d += std::to_string(s.inner_writer);
+    d += ")";
+    return d;
+  }
+
+ private:
+  // Reader PCs.
+  static constexpr std::uint8_t kPcGateCheck = 0;
+  static constexpr std::uint8_t kPcAnnounce = 1;
+  static constexpr std::uint8_t kPcRecheck = 2;
+  static constexpr std::uint8_t kPcFastCs = 3;
+  static constexpr std::uint8_t kPcBackout = 4;
+  static constexpr std::uint8_t kPcSlowAcquire = 5;
+  static constexpr std::uint8_t kPcSlowCs = 6;
+  // Writer PCs.
+  static constexpr std::uint8_t kPcRaise = 0;
+  static constexpr std::uint8_t kPcSweep = 1;
+  static constexpr std::uint8_t kPcInnerAcquire = 2;
+  static constexpr std::uint8_t kPcWriterCs = 3;
+  static constexpr std::uint8_t kPcLower = 4;
+  static constexpr std::uint8_t kPcFinished = 200;
+
+  std::uint8_t slot_loc(int reader) const {
+    return static_cast<std::uint8_t>(1 + reader);
+  }
+
+  void complete_attempt(State& s, int p) const {
+    s.att[p] = static_cast<std::uint8_t>(s.att[p] + 1);
+    s.pc[p] = s.att[p] >= attempts_ ? kPcFinished : std::uint8_t{0};
+  }
+
+  // One slot write: an RMW (drains the buffer first) or a buffered plain
+  // store, as the configuration dictates per site.
+  StepOutcome slot_write(State& s, int p, std::uint8_t val,
+                         std::uint8_t next_pc, bool buffered) const {
+    const std::uint8_t loc = slot_loc(p);
+    if (buffered) {
+      if (s.buf[p].full()) return StepOutcome::kBlocked;
+      s.buf[p].push(loc, val);
+    } else {
+      if (!s.buf[p].empty()) return StepOutcome::kBlocked;  // RMW drain rule
+      s.mem[loc] = val;
+    }
+    s.pc[p] = next_pc;
+    return StepOutcome::kProgress;
+  }
+
+  bool announce_buffered() const {
+    return ablation_ == Ablation::kStoreIndicator;
+  }
+  bool egress_buffered() const {
+    return ablation_ == Ablation::kStoreIndicator ||
+           ablation_ == Ablation::kStoreEgress;
+  }
+
+  StepOutcome reader_step(State& s, int p) const {
+    switch (s.pc[p]) {
+      case kPcGateCheck:
+        s.pc[p] = tso::read(s.mem, s.buf[p], kLocGate) == 0 ? kPcAnnounce
+                                                            : kPcSlowAcquire;
+        return StepOutcome::kProgress;
+      case kPcAnnounce:
+        return slot_write(s, p, 1,
+                          ablation_ == Ablation::kNoRecheck ? kPcFastCs
+                                                            : kPcRecheck,
+                          announce_buffered());
+      case kPcRecheck:
+        s.pc[p] = tso::read(s.mem, s.buf[p], kLocGate) == 0 ? kPcFastCs
+                                                            : kPcBackout;
+        return StepOutcome::kProgress;
+      case kPcFastCs: {  // exit step: retreat from the slot
+        const std::uint8_t cur = tso::read(s.mem, s.buf[p], slot_loc(p));
+        const StepOutcome o =
+            slot_write(s, p, static_cast<std::uint8_t>(cur - 1), kPcGateCheck,
+                       egress_buffered());
+        if (o == StepOutcome::kProgress) {
+          s.pc[p] = kPcGateCheck;  // slot_write set it; recompute completion
+          s.att[p] = static_cast<std::uint8_t>(s.att[p] + 1);
+          if (s.att[p] >= attempts_) s.pc[p] = kPcFinished;
+        }
+        return o;
+      }
+      case kPcBackout:
+        return slot_write(s, p, 0, kPcSlowAcquire, egress_buffered());
+      case kPcSlowAcquire:
+        if (s.inner_writer != 0) return StepOutcome::kBlocked;
+        s.inner_readers = static_cast<std::uint8_t>(s.inner_readers + 1);
+        s.pc[p] = kPcSlowCs;
+        return StepOutcome::kProgress;
+      case kPcSlowCs:
+        s.inner_readers = static_cast<std::uint8_t>(s.inner_readers - 1);
+        complete_attempt(s, p);
+        return StepOutcome::kProgress;
+      default:
+        return StepOutcome::kDone;
+    }
+  }
+
+  StepOutcome writer_step(State& s, int p) const {
+    switch (s.pc[p]) {
+      case kPcRaise:  // gate F&A: an RMW, so the buffer must be empty
+        if (!s.buf[p].empty()) return StepOutcome::kBlocked;
+        s.mem[kLocGate] = static_cast<std::uint8_t>(s.mem[kLocGate] + 1);
+        s.pc[p] = kPcSweep;
+        s.sweep[p] = 0;
+        return StepOutcome::kProgress;
+      case kPcSweep: {
+        if (tso::read(s.mem, s.buf[p], slot_loc(s.sweep[p])) != 0)
+          return StepOutcome::kBlocked;  // a fast-path reader is inside
+        s.sweep[p] = static_cast<std::uint8_t>(s.sweep[p] + 1);
+        if (s.sweep[p] >= readers_) s.pc[p] = kPcInnerAcquire;
+        return StepOutcome::kProgress;
+      }
+      case kPcInnerAcquire:
+        if (s.inner_writer != 0 || s.inner_readers != 0)
+          return StepOutcome::kBlocked;
+        s.inner_writer = 1;
+        s.pc[p] = kPcWriterCs;
+        return StepOutcome::kProgress;
+      case kPcWriterCs:
+        s.inner_writer = 0;
+        s.pc[p] = kPcLower;
+        return StepOutcome::kProgress;
+      case kPcLower:
+        if (!s.buf[p].empty()) return StepOutcome::kBlocked;  // RMW drain
+        s.mem[kLocGate] = static_cast<std::uint8_t>(s.mem[kLocGate] - 1);
+        complete_attempt(s, p);
+        return StepOutcome::kProgress;
+      default:
+        return StepOutcome::kDone;
+    }
+  }
+
+  const int readers_;
+  const int writers_;
+  const int attempts_;
+  const Ablation ablation_;
+  const tso::Drain drain_;
+};
+
+// --- cohort node-ticket handoff publish -------------------------------------
+
+class WeakCohortHandoffModel {
+ public:
+  enum class Publish : std::uint8_t {
+    kRmw,    // serving bump as a (release-)RMW — the shipped C10 site
+    kPlain,  // ablation: serving bump as a buffered plain store
+  };
+
+  static constexpr int kProcs = 2;  // leader, successor
+  static constexpr int kLocServing = 0;
+  static constexpr int kLocHandoff = 1;
+  static constexpr int kLocData = 2;
+  static constexpr std::uint8_t kDataValue = 7;
+
+  struct State {
+    std::uint8_t mem[3];
+    std::uint8_t pc[kProcs];
+    std::uint8_t obs_handoff;
+    std::uint8_t obs_data;
+    tso::Buffer buf[kProcs];
+  };
+
+  explicit WeakCohortHandoffModel(Publish publish,
+                                  tso::Drain drain = tso::Drain::kTso)
+      : publish_(publish), drain_(drain) {}
+
+  State initial() const { return State{}; }
+
+  int num_procs() const { return kProcs * (1 + tso::Buffer::kCap); }
+
+  StepOutcome step(const State& s, int proc, State& out) const {
+    if (proc >= kProcs) return tso_flush_step(s, proc - kProcs, drain_, out);
+    out = s;
+    return proc == 0 ? leader_step(out) : successor_step(out);
+  }
+
+  std::string check(const State& s) const {
+    // Once the successor has consumed the serving bump, the plain batch
+    // fields the leader wrote before it must be visible — this is the
+    // contract the cohort write_lock relies on when it inherits a batch.
+    if (s.pc[1] >= 2 && s.obs_handoff != 1)
+      return "handoff publish violation: successor took its turn but the "
+             "handoff flag write was not yet visible";
+    if (s.pc[1] >= 3 && s.obs_data != kDataValue)
+      return "handoff publish violation: successor took its turn but the "
+             "batch data write was not yet visible";
+    return "";
+  }
+
+  std::string describe(const State& s) const {
+    std::string d = "serving=";
+    d += std::to_string(s.mem[kLocServing]);
+    d += " handoff=";
+    d += std::to_string(s.mem[kLocHandoff]);
+    d += " data=";
+    d += std::to_string(s.mem[kLocData]);
+    d += " pc=[";
+    d += std::to_string(s.pc[0]);
+    d += ",";
+    d += std::to_string(s.pc[1]);
+    d += "] obs=(";
+    d += std::to_string(s.obs_handoff);
+    d += ",";
+    d += std::to_string(s.obs_data);
+    d += ")";
+    return d;
+  }
+
+ private:
+  StepOutcome leader_step(State& s) const {
+    switch (s.pc[0]) {
+      case 0:  // plain field write: handoff flag
+        if (s.buf[0].full()) return StepOutcome::kBlocked;
+        s.buf[0].push(kLocHandoff, 1);
+        s.pc[0] = 1;
+        return StepOutcome::kProgress;
+      case 1:  // plain field write: batch data (owner_tid/batch/policy)
+        if (s.buf[0].full()) return StepOutcome::kBlocked;
+        s.buf[0].push(kLocData, kDataValue);
+        s.pc[0] = 2;
+        return StepOutcome::kProgress;
+      case 2:  // the serving bump
+        if (publish_ == Publish::kRmw) {
+          if (!s.buf[0].empty()) return StepOutcome::kBlocked;  // RMW drain
+          s.mem[kLocServing] = 1;
+        } else {
+          if (s.buf[0].full()) return StepOutcome::kBlocked;
+          s.buf[0].push(kLocServing, 1);
+        }
+        s.pc[0] = 3;
+        return StepOutcome::kProgress;
+      default:
+        return StepOutcome::kDone;
+    }
+  }
+
+  StepOutcome successor_step(State& s) const {
+    switch (s.pc[1]) {
+      case 0:  // spin on serving
+        if (tso::read(s.mem, s.buf[1], kLocServing) != 1)
+          return StepOutcome::kBlocked;
+        s.pc[1] = 1;
+        return StepOutcome::kProgress;
+      case 1:
+        s.obs_handoff = tso::read(s.mem, s.buf[1], kLocHandoff);
+        s.pc[1] = 2;
+        return StepOutcome::kProgress;
+      case 2:
+        s.obs_data = tso::read(s.mem, s.buf[1], kLocData);
+        s.pc[1] = 3;
+        return StepOutcome::kProgress;
+      default:
+        return StepOutcome::kDone;
+    }
+  }
+
+  const Publish publish_;
+  const tso::Drain drain_;
+};
+
+}  // namespace bjrw::model

@@ -23,7 +23,7 @@
 
 namespace bjrw {
 
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 class AndersonLock {
   template <class T>
   using Atomic = typename Provider::template Atomic<T>;
@@ -41,17 +41,31 @@ class AndersonLock {
     slots_[0].flag.store(1);
   }
 
+  // Ordering requests (ledger sites A1-A3, DESIGN.md §2; honored only under
+  // HotPathPolicy).  The handoff is the release-store / acquire-spin pair.
+  // Slot *reuse* after ticket wrap-around stays safe under the weakening:
+  // nslots >= max_threads and one-outstanding-ticket-per-thread mean a
+  // thread re-spinning on slot k at ticket k+nslots previously completed
+  // some turn j in [k, k+nslots) — so it sits happens-after turn k's
+  // release chain (its own program order when j == k, the per-turn
+  // release/acquire chain through slots k+1..j otherwise), and read-write
+  // coherence forbids it from re-reading turn k's stale enable flag.  The
+  // ticket draw itself is deliberately left at the seq_cst default: Anderson
+  // is the substrate of the paper's multi-writer transform, and §2 keeps
+  // every un-annotated substrate operation SC.  Gated by the MP litmus
+  // shape and the TSan hotpath matrix.
   void lock(int tid) {
     const std::uint64_t ticket = tail_.fetch_add(1);
     const std::uint64_t slot = ticket & (nslots_ - 1);
     my_slot_[idx(tid)].slot = slot;
-    spin_until<Spin>([&] { return slots_[slot].flag.load() != 0; });
+    spin_until<Spin>(
+        [&] { return slots_[slot].flag.load(ord::acquire) != 0; });  // A1
   }
 
   void unlock(int tid) {
     const std::uint64_t slot = my_slot_[idx(tid)].slot;
-    slots_[slot].flag.store(0);
-    slots_[(slot + 1) & (nslots_ - 1)].flag.store(1);
+    slots_[slot].flag.store(0, ord::release);                        // A2
+    slots_[(slot + 1) & (nslots_ - 1)].flag.store(1, ord::release);  // A3
   }
 
  private:

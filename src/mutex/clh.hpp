@@ -13,7 +13,7 @@
 
 namespace bjrw {
 
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 class ClhLock {
   template <class T>
   using Atomic = typename Provider::template Atomic<T>;
@@ -28,18 +28,25 @@ class ClhLock {
     for (int t = 0; t < max_threads; ++t) ctx_[idx(t)].mine = &pool_[idx(t) + 1];
   }
 
+  // Ordering requests (ledger sites L1-L3, DESIGN.md §2; honored only under
+  // HotPathPolicy): the flag set is a plain write published by the acq_rel
+  // tail exchange; the handoff is the release-store / acquire-spin pair.
+  // The recycled node is safe because the recycler's acquire spin on it
+  // happens-after its previous owner's release store — a plain
+  // release/acquire chain, gated by the MP litmus shape + TSan matrix.
   void lock(int tid) {
     PerThread& me = ctx_[idx(tid)];
-    me.mine->locked.store(1);
-    Node* pred = tail_.exchange(me.mine);
+    me.mine->locked.store(1, ord::relaxed);        // published by L1
+    Node* pred = tail_.exchange(me.mine, ord::acq_rel);  // L1: enqueue publish
     me.pred = pred;
-    spin_until<Spin>([&] { return pred->locked.load() == 0; });
+    spin_until<Spin>(
+        [&] { return pred->locked.load(ord::acquire) == 0; });  // L2: handoff
   }
 
   void unlock(int tid) {
     PerThread& me = ctx_[idx(tid)];
     Node* released = me.mine;
-    released->locked.store(0);
+    released->locked.store(0, ord::release);  // L3: handoff release store
     // Classic CLH node recycling: take the predecessor's node for next time.
     me.mine = me.pred;
     me.pred = nullptr;

@@ -13,7 +13,7 @@
 
 namespace bjrw {
 
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 class McsLock {
   template <class T>
   using Atomic = typename Provider::template Atomic<T>;
@@ -31,26 +31,34 @@ class McsLock {
     }
   }
 
+  // Ordering requests (ledger sites M1-M4, DESIGN.md §2; honored only under
+  // HotPathPolicy): the node-field initializers are plain own-node writes
+  // published by the acq_rel tail exchange / release next link; the handoff
+  // is the textbook release-store / acquire-spin pair.  Every edge is a
+  // plain-C++-memory-model release/acquire chain (no TSO argument needed);
+  // the MP litmus shape and the TSan hotpath matrix gate it.
   void lock(int tid) {
     Node& me = nodes_[idx(tid)];
-    me.next.store(nullptr);
-    me.locked.store(1);
-    Node* pred = tail_.exchange(&me);
+    me.next.store(nullptr, ord::relaxed);  // published by the exchange (M1)
+    me.locked.store(1, ord::relaxed);
+    Node* pred = tail_.exchange(&me, ord::acq_rel);  // M1: enqueue publish
     if (pred != nullptr) {
-      pred->next.store(&me);
-      spin_until<Spin>([&] { return me.locked.load() == 0; });
+      pred->next.store(&me, ord::release);  // M2: link publish
+      spin_until<Spin>(
+          [&] { return me.locked.load(ord::acquire) == 0; });  // M3: handoff
     }
   }
 
   void unlock(int tid) {
     Node& me = nodes_[idx(tid)];
-    Node* succ = me.next.load();
+    Node* succ = me.next.load(ord::acquire);  // M2 consume
     if (succ == nullptr) {
-      if (tail_.cas(&me, nullptr)) return;
+      if (tail_.cas(&me, nullptr, ord::acq_rel)) return;  // M1: CS publish
       // A successor is enqueueing; wait for it to link itself.
-      spin_until<Spin>([&] { return (succ = me.next.load()) != nullptr; });
+      spin_until<Spin>(
+          [&] { return (succ = me.next.load(ord::acquire)) != nullptr; });
     }
-    succ->locked.store(0);
+    succ->locked.store(0, ord::release);  // M4: handoff release store
   }
 
  private:

@@ -11,7 +11,7 @@
 
 namespace bjrw {
 
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 class TicketLock {
   template <class T>
   using Atomic = typename Provider::template Atomic<T>;
@@ -19,14 +19,19 @@ class TicketLock {
  public:
   explicit TicketLock(int /*max_threads*/ = 0) : next_(0), serving_(0) {}
 
+  // Ordering requests (ledger sites T1-T3, DESIGN.md §2; honored only
+  // under HotPathPolicy): the ticket draw needs RMW atomicity only — the
+  // CS happens-before edge rides the serving release/acquire pair, the
+  // textbook weakly-ordered ticket lock.  Gated by the MP litmus shape and
+  // the TSan hotpath matrix.
   void lock(int /*tid*/) {
-    const std::uint64_t my = next_.fetch_add(1);
-    spin_until<Spin>([&] { return serving_.load() == my; });
+    const std::uint64_t my = next_.fetch_add(1, ord::relaxed);  // T1
+    spin_until<Spin>([&] { return serving_.load(ord::acquire) == my; });  // T2
   }
 
   void unlock(int /*tid*/) {
     // Only the holder writes `serving`, so load+store is race-free.
-    serving_.store(serving_.load() + 1);
+    serving_.store(serving_.load(ord::relaxed) + 1, ord::release);  // T3
   }
 
  private:

@@ -11,7 +11,7 @@
 
 namespace bjrw {
 
-template <class Provider = StdProvider, class Spin = YieldSpin>
+template <class Provider = DefaultProvider, class Spin = YieldSpin>
 class TtasLock {
   template <class T>
   using Atomic = typename Provider::template Atomic<T>;
@@ -19,14 +19,19 @@ class TtasLock {
  public:
   explicit TtasLock(int /*max_threads*/ = 0) : flag_(0) {}
 
+  // Ordering requests (ledger sites S1-S3, DESIGN.md §2; honored only
+  // under HotPathPolicy): the in-loop reload is relaxed — it only decides
+  // when to attempt the exchange, and the exchange's acquire half is what
+  // synchronizes with the releasing store.  Textbook weak TTAS, gated by
+  // the MP litmus shape and the TSan hotpath matrix.
   void lock(int /*tid*/) {
     for (;;) {
-      spin_until<Spin>([&] { return flag_.load() == 0; });
-      if (flag_.exchange(1) == 0) return;
+      spin_until<Spin>([&] { return flag_.load(ord::relaxed) == 0; });  // S1
+      if (flag_.exchange(1, ord::acquire) == 0) return;  // S2
     }
   }
 
-  void unlock(int /*tid*/) { flag_.store(0); }
+  void unlock(int /*tid*/) { flag_.store(0, ord::release); }  // S3
 
  private:
   Atomic<std::uint32_t> flag_;

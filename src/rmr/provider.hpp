@@ -1,17 +1,39 @@
-// Atomics providers.
+// Atomics providers and memory-ordering policies.
 //
 // Every lock in this library is a template over a Provider supplying
-// `Provider::Atomic<T>`, a sequentially-consistent atomic cell.  Two
-// providers exist:
+// `Provider::Atomic<T>`.  Since the relaxed-memory port (DESIGN.md §2),
+// each operation takes a compile-time *ordering request* tag (from
+// namespace `ord`), and the provider's OrderPolicy decides what the
+// request lowers to:
 //
-//   * StdProvider          -- plain std::atomic, for production use and
-//                             wall-clock benchmarks.
-//   * InstrumentedProvider -- std::atomic plus the CacheDirectory RMR model,
-//                             for the paper's RMR-complexity experiments.
+//   * SeqCstPolicy  -- every request lowers to memory_order_seq_cst.
+//                      Bit-identical to the historical provider; the
+//                      production default (the paper's proofs assume SC).
+//   * HotPathPolicy -- requests are honored as written.  Only the sites
+//                      listed in the DESIGN.md §2 ordering ledger request
+//                      anything below seq_cst, and each such site names
+//                      the gate (TSO explorer, litmus suite, TSan matrix)
+//                      that proves its weakening.
 //
-// All operations are memory_order_seq_cst on purpose: the paper's proofs
-// assume sequentially consistent shared memory, and seq_cst is its faithful
-// C++ mapping (see DESIGN.md §2).
+// An operation written without a tag requests ord::SeqCst, so the paper's
+// algorithms (`sw_*`/`mw_*`), which carry no annotations, stay sequentially
+// consistent under *every* policy — exactly the §2 contract.
+//
+// Provider families:
+//
+//   * OrderedProvider<Policy>             -- plain std::atomic cells.
+//       StdProvider     = OrderedProvider<SeqCstPolicy>   (default)
+//       HotPathProvider = OrderedProvider<HotPathPolicy>
+//   * InstrumentedOrderedProvider<Policy> -- the same plus the
+//       CacheDirectory RMR model, for the RMR-complexity experiments.
+//       InstrumentedProvider        = ...<SeqCstPolicy>
+//       InstrumentedHotPathProvider = ...<HotPathPolicy>
+//
+// DefaultProvider tracks the build-level BJRW_ORDER_POLICY switch
+// (CMake -DBJRW_ORDER_POLICY=seq_cst|hotpath): the headline aliases in
+// locks.hpp and the default template arguments resolve through it, so one
+// configure flag substitutes the policy across the whole lock matrix
+// (this is how CI runs the TSan stress shard under HotPathPolicy).
 #pragma once
 
 #include <atomic>
@@ -28,7 +50,79 @@ inline constexpr std::size_t idx(int i) noexcept {
   return static_cast<std::size_t>(i);
 }
 
-struct StdProvider {
+// --- ordering request tags ---------------------------------------------------
+//
+// Passed by value at annotated call sites: `gate.load(ord::acquire)`,
+// `slot.fetch_add(1, ord::acq_rel)`.  The tag is the *request*; the
+// provider's policy decides the realized std::memory_order.
+namespace ord {
+
+struct Relaxed {
+  static constexpr std::memory_order order = std::memory_order_relaxed;
+};
+struct Acquire {
+  static constexpr std::memory_order order = std::memory_order_acquire;
+};
+struct Release {
+  static constexpr std::memory_order order = std::memory_order_release;
+};
+struct AcqRel {
+  static constexpr std::memory_order order = std::memory_order_acq_rel;
+};
+struct SeqCst {
+  static constexpr std::memory_order order = std::memory_order_seq_cst;
+};
+
+inline constexpr Relaxed relaxed{};
+inline constexpr Acquire acquire{};
+inline constexpr Release release{};
+inline constexpr AcqRel acq_rel{};
+inline constexpr SeqCst seq_cst{};
+
+}  // namespace ord
+
+// --- ordering policies -------------------------------------------------------
+
+// The historical semantics: every shared access is sequentially consistent,
+// whatever the site requested.  Keeping this the default preserves the
+// paper's proof assumptions bit-for-bit (DESIGN.md §2).
+struct SeqCstPolicy {
+  static constexpr const char* name() noexcept { return "seq_cst"; }
+  template <class Tag>
+  static constexpr std::memory_order map() noexcept {
+    return std::memory_order_seq_cst;
+  }
+};
+
+// The proven weakening: requests are honored.  Every sub-seq_cst request in
+// the tree appears in the DESIGN.md §2 ordering ledger with the gate that
+// proves it; un-annotated operations still lower to seq_cst.
+struct HotPathPolicy {
+  static constexpr const char* name() noexcept { return "hotpath"; }
+  template <class Tag>
+  static constexpr std::memory_order map() noexcept {
+    return Tag::order;
+  }
+};
+
+// A load request must never lower to a store-only order (and vice versa);
+// the policies above cannot produce that, but the guards keep a future
+// policy honest at compile time.
+template <std::memory_order O>
+inline constexpr bool is_load_order =
+    O == std::memory_order_relaxed || O == std::memory_order_acquire ||
+    O == std::memory_order_seq_cst;
+template <std::memory_order O>
+inline constexpr bool is_store_order =
+    O == std::memory_order_relaxed || O == std::memory_order_release ||
+    O == std::memory_order_seq_cst;
+
+// --- plain provider family ---------------------------------------------------
+
+template <class Policy>
+struct OrderedProvider {
+  using OrderPolicy = Policy;
+
   template <class T>
   class Atomic {
    public:
@@ -36,21 +130,36 @@ struct StdProvider {
     Atomic(const Atomic&) = delete;
     Atomic& operator=(const Atomic&) = delete;
 
-    T load() const noexcept { return v_.load(std::memory_order_seq_cst); }
-    void store(T x) noexcept { v_.store(x, std::memory_order_seq_cst); }
-    T exchange(T x) noexcept {
-      return v_.exchange(x, std::memory_order_seq_cst);
+    template <class Tag = ord::SeqCst>
+    T load(Tag = {}) const noexcept {
+      constexpr std::memory_order o = Policy::template map<Tag>();
+      static_assert(is_load_order<o>);
+      return v_.load(o);
     }
-    T fetch_add(T d) noexcept {
-      return v_.fetch_add(d, std::memory_order_seq_cst);
+    template <class Tag = ord::SeqCst>
+    void store(T x, Tag = {}) noexcept {
+      constexpr std::memory_order o = Policy::template map<Tag>();
+      static_assert(is_store_order<o>);
+      v_.store(x, o);
     }
-    T fetch_sub(T d) noexcept {
-      return v_.fetch_sub(d, std::memory_order_seq_cst);
+    template <class Tag = ord::SeqCst>
+    T exchange(T x, Tag = {}) noexcept {
+      return v_.exchange(x, Policy::template map<Tag>());
     }
-    // Paper-style CAS: returns whether the swap happened.
-    bool cas(T expected, T desired) noexcept {
+    template <class Tag = ord::SeqCst>
+    T fetch_add(T d, Tag = {}) noexcept {
+      return v_.fetch_add(d, Policy::template map<Tag>());
+    }
+    template <class Tag = ord::SeqCst>
+    T fetch_sub(T d, Tag = {}) noexcept {
+      return v_.fetch_sub(d, Policy::template map<Tag>());
+    }
+    // Paper-style CAS: returns whether the swap happened.  The failure
+    // order is derived from the success order (C++17 single-order form).
+    template <class Tag = ord::SeqCst>
+    bool cas(T expected, T desired, Tag = {}) noexcept {
       return v_.compare_exchange_strong(expected, desired,
-                                        std::memory_order_seq_cst);
+                                        Policy::template map<Tag>());
     }
     // DSM home declaration (see rmr::Mode); no-op without instrumentation.
     void set_home(int /*tid*/) noexcept {}
@@ -60,7 +169,20 @@ struct StdProvider {
   };
 };
 
-struct InstrumentedProvider {
+using StdProvider = OrderedProvider<SeqCstPolicy>;
+using HotPathProvider = OrderedProvider<HotPathPolicy>;
+
+// --- instrumented provider family -------------------------------------------
+//
+// RMR accounting is orthogonal to ordering: the CacheDirectory charges are
+// a function of the per-location operation sequence only, so the same
+// instrumentation composes with either policy (the hot-path flat-ceiling
+// gates in tests/rmr_regression_test.cpp rely on exactly this).
+
+template <class Policy>
+struct InstrumentedOrderedProvider {
+  using OrderPolicy = Policy;
+
   template <class T>
   class Atomic {
    public:
@@ -69,32 +191,42 @@ struct InstrumentedProvider {
     Atomic(const Atomic&) = delete;
     Atomic& operator=(const Atomic&) = delete;
 
-    T load() const noexcept {
+    template <class Tag = ord::SeqCst>
+    T load(Tag = {}) const noexcept {
+      constexpr std::memory_order o = Policy::template map<Tag>();
+      static_assert(is_load_order<o>);
       rmr::CacheDirectory::instance().on_read(*loc_);
-      return v_.load(std::memory_order_seq_cst);
+      return v_.load(o);
     }
-    void store(T x) noexcept {
+    template <class Tag = ord::SeqCst>
+    void store(T x, Tag = {}) noexcept {
+      constexpr std::memory_order o = Policy::template map<Tag>();
+      static_assert(is_store_order<o>);
       rmr::CacheDirectory::instance().on_write(*loc_);
-      v_.store(x, std::memory_order_seq_cst);
+      v_.store(x, o);
     }
-    T exchange(T x) noexcept {
+    template <class Tag = ord::SeqCst>
+    T exchange(T x, Tag = {}) noexcept {
       rmr::CacheDirectory::instance().on_write(*loc_);
-      return v_.exchange(x, std::memory_order_seq_cst);
+      return v_.exchange(x, Policy::template map<Tag>());
     }
-    T fetch_add(T d) noexcept {
+    template <class Tag = ord::SeqCst>
+    T fetch_add(T d, Tag = {}) noexcept {
       rmr::CacheDirectory::instance().on_write(*loc_);
-      return v_.fetch_add(d, std::memory_order_seq_cst);
+      return v_.fetch_add(d, Policy::template map<Tag>());
     }
-    T fetch_sub(T d) noexcept {
+    template <class Tag = ord::SeqCst>
+    T fetch_sub(T d, Tag = {}) noexcept {
       rmr::CacheDirectory::instance().on_write(*loc_);
-      return v_.fetch_sub(d, std::memory_order_seq_cst);
+      return v_.fetch_sub(d, Policy::template map<Tag>());
     }
-    bool cas(T expected, T desired) noexcept {
+    template <class Tag = ord::SeqCst>
+    bool cas(T expected, T desired, Tag = {}) noexcept {
       // Even a failed CAS must obtain the cache line in exclusive mode, so
       // it is charged as a write touch.
       rmr::CacheDirectory::instance().on_write(*loc_);
       return v_.compare_exchange_strong(expected, desired,
-                                        std::memory_order_seq_cst);
+                                        Policy::template map<Tag>());
     }
     // Declares which processor's memory module hosts this variable in the
     // DSM model (rmr::Mode::kDSM).  Queue locks whose nodes are per-thread
@@ -108,5 +240,25 @@ struct InstrumentedProvider {
     rmr::CacheDirectory::Location* loc_;
   };
 };
+
+using InstrumentedProvider = InstrumentedOrderedProvider<SeqCstPolicy>;
+using InstrumentedHotPathProvider = InstrumentedOrderedProvider<HotPathPolicy>;
+
+// --- build-level policy selection --------------------------------------------
+//
+// CMake's BJRW_ORDER_POLICY cache variable defines BJRW_ORDER_POLICY_HOTPATH
+// for the hotpath setting; the default build resolves DefaultProvider to
+// StdProvider (the *same type*, so a seq_cst build is unchanged down to the
+// mangled names).  bench_main stamps DefaultOrderPolicy::name() into the
+// bjrw-bench-v1 machine header, and scripts/bench_compare.py refuses to
+// hold runs from different policies against each other.
+#if defined(BJRW_ORDER_POLICY_HOTPATH)
+using DefaultOrderPolicy = HotPathPolicy;
+#else
+using DefaultOrderPolicy = SeqCstPolicy;
+#endif
+using DefaultProvider = OrderedProvider<DefaultOrderPolicy>;
+using InstrumentedDefaultProvider =
+    InstrumentedOrderedProvider<DefaultOrderPolicy>;
 
 }  // namespace bjrw

@@ -17,9 +17,11 @@
 // accesses; head, tail, and the cells are cache-line padded so producers on
 // one node and its consumers never false-share.  Memory ordering follows
 // the published algorithm (acquire/release on the cell sequence, relaxed
-// cursor loads); like the statistics stripes, this infrastructure sits
-// outside the paper protocol and the seq_cst-everywhere rule of DESIGN.md
-// §2, which governs the proven lock algorithms.
+// cursor loads).  Historically this was the documented exception to §2's
+// seq_cst-everywhere rule; since the relaxed-memory port it is simply the
+// normal case of the ordering-policy architecture — the lock protocols
+// now carry their own per-site weak orderings through the Provider
+// policy, recorded in the §2 ledger with their proof gates.
 //
 // Shutdown is graceful by construction: shutdown() flips `stopping`, after
 // which submissions are refused, and workers keep popping until their queue

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "src/harness/topology.hpp"
+#include "src/rmr/provider.hpp"
 
 namespace bjrw {
 namespace {
@@ -89,6 +90,7 @@ TEST_F(BenchSmokeTest, UncontendedRunEmitsValidBenchV1Document) {
                           "\"topology_source\": \"([^\"]+)\", "
                           "\"compiler\": \"([^\"]+)\", "
                           "\"build_type\": \"([^\"]+)\", "
+                          "\"order_policy\": \"([^\"]+)\", "
                           "\"pinned\": (true|false)\\}")))
       << "machine metadata block missing or malformed";
   EXPECT_GT(std::stoi(m[1].str()), 0);
@@ -97,7 +99,13 @@ TEST_F(BenchSmokeTest, UncontendedRunEmitsValidBenchV1Document) {
   EXPECT_TRUE(source == "env" || source == "sysfs" || source == "flat" ||
               source == "simulated")
       << "unexpected topology_source: " << source;
-  EXPECT_EQ(m[6].str(), "false") << "run without --pin must stamp unpinned";
+  // The stamped ordering policy must be the one this build compiled in:
+  // scripts/bench_compare.py keys its never-compare-across-policies rule
+  // (same rule as `pinned`) off this value, so a driver that misstamped it
+  // would let a hotpath run be held against a seq_cst baseline.
+  EXPECT_EQ(m[6].str(), DefaultOrderPolicy::name())
+      << "order_policy stamp must match the compiled BJRW_ORDER_POLICY";
+  EXPECT_EQ(m[7].str(), "false") << "run without --pin must stamp unpinned";
 
   // E11 emits one row per (op, lock) pair plus the mutex rows; the exact
   // count moves as locks are added, so gate on a sane floor.

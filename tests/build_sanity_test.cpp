@@ -89,6 +89,23 @@ TEST(BuildSanity, MutexesUnderInstrumentedProvider) {
   exercise_all_mutex<InstrumentedProvider>();
 }
 
+// The ordering-policy axis (DESIGN.md §2): every variant must instantiate
+// with the weak-ordering requests honored, both plain and instrumented —
+// whatever BJRW_ORDER_POLICY the build itself selected.
+TEST(BuildSanity, RwLocksUnderHotPathProvider) {
+  exercise_all_rw<HotPathProvider>();
+}
+
+TEST(BuildSanity, MutexesUnderHotPathProvider) {
+  exercise_all_mutex<HotPathProvider>();
+}
+
+TEST(BuildSanity, LocksUnderInstrumentedHotPathProvider) {
+  rmr::ScopedTid scoped(0);
+  exercise_all_rw<InstrumentedHotPathProvider>();
+  exercise_all_mutex<InstrumentedHotPathProvider>();
+}
+
 TEST(BuildSanity, SharedMutexRwLockSmoke) {
   exercise_rw<SharedMutexRwLock>();
 }

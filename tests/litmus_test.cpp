@@ -1,0 +1,267 @@
+// Weak-memory litmus suite (tier1 + model; DESIGN.md §2, gate 2): runs the
+// classic litmus shapes *at the orderings the hot-path sites actually
+// request*, through the real Provider atomics, with real threads — the
+// hardware-conformance complement of the store-buffer explorer
+// (tests/model_weak_test.cpp).  Each shape asserts that its forbidden
+// outcome is never observed:
+//
+//   MP   (message passing)  — the mutex-handoff / batch-publish shape
+//        (ledger sites M2-M4, L2-L3, T2-T3, A1-A3, C6/C10): relaxed
+//        payload write, release flag publish, acquire flag consume.
+//   SB   (store buffering)  — the dist/cohort Dekker shape (D2-D3, D5,
+//        C2, C7): announce *RMW* then acquire gate load on both sides;
+//        the RMW's buffer drain is what forbids the both-miss outcome.
+//   IRIW (independent reads of independent writes) — two reader-indicator
+//        slots written by independent writers, observed in opposite orders
+//        by two readers at the protocol's seq_cst-equivalent orderings;
+//        pins the multi-copy-atomic collapse the §2 ledger records.
+//
+// The shapes run through OrderedProvider<HotPathPolicy> (production weak
+// orderings) and InstrumentedOrderedProvider<HotPathPolicy> (the same
+// orderings under the RMR cache model, proving instrumentation composes
+// with the weakening).  On a single-core host the forbidden interleavings
+// cannot physically arise, so the suite is a true-negative there and earns
+// its keep on the multicore CI runners and the aarch64 (weakly-ordered)
+// job.  Deterministic replay: iteration budgets and the per-round jitter
+// windows derive from bjrw::test_seed, so BJRW_TEST_SEED reruns a failing
+// configuration bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/core/words.hpp"
+#include "src/harness/prng.hpp"
+#include "src/rmr/cache_directory.hpp"
+#include "src/rmr/provider.hpp"
+
+namespace bjrw {
+namespace {
+
+// Rounds are sized for the tier-1 budget; the nightly elevated settings
+// rerun the suite with BJRW_TEST_SEED sweeps.
+constexpr int kRounds = 4000;
+
+// Short data-dependent delay: staggers the racing windows differently each
+// round so the shapes probe more of the timing space than a fixed cadence
+// would.  Derived from the seeded PRNG — replayable.
+inline void jitter(std::uint64_t spins) {
+  for (std::uint64_t i = 0; i < spins; ++i) asm volatile("" ::: "memory");
+}
+
+// Round barrier: the main thread publishes the round number in `go`;
+// workers acknowledge through `done`.  Test scaffolding, not the system
+// under test, so plain std::atomics with seq_cst.
+struct RoundGate {
+  std::atomic<int> go{0};
+  std::atomic<int> done{0};
+
+  void await_round(int r) const {
+    while (go.load() != r) std::this_thread::yield();
+  }
+  void arrive() { done.fetch_add(1); }
+  void release_round(int r, int workers) {
+    done.store(0);
+    go.store(r);
+    while (done.load() != workers) std::this_thread::yield();
+  }
+};
+
+template <class Provider>
+struct LitmusTraits {
+  static constexpr bool kInstrumented = false;
+  static void register_thread(int) {}
+};
+
+template <>
+struct LitmusTraits<InstrumentedHotPathProvider> {
+  static constexpr bool kInstrumented = true;
+  static void register_thread(int tid) { rmr::set_current_tid(tid); }
+};
+
+template <class Provider>
+class LitmusTest : public ::testing::Test {};
+
+using LitmusProviders =
+    ::testing::Types<HotPathProvider, InstrumentedHotPathProvider>;
+TYPED_TEST_SUITE(LitmusTest, LitmusProviders);
+
+// --- MP: message passing ----------------------------------------------------
+
+TYPED_TEST(LitmusTest, MessagePassingReleaseAcquire) {
+  using Atomic = typename TypeParam::template Atomic<std::uint64_t>;
+  Atomic payload(0);
+  Atomic flag(0);
+  Xoshiro256 rng(test_seed(0x11711u));
+  const std::uint64_t wjit = rng.below(64), rjit = rng.below(64);
+
+  constexpr std::uint64_t kWrites = kRounds;
+  std::atomic<bool> ok{true};
+  std::thread writer([&] {
+    LitmusTraits<TypeParam>::register_thread(0);
+    for (std::uint64_t i = 1; i <= kWrites; ++i) {
+      payload.store(i, ord::relaxed);   // the plain batch field / CS data
+      flag.store(i, ord::release);      // the handoff publish
+      jitter(wjit);
+    }
+  });
+  std::thread reader([&] {
+    LitmusTraits<TypeParam>::register_thread(1);
+    std::uint64_t seen = 0;
+    while (seen < kWrites) {
+      const std::uint64_t f = flag.load(ord::acquire);  // handoff consume
+      const std::uint64_t p = payload.load(ord::relaxed);
+      // Forbidden: consuming the flag without the payload write that
+      // preceded it (p < f would mean the release/acquire edge leaked).
+      if (p < f) {
+        ok.store(false);
+        break;
+      }
+      seen = f;
+      jitter(rjit);
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_TRUE(ok.load())
+      << "MP forbidden outcome: stale payload behind an acquired flag";
+}
+
+// --- SB: store buffering (the Dekker pair) ----------------------------------
+
+TYPED_TEST(LitmusTest, StoreBufferingRmwDekkerNeverBothMiss) {
+  using Atomic = typename TypeParam::template Atomic<std::uint64_t>;
+  // The dist-reader shape, on the real packed-word encoding: the "slot"
+  // carries a reader-count unit, the "gate" a writer-waiting unit
+  // (words.hpp wwrc) — one F&A per side, exactly sites D2/D5.
+  Atomic slot(wwrc::kZero);
+  Atomic gate(wwrc::kZero);
+  Xoshiro256 rng(test_seed(0x22722u));
+  const std::uint64_t ajit = rng.below(32), bjit = rng.below(32);
+
+  RoundGate rounds;  // one shared gate: both sides race within a round
+  std::vector<std::uint8_t> miss_a(kRounds, 0), miss_b(kRounds, 0);
+  std::thread ta([&] {
+    LitmusTraits<TypeParam>::register_thread(0);
+    for (int r = 1; r <= kRounds; ++r) {
+      rounds.await_round(r);
+      jitter(ajit);
+      slot.fetch_add(wwrc::kReaderUnit, ord::acq_rel);  // announce (D2)
+      miss_a[static_cast<std::size_t>(r - 1)] =
+          wwrc::writer_waiting(gate.load(ord::acquire)) == 0;  // recheck (D3)
+      rounds.arrive();
+    }
+  });
+  std::thread tb([&] {
+    LitmusTraits<TypeParam>::register_thread(1);
+    for (int r = 1; r <= kRounds; ++r) {
+      rounds.await_round(r);
+      jitter(bjit);
+      gate.fetch_add(wwrc::kWriterWaiting, ord::acq_rel);  // raise (D5)
+      miss_b[static_cast<std::size_t>(r - 1)] =
+          wwrc::reader_count(slot.load(ord::acquire)) == 0;  // sweep probe
+      rounds.arrive();
+    }
+  });
+  LitmusTraits<TypeParam>::register_thread(2);
+  int forbidden = 0;
+  for (int r = 1; r <= kRounds; ++r) {
+    slot.store(wwrc::kZero);  // reset between rounds (workers are parked)
+    gate.store(wwrc::kZero);
+    rounds.release_round(r, 2);  // both sides race; returns once both arrive
+    if (miss_a[static_cast<std::size_t>(r - 1)] &&
+        miss_b[static_cast<std::size_t>(r - 1)])
+      ++forbidden;
+  }
+  ta.join();
+  tb.join();
+  EXPECT_EQ(forbidden, 0)
+      << "SB forbidden outcome: both Dekker sides missed each other's RMW "
+      << forbidden << "/" << kRounds << " rounds — the announce F&A stopped "
+      << "draining the store buffer";
+}
+
+// --- IRIW: independent reads of independent writes ---------------------------
+
+TYPED_TEST(LitmusTest, IriwOnReaderIndicatorsStaysSinglecopyAtomic) {
+  using Atomic = typename TypeParam::template Atomic<std::uint64_t>;
+  Atomic slot0(wwrc::kZero);
+  Atomic slot1(wwrc::kZero);
+  Xoshiro256 rng(test_seed(0x33733u));
+  const std::uint64_t jits[4] = {rng.below(24), rng.below(24), rng.below(24),
+                                 rng.below(24)};
+
+  RoundGate rounds;  // one shared gate: all four participants race
+  // Per round and observer: (saw_first, saw_second) in its read order.
+  struct Obs {
+    std::uint8_t first, second;
+  };
+  std::vector<Obs> obs_r0(kRounds), obs_r1(kRounds);
+
+  std::thread w0([&] {
+    LitmusTraits<TypeParam>::register_thread(0);
+    for (int r = 1; r <= kRounds; ++r) {
+      rounds.await_round(r);
+      jitter(jits[0]);
+      slot0.fetch_add(wwrc::kReaderUnit);  // seq_cst request (un-annotated)
+      rounds.arrive();
+    }
+  });
+  std::thread w1([&] {
+    LitmusTraits<TypeParam>::register_thread(1);
+    for (int r = 1; r <= kRounds; ++r) {
+      rounds.await_round(r);
+      jitter(jits[1]);
+      slot1.fetch_add(wwrc::kReaderUnit);
+      rounds.arrive();
+    }
+  });
+  std::thread r0([&] {
+    LitmusTraits<TypeParam>::register_thread(2);
+    for (int r = 1; r <= kRounds; ++r) {
+      rounds.await_round(r);
+      jitter(jits[2]);
+      const auto a = wwrc::reader_count(slot0.load());
+      const auto b = wwrc::reader_count(slot1.load());
+      obs_r0[static_cast<std::size_t>(r - 1)] = {
+          static_cast<std::uint8_t>(a != 0), static_cast<std::uint8_t>(b != 0)};
+      rounds.arrive();
+    }
+  });
+  std::thread r1([&] {
+    LitmusTraits<TypeParam>::register_thread(3);
+    for (int r = 1; r <= kRounds; ++r) {
+      rounds.await_round(r);
+      jitter(jits[3]);
+      const auto b = wwrc::reader_count(slot1.load());
+      const auto a = wwrc::reader_count(slot0.load());
+      obs_r1[static_cast<std::size_t>(r - 1)] = {
+          static_cast<std::uint8_t>(b != 0), static_cast<std::uint8_t>(a != 0)};
+      rounds.arrive();
+    }
+  });
+  LitmusTraits<TypeParam>::register_thread(4);
+  int forbidden = 0;
+  for (int r = 1; r <= kRounds; ++r) {
+    slot0.store(wwrc::kZero);
+    slot1.store(wwrc::kZero);
+    rounds.release_round(r, 4);
+    const Obs a = obs_r0[static_cast<std::size_t>(r - 1)];
+    const Obs b = obs_r1[static_cast<std::size_t>(r - 1)];
+    // Forbidden under a single total store order: r0 sees slot0 before
+    // slot1 while r1 sees slot1 before slot0.
+    if (a.first && !a.second && b.first && !b.second) ++forbidden;
+  }
+  w0.join();
+  w1.join();
+  r0.join();
+  r1.join();
+  EXPECT_EQ(forbidden, 0)
+      << "IRIW forbidden outcome observed " << forbidden << "/" << kRounds
+      << " rounds — the indicator words lost their single total order";
+}
+
+}  // namespace
+}  // namespace bjrw

@@ -1,0 +1,134 @@
+// Weak-memory gate (tier1 + model): exhaustively checks the HotPathPolicy
+// protocol sites under the explorer's store-buffer/reordering mode
+// (DESIGN.md §2, gate 1).
+//
+// Three claims, each with the ablation that proves the checker would see a
+// regression:
+//
+//  1. The dist-reader fast path (sites D1-D7; per-node cohort sites
+//     C1-C4/C7-C8 are the same shape) keeps mutual exclusion under TSO
+//     delayed visibility *and* under any-order store draining, because both
+//     Dekker sides are RMWs whose buffer drain the model enforces.
+//  2. Replacing the slot RMW with a buffered plain store (the brlock-style
+//     "cheaper" indicator) lets the classic store-buffering outcome through
+//     and the explorer reports the P1 violation — the RMW is load-bearing.
+//  3. The cohort batch-handoff publish (site C10) is safe as a release-RMW
+//     under both drain modes; as a plain store it survives TSO's FIFO
+//     buffer but breaks under reordered draining — which is exactly why the
+//     serving bump requests a release edge rather than relying on x86.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "src/model/explorer.hpp"
+#include "src/model/weak_model.hpp"
+
+namespace bjrw::model {
+namespace {
+
+using Ablation = WeakDistReaderModel::Ablation;
+using Publish = WeakCohortHandoffModel::Publish;
+
+ExploreResult explore_dist(int readers, int writers, int attempts,
+                           Ablation ablation, tso::Drain drain) {
+  const WeakDistReaderModel m(readers, writers, attempts, ablation, drain);
+  Explorer<WeakDistReaderModel> ex(m);
+  return ex.run();
+}
+
+TEST(WeakDistReader, SoundProtocolHoldsUnderTso) {
+  for (const auto [r, w, a] : {std::array{2, 1, 2}, std::array{2, 2, 1},
+                               std::array{3, 1, 1}, std::array{1, 2, 2}}) {
+    const ExploreResult res =
+        explore_dist(r, w, a, Ablation::kNone, tso::Drain::kTso);
+    EXPECT_TRUE(res.ok) << "R=" << r << " W=" << w << " A=" << a << ": "
+                        << res.violation;
+    EXPECT_FALSE(res.truncated);
+    EXPECT_GT(res.states, 10u);
+  }
+}
+
+TEST(WeakDistReader, SoundProtocolHoldsUnderReorderedDraining) {
+  // Stronger than TSO: buffered stores may drain in any order.  The sound
+  // protocol has no buffered stores at all (every protocol write is an
+  // RMW), so its state space must coincide with the TSO one — the collapse
+  // that *is* the proof that the weakening adds no behaviours.
+  const ExploreResult tso_res =
+      explore_dist(2, 2, 1, Ablation::kNone, tso::Drain::kTso);
+  const ExploreResult weak_res =
+      explore_dist(2, 2, 1, Ablation::kNone, tso::Drain::kReordered);
+  EXPECT_TRUE(weak_res.ok) << weak_res.violation;
+  EXPECT_EQ(tso_res.states, weak_res.states)
+      << "an RMW-only protocol must not gain states from weaker draining";
+}
+
+TEST(WeakDistReader, StoreEgressOptimizationIsCleared) {
+  // The shipped exclusive-slot egress (dist D4 / cohort C4): announce stays
+  // an RMW, the exit/backout decrement becomes a buffered plain store.
+  // The egress is not a Dekker side, so this must hold under TSO *and*
+  // under any-order draining — this run is the proof the release-store
+  // egress optimization cites in the §2 ledger.
+  for (const tso::Drain d : {tso::Drain::kTso, tso::Drain::kReordered}) {
+    const ExploreResult res = explore_dist(2, 2, 2, Ablation::kStoreEgress, d);
+    EXPECT_TRUE(res.ok) << res.violation;
+    EXPECT_FALSE(res.truncated);
+    // The buffered egress genuinely adds delayed-visibility states (unlike
+    // the RMW-only protocol, whose buffers stay empty).
+    const ExploreResult sc = explore_dist(2, 2, 2, Ablation::kNone, d);
+    EXPECT_GT(res.states, sc.states);
+  }
+}
+
+TEST(WeakDistReader, StoreIndicatorAblationBreaksUnderTso) {
+  // The detection-power half: demote the announce RMW to a buffered store
+  // and the reader's recheck can run while its announce sits in the buffer
+  // — writer sweeps a stale zero, both enter.  The explorer must find it.
+  const ExploreResult res =
+      explore_dist(2, 1, 1, Ablation::kStoreIndicator, tso::Drain::kTso);
+  EXPECT_FALSE(res.ok)
+      << "buffered store-buffering Dekker must violate P1 under TSO";
+  EXPECT_NE(res.violation.find("P1"), std::string::npos) << res.violation;
+  EXPECT_FALSE(res.trace.empty()) << "violation must carry a replay trace";
+}
+
+TEST(WeakDistReader, NoRecheckAblationBreaksEvenSequentiallyConsistent) {
+  // Removing the gate recheck is an interleaving bug, visible even with
+  // empty buffers: the checker's power does not hinge on buffer effects.
+  const ExploreResult res =
+      explore_dist(1, 1, 1, Ablation::kNoRecheck, tso::Drain::kTso);
+  EXPECT_FALSE(res.ok) << "missing recheck must violate P1";
+  EXPECT_NE(res.violation.find("P1"), std::string::npos) << res.violation;
+}
+
+ExploreResult explore_handoff(Publish publish, tso::Drain drain) {
+  const WeakCohortHandoffModel m(publish, drain);
+  Explorer<WeakCohortHandoffModel> ex(m);
+  return ex.run();
+}
+
+TEST(WeakCohortHandoff, ReleaseRmwPublishHoldsUnderBothDrainModes) {
+  for (const tso::Drain d : {tso::Drain::kTso, tso::Drain::kReordered}) {
+    const ExploreResult res = explore_handoff(Publish::kRmw, d);
+    EXPECT_TRUE(res.ok) << res.violation;
+    EXPECT_FALSE(res.truncated);
+  }
+}
+
+TEST(WeakCohortHandoff, PlainPublishSurvivesTsoFifoOnly) {
+  // Under TSO the FIFO buffer drains the field writes before the serving
+  // bump, so x86 would never show the bug...
+  const ExploreResult fifo = explore_handoff(Publish::kPlain, tso::Drain::kTso);
+  EXPECT_TRUE(fifo.ok) << fifo.violation;
+  // ...but under any-order draining the bump can overtake the fields — the
+  // C++-model reason site C10 requests a release RMW instead of trusting
+  // the host to be x86.
+  const ExploreResult weak =
+      explore_handoff(Publish::kPlain, tso::Drain::kReordered);
+  EXPECT_FALSE(weak.ok)
+      << "plain-store publish must break under reordered draining";
+  EXPECT_NE(weak.violation.find("handoff publish"), std::string::npos)
+      << weak.violation;
+}
+
+}  // namespace
+}  // namespace bjrw::model

@@ -33,6 +33,12 @@ using rmr::RmrResult;
 using rmr::measure_rmr;
 
 using P = InstrumentedProvider;
+// Hot-path-policy instrumented twin: the ordering weakening (DESIGN.md §2)
+// must not change what the cache model charges — RMR counts are a function
+// of the per-location operation sequence only — and gating the weakened
+// build here means a HotPathPolicy regression that adds a remote reference
+// fails tier-1 CI exactly like a seq_cst one.
+using HP = InstrumentedHotPathProvider;
 using S = YieldSpin;
 
 using InstSwwp = SwWriterPrefLock<P, S>;
@@ -125,6 +131,12 @@ TEST(RmrRegression, DistReaderPathStaysFlatInEveryRegime) {
   expect_reader_flat<InstDistWp>("dist_mw_wpref");
 }
 
+TEST(RmrRegression, DistReaderPathStaysFlatUnderHotPathPolicy) {
+  expect_reader_flat<DistMwStarvationFreeLock<HP, S>>("hot_dist_mw_nopri");
+  expect_reader_flat<DistMwReaderPrefLock<HP, S>>("hot_dist_mw_rpref");
+  expect_reader_flat<DistMwWriterPrefLock<HP, S>>("hot_dist_mw_wpref");
+}
+
 // The cohort transform's read path obeys the same flat ceiling (fast
 // attempts touch two node-local lines; diverted attempts inherit the paper
 // lock's O(1)).  The writer is deliberately not gated: the leader's
@@ -135,6 +147,12 @@ TEST(RmrRegression, CohortReaderPathStaysFlatInEveryRegime) {
   expect_reader_flat<InstCohortSf>("cohort_mw_nopri");
   expect_reader_flat<InstCohortRp>("cohort_mw_rpref");
   expect_reader_flat<InstCohortWp>("cohort_mw_wpref");
+}
+
+TEST(RmrRegression, CohortReaderPathStaysFlatUnderHotPathPolicy) {
+  expect_reader_flat<CohortMwStarvationFreeLock<HP, S>>("hot_cohort_mw_nopri");
+  expect_reader_flat<CohortMwReaderPrefLock<HP, S>>("hot_cohort_mw_rpref");
+  expect_reader_flat<CohortMwWriterPrefLock<HP, S>>("hot_cohort_mw_wpref");
 }
 
 TEST(RmrRegression, DistFastPathIsLocalWhenWritersQuiescent) {
@@ -150,6 +168,20 @@ TEST(RmrRegression, DistFastPathIsLocalWhenWritersQuiescent) {
         << "cold fast-path attempt grew a footprint at n=" << n;
     EXPECT_LE(r.reader_mean, 1.0)
         << "steady-state fast path stopped being local at n=" << n;
+  }
+}
+
+TEST(RmrRegression, DistFastPathStaysLocalUnderHotPathPolicy) {
+  // The whole point of the weakening is the read fast path; the locality
+  // claim must therefore survive it bit-for-bit (same ceilings as the
+  // seq_cst gate above).
+  for (const int n : kScales) {
+    const RmrResult r = measure_rmr<DistMwWriterPrefLock<HP, S>>(
+        /*readers=*/n, /*writers=*/0, kIters);
+    EXPECT_LE(r.reader_max, 8u)
+        << "hotpath cold fast-path attempt grew a footprint at n=" << n;
+    EXPECT_LE(r.reader_mean, 1.0)
+        << "hotpath steady-state fast path stopped being local at n=" << n;
   }
 }
 

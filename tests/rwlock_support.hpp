@@ -104,6 +104,18 @@ inline std::vector<RwParam> all_rw_locks() {
       {"cohort_sim2_mw_writer_pref",
        make_cohort_sim_factory<CohortWriterPriorityLock>(2, 4), false, false,
        true},
+      // Hot-path ordering policy (DESIGN.md §2): the two transforms that
+      // carry weakened sites, run through the full behavioural matrix in
+      // *every* build — so the weakening is stress- and TSan-exercised even
+      // when the build default is seq_cst.  (A -DBJRW_ORDER_POLICY=hotpath
+      // build additionally substitutes the policy into every alias above.)
+      {"hot_dist_mw_writer_pref", make_rw_factory<HotDistWriterPriorityLock>(),
+       false, false, true},
+      {"hot_cohort_mw_starvation_free",
+       make_rw_factory<HotCohortStarvationFreeLock>(), false, false, false},
+      {"hot_cohort_sim2_mw_writer_pref",
+       make_cohort_sim_factory<HotCohortWriterPriorityLock>(2, 4), false,
+       false, true},
       // Baselines.
       {"baseline_centralized_rpref",
        make_rw_factory<CentralizedReaderPrefRwLock<>>(), false, true, false},
