@@ -1,0 +1,59 @@
+// Example: wire-protocol load generator for `kv_server --listen`.
+//
+// Drives configurable connections × in-flight depth × zipfian mixes
+// against a NetServer and reports RPS / ops/s / latency percentiles —
+// the CLI face of the same driver bench_net_serve (E20) uses, so ad-hoc
+// runs and the tracked bench rows measure identically.
+//
+// Run:
+//   ./kv_server --listen 7711         # terminal 1
+//   ./kv_loadgen 7711 [connections] [depth] [requests_per_conn] [read_frac]
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "src/harness/stats.hpp"
+#include "src/harness/table.hpp"
+#include "src/net/loadgen.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: kv_loadgen <port> [connections] [depth] "
+                 "[requests_per_conn] [read_fraction]\n";
+    return 2;
+  }
+  bjrw::net::LoadgenConfig cfg;
+  cfg.port = static_cast<std::uint16_t>(std::atol(argv[1]));
+  if (argc > 2) cfg.connections = std::atoi(argv[2]);
+  if (argc > 3) cfg.depth = std::atoi(argv[3]);
+  if (argc > 4) cfg.requests_per_conn = std::atoi(argv[4]);
+  if (argc > 5) cfg.read_fraction = std::atof(argv[5]);
+
+  std::cout << "kv_loadgen: 127.0.0.1:" << cfg.port << ", "
+            << cfg.connections << " conns x depth " << cfg.depth << " x "
+            << cfg.requests_per_conn << " reqs, read_fraction "
+            << cfg.read_fraction << ", get_many batch " << cfg.batch
+            << "\n";
+
+  bjrw::net::LoadgenResult res = bjrw::net::run_loadgen(cfg);
+  if (!res.ok) {
+    std::cerr << "kv_loadgen: a connection failed (server not listening, "
+                 "or protocol error)\n";
+    return 1;
+  }
+  const bjrw::Summary lat = bjrw::summarize(std::move(res.latency_ns));
+  const double rps = static_cast<double>(res.requests) / res.wall_s;
+  const double ops = static_cast<double>(res.ops) / res.wall_s;
+
+  bjrw::Table t({"requests", "rps", "kops_per_s", "hits", "errors", "p50_us",
+                 "p99_us", "max_us"});
+  t.add_row({std::to_string(res.requests), bjrw::Table::cell(rps, 0),
+             bjrw::Table::cell(ops / 1e3, 1), std::to_string(res.hits),
+             std::to_string(res.errors), bjrw::Table::cell(lat.p50 / 1e3, 1),
+             bjrw::Table::cell(lat.p99 / 1e3, 1),
+             bjrw::Table::cell(lat.max / 1e3, 1)});
+  t.print(std::cout);
+  return 0;
+}

@@ -7,13 +7,22 @@
 // pools pin to real nodes; everywhere else set BJRW_TOPOLOGY=<nodes>x<cpus>
 // (e.g. 2x4) to watch the multi-node dispatch paths run on a flat host.
 //
-// Run: ./kv_server [clients] [requests_per_client]
+// Two modes:
+//   ./kv_server [clients] [requests_per_client]   in-process demo traffic
+//   ./kv_server --listen [port]                   socket front-end: serve
+//       the versioned wire protocol (src/net/) on 127.0.0.1 until SIGINT;
+//       port 0 (the default) picks an ephemeral port and prints it.
+//       Drive it with ./kv_loadgen.
+#include <csignal>
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/harness/table.hpp"
@@ -21,6 +30,7 @@
 #include "src/harness/timing.hpp"
 #include "src/harness/topology.hpp"
 #include "src/harness/workload.hpp"
+#include "src/net/net_server.hpp"
 #include "src/serve/server.hpp"
 
 namespace {
@@ -28,9 +38,71 @@ namespace {
 constexpr std::size_t kBatch = 8;
 constexpr std::uint64_t kPreload = 1 << 13;
 
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop.store(true); }
+
+void print_node_stats(
+    bjrw::serve::KvServer<bjrw::CohortWriterPriorityLock>& server) {
+  bjrw::Table t({"node", "sub_requests", "ops", "lat_mean_us", "lat_max_us",
+                 "handoffs", "global_acquires", "preempt_aborts"});
+  for (int d = 0; d < server.node_count(); ++d) {
+    const bjrw::serve::NodeServeStats ns = server.node_stats(d);
+    t.add_row({std::to_string(d), std::to_string(ns.sub_requests),
+               std::to_string(ns.ops),
+               bjrw::Table::cell(ns.latency_mean_ns / 1e3, 1),
+               bjrw::Table::cell(ns.latency_max_ns / 1e3, 1),
+               std::to_string(ns.handoffs),
+               std::to_string(ns.global_acquires),
+               std::to_string(ns.preempt_aborts)});
+  }
+  t.print(std::cout);
+}
+
+int listen_mode(std::uint16_t port) {
+  const bjrw::Topology topo = bjrw::Topology::detected();
+  bjrw::serve::KvServer<bjrw::CohortWriterPriorityLock>::Config cfg;
+  cfg.workers_per_node = 2;
+  bjrw::serve::KvServer<bjrw::CohortWriterPriorityLock> server(topo, cfg);
+
+  bjrw::ServeConfig scfg;
+  for (std::uint64_t k = 0; k < kPreload; ++k)
+    server.map().put(0, bjrw::scramble_rank(k, scfg.num_keys), k);
+
+  bjrw::net::NetServerConfig ncfg;
+  ncfg.port = port;
+  bjrw::net::NetServer<bjrw::CohortWriterPriorityLock> net(server, ncfg);
+  if (!net.ok()) {
+    std::cerr << "kv_server: failed to listen on 127.0.0.1:" << port << "\n";
+    return 1;
+  }
+  // std::endl, not "\n": scripts scrape the port from a redirected
+  // stdout, which is fully buffered.
+  std::cout << "kv_server: topology " << topo.describe() << " ("
+            << topo.source() << "), listening on 127.0.0.1:" << net.port()
+            << " (" << kPreload << " keys preloaded; Ctrl-C to stop)"
+            << std::endl;
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (!g_stop.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  net.stop();      // drain in-flight latches first...
+  server.shutdown();  // ...then join the worker pools
+  std::cout << "\nkv_server: " << net.connections_accepted()
+            << " connections, " << net.frames_dispatched() << " frames, "
+            << net.protocol_errors() << " protocol errors\n\n";
+  print_node_stats(server);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--listen") == 0) {
+    const long p = argc > 2 ? std::atol(argv[2]) : 0;
+    return listen_mode(static_cast<std::uint16_t>(p));
+  }
   const int clients = argc > 1 ? std::max(1, std::atoi(argv[1])) : 4;
   const int requests = argc > 2 ? std::max(1, std::atoi(argv[2])) : 2000;
 
@@ -90,18 +162,6 @@ int main(int argc, char** argv) {
             << server.node_count() * server.workers_per_node()
             << " workers pinned\n\n";
 
-  bjrw::Table t({"node", "sub_requests", "ops", "lat_mean_us", "lat_max_us",
-                 "handoffs", "global_acquires", "preempt_aborts"});
-  for (int d = 0; d < server.node_count(); ++d) {
-    const bjrw::serve::NodeServeStats ns = server.node_stats(d);
-    t.add_row({std::to_string(d), std::to_string(ns.sub_requests),
-               std::to_string(ns.ops),
-               bjrw::Table::cell(ns.latency_mean_ns / 1e3, 1),
-               bjrw::Table::cell(ns.latency_max_ns / 1e3, 1),
-               std::to_string(ns.handoffs),
-               std::to_string(ns.global_acquires),
-               std::to_string(ns.preempt_aborts)});
-  }
-  t.print(std::cout);
+  print_node_stats(server);
   return 0;
 }

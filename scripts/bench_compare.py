@@ -13,7 +13,13 @@ Diffs a fresh ``bench_main --json`` run against the committed baseline
     ``--max-drop`` (default 25%).
 
 Rows are matched by (bench, row name, identity metrics); medians are taken
-per group so one noisy row cannot fail the gate.
+per group so one noisy row cannot fail the gate.  Row *parity* is itself a
+hard check: within any bench both documents ran, a baseline row missing
+from the fresh run or a fresh-only new row fails with a message naming the
+row (never a KeyError traceback) — refresh ``BENCH_baseline.json``
+alongside the bench change, or pass ``--allow-row-drift`` to downgrade the
+mismatch to a warning.  Benches present only in the baseline are treated
+as a deliberately filtered run and noted, not failed.
 
 The RMR checks are exact counts from the instrumented cache model and are
 runner-independent, so they are always hard failures.  Wall-clock
@@ -27,6 +33,7 @@ fleet known to be homogeneous).
 Usage:
   bench_compare.py BASELINE FRESH [--report OUT.md] [--max-drop 0.25]
                    [--rmr-ceiling 40] [--strict-throughput]
+                   [--allow-row-drift]
 
 Exit status: 0 = no regression, 1 = regression detected, 2 = usage/schema
 error.
@@ -75,10 +82,43 @@ def load(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"error: cannot read {path}: {e}")
+    if not isinstance(doc, dict):
+        sys.exit(f"error: {path} is not a {SCHEMA} document (top level is "
+                 f"{type(doc).__name__}, not an object)")
     if doc.get("schema") != SCHEMA:
         sys.exit(f"error: {path} is not a {SCHEMA} document "
                  f"(schema={doc.get('schema')!r})")
+    validate_structure(doc, path)
     return doc
+
+
+def validate_structure(doc, path):
+    """Shape-check the document so downstream code never trips over a
+    missing key with a bare KeyError/AttributeError traceback; any
+    violation is a usage/schema error (exit 2) with a message naming the
+    offending element."""
+    benches = doc.get("benches")
+    if not isinstance(benches, list):
+        sys.exit(f"error: {path}: 'benches' must be a list "
+                 f"(got {type(benches).__name__})")
+    for i, bench in enumerate(benches):
+        if not isinstance(bench, dict) or not isinstance(
+                bench.get("bench"), str):
+            sys.exit(f"error: {path}: benches[{i}] lacks a string 'bench' "
+                     f"name")
+        rows = bench.get("rows")
+        if not isinstance(rows, list):
+            sys.exit(f"error: {path}: bench '{bench['bench']}' has no "
+                     f"'rows' list")
+        for j, row in enumerate(rows):
+            if not isinstance(row, dict) or not isinstance(
+                    row.get("name"), str):
+                sys.exit(f"error: {path}: bench '{bench['bench']}' "
+                         f"rows[{j}] lacks a string 'name'")
+            if not isinstance(row.get("metrics", {}), dict):
+                sys.exit(f"error: {path}: row "
+                         f"'{bench['bench']}/{row['name']}' has a "
+                         f"non-object 'metrics'")
 
 
 def row_key(bench, row):
@@ -96,6 +136,48 @@ def index_rows(doc):
             # symmetric across both documents.
             out.setdefault(row_key(bench.get("bench"), row), row)
     return out
+
+
+def describe_key(key):
+    bench, name, ident = key
+    params = ", ".join(f"{k}={v}" for k, v in ident if v is not None)
+    return f"{bench}/{name}" + (f" ({params})" if params else "")
+
+
+def check_row_parity(baseline_idx, fresh_idx):
+    """Row drift between the two documents is an error, not a silent skip.
+
+    Scoped per bench: a bench present in only one document is usually a
+    deliberately filtered run (the CI gate benches a subset of the
+    baseline), so whole-bench asymmetry is only an error in the direction
+    that can hide a regression — a *fresh* bench with no baseline at all
+    (nothing pins it; refresh the baseline).  Within a bench both
+    documents ran, every row must match: a baseline row absent from the
+    fresh run means a row was renamed/removed (the old number no longer
+    gates anything), and a fresh-only row means new rows ride ungated.
+
+    Returns (failures, skipped_benches)."""
+    base_benches = {key[0] for key in baseline_idx}
+    fresh_benches = {key[0] for key in fresh_idx}
+    shared = base_benches & fresh_benches
+    failures = []
+    for bench in sorted(fresh_benches - base_benches):
+        failures.append(
+            f"fresh run contains bench '{bench}' with no baseline rows — "
+            f"refresh BENCH_baseline.json to start pinning it")
+    for key in sorted(baseline_idx, key=describe_key):
+        if key[0] in shared and key not in fresh_idx:
+            failures.append(
+                f"baseline row {describe_key(key)} is missing from the "
+                f"fresh run — renamed or dropped? refresh "
+                f"BENCH_baseline.json together with the bench change")
+    for key in sorted(fresh_idx, key=describe_key):
+        if key[0] in shared and key not in baseline_idx:
+            failures.append(
+                f"fresh run introduces row {describe_key(key)} absent from "
+                f"the baseline — refresh BENCH_baseline.json so the new "
+                f"row is pinned too")
+    return failures, sorted(base_benches - fresh_benches)
 
 
 def strip_rmr_prefix(name):
@@ -304,6 +386,10 @@ def main():
     ap.add_argument("--strict-throughput", action="store_true",
                     help="fail on throughput drops even when the machine "
                          "headers say the runs are not comparable")
+    ap.add_argument("--allow-row-drift", action="store_true",
+                    help="downgrade row-parity mismatches (baseline rows "
+                         "missing from the fresh run, fresh-only rows) "
+                         "from hard failures to warnings")
     args = ap.parse_args()
     if not 0 <= args.max_drop < 1:
         ap.error("--max-drop must be in [0, 1)")
@@ -315,8 +401,19 @@ def main():
     matched = sum(1 for k in baseline_idx if k in fresh_idx)
 
     rmr_failures = check_rmr_ceilings(fresh, args.rmr_ceiling)
+    parity_failures, skipped_benches = check_row_parity(baseline_idx,
+                                                        fresh_idx)
+    if parity_failures and args.allow_row_drift:
+        for warning in parity_failures:
+            print(f"warning (row drift allowed): {warning}",
+                  file=sys.stderr)
+        parity_failures = []
+    if skipped_benches:
+        print(f"note: baseline benches not in this run (filtered): "
+              f"{', '.join(skipped_benches)}", file=sys.stderr)
     structural, tp_failures, tp_table = check_throughput(
         baseline_idx, fresh_idx, args.max_drop)
+    structural = parity_failures + structural
     pin_differs = pinned_mismatch(baseline, fresh)
     policy_differs = order_policy_mismatch(baseline, fresh)
     tp_hard = (args.strict_throughput or

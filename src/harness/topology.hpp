@@ -44,8 +44,10 @@ namespace bjrw {
 
 class Topology {
  public:
-  // Scan cap for sysfs node directories; nodes are enumerated contiguously
-  // from node0, so the scan stops at the first gap.
+  // Scan cap for sysfs node directories when the kernel's `possible` node
+  // list is unavailable; node ids need not be contiguous (hot-removed
+  // nodes, some NPS/CXL configs leave gaps), so the scan walks the whole
+  // range rather than stopping at the first gap.
   static constexpr int kMaxNodes = 256;
 
   // A synthetic topology: `nodes` nodes of `cpus_per_node` CPUs each, CPUs
@@ -86,6 +88,81 @@ class Topology {
     if (nodes < 1 || cpus < 1 || nodes > kMaxNodes) return std::nullopt;
     Topology t = simulated(nodes, cpus);
     t.source_ = "env";
+    return t;
+  }
+
+  // Parses a sysfs NUMA tree rooted at `node_dir` (node id set from
+  // `<node_dir>/possible`, per-node CPUs from `<node_dir>/node<i>/cpulist`)
+  // filtered by the online-CPU mask at `<cpu_dir>/online`.  Parameterized
+  // so tests can point it at a fixture tree; the defaults are the host's.
+  //
+  // Node ids may be non-contiguous (node0,node2) and CPUs may be offline —
+  // both are expressed faithfully.  What cannot be expressed safely
+  // returns nullopt (callers fall back to flat) instead of guessing:
+  // a malformed `possible`/`online`/cpulist, a CPU claimed by two nodes,
+  // or a tree with no online CPU at all.  A node whose cpulist is empty
+  // (memory-only) or entirely offline is skipped, not an error.
+  static std::optional<Topology> from_sysfs(
+      const std::string& node_dir = "/sys/devices/system/node",
+      const std::string& cpu_dir = "/sys/devices/system/cpu") {
+    std::vector<int> candidates;
+    {
+      std::ifstream poss(node_dir + "/possible");
+      std::string line;
+      if (poss && std::getline(poss, line)) {
+        const auto ids = parse_cpulist(line);
+        if (!ids) return std::nullopt;  // malformed: refuse to guess
+        candidates = *ids;
+      }
+    }
+    if (candidates.empty())
+      for (int node = 0; node < kMaxNodes; ++node) candidates.push_back(node);
+
+    // Online-CPU mask: offline CPUs must not enter the tid mapping (they
+    // cannot be pinned to).  An absent file means no filtering.
+    std::optional<std::vector<int>> online;
+    {
+      std::ifstream on(cpu_dir + "/online");
+      std::string line;
+      if (on && std::getline(on, line)) {
+        online = parse_cpulist(line);
+        if (!online) return std::nullopt;
+      }
+    }
+    const auto is_online = [&online](int cpu) {
+      if (!online) return true;
+      for (const int c : *online)
+        if (c == cpu) return true;
+      return false;
+    };
+
+    Topology t;
+    t.source_ = "sysfs";
+    std::vector<char> claimed;  // OS cpu id -> already owned by a node
+    for (const int node : candidates) {
+      if (node >= kMaxNodes) continue;
+      std::ostringstream path;
+      path << node_dir << "/node" << node << "/cpulist";
+      std::ifstream f(path.str());
+      if (!f) continue;  // possible-but-absent node id: keep scanning
+      std::string line;
+      std::getline(f, line);
+      const auto cpus = parse_cpulist(line);
+      if (!cpus) return std::nullopt;  // malformed cpulist: refuse to guess
+      std::vector<int> usable;
+      for (const int c : *cpus) {
+        if (!is_online(c)) continue;
+        if (static_cast<std::size_t>(c) >= claimed.size())
+          claimed.resize(static_cast<std::size_t>(c) + 1, 0);
+        if (claimed[static_cast<std::size_t>(c)])
+          return std::nullopt;  // one CPU, two nodes: the tree is lying
+        claimed[static_cast<std::size_t>(c)] = 1;
+        usable.push_back(c);
+      }
+      if (usable.empty()) continue;  // memory-only or fully-offline node
+      t.add_node(usable);
+    }
+    if (t.node_count() == 0 || t.cpu_count() == 0) return std::nullopt;
     return t;
   }
 
@@ -192,7 +269,10 @@ class Topology {
     node_size_.push_back(lane);
   }
 
-  // "0-3,8-11" -> {0,1,2,3,8,9,10,11}; nullopt on malformed input.
+  // "0-3,8-11" -> {0,1,2,3,8,9,10,11}.  nullopt on *malformed* input only;
+  // a list with no entries parses to an empty vector (a memory-only node's
+  // cpulist is legitimately empty, and that is not the same failure as
+  // garbage we refuse to guess about).
   static std::optional<std::vector<int>> parse_cpulist(const std::string& s) {
     std::vector<int> cpus;
     std::istringstream is(s);
@@ -221,41 +301,7 @@ class Topology {
         return std::nullopt;
       }
     }
-    if (cpus.empty()) return std::nullopt;
     return cpus;
-  }
-
-  static std::optional<Topology> from_sysfs() {
-    // Candidate node ids from the kernel's own list ("0-3,8" style) so a
-    // sparse numbering (hot-removed node, some NPS/CXL configs) is walked
-    // completely; fall back to a full-range scan if `possible` is missing.
-    std::vector<int> candidates;
-    {
-      std::ifstream poss("/sys/devices/system/node/possible");
-      std::string line;
-      if (poss && std::getline(poss, line)) {
-        if (auto ids = parse_cpulist(line)) candidates = *ids;
-      }
-    }
-    if (candidates.empty())
-      for (int node = 0; node < kMaxNodes; ++node) candidates.push_back(node);
-
-    Topology t;
-    t.source_ = "sysfs";
-    for (const int node : candidates) {
-      if (node >= kMaxNodes) break;
-      std::ostringstream path;
-      path << "/sys/devices/system/node/node" << node << "/cpulist";
-      std::ifstream f(path.str());
-      if (!f) continue;  // possible-but-offline node: keep scanning
-      std::string line;
-      std::getline(f, line);
-      const auto cpus = parse_cpulist(line);
-      if (!cpus) continue;  // memory-only node (no CPUs): skip
-      t.add_node(*cpus);
-    }
-    if (t.node_count() == 0 || t.cpu_count() == 0) return std::nullopt;
-    return t;
   }
 
   std::vector<int> cpu_node_;   // logical cpu -> node

@@ -1,0 +1,256 @@
+// Blocking wire-protocol client for NetServer.  One socket, synchronous
+// reads; pipelining is explicit — pack any number of requests, flush(),
+// then collect responses (which may arrive out of request order; match on
+// Response::id).  The loadgen (loadgen.hpp) and the loopback tests are the
+// two consumers; neither needs an async reactor on the client side.
+#pragma once
+
+#if !defined(__linux__)
+#error "src/net/client.hpp requires Linux sockets"
+#endif
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/wire.hpp"
+
+namespace bjrw::net {
+
+// One decoded response frame, whichever type it was.
+struct Response {
+  std::uint64_t id = 0;
+  MsgType type = MsgType::kErrorResp;
+  // kGetResp
+  bool found = false;
+  std::uint64_t value = 0;
+  // kEraseResp
+  bool erased = false;
+  // kGetManyResp
+  std::vector<std::optional<std::uint64_t>> values;
+  // kErrorResp
+  ErrorCode error_code = ErrorCode::kMalformed;
+  std::string error_detail;
+};
+
+class KvClient {
+ public:
+  // Connects to 127.0.0.1:<port>; nullopt on failure.
+  static std::optional<KvClient> connect(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return std::nullopt;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    return KvClient(fd);
+  }
+
+  ~KvClient() { close(); }
+  KvClient(KvClient&& other) noexcept { *this = std::move(other); }
+  KvClient& operator=(KvClient&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+      next_id_ = other.next_id_;
+      out_ = std::move(other.out_);
+      rbuf_ = std::move(other.rbuf_);
+      rhead_ = other.rhead_;
+    }
+    return *this;
+  }
+  KvClient(const KvClient&) = delete;
+  KvClient& operator=(const KvClient&) = delete;
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  // ---- pipelined interface ---------------------------------------------------
+
+  // Each submit_* packs one frame into the out-buffer and returns the
+  // request id it will be answered under; nothing hits the wire until
+  // flush().
+  std::uint64_t submit_get(std::uint64_t key) {
+    const std::uint64_t id = next_id_++;
+    pack_get_req(out_, id, key);
+    return id;
+  }
+  std::uint64_t submit_put(std::uint64_t key, std::uint64_t value) {
+    const std::uint64_t id = next_id_++;
+    pack_put_req(out_, id, key, value);
+    return id;
+  }
+  std::uint64_t submit_erase(std::uint64_t key) {
+    const std::uint64_t id = next_id_++;
+    pack_erase_req(out_, id, key);
+    return id;
+  }
+  std::uint64_t submit_get_many(const std::uint64_t* keys, std::uint32_t n) {
+    const std::uint64_t id = next_id_++;
+    pack_get_many_req(out_, id, keys, n);
+    return id;
+  }
+
+  bool flush() {
+    while (!out_.empty()) {
+      const ssize_t n = ::write(fd_, out_.data(), out_.size());
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      out_.consume(static_cast<std::size_t>(n));
+    }
+    return true;
+  }
+
+  // Escape hatch for protocol tests: splice raw bytes into the stream.
+  bool send_raw(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t n = ::write(fd_, p + off, len - off);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  // Blocks for one response frame.  False on EOF/error (including a frame
+  // the client cannot parse — the server is trusted, so that is fatal).
+  bool recv_response(Response* resp) {
+    std::uint8_t lenbuf[kFrameLenSize];
+    if (!read_exact(lenbuf, kFrameLenSize)) return false;
+    const std::uint32_t flen = (static_cast<std::uint32_t>(lenbuf[0]) << 24) |
+                               (static_cast<std::uint32_t>(lenbuf[1]) << 16) |
+                               (static_cast<std::uint32_t>(lenbuf[2]) << 8) |
+                               lenbuf[3];
+    if (flen < kHeaderSize || flen > kDefaultMaxFrame) return false;
+    rbuf_.resize(flen);
+    if (!read_exact(rbuf_.data(), flen)) return false;
+    Unpacker u(rbuf_.data(), flen);
+    MsgHeader h;
+    ErrorCode err;
+    if (!unpack_header(u, &h, &err)) return false;
+    resp->id = h.request_id;
+    resp->type = h.type;
+    resp->values.clear();
+    switch (h.type) {
+      case MsgType::kGetResp:
+        resp->found = u.u8() != 0;
+        resp->value = u.u64();
+        break;
+      case MsgType::kPutResp:
+        break;
+      case MsgType::kEraseResp:
+        resp->erased = u.u8() != 0;
+        break;
+      case MsgType::kGetManyResp: {
+        const std::uint32_t n = u.u32();
+        if (u.failed() || u.remaining() != static_cast<std::size_t>(n) * 9)
+          return false;
+        resp->values.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const bool found = u.u8() != 0;
+          const std::uint64_t v = u.u64();
+          resp->values.push_back(found ? std::optional<std::uint64_t>(v)
+                                       : std::nullopt);
+        }
+        break;
+      }
+      case MsgType::kErrorResp: {
+        resp->error_code = static_cast<ErrorCode>(u.u16());
+        const std::uint16_t n = u.u16();
+        const std::uint8_t* p = u.bytes(n);
+        resp->error_detail.assign(
+            p ? reinterpret_cast<const char*>(p) : "", p ? n : 0);
+        break;
+      }
+      default:
+        return false;
+    }
+    return !u.failed() && u.exhausted();
+  }
+
+  // ---- synchronous conveniences ----------------------------------------------
+
+  std::optional<std::uint64_t> get(std::uint64_t key) {
+    const std::uint64_t id = submit_get(key);
+    Response r;
+    if (!flush() || !recv_response(&r) || r.id != id ||
+        r.type != MsgType::kGetResp || !r.found)
+      return std::nullopt;
+    return r.value;
+  }
+
+  bool put(std::uint64_t key, std::uint64_t value) {
+    const std::uint64_t id = submit_put(key, value);
+    Response r;
+    return flush() && recv_response(&r) && r.id == id &&
+           r.type == MsgType::kPutResp;
+  }
+
+  bool erase(std::uint64_t key) {
+    const std::uint64_t id = submit_erase(key);
+    Response r;
+    return flush() && recv_response(&r) && r.id == id &&
+           r.type == MsgType::kEraseResp && r.erased;
+  }
+
+  // Returns the per-key results, or nullopt on transport/protocol failure.
+  std::optional<std::vector<std::optional<std::uint64_t>>> get_many(
+      const std::vector<std::uint64_t>& keys) {
+    const std::uint64_t id =
+        submit_get_many(keys.data(), static_cast<std::uint32_t>(keys.size()));
+    Response r;
+    if (!flush() || !recv_response(&r) || r.id != id ||
+        r.type != MsgType::kGetManyResp)
+      return std::nullopt;
+    return std::move(r.values);
+  }
+
+ private:
+  explicit KvClient(int fd) : fd_(fd) {}
+
+  bool read_exact(std::uint8_t* dst, std::size_t len) {
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t n = ::read(fd_, dst + off, len - off);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  PackBuffer out_;
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t rhead_ = 0;
+};
+
+}  // namespace bjrw::net

@@ -1,0 +1,202 @@
+// Load-generator driver shared by bench_net_serve (E20) and the
+// examples/kv_loadgen CLI: N connections × in-flight depth D × the same
+// zipfian serve mix the in-process E18 rows use (ServeStream), so a
+// loopback row and an in-process row measure the identical operation
+// sequence and differ only by the wire.
+//
+// Each connection is one thread driving a blocking KvClient with explicit
+// pipelining: it primes `depth` requests, then recv-one/send-one to hold
+// the depth steady — the classic closed-loop load generator.  Latency is
+// measured per wire request (send of the frame to receipt of its
+// response), matched by request id because the server completes requests
+// in whatever order the owning nodes finish them.
+#pragma once
+
+#if !defined(__linux__)
+#error "src/net/loadgen.hpp requires Linux sockets"
+#endif
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/harness/timing.hpp"
+#include "src/harness/workload.hpp"
+#include "src/net/client.hpp"
+
+namespace bjrw::net {
+
+struct LoadgenConfig {
+  std::uint16_t port = 0;
+  int connections = 4;
+  int depth = 4;                  // in-flight wire requests per connection
+  int requests_per_conn = 1000;   // wire requests (a batch counts once)
+  std::uint32_t batch = 8;        // reads coalesced per get_many
+  double read_fraction = 0.95;
+  std::uint64_t num_keys = 1 << 16;
+  double zipf_theta = 0.99;
+  std::uint64_t seed = 42;
+};
+
+struct LoadgenResult {
+  bool ok = false;                // every connection connected and finished
+  std::uint64_t requests = 0;     // wire round trips completed
+  std::uint64_t ops = 0;          // keys touched (batch counts its keys)
+  std::uint64_t hits = 0;
+  std::uint64_t errors = 0;       // kErrorResp or transport failures
+  double wall_s = 0.0;
+  std::vector<double> latency_ns;  // one sample per wire request
+};
+
+namespace detail {
+
+// One pre-generated wire request: either a get_many batch or a put.
+struct WireOp {
+  bool is_batch = false;
+  std::vector<std::uint64_t> keys;  // batch
+  std::uint64_t key = 0;            // put
+  std::uint64_t value = 0;
+};
+
+inline std::vector<WireOp> make_ops(const LoadgenConfig& cfg,
+                                    std::uint64_t salt) {
+  ServeConfig scfg;
+  scfg.num_keys = cfg.num_keys;
+  scfg.zipf_theta = cfg.zipf_theta;
+  scfg.read_fraction = cfg.read_fraction;
+  scfg.seed = cfg.seed;
+  // Over-draw: each wire request consumes up to `batch` stream ops.
+  const std::size_t draw = static_cast<std::size_t>(cfg.requests_per_conn) *
+                           (cfg.batch > 0 ? cfg.batch : 1);
+  ServeStream stream(scfg, salt, draw);
+  std::vector<WireOp> ops;
+  ops.reserve(static_cast<std::size_t>(cfg.requests_per_conn));
+  WireOp batch;
+  batch.is_batch = true;
+  std::size_t i = 0;
+  while (ops.size() < static_cast<std::size_t>(cfg.requests_per_conn)) {
+    const ServeOp& op = stream.at(i++);
+    if (op.kind == OpKind::kRead && cfg.batch > 1) {
+      batch.keys.push_back(op.key);
+      if (batch.keys.size() == cfg.batch) {
+        ops.push_back(std::move(batch));
+        batch = WireOp{};
+        batch.is_batch = true;
+      }
+    } else if (op.kind == OpKind::kRead) {
+      WireOp w;
+      w.is_batch = true;
+      w.keys.push_back(op.key);
+      ops.push_back(std::move(w));
+    } else {
+      WireOp w;
+      w.key = op.key;
+      w.value = static_cast<std::uint64_t>(i);
+      ops.push_back(std::move(w));
+    }
+  }
+  return ops;
+}
+
+}  // namespace detail
+
+// Runs the configured load against 127.0.0.1:<cfg.port>.  The server must
+// already be listening.  Blocking: returns when every connection drained
+// its request list.
+inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
+  struct ConnResult {
+    bool ok = false;
+    std::uint64_t requests = 0, ops = 0, hits = 0, errors = 0;
+    std::vector<double> latency_ns;
+  };
+  const std::size_t conns = static_cast<std::size_t>(
+      cfg.connections > 0 ? cfg.connections : 1);
+  std::vector<ConnResult> per_conn(conns);
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  Stopwatch sw;
+  for (std::size_t c = 0; c < conns; ++c) {
+    threads.emplace_back([&cfg, &per_conn, c] {
+      ConnResult& out = per_conn[c];
+      auto client = KvClient::connect(cfg.port);
+      if (!client) return;
+      const std::vector<detail::WireOp> ops =
+          detail::make_ops(cfg, static_cast<std::uint64_t>(c));
+      // id -> (send timestamp, op index); linear scan — depth is small.
+      struct InFlight {
+        std::uint64_t id, send_ns;
+        std::size_t op;
+      };
+      std::vector<InFlight> in_flight;
+      const std::size_t depth =
+          static_cast<std::size_t>(cfg.depth > 0 ? cfg.depth : 1);
+      in_flight.reserve(depth);
+      out.latency_ns.reserve(ops.size());
+      std::size_t next = 0;
+      const auto send_one = [&]() -> bool {
+        const detail::WireOp& w = ops[next];
+        const std::uint64_t t0 = now_ns();
+        const std::uint64_t id =
+            w.is_batch
+                ? client->submit_get_many(
+                      w.keys.data(),
+                      static_cast<std::uint32_t>(w.keys.size()))
+                : client->submit_put(w.key, w.value);
+        if (!client->flush()) return false;
+        in_flight.push_back({id, t0, next});
+        ++next;
+        return true;
+      };
+      const auto recv_one = [&]() -> bool {
+        Response r;
+        if (!client->recv_response(&r)) return false;
+        const std::uint64_t t1 = now_ns();
+        for (std::size_t f = 0; f < in_flight.size(); ++f) {
+          if (in_flight[f].id != r.id) continue;
+          out.latency_ns.push_back(
+              static_cast<double>(t1 - in_flight[f].send_ns));
+          const detail::WireOp& w = ops[in_flight[f].op];
+          out.requests += 1;
+          if (r.type == MsgType::kErrorResp) {
+            out.errors += 1;
+          } else if (w.is_batch) {
+            out.ops += w.keys.size();
+            for (const auto& v : r.values)
+              if (v.has_value()) ++out.hits;
+          } else {
+            out.ops += 1;
+          }
+          in_flight.erase(in_flight.begin() +
+                          static_cast<std::ptrdiff_t>(f));
+          return true;
+        }
+        return false;  // unknown id: protocol trouble, bail
+      };
+      bool ok = true;
+      while (ok && (next < ops.size() || !in_flight.empty())) {
+        while (ok && next < ops.size() && in_flight.size() < depth)
+          ok = send_one();
+        if (ok && !in_flight.empty()) ok = recv_one();
+      }
+      out.ok = ok;
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoadgenResult result;
+  result.ok = true;
+  result.wall_s = sw.elapsed_s();
+  for (const ConnResult& cr : per_conn) {
+    result.ok = result.ok && cr.ok;
+    result.requests += cr.requests;
+    result.ops += cr.ops;
+    result.hits += cr.hits;
+    result.errors += cr.errors;
+    result.latency_ns.insert(result.latency_ns.end(), cr.latency_ns.begin(),
+                             cr.latency_ns.end());
+  }
+  return result;
+}
+
+}  // namespace bjrw::net

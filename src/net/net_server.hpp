@@ -1,0 +1,688 @@
+// Socket front-end for the serving runtime: an epoll accept/read/write
+// loop that deserializes wire frames (wire.hpp) straight into the
+// existing client-owned Request + counting-latch pipeline (src/serve/).
+//
+// Ownership rules (DESIGN.md §10) — the whole design hangs on them:
+//
+//  * Every connection owns a fixed pool of request Slots.  A slot holds a
+//    serve::Request plus the key/result storage its spans point into.
+//    Deserialization copies the frame's keys into the slot's vectors (the
+//    single copy on the ingest path; capacity persists, so the steady
+//    state does not allocate) and submits the slot's Request — from there
+//    the zero-copy contract of the in-process pipeline holds unchanged:
+//    workers read the slot-owned key span and write the slot-owned result
+//    array directly.
+//
+//  * A slot stays owned by the runtime until its counting latch resolves
+//    (Request::done()).  The event loop polls in-flight slots between
+//    epoll wakeups, packs responses for the resolved ones, and only then
+//    recycles the slot.  Consequently a connection — even one whose peer
+//    disconnected or broke the protocol — is never destroyed while it has
+//    slots in flight: it parks in a draining state until the last worker
+//    decrement lands.  This is the socket-boundary restatement of
+//    "the client owns the Request until wait() returns".
+//
+//  * The slot pool bounds per-connection in-flight depth.  When a
+//    connection runs out of slots its EPOLLIN interest is dropped (read
+//    backpressure all the way to the peer's TCP window) and re-armed when
+//    a completion frees a slot — buffered-but-unparsed frames are
+//    retried first, so no frame is reordered or dropped.
+//
+// Protocol errors answer with kErrorResp before acting: frame-boundary
+// breakers (oversized length prefix, bad magic, wrong version) close the
+// connection — the stream cannot be resynchronized; body-level breakers
+// (unknown type, malformed body, server shutdown) keep it open — the
+// frame boundary is intact, so later frames are still parseable.
+#pragma once
+
+#if !defined(__linux__)
+#error "src/net/net_server.hpp requires Linux (epoll)"
+#endif
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/wire.hpp"
+#include "src/serve/request.hpp"
+#include "src/serve/server.hpp"
+
+namespace bjrw::net {
+
+struct NetServerConfig {
+  std::uint16_t port = 0;        // 0 = ephemeral; see NetServer::port()
+  int backlog = 128;
+  std::size_t max_frame = kDefaultMaxFrame;
+  std::size_t slots_per_connection = 64;  // in-flight depth bound
+  int idle_poll_ms = 50;         // epoll timeout with nothing in flight
+};
+
+template <ReaderWriterLock Lock>
+class NetServer {
+ public:
+  using Kv = serve::KvServer<Lock>;
+
+  // Binds 127.0.0.1:<port>, spawns the event-loop thread.  `kv` must
+  // outlive the NetServer.  Failure to bind/listen leaves ok() false and
+  // the server inert (no thread).
+  NetServer(Kv& kv, NetServerConfig cfg = {}) : kv_(kv), cfg_(cfg) {
+    if (cfg_.slots_per_connection < 1) cfg_.slots_per_connection = 1;
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (listen_fd_ < 0) return;
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(cfg_.port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd_, cfg_.backlog) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return;
+    }
+    socklen_t alen = sizeof addr;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      &alen) == 0)
+      port_ = ntohs(addr.sin_port);
+    epoll_fd_ = ::epoll_create1(0);
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+    if (epoll_fd_ < 0 || wake_fd_ < 0) {
+      close_all_listener_fds();
+      return;
+    }
+    add_epoll(listen_fd_, EPOLLIN, kListenTag);
+    add_epoll(wake_fd_, EPOLLIN, kWakeTag);
+    ok_ = true;
+    loop_ = std::thread([this] { event_loop(); });
+  }
+
+  ~NetServer() { stop(); }
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  bool ok() const { return ok_; }
+  std::uint16_t port() const { return port_; }
+
+  // Accepted since start; observer for tests/benches.
+  std::uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t frames_dispatched() const {
+    return dispatched_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t protocol_errors() const {
+    return proto_errors_.load(std::memory_order_relaxed);
+  }
+
+  // Stops accepting, waits for every in-flight slot to resolve, flushes
+  // what can be flushed, closes all connections, joins the loop thread.
+  // Idempotent; the destructor calls it.  Stop the NetServer *before*
+  // shutting down the KvServer — in-flight latches need its workers.
+  void stop() {
+    if (!ok_) {
+      close_all_listener_fds();
+      return;
+    }
+    bool expected = false;
+    if (stopping_.compare_exchange_strong(expected, true)) {
+      const std::uint64_t one = 1;
+      [[maybe_unused]] const ssize_t n =
+          ::write(wake_fd_, &one, sizeof one);
+    }
+    if (loop_.joinable()) loop_.join();
+  }
+
+ private:
+  static constexpr std::uint64_t kListenTag = ~std::uint64_t{0};
+  static constexpr std::uint64_t kWakeTag = ~std::uint64_t{0} - 1;
+
+  // One pooled request carrier: the Request plus the storage its spans
+  // point into.  `keys`/`out` keep their capacity across uses, so a
+  // connection's steady-state ingest path stops allocating.
+  struct Slot {
+    serve::Request req;
+    std::vector<std::uint64_t> keys;
+    std::vector<std::optional<std::uint64_t>> out;
+    std::uint64_t id = 0;
+    MsgType resp_type = MsgType::kGetResp;
+    bool submit_refused = false;  // KvServer said no (shutdown)
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::vector<std::uint8_t> rbuf;
+    std::size_t rhead = 0;  // parsed-up-to offset into rbuf
+    PackBuffer wbuf;
+    std::vector<std::unique_ptr<Slot>> pool;
+    std::vector<Slot*> free_slots;
+    std::vector<Slot*> in_flight;
+    bool want_write = false;   // EPOLLOUT armed
+    bool reading = true;       // EPOLLIN armed (false: slot backpressure)
+    bool draining = false;     // no more reads; close once quiescent
+    bool peer_gone = false;    // EOF/error: skip response packing
+
+    std::size_t buffered() const { return rbuf.size() - rhead; }
+  };
+
+  // ---- epoll plumbing -------------------------------------------------------
+
+  void add_epoll(int fd, std::uint32_t events, std::uint64_t tag) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = tag;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+
+  void rearm(Connection& c, std::size_t idx) {
+    epoll_event ev{};
+    ev.events = (c.reading && !c.draining ? EPOLLIN : 0u) |
+                (c.want_write ? EPOLLOUT : 0u);
+    ev.data.u64 = idx;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+  }
+
+  void close_all_listener_fds() {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  }
+
+  // ---- the loop -------------------------------------------------------------
+
+  void event_loop() {
+    std::vector<epoll_event> events(64);
+    for (;;) {
+      const bool busy = total_in_flight_ > 0;
+      if (stopping_.load(std::memory_order_acquire) && quiescent()) break;
+      const int timeout =
+          busy || stopping_.load(std::memory_order_relaxed)
+              ? 0
+              : cfg_.idle_poll_ms;
+      const int n = ::epoll_wait(epoll_fd_, events.data(),
+                                 static_cast<int>(events.size()), timeout);
+      bool progressed = false;
+      for (int i = 0; i < n; ++i) {
+        const std::uint64_t tag = events[static_cast<std::size_t>(i)].data.u64;
+        const std::uint32_t evs = events[static_cast<std::size_t>(i)].events;
+        if (tag == kListenTag) {
+          progressed |= do_accept();
+        } else if (tag == kWakeTag) {
+          std::uint64_t drain = 0;
+          [[maybe_unused]] const ssize_t r =
+              ::read(wake_fd_, &drain, sizeof drain);
+        } else {
+          progressed |= handle_io(static_cast<std::size_t>(tag), evs);
+        }
+      }
+      progressed |= sweep_completions();
+      reap_closed();
+      // Single-core friendliness: when a poll cycle achieved nothing but
+      // latches are still pending, yield so the pinned workers that will
+      // resolve them actually get the CPU.
+      if (busy && !progressed) std::this_thread::yield();
+    }
+    // Shutdown: every slot has resolved (quiescent), responses that could
+    // be flushed were flushed opportunistically by the sweep; close.
+    for (auto& up : conns_)
+      if (up && up->fd >= 0) ::close(up->fd);
+    conns_.clear();
+    close_all_listener_fds();
+  }
+
+  bool quiescent() { return total_in_flight_ == 0; }
+
+  bool do_accept() {
+    bool any = false;
+    for (;;) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) break;
+      if (stopping_.load(std::memory_order_relaxed)) {
+        ::close(fd);
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      auto conn = std::make_unique<Connection>();
+      conn->fd = fd;
+      conn->pool.reserve(cfg_.slots_per_connection);
+      for (std::size_t s = 0; s < cfg_.slots_per_connection; ++s) {
+        conn->pool.push_back(std::make_unique<Slot>());
+        conn->free_slots.push_back(conn->pool.back().get());
+      }
+      // Reuse a vacated index so epoll tags stay dense-ish.
+      std::size_t idx = conns_.size();
+      for (std::size_t j = 0; j < conns_.size(); ++j)
+        if (!conns_[j]) {
+          idx = j;
+          break;
+        }
+      if (idx == conns_.size()) conns_.push_back(nullptr);
+      conns_[idx] = std::move(conn);
+      add_epoll(fd, EPOLLIN, idx);
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      any = true;
+    }
+    return any;
+  }
+
+  bool handle_io(std::size_t idx, std::uint32_t evs) {
+    if (idx >= conns_.size() || !conns_[idx]) return false;
+    Connection& c = *conns_[idx];
+    bool progressed = false;
+    if (evs & (EPOLLHUP | EPOLLERR)) {
+      c.peer_gone = true;
+      begin_drain(c, idx);
+      return true;
+    }
+    if ((evs & EPOLLIN) && c.reading && !c.draining)
+      progressed |= do_read(c, idx);
+    if ((evs & EPOLLOUT) && c.want_write) progressed |= do_write(c, idx);
+    return progressed;
+  }
+
+  bool do_read(Connection& c, std::size_t idx) {
+    bool progressed = false;
+    for (;;) {
+      const std::size_t old = c.rbuf.size();
+      c.rbuf.resize(old + 4096);
+      const ssize_t n = ::read(c.fd, c.rbuf.data() + old, 4096);
+      if (n > 0) {
+        c.rbuf.resize(old + static_cast<std::size_t>(n));
+        progressed = true;
+        if (static_cast<std::size_t>(n) < 4096) break;
+        continue;
+      }
+      c.rbuf.resize(old);
+      if (n == 0) {  // orderly EOF
+        c.peer_gone = true;
+        begin_drain(c, idx);
+        return true;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      c.peer_gone = true;  // ECONNRESET and friends
+      begin_drain(c, idx);
+      return true;
+    }
+    if (progressed) drain_frames(c, idx);
+    return progressed;
+  }
+
+  bool do_write(Connection& c, std::size_t idx) {
+    bool progressed = false;
+    while (!c.wbuf.empty()) {
+      const ssize_t n = ::write(c.fd, c.wbuf.data(), c.wbuf.size());
+      if (n > 0) {
+        c.wbuf.consume(static_cast<std::size_t>(n));
+        progressed = true;
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!c.want_write) {
+          c.want_write = true;
+          rearm(c, idx);
+        }
+        return progressed;
+      }
+      c.peer_gone = true;
+      begin_drain(c, idx);
+      return true;
+    }
+    if (c.want_write) {
+      c.want_write = false;
+      rearm(c, idx);
+    }
+    if (c.draining) try_finish_drain(c, idx);
+    return progressed;
+  }
+
+  // ---- frame parsing + dispatch ---------------------------------------------
+
+  // Per-message-type dispatch table (wire.hpp): request type -> handler.
+  enum class Handle { kOk, kNoSlot, kClose };
+  using Handler = Handle (NetServer::*)(Connection&, std::uint64_t,
+                                        Unpacker&);
+
+  static const DispatchEntry<Handler> (&dispatch_table())[4] {
+    static const DispatchEntry<Handler> table[4] = {
+        {MsgType::kGetReq, "get", &NetServer::on_get},
+        {MsgType::kPutReq, "put", &NetServer::on_put},
+        {MsgType::kEraseReq, "erase", &NetServer::on_erase},
+        {MsgType::kGetManyReq, "get_many", &NetServer::on_get_many},
+    };
+    return table;
+  }
+
+  void drain_frames(Connection& c, std::size_t idx) {
+    while (!c.draining) {
+      const std::size_t avail = c.buffered();
+      if (avail < kFrameLenSize) break;
+      const std::uint8_t* p = c.rbuf.data() + c.rhead;
+      const std::uint32_t flen =
+          (static_cast<std::uint32_t>(p[0]) << 24) |
+          (static_cast<std::uint32_t>(p[1]) << 16) |
+          (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+      if (flen > cfg_.max_frame) {
+        // The reader will not buffer this frame, so the stream cannot be
+        // resynchronized: answer and close.
+        protocol_error(c, idx, 0, ErrorCode::kFrameTooLarge,
+                       "frame exceeds server limit", /*close=*/true);
+        return;
+      }
+      if (flen < kHeaderSize) {
+        protocol_error(c, idx, 0, ErrorCode::kMalformed,
+                       "frame shorter than the message header",
+                       /*close=*/true);
+        return;
+      }
+      if (avail - kFrameLenSize < flen) break;  // incomplete frame
+      Unpacker u(p + kFrameLenSize, flen);
+      MsgHeader h;
+      ErrorCode err;
+      if (!unpack_header(u, &h, &err)) {
+        protocol_error(c, idx, h.request_id, err,
+                       err == ErrorCode::kBadMagic ? "bad magic"
+                                                   : "protocol version "
+                                                     "mismatch",
+                       /*close=*/true);
+        return;
+      }
+      const auto* entry = dispatch_lookup(dispatch_table(), h.type);
+      if (entry == nullptr) {
+        // Frame boundary is intact: answer and keep the connection.
+        protocol_error(c, idx, h.request_id, ErrorCode::kUnknownType,
+                       "no dispatch entry for message type",
+                       /*close=*/false);
+        c.rhead += kFrameLenSize + flen;
+        continue;
+      }
+      const Handle r = (this->*(entry->handler))(c, h.request_id, u);
+      if (r == Handle::kNoSlot) {
+        // Out of slots: leave the frame buffered, drop read interest
+        // until a completion frees one (backpressure to the TCP window).
+        if (c.reading) {
+          c.reading = false;
+          rearm(c, idx);
+        }
+        return;
+      }
+      c.rhead += kFrameLenSize + flen;
+      if (r == Handle::kClose) {
+        begin_drain(c, idx);
+        return;
+      }
+      dispatched_.fetch_add(1, std::memory_order_relaxed);
+    }
+    compact(c);
+    // Survive-class error replies (malformed bodies) are packed by the
+    // handlers without a flush of their own; push them out now rather
+    // than waiting for an unrelated completion to sweep by.
+    if (!c.draining && !c.wbuf.empty()) flush(c, idx);
+  }
+
+  static void compact(Connection& c) {
+    if (c.rhead == 0) return;
+    if (c.buffered() == 0) {
+      c.rbuf.clear();
+      c.rhead = 0;
+    } else if (c.rhead >= 4096) {
+      c.rbuf.erase(c.rbuf.begin(),
+                   c.rbuf.begin() + static_cast<std::ptrdiff_t>(c.rhead));
+      c.rhead = 0;
+    }
+  }
+
+  // ---- request handlers (the dispatch table's targets) ----------------------
+
+  Slot* take_slot(Connection& c, std::uint64_t id, MsgType resp_type) {
+    if (c.free_slots.empty()) return nullptr;
+    Slot* s = c.free_slots.back();
+    c.free_slots.pop_back();
+    s->req.reset();
+    s->req.out = nullptr;
+    s->id = id;
+    s->resp_type = resp_type;
+    s->submit_refused = false;
+    return s;
+  }
+
+  void submit_slot(Connection& c, Slot* s) {
+    s->submit_refused = !kv_.submit(&s->req);
+    c.in_flight.push_back(s);
+    ++total_in_flight_;
+  }
+
+  Handle on_get(Connection& c, std::uint64_t id, Unpacker& u) {
+    const std::uint64_t key = u.u64();
+    if (u.failed() || !u.exhausted()) return malformed(c, id);
+    Slot* s = take_slot(c, id, MsgType::kGetResp);
+    if (!s) return Handle::kNoSlot;
+    s->keys.assign(1, key);
+    s->out.assign(1, std::nullopt);
+    s->req.kind = serve::RequestKind::kGet;
+    s->req.keys = s->keys.data();
+    s->req.key_count = 1;
+    s->req.out = s->out.data();
+    submit_slot(c, s);
+    return Handle::kOk;
+  }
+
+  Handle on_put(Connection& c, std::uint64_t id, Unpacker& u) {
+    const std::uint64_t key = u.u64();
+    const std::uint64_t value = u.u64();
+    if (u.failed() || !u.exhausted()) return malformed(c, id);
+    Slot* s = take_slot(c, id, MsgType::kPutResp);
+    if (!s) return Handle::kNoSlot;
+    s->req.kind = serve::RequestKind::kPut;
+    s->req.key = key;
+    s->req.value = value;
+    submit_slot(c, s);
+    return Handle::kOk;
+  }
+
+  Handle on_erase(Connection& c, std::uint64_t id, Unpacker& u) {
+    const std::uint64_t key = u.u64();
+    if (u.failed() || !u.exhausted()) return malformed(c, id);
+    Slot* s = take_slot(c, id, MsgType::kEraseResp);
+    if (!s) return Handle::kNoSlot;
+    s->req.kind = serve::RequestKind::kErase;
+    s->req.key = key;
+    submit_slot(c, s);
+    return Handle::kOk;
+  }
+
+  Handle on_get_many(Connection& c, std::uint64_t id, Unpacker& u) {
+    const std::uint32_t n = u.u32();
+    // The count must agree with the frame length before any allocation
+    // sized by it (a lying count is a malformed body, not an OOM).
+    if (u.failed() || u.remaining() != static_cast<std::size_t>(n) * 8)
+      return malformed(c, id);
+    Slot* s = take_slot(c, id, MsgType::kGetManyResp);
+    if (!s) return Handle::kNoSlot;
+    s->keys.clear();
+    s->keys.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) s->keys.push_back(u.u64());
+    s->out.assign(n, std::nullopt);
+    s->req.kind = serve::RequestKind::kGetBatch;
+    s->req.keys = s->keys.data();
+    s->req.key_count = n;
+    s->req.out = n ? s->out.data() : nullptr;
+    submit_slot(c, s);
+    return Handle::kOk;
+  }
+
+  Handle malformed(Connection& c, std::uint64_t id) {
+    pack_error_resp(c.wbuf, id, ErrorCode::kMalformed,
+                    "body does not match the frame length");
+    proto_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Handle::kOk;  // frame boundary intact: connection survives
+  }
+
+  void protocol_error(Connection& c, std::size_t idx, std::uint64_t id,
+                      ErrorCode code, const char* detail, bool close) {
+    proto_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (!c.peer_gone) pack_error_resp(c.wbuf, id, code, detail);
+    if (close) {
+      begin_drain(c, idx);
+    } else {
+      flush(c, idx);
+    }
+  }
+
+  // ---- completion sweep -----------------------------------------------------
+
+  bool sweep_completions() {
+    bool progressed = false;
+    for (std::size_t idx = 0; idx < conns_.size(); ++idx) {
+      if (!conns_[idx]) continue;
+      Connection& c = *conns_[idx];
+      const bool had_free = !c.free_slots.empty();
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < c.in_flight.size(); ++r) {
+        Slot* s = c.in_flight[r];
+        if (!s->req.done()) {
+          c.in_flight[w++] = s;
+          continue;
+        }
+        if (!c.peer_gone) pack_response(c, *s);
+        c.free_slots.push_back(s);
+        --total_in_flight_;
+        progressed = true;
+      }
+      c.in_flight.resize(w);
+      if (progressed && !c.wbuf.empty()) flush(c, idx);
+      // A freed slot unblocks parsing: retry buffered frames, then re-arm
+      // EPOLLIN if the stall is over.
+      if (!had_free && !c.free_slots.empty() && !c.draining) {
+        drain_frames(c, idx);
+        if (!c.reading && !c.free_slots.empty()) {
+          c.reading = true;
+          rearm(c, idx);
+        }
+      }
+      if (c.draining) try_finish_drain(c, idx);
+    }
+    return progressed;
+  }
+
+  void pack_response(Connection& c, const Slot& s) {
+    switch (s.resp_type) {
+      case MsgType::kGetResp:
+        if (s.submit_refused) {
+          pack_error_resp(c.wbuf, s.id, ErrorCode::kShuttingDown,
+                          "server is shutting down");
+        } else {
+          pack_get_resp(c.wbuf, s.id, s.out[0].has_value(),
+                        s.out[0].value_or(0));
+        }
+        break;
+      case MsgType::kPutResp:
+        if (s.submit_refused) {
+          pack_error_resp(c.wbuf, s.id, ErrorCode::kShuttingDown,
+                          "server is shutting down");
+        } else {
+          pack_put_resp(c.wbuf, s.id);
+        }
+        break;
+      case MsgType::kEraseResp:
+        if (s.submit_refused) {
+          pack_error_resp(c.wbuf, s.id, ErrorCode::kShuttingDown,
+                          "server is shutting down");
+        } else {
+          pack_erase_resp(c.wbuf, s.id,
+                          s.req.hits.load(std::memory_order_relaxed) != 0);
+        }
+        break;
+      case MsgType::kGetManyResp: {
+        // A partially-refused batch (shutdown race) still answers with
+        // what completed; a fully refused one is an explicit error.
+        if (s.submit_refused && s.req.key_count != 0 &&
+            s.req.hits.load(std::memory_order_relaxed) == 0) {
+          pack_error_resp(c.wbuf, s.id, ErrorCode::kShuttingDown,
+                          "server is shutting down");
+          break;
+        }
+        const std::size_t at = c.wbuf.begin_frame();
+        pack_header(c.wbuf, MsgType::kGetManyResp, s.id);
+        c.wbuf.put_u32(s.req.key_count);
+        for (std::uint32_t i = 0; i < s.req.key_count; ++i) {
+          c.wbuf.put_u8(s.out[i].has_value() ? 1 : 0);
+          c.wbuf.put_u64(s.out[i].value_or(0));
+        }
+        c.wbuf.end_frame(at);
+        break;
+      }
+      default:
+        pack_error_resp(c.wbuf, s.id, ErrorCode::kMalformed,
+                        "internal: bad response type");
+        break;
+    }
+  }
+
+  void flush(Connection& c, std::size_t idx) {
+    if (c.fd < 0) return;
+    do_write(c, idx);
+  }
+
+  // ---- teardown -------------------------------------------------------------
+
+  // Stop reading; the connection closes once its in-flight slots resolved
+  // and the write buffer is flushed (or the peer is gone).
+  void begin_drain(Connection& c, std::size_t idx) {
+    if (c.draining) return;
+    c.draining = true;
+    c.reading = false;
+    if (c.fd >= 0) rearm(c, idx);
+    try_finish_drain(c, idx);
+  }
+
+  void try_finish_drain(Connection& c, std::size_t idx) {
+    if (!c.in_flight.empty()) return;  // workers still own slot memory
+    if (!c.peer_gone && !c.wbuf.empty()) {
+      do_write(c, idx);
+      if (!c.wbuf.empty()) return;  // EPOLLOUT will retry
+    }
+    if (c.fd >= 0) {
+      ::close(c.fd);
+      c.fd = -1;
+    }
+  }
+
+  void reap_closed() {
+    for (auto& up : conns_)
+      if (up && up->fd < 0 && up->in_flight.empty()) up.reset();
+  }
+
+  Kv& kv_;
+  NetServerConfig cfg_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool ok_ = false;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> dispatched_{0};
+  std::atomic<std::uint64_t> proto_errors_{0};
+  std::size_t total_in_flight_ = 0;  // loop-thread only
+  std::vector<std::unique_ptr<Connection>> conns_;  // loop-thread only
+  std::thread loop_;
+};
+
+}  // namespace bjrw::net

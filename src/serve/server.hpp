@@ -14,10 +14,10 @@
 // removed — the difference between the two rows is pure node-locality.
 //
 // Completion is the Request's counting latch; the worker whose decrement
-// completes a request records its latency into the executing node's stats.
-// All server statistics follow the repo's quiescence contract: plain
-// per-worker stripes, exact once the traffic they describe has completed
-// (every result write happens-before the client's latch read).
+// completes a request records its latency into the executing node's stats
+// strictly before the latch-releasing decrement.  Server statistics are
+// plain per-worker stripes, exact once the traffic they describe has
+// completed (every stripe write happens-before the client's latch read).
 #pragma once
 
 #include <atomic>
@@ -93,6 +93,13 @@ class KvServer {
   bool submit(Request* req) {
     req->submit_ns = now_ns();
     if (req->kind == RequestKind::kGetBatch) {
+      // Empty batch: complete immediately.  `keys` may legitimately be
+      // nullptr here (std::vector::data() on an empty vector), so it must
+      // not reach group_by_node's span arithmetic.
+      if (req->key_count == 0) {
+        req->pending.store(0, std::memory_order_release);
+        return true;
+      }
       static thread_local std::vector<std::pair<std::uint32_t, std::uint32_t>>
           ranges;
       map_.group_by_node(req->keys, req->key_count, req->order, ranges);
@@ -189,11 +196,11 @@ class KvServer {
   int pinned_workers() const { return pool_.pinned_workers(); }
   int workers_per_node() const { return pool_.workers_per_node(); }
 
-  // Quiescence contract: exact once the pool is quiescent — after
-  // shutdown(), or while no requests are in flight AND no completion is
-  // being recorded (the completing worker writes its latency sample just
-  // *after* releasing the request's latch, so "my request returned" alone
-  // does not order that write; shutdown()'s join does).
+  // Exact once the traffic it describes has completed: the completing
+  // worker records its latency sample (and every other stripe field)
+  // strictly *before* the latch-releasing decrement, so a client that
+  // observed wait() return reads fully-updated stripes for that request —
+  // no quiescence beyond "my requests returned" is required.
   NodeServeStats node_stats(int node) const {
     NodeServeStats out;
     out.backpressure = pool_.backpressure(node);
@@ -301,9 +308,27 @@ class KvServer {
     // waiting client — and releases the client-owned request: the moment
     // it lands, the client may destroy or reuse *req, so everything we
     // need is snapshotted first and req is never touched afterwards.
+    //
+    // The latency sample must land *before* that release (node_stats()
+    // promises stripes are exact the moment wait() returns), but only the
+    // last decrementer records it — so the decrement is a CAS loop that
+    // knows the current count before committing.  `pending` only ever
+    // decreases while in flight, so a CAS that observes 1 cannot lose the
+    // race to another decrementer (there is none left), and a stale
+    // higher read is corrected by the CAS failure reload.
     const std::uint64_t elapsed_ns = now_ns() - req->submit_ns;
-    if (req->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
-      ws.latency.add(static_cast<double>(elapsed_ns));
+    std::uint32_t p = req->pending.load(std::memory_order_relaxed);
+    bool recorded = false;
+    for (;;) {
+      if (p == 1 && !recorded) {
+        ws.latency.add(static_cast<double>(elapsed_ns));
+        recorded = true;
+      }
+      if (req->pending.compare_exchange_weak(p, p - 1,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed))
+        break;
+    }
   }
 
   Config cfg_;

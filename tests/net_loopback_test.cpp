@@ -1,0 +1,272 @@
+// Tier-1 loopback suite for the socket front-end (src/net/): a real
+// NetServer over a KvServer on 127.0.0.1:<ephemeral>, driven by KvClient —
+// get/put/erase/get_many roundtrips (empty batch included), multi-node
+// batches on a simulated 2x4 topology, pipelined out-of-order id
+// correlation, protocol-error replies (oversized frame, bad magic,
+// unknown type), concurrent clients, and orderly server stop.  The CI
+// stress matrix also runs this binary under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "src/core/locks.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/harness/topology.hpp"
+#include "src/net/client.hpp"
+#include "src/net/net_server.hpp"
+#include "src/serve/server.hpp"
+
+namespace bjrw::net {
+namespace {
+
+using Server = serve::KvServer<CohortWriterPriorityLock>;
+
+struct Loopback {
+  Server kv;
+  NetServer<CohortWriterPriorityLock> net;
+
+  explicit Loopback(NetServerConfig ncfg = {})
+      : kv(Topology::simulated(2, 4), server_config()), net(kv, ncfg) {}
+
+  static Server::Config server_config() {
+    Server::Config cfg;
+    cfg.workers_per_node = 2;
+    return cfg;
+  }
+
+  KvClient client() {
+    auto c = KvClient::connect(net.port());
+    EXPECT_TRUE(c.has_value());
+    return std::move(*c);
+  }
+};
+
+TEST(NetLoopback, PointOpsRoundtrip) {
+  Loopback lb;
+  ASSERT_TRUE(lb.net.ok());
+  KvClient c = lb.client();
+  ASSERT_TRUE(c.ok());
+
+  EXPECT_FALSE(c.get(5).has_value());
+  EXPECT_TRUE(c.put(5, 50));
+  const auto v = c.get(5);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 50u);
+  EXPECT_TRUE(c.put(5, 51));  // overwrite
+  EXPECT_EQ(c.get(5).value_or(0), 51u);
+  EXPECT_TRUE(c.erase(5));
+  EXPECT_FALSE(c.erase(5));  // already gone
+  EXPECT_FALSE(c.get(5).has_value());
+}
+
+TEST(NetLoopback, GetManyRoundtripsIncludingEmptyBatch) {
+  Loopback lb;
+  ASSERT_TRUE(lb.net.ok());
+  KvClient c = lb.client();
+
+  // Keys spread across both simulated nodes (node_of_key varies), so the
+  // batch exercises the multi-slice latch behind the wire.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    keys.push_back(k);
+    if (k % 2 == 0) {
+      ASSERT_TRUE(c.put(k, k * 10));
+    }
+  }
+  const auto got = c.get_many(keys);
+  ASSERT_TRUE(got.has_value());
+  ASSERT_EQ(got->size(), keys.size());
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    ASSERT_EQ((*got)[k].has_value(), k % 2 == 0) << "key " << k;
+    if ((*got)[k]) {
+      EXPECT_EQ(*(*got)[k], k * 10);
+    }
+  }
+
+  // Empty batch: a legal wire frame answered with an empty result list
+  // (the KvServer-side empty-submit fix observed end to end).
+  const auto empty = c.get_many({});
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+
+  // The connection is still healthy afterwards.
+  EXPECT_TRUE(c.put(1000, 1));
+  EXPECT_EQ(c.get(1000).value_or(0), 1u);
+}
+
+TEST(NetLoopback, PipelinedResponsesCorrelateById) {
+  Loopback lb;
+  ASSERT_TRUE(lb.net.ok());
+  KvClient c = lb.client();
+
+  // Issue a burst of puts + gets without reading; collect all responses
+  // and match by id — order on the wire is not guaranteed.
+  constexpr std::uint64_t kN = 32;
+  std::vector<std::uint64_t> put_ids, get_ids;
+  for (std::uint64_t k = 0; k < kN; ++k)
+    put_ids.push_back(c.submit_put(k, k + 3));
+  ASSERT_TRUE(c.flush());
+  std::vector<Response> got;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    Response r;
+    ASSERT_TRUE(c.recv_response(&r));
+    got.push_back(r);
+  }
+  for (const std::uint64_t id : put_ids) {
+    bool found = false;
+    for (const Response& r : got)
+      if (r.id == id) {
+        EXPECT_EQ(r.type, MsgType::kPutResp);
+        found = true;
+      }
+    EXPECT_TRUE(found) << "no response for put id " << id;
+  }
+  for (std::uint64_t k = 0; k < kN; ++k) get_ids.push_back(c.submit_get(k));
+  ASSERT_TRUE(c.flush());
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    Response r;
+    ASSERT_TRUE(c.recv_response(&r));
+    ASSERT_EQ(r.type, MsgType::kGetResp);
+    ASSERT_TRUE(r.found);
+    sum += r.value;
+  }
+  EXPECT_EQ(sum, kN * (kN - 1) / 2 + 3 * kN);
+}
+
+TEST(NetLoopback, OversizedFrameIsRejectedAndConnectionClosed) {
+  NetServerConfig ncfg;
+  ncfg.max_frame = 256;
+  Loopback lb(ncfg);
+  ASSERT_TRUE(lb.net.ok());
+  KvClient c = lb.client();
+
+  // A frame whose length prefix exceeds the ceiling: the server answers
+  // kFrameTooLarge and closes (the stream cannot be resynchronized).
+  std::vector<std::uint64_t> keys(64, 1);  // 16 + 4 + 512 bytes > 256
+  c.submit_get_many(keys.data(), static_cast<std::uint32_t>(keys.size()));
+  ASSERT_TRUE(c.flush());
+  Response r;
+  ASSERT_TRUE(c.recv_response(&r));
+  EXPECT_EQ(r.type, MsgType::kErrorResp);
+  EXPECT_EQ(r.error_code, ErrorCode::kFrameTooLarge);
+  EXPECT_FALSE(c.recv_response(&r)) << "connection must be closed";
+
+  // A fresh connection still works: the rejection was per-connection.
+  KvClient c2 = lb.client();
+  EXPECT_TRUE(c2.put(1, 2));
+}
+
+TEST(NetLoopback, BadMagicClosesUnknownTypeSurvives) {
+  Loopback lb;
+  ASSERT_TRUE(lb.net.ok());
+
+  {  // Unknown message type: error reply, connection survives.
+    KvClient c = lb.client();
+    PackBuffer b;
+    const std::size_t at = b.begin_frame();
+    pack_header(b, static_cast<MsgType>(12345), 99);
+    b.end_frame(at);
+    ASSERT_TRUE(c.send_raw(b.data(), b.size()));
+    Response r;
+    ASSERT_TRUE(c.recv_response(&r));
+    EXPECT_EQ(r.type, MsgType::kErrorResp);
+    EXPECT_EQ(r.id, 99u);
+    EXPECT_EQ(r.error_code, ErrorCode::kUnknownType);
+    EXPECT_TRUE(c.put(7, 70)) << "connection must survive an unknown type";
+    EXPECT_EQ(c.get(7).value_or(0), 70u);
+  }
+  {  // Malformed body (truncated): error reply, connection survives.
+    KvClient c = lb.client();
+    PackBuffer b;
+    const std::size_t at = b.begin_frame();
+    pack_header(b, MsgType::kPutReq, 100);
+    b.put_u32(1);  // put wants 16 body bytes, give it 4
+    b.end_frame(at);
+    ASSERT_TRUE(c.send_raw(b.data(), b.size()));
+    Response r;
+    ASSERT_TRUE(c.recv_response(&r));
+    EXPECT_EQ(r.error_code, ErrorCode::kMalformed);
+    EXPECT_TRUE(c.put(8, 80));
+  }
+  {  // Bad magic: error reply, then close.
+    KvClient c = lb.client();
+    PackBuffer b;
+    const std::size_t at = b.begin_frame();
+    b.put_u32(0x12345678);  // not kMagic
+    b.put_u16(kVersion);
+    b.put_u16(0);
+    b.put_u64(101);
+    b.end_frame(at);
+    ASSERT_TRUE(c.send_raw(b.data(), b.size()));
+    Response r;
+    ASSERT_TRUE(c.recv_response(&r));
+    EXPECT_EQ(r.error_code, ErrorCode::kBadMagic);
+    EXPECT_FALSE(c.recv_response(&r)) << "bad magic must close";
+  }
+  {  // Wrong version: close too.
+    KvClient c = lb.client();
+    PackBuffer b;
+    const std::size_t at = b.begin_frame();
+    b.put_u32(kMagic);
+    b.put_u16(static_cast<std::uint16_t>(kVersion + 7));
+    b.put_u16(0);
+    b.put_u64(102);
+    b.end_frame(at);
+    ASSERT_TRUE(c.send_raw(b.data(), b.size()));
+    Response r;
+    ASSERT_TRUE(c.recv_response(&r));
+    EXPECT_EQ(r.error_code, ErrorCode::kBadVersion);
+    EXPECT_FALSE(c.recv_response(&r));
+  }
+}
+
+TEST(NetLoopback, ConcurrentClientsSeeEachOthersWrites) {
+  Loopback lb;
+  ASSERT_TRUE(lb.net.ok());
+  constexpr int kClients = 4;
+  constexpr std::uint64_t kEach = 40;
+  run_threads(kClients, [&](std::size_t t) {
+    auto c = KvClient::connect(lb.net.port());
+    ASSERT_TRUE(c.has_value());
+    for (std::uint64_t i = 0; i < kEach; ++i)
+      ASSERT_TRUE(c->put(t * 1000 + i, t * 1000 + i + 1));
+  });
+  // One more client reads everything every other client wrote.
+  KvClient c = lb.client();
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t t = 0; t < kClients; ++t)
+    for (std::uint64_t i = 0; i < kEach; ++i) keys.push_back(t * 1000 + i);
+  const auto got = c.get_many(keys);
+  ASSERT_TRUE(got.has_value());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE((*got)[i].has_value()) << "key " << keys[i];
+    EXPECT_EQ(*(*got)[i], keys[i] + 1);
+  }
+  EXPECT_GE(lb.net.connections_accepted(), static_cast<std::uint64_t>(
+                                               kClients + 1));
+}
+
+TEST(NetLoopback, StopDrainsInFlightAndRefusesNewConnections) {
+  auto lb = std::make_unique<Loopback>();
+  ASSERT_TRUE(lb->net.ok());
+  KvClient c = lb->client();
+  for (std::uint64_t k = 0; k < 16; ++k) ASSERT_TRUE(c.put(k, k));
+  const std::uint16_t port = lb->net.port();
+
+  // stop() must resolve every in-flight latch before returning; the
+  // KvServer shuts down only afterwards (Loopback member order: net is
+  // destroyed before kv).
+  lb->net.stop();
+  lb.reset();
+
+  // The listener is gone.
+  EXPECT_FALSE(KvClient::connect(port).has_value());
+}
+
+}  // namespace
+}  // namespace bjrw::net

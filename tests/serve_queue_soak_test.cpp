@@ -185,5 +185,74 @@ TEST(ServeQueueSoak, ShutdownRacesDeepPipelinesWithoutDroppingRequests) {
   }
 }
 
+TEST(ServeQueueSoak, ResubmittedRequestsSurviveAShutdownRace) {
+  // The socket front-end's slot pools resubmit the *same* Request object
+  // for its connection's whole lifetime, including straight through server
+  // shutdown.  Per round: client threads each drive one Request in a
+  // reset/overwrite/submit/wait loop while a racing thread shuts the
+  // server down mid-traffic.  Every wait() must terminate (run_threads
+  // would hang otherwise — no stranded slice), accepted submits must be
+  // exact, refused ones must leave the object reusable.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < 24; ++k) keys.push_back(k);
+
+  for (int round = 0; round < 20; ++round) {
+    const Topology topo = Topology::simulated(2, 2);
+    KvServer<CohortWriterPriorityLock>::Config cfg;
+    cfg.workers_per_node = 1;
+    cfg.queue_capacity = 64;
+    KvServer<CohortWriterPriorityLock> server(topo, cfg);
+    for (std::uint64_t k = 0; k < 24; ++k) server.map().put(0, k, k + 1);
+
+    constexpr int kClients = 3;
+    run_threads(kClients + 1, [&](std::size_t t) {
+      if (t == kClients) {
+        for (int i = 0; i < (round * 13) % 211; ++i) YieldSpin::relax();
+        server.shutdown();
+        return;
+      }
+      Request r;  // one object, resubmitted throughout
+      std::vector<std::optional<std::uint64_t>> out;
+      for (int i = 0; i < 120; ++i) {
+        r.reset();
+        if (i % 4 == 3) {
+          r.kind = RequestKind::kPut;
+          r.key = 500 + static_cast<std::uint64_t>(i);
+          r.value = t;
+          const bool ok = server.submit(&r);
+          r.wait();  // must terminate, accepted or refused
+          if (!ok) break;
+          continue;
+        }
+        r.kind = RequestKind::kGetBatch;
+        r.keys = keys.data();
+        r.key_count = static_cast<std::uint32_t>(keys.size());
+        out.assign(keys.size(), std::nullopt);
+        r.out = out.data();
+        const bool ok = server.submit(&r);
+        r.wait();  // partial-failure submits still resolve the latch
+        if (ok) {
+          ASSERT_EQ(r.hits.load(), keys.size()) << "round " << round;
+          for (std::size_t k = 0; k < keys.size(); ++k) {
+            ASSERT_TRUE(out[k].has_value());
+            ASSERT_EQ(*out[k], keys[k] + 1);
+          }
+        } else {
+          break;  // server is gone; the object survived the refusal
+        }
+      }
+      // The object is still coherent after whatever ended the loop:
+      // one final refused/accepted submit must also resolve.
+      r.reset();
+      r.kind = RequestKind::kGetBatch;
+      r.keys = keys.data();
+      r.key_count = static_cast<std::uint32_t>(keys.size());
+      r.out = nullptr;
+      (void)server.submit(&r);
+      r.wait();
+    });
+  }
+}
+
 }  // namespace
 }  // namespace bjrw

@@ -478,6 +478,128 @@ TEST(KvServer, ShutdownCompletesInFlightRequestsAndRefusesNewOnes) {
   EXPECT_EQ(late.hits.load(), 0u);
 }
 
+TEST(KvServer, EmptyBatchCompletesDeterministically) {
+  const Topology topo = Topology::simulated(2, 4);
+  KvServer<CohortWriterPriorityLock> server(topo);
+  server.map().put(0, 5, 50);
+
+  // get_many({}) routes a key_count == 0 batch whose keys pointer is what
+  // std::vector::data() returns for an empty vector — possibly nullptr.
+  // It must complete with zero pending without touching the span.
+  const std::vector<std::uint64_t> no_keys;
+  EXPECT_EQ(server.get_many(no_keys), 0u);
+
+  // Same through the async path: wait() returns immediately, no slice is
+  // ever enqueued, and the request is reusable afterwards.
+  Request r;
+  r.kind = RequestKind::kGetBatch;
+  r.keys = nullptr;
+  r.key_count = 0;
+  EXPECT_TRUE(server.submit(&r));
+  EXPECT_TRUE(r.done());
+  r.wait();
+  EXPECT_EQ(r.hits.load(), 0u);
+  server.shutdown();
+  std::uint64_t subs = 0;
+  for (int d = 0; d < server.node_count(); ++d)
+    subs += server.node_stats(d).sub_requests;
+  EXPECT_EQ(subs, 0u) << "an empty batch must not reach any pool";
+}
+
+TEST(KvServer, StatsAreExactImmediatelyAfterWaitReturns) {
+  // node_stats() promises: the completing worker's stripe writes (the
+  // latency sample included) land strictly before the latch release, so
+  // the stats are exact the moment wait() returns — no shutdown or
+  // quiescence window needed.
+  const Topology topo = Topology::simulated(2, 4);
+  KvServer<CohortWriterPriorityLock>::Config cfg;
+  cfg.workers_per_node = 2;
+  KvServer<CohortWriterPriorityLock> server(topo, cfg);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < 48; ++k) {
+    server.map().put(0, k, k);
+    keys.push_back(k);
+  }
+
+  constexpr int kRounds = 50;
+  for (int i = 0; i < kRounds; ++i) {
+    Request r;
+    r.kind = RequestKind::kGetBatch;
+    r.keys = keys.data();
+    r.key_count = static_cast<std::uint32_t>(keys.size());
+    ASSERT_TRUE(server.submit(&r));
+    r.wait();
+    std::uint64_t completed = 0, ops = 0;
+    for (int d = 0; d < server.node_count(); ++d) {
+      const serve::NodeServeStats ns = server.node_stats(d);
+      completed += ns.completed;
+      ops += ns.ops;
+    }
+    ASSERT_EQ(completed, static_cast<std::uint64_t>(i + 1))
+        << "latency sample recorded after the latch release";
+    ASSERT_EQ(ops, static_cast<std::uint64_t>(i + 1) * keys.size());
+  }
+}
+
+TEST(KvServer, RequestObjectIsReusableAcrossSubmits) {
+  // The resubmission contract the socket front-end's slot pools rely on:
+  // reset() + overwrite makes one Request object serve many submits, each
+  // round trip independent and exact.
+  const Topology topo = Topology::simulated(2, 4);
+  KvServer<CohortWriterPriorityLock> server(topo);
+  for (std::uint64_t k = 0; k < 32; ++k) server.map().put(0, k, k + 7);
+
+  std::vector<std::uint64_t> keys;
+  std::vector<std::optional<std::uint64_t>> out;
+  Request r;
+  for (int round = 0; round < 40; ++round) {
+    r.reset();
+    if (round % 3 == 2) {  // point op through the same object
+      r.kind = RequestKind::kPut;
+      r.key = 100 + static_cast<std::uint64_t>(round);
+      r.value = static_cast<std::uint64_t>(round);
+      ASSERT_TRUE(server.submit(&r));
+      r.wait();
+      continue;
+    }
+    keys.clear();
+    const std::uint64_t base = static_cast<std::uint64_t>(round) % 16;
+    for (std::uint64_t k = base; k < base + 16; ++k) keys.push_back(k);
+    out.assign(keys.size(), std::nullopt);
+    r.kind = RequestKind::kGetBatch;
+    r.keys = keys.data();
+    r.key_count = static_cast<std::uint32_t>(keys.size());
+    r.out = out.data();
+    ASSERT_TRUE(server.submit(&r));
+    r.wait();
+    std::uint64_t expect_hits = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const bool present = keys[i] < 32;
+      expect_hits += present ? 1 : 0;
+      ASSERT_EQ(out[i].has_value(), present) << "round " << round;
+      if (out[i]) {
+        ASSERT_EQ(*out[i], keys[i] + 7);
+      }
+    }
+    ASSERT_EQ(r.hits.load(), expect_hits) << "round " << round;
+  }
+
+  // Reuse across a shutdown race: a refused submit still resolves the
+  // latch, and the object remains reusable for the (refused) next round.
+  server.shutdown();
+  r.reset();
+  keys.assign({1, 2, 3});
+  r.kind = RequestKind::kGetBatch;
+  r.keys = keys.data();
+  r.key_count = 3;
+  r.out = nullptr;
+  EXPECT_FALSE(server.submit(&r));
+  r.wait();  // must terminate despite the partial/refused submit
+  r.reset();
+  EXPECT_FALSE(server.submit(&r));
+  r.wait();
+}
+
 TEST(KvServer, ConcurrentClientsKeepAggregatesConsistent) {
   const Topology topo = Topology::simulated(2, 4);
   KvServer<AdaptiveCohortStarvationFreeLock>::Config cfg;

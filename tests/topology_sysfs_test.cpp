@@ -1,0 +1,207 @@
+// Tier-1 suite for Topology::from_sysfs over fake sysfs trees: faithful
+// mapping for non-contiguous node ids and offline CPUs, skip semantics
+// for memory-only / fully-offline nodes, and the refuse-to-guess nullopt
+// (flat fallback) cases — malformed lists, duplicate CPU claims, empty
+// trees.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/harness/topology.hpp"
+
+namespace bjrw {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Builds a fake /sys/devices/system/{node,cpu} pair under TempDir.
+class FakeSysfs {
+ public:
+  explicit FakeSysfs(const std::string& name) {
+    root_ = fs::path(::testing::TempDir()) / ("bjrw_sysfs_" + name);
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "node");
+    fs::create_directories(root_ / "cpu");
+  }
+  ~FakeSysfs() { fs::remove_all(root_); }
+
+  void possible(const std::string& line) {
+    write(root_ / "node" / "possible", line);
+  }
+  void node(int id, const std::string& cpulist) {
+    const fs::path dir = root_ / "node" / ("node" + std::to_string(id));
+    fs::create_directories(dir);
+    write(dir / "cpulist", cpulist);
+  }
+  void online(const std::string& line) {
+    write(root_ / "cpu" / "online", line);
+  }
+
+  std::string node_dir() const { return (root_ / "node").string(); }
+  std::string cpu_dir() const { return (root_ / "cpu").string(); }
+  std::optional<Topology> parse() const {
+    return Topology::from_sysfs(node_dir(), cpu_dir());
+  }
+
+ private:
+  static void write(const fs::path& p, const std::string& content) {
+    std::ofstream f(p);
+    f << content << "\n";
+  }
+  fs::path root_;
+};
+
+TEST(TopologySysfs, ContiguousTwoNodeLayoutMapsBlockwise) {
+  FakeSysfs sys("contiguous");
+  sys.possible("0-1");
+  sys.node(0, "0-3");
+  sys.node(1, "4-7");
+  const auto t = sys.parse();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->source(), "sysfs");
+  EXPECT_EQ(t->node_count(), 2);
+  EXPECT_EQ(t->cpu_count(), 8);
+  EXPECT_EQ(t->describe(), "2x4");
+  for (int tid = 0; tid < 8; ++tid) {
+    EXPECT_EQ(t->node_of_tid(tid), tid / 4);
+    EXPECT_EQ(t->lane_of_tid(tid), tid % 4);
+  }
+  // tids wrap over the CPU count.
+  EXPECT_EQ(t->node_of_tid(9), 0);
+}
+
+TEST(TopologySysfs, NonContiguousNodeIdsMapFaithfully) {
+  // node0,node2 with node1 absent (hot-removed): the logical node set is
+  // {0, 1} mapping to sysfs {node0, node2}, and tids must land on real
+  // CPUs — the bug class this guards against is tid→node arithmetic that
+  // assumes dense ids.
+  FakeSysfs sys("sparse_nodes");
+  sys.possible("0,2");
+  sys.node(0, "0-1");
+  sys.node(2, "2-3");
+  const auto t = sys.parse();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->node_count(), 2);
+  EXPECT_EQ(t->cpu_count(), 4);
+  EXPECT_EQ(t->node_of_tid(0), 0);
+  EXPECT_EQ(t->node_of_tid(1), 0);
+  EXPECT_EQ(t->node_of_tid(2), 1);
+  EXPECT_EQ(t->node_of_tid(3), 1);
+  EXPECT_EQ(t->lane_of_tid(3), 1);
+}
+
+TEST(TopologySysfs, PossibleListedButAbsentNodesAreSkipped) {
+  // `possible` often covers ids that never came up; only directories that
+  // exist contribute.
+  FakeSysfs sys("absent");
+  sys.possible("0-7");
+  sys.node(0, "0-1");
+  sys.node(5, "2-3");
+  const auto t = sys.parse();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->node_count(), 2);
+  EXPECT_EQ(t->cpu_count(), 4);
+}
+
+TEST(TopologySysfs, MissingPossibleFallsBackToFullScan) {
+  FakeSysfs sys("no_possible");
+  sys.node(0, "0-1");
+  sys.node(3, "2-5");
+  const auto t = sys.parse();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->node_count(), 2);
+  EXPECT_EQ(t->cpus_in_node(0), 2);
+  EXPECT_EQ(t->cpus_in_node(1), 4);
+  EXPECT_EQ(t->describe(), "2n6c");  // ragged layout
+}
+
+TEST(TopologySysfs, OfflineCpusAreExcludedFromTheMapping) {
+  // CPUs 2-3 of node0 and all of node1 are offline: node0 shrinks to its
+  // online pair, node1 disappears entirely (a node with zero online CPUs
+  // cannot execute anything).
+  FakeSysfs sys("offline");
+  sys.possible("0-1");
+  sys.node(0, "0-3");
+  sys.node(1, "4-7");
+  sys.online("0-1");
+  const auto t = sys.parse();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->node_count(), 1);
+  EXPECT_EQ(t->cpu_count(), 2);
+  EXPECT_EQ(t->node_of_tid(0), 0);
+  EXPECT_EQ(t->node_of_tid(1), 0);
+}
+
+TEST(TopologySysfs, MemoryOnlyNodeIsSkippedNotFatal) {
+  // CXL-style memory-only node: empty cpulist is legitimate and skipped;
+  // the CPU-bearing nodes still parse.
+  FakeSysfs sys("memonly");
+  sys.possible("0-1");
+  sys.node(0, "0-3");
+  sys.node(1, "");
+  const auto t = sys.parse();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->node_count(), 1);
+  EXPECT_EQ(t->cpu_count(), 4);
+}
+
+TEST(TopologySysfs, MalformedInputsFallBackToNullopt) {
+  {  // garbage cpulist: refuse to guess
+    FakeSysfs sys("bad_cpulist");
+    sys.possible("0");
+    sys.node(0, "0-banana");
+    EXPECT_FALSE(sys.parse().has_value());
+  }
+  {  // inverted range
+    FakeSysfs sys("inverted");
+    sys.possible("0");
+    sys.node(0, "5-2");
+    EXPECT_FALSE(sys.parse().has_value());
+  }
+  {  // malformed possible
+    FakeSysfs sys("bad_possible");
+    sys.possible("zero");
+    sys.node(0, "0-3");
+    EXPECT_FALSE(sys.parse().has_value());
+  }
+  {  // malformed online mask
+    FakeSysfs sys("bad_online");
+    sys.possible("0");
+    sys.node(0, "0-3");
+    sys.online("not-a-list");
+    EXPECT_FALSE(sys.parse().has_value());
+  }
+  {  // one CPU claimed by two nodes: the tree is inconsistent
+    FakeSysfs sys("dup_cpu");
+    sys.possible("0-1");
+    sys.node(0, "0-3");
+    sys.node(1, "3-5");
+    EXPECT_FALSE(sys.parse().has_value());
+  }
+  {  // empty tree / everything offline
+    FakeSysfs sys("empty");
+    EXPECT_FALSE(sys.parse().has_value());
+    FakeSysfs sys2("all_offline");
+    sys2.possible("0");
+    sys2.node(0, "0-3");
+    sys2.online("");
+    EXPECT_FALSE(sys2.parse().has_value());
+  }
+}
+
+TEST(TopologySysfs, DetectStillReturnsAUsableTopology) {
+  // Whatever this host looks like (real sysfs, BJRW_TOPOLOGY, or flat
+  // fallback), detection must produce a non-degenerate mapping.
+  const Topology t = Topology::detect();
+  EXPECT_GE(t.node_count(), 1);
+  EXPECT_GE(t.cpu_count(), 1);
+  EXPECT_GE(t.max_cpus_per_node(), 1);
+  EXPECT_GE(t.node_of_tid(0), 0);
+}
+
+}  // namespace
+}  // namespace bjrw
