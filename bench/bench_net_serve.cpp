@@ -49,9 +49,13 @@ struct SimCohortWp2x4 : CohortMwWriterPrefLock<> {
 
 using Server = serve::KvServer<SimCohortWp2x4>;
 
-Server::Config server_config() {
+// burst = worker-side bulk-claim depth (0 = legacy per-item dispatch);
+// the net rows pair it with the front-end's staged submit_many, so one
+// epoll sweep publishes a batch and one bulk claim drains it.
+Server::Config server_config(std::size_t burst = 1) {
   Server::Config cfg;
   cfg.workers_per_node = 2;
+  cfg.burst = burst;
   return cfg;
 }
 
@@ -138,9 +142,9 @@ ArmResult run_inproc(const net::LoadgenConfig& cfg) {
 
 // (b) Loopback arm: the same lists through KvClient pipelines against the
 // epoll front-end.
-ArmResult run_net(net::LoadgenConfig cfg, int depth) {
+ArmResult run_net(net::LoadgenConfig cfg, int depth, std::size_t burst = 1) {
   const Topology topo = Topology::simulated(kNodes, kCpusPerNode);
-  Server server(topo, server_config());
+  Server server(topo, server_config(burst));
   preload(server);
   net::NetServer<SimCohortWp2x4> netsrv(server);
   if (!netsrv.ok()) {
@@ -179,6 +183,15 @@ void run(BenchContext& ctx) {
   report(ctx, t, "net/loopback/d1", run_net(cfg, 1));
   report(ctx, t, "net/loopback/d4", run_net(cfg, 4));
   report(ctx, t, "net/loopback/d16", run_net(cfg, 16));
+
+  // Burst-depth column at the deepest pipeline, where the front-end's
+  // staged submit actually accumulates batches between epoll sweeps:
+  // per-item (burst 0) is the control arm; k1/k4/k16 vary the worker-side
+  // bulk-claim depth.  Burst rows should be >= per-item at K > 1.
+  report(ctx, t, "net/burst/per-item/d16", run_net(cfg, 16, 0));
+  report(ctx, t, "net/burst/k1/d16", run_net(cfg, 16, 1));
+  report(ctx, t, "net/burst/k4/d16", run_net(cfg, 16, 4));
+  report(ctx, t, "net/burst/k16/d16", run_net(cfg, 16, 16));
 
   t.print(std::cout);
 }

@@ -85,6 +85,10 @@ struct RowOpts {
   // (required for handoff/preemption dynamics to be reachable at all on
   // oversubscribed hosts).
   int write_burst = 1;
+  // Worker-side burst depth: K slices bulk-dequeued per poll, batched-get
+  // keys gathered across requests into one lock epoch per shard group.
+  // 0 = the per-item dispatch control arm.
+  std::size_t burst = 1;
 };
 
 template <class Lock>
@@ -99,6 +103,7 @@ void runtime_row(BenchContext& ctx, Table& t, const RowOpts& o) {
   cfg.pin_workers = o.pin;
   cfg.node_local_dispatch = o.node_local;
   cfg.node_local_alloc = o.node_local;
+  cfg.burst = o.burst;
   serve::KvServer<Lock> server(topo, cfg);
 
   ServeConfig scfg;
@@ -190,9 +195,19 @@ void runtime_row(BenchContext& ctx, Table& t, const RowOpts& o) {
     total.handoffs += ns.handoffs;
     total.global_acquires += ns.global_acquires;
     total.preempt_aborts += ns.preempt_aborts;
+    total.bursts += ns.bursts;
+    total.group_gathers += ns.group_gathers;
   }
 
   const Summary lat = summarize(std::move(latencies));
+  // Realized mean burst depth: slices executed per bulk claim.  Tracks the
+  // configured K only when the queue actually runs deep; near-idle rows
+  // report ~1 regardless of K.
+  const double mean_burst =
+      total.bursts > 0
+          ? static_cast<double>(total.sub_requests) /
+                static_cast<double>(total.bursts)
+          : 0.0;
   const double turns =
       static_cast<double>(total.handoffs + total.global_acquires);
   const double handoff_rate =
@@ -214,6 +229,9 @@ void runtime_row(BenchContext& ctx, Table& t, const RowOpts& o) {
       .metric("global_acquires", static_cast<double>(total.global_acquires))
       .metric("preempt_aborts", static_cast<double>(total.preempt_aborts))
       .metric("backpressure", static_cast<double>(total.backpressure))
+      .metric("bursts", static_cast<double>(total.bursts))
+      .metric("group_gathers", static_cast<double>(total.group_gathers))
+      .metric("mean_burst_depth", mean_burst)
       .metric("pinned_workers", pinned);
 }
 
@@ -224,8 +242,9 @@ void run(BenchContext& ctx) {
       << ")\n"
       << "Arms: node-local vs oblivious placement (1/2/4-node sims), fixed\n"
       << "vs adaptive cohort handoff budget (70/30 mix), pinned vs unpinned\n"
-      << "pools.  Latencies are client-side end-to-end (queue wait "
-         "included).\n\n";
+      << "pools, burst depth K (bulk-claim + shard-grouped execution) vs\n"
+      << "per-item dispatch.  Latencies are client-side end-to-end (queue "
+         "wait included).\n\n";
   Table t({"config", "nodes", "read_ratio", "mops_per_s", "p50_us", "p99_us",
            "handoff_rate", "preempts", "pinned"});
 
@@ -252,6 +271,28 @@ void run(BenchContext& ctx) {
       ctx, t, {"budget/fixed/2x4", 2, 4, 0.70, true, true, 1, 8});
   runtime_row<SimAdaptiveCohortSf<2, 4>>(
       ctx, t, {"budget/adaptive/2x4", 2, 4, 0.70, true, true, 1, 8});
+
+  // Burst dataplane (DESIGN.md §11): workers bulk-claim up to K slices per
+  // poll and execute each shard group under one lock epoch.  per-item is
+  // the legacy dispatch control arm (burst = 0, no grouping); k1 isolates
+  // the bulk-claim protocol overhead at depth 1; k4/k16 amortize.  Burst
+  // throughput should be >= per-item for K > 1.
+  runtime_row<SimCohortWp<2, 4>>(
+      ctx, t, {"burst/per-item/2x4", 2, 4, 0.95, true, true, 8, 4, 0});
+  runtime_row<SimCohortWp<2, 4>>(
+      ctx, t, {"burst/k1/2x4", 2, 4, 0.95, true, true, 8, 4, 1});
+  runtime_row<SimCohortWp<2, 4>>(
+      ctx, t, {"burst/k4/2x4", 2, 4, 0.95, true, true, 8, 4, 4});
+  runtime_row<SimCohortWp<2, 4>>(
+      ctx, t, {"burst/k16/2x4", 2, 4, 0.95, true, true, 8, 4, 16});
+
+  // Burst composed with the handoff-budget arms: the grouped gather takes
+  // ONE cohort ticket per shard group, so fewer, longer lock epochs feed
+  // the fixed vs adaptive budget comparison.
+  runtime_row<SimCohortSf<2, 4>>(
+      ctx, t, {"budget/fixed/2x4/k16", 2, 4, 0.70, true, true, 1, 8, 16});
+  runtime_row<SimAdaptiveCohortSf<2, 4>>(
+      ctx, t, {"budget/adaptive/2x4/k16", 2, 4, 0.70, true, true, 1, 8, 16});
 
   // Pinning: the same node-local row with pools left unpinned.
   runtime_row<SimCohortWp<2, 4>>(

@@ -101,7 +101,11 @@ class Topology {
   // returns nullopt (callers fall back to flat) instead of guessing:
   // a malformed `possible`/`online`/cpulist, a CPU claimed by two nodes,
   // or a tree with no online CPU at all.  A node whose cpulist is empty
-  // (memory-only) or entirely offline is skipped, not an error.
+  // (memory-only, the CXL pod shape) is represented faithfully as a
+  // zero-CPU node — it owns memory, so shard placement must still see it;
+  // execution layers route its work via nearest_cpu_node().  A node whose
+  // CPUs exist but are all offline is skipped: nothing can run there and
+  // nothing is homed there.
   static std::optional<Topology> from_sysfs(
       const std::string& node_dir = "/sys/devices/system/node",
       const std::string& cpu_dir = "/sys/devices/system/cpu") {
@@ -159,8 +163,8 @@ class Topology {
         claimed[static_cast<std::size_t>(c)] = 1;
         usable.push_back(c);
       }
-      if (usable.empty()) continue;  // memory-only or fully-offline node
-      t.add_node(usable);
+      if (usable.empty() && !cpus->empty()) continue;  // fully-offline node
+      t.add_node(usable);  // empty `usable` here = memory-only: keep it
     }
     if (t.node_count() == 0 || t.cpu_count() == 0) return std::nullopt;
     return t;
@@ -205,6 +209,25 @@ class Topology {
     int m = 1;
     for (const int s : node_size_) m = s > m ? s : m;
     return m;
+  }
+
+  // The CPU-bearing node closest to `node` by node index (ties resolve to
+  // the lower index), `node` itself when it has CPUs.  This is how
+  // execution layers place work owned by a memory-only node: its shards
+  // stay *placed* there (the memory is real) but run on the nearest node
+  // that can execute.  Returns -1 only for an all-memory topology, which
+  // detection never produces (from_sysfs refuses cpu_count() == 0).
+  int nearest_cpu_node(int node) const {
+    if (cpus_in_node(node) > 0) return node;
+    int best = -1;
+    for (int d = 0; d < node_count(); ++d) {
+      if (node_size_[static_cast<std::size_t>(d)] <= 0) continue;
+      const int dist = d > node ? d - node : node - d;
+      const int best_dist = best < 0 ? 0 : (best > node ? best - node
+                                                        : node - best);
+      if (best < 0 || dist < best_dist) best = d;
+    }
+    return best;
   }
 
   // ---- tid mapping ----------------------------------------------------------

@@ -16,7 +16,10 @@
 #error "src/net/loadgen.hpp requires Linux sockets"
 #endif
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -67,9 +70,15 @@ inline std::vector<WireOp> make_ops(const LoadgenConfig& cfg,
   scfg.zipf_theta = cfg.zipf_theta;
   scfg.read_fraction = cfg.read_fraction;
   scfg.seed = cfg.seed;
-  // Over-draw: each wire request consumes up to `batch` stream ops.
-  const std::size_t draw = static_cast<std::size_t>(cfg.requests_per_conn) *
-                           (cfg.batch > 0 ? cfg.batch : 1);
+  // Each wire request consumes at most `b` stream ops, and up to b - 1
+  // more can be left behind in an abandoned partial batch when the last
+  // request completes — so this bound is exact.  Sizing it short would not
+  // fail loudly: ServeStream::at wraps modulo, silently replaying the
+  // stream head and breaking the "identical pre-generated op mix"
+  // guarantee the E20 rows compare under.
+  const std::size_t b = cfg.batch > 0 ? cfg.batch : 1;
+  const std::size_t draw =
+      static_cast<std::size_t>(cfg.requests_per_conn) * b + b - 1;
   ServeStream stream(scfg, salt, draw);
   std::vector<WireOp> ops;
   ops.reserve(static_cast<std::size_t>(cfg.requests_per_conn));
@@ -97,7 +106,30 @@ inline std::vector<WireOp> make_ops(const LoadgenConfig& cfg,
       ops.push_back(std::move(w));
     }
   }
+  assert(i <= draw && "ServeStream over-draw would wrap modulo");
   return ops;
+}
+
+// One-shot diagnostics: a correlation bug floods every subsequent
+// response, so describe the first one per process instead of spamming —
+// the error counter carries the magnitude.
+inline void log_unknown_id_once(std::uint64_t id, MsgType type) {
+  static std::atomic<bool> logged{false};
+  if (logged.exchange(true, std::memory_order_relaxed)) return;
+  std::fprintf(stderr,
+               "loadgen: response id %llu (type %u) matches no in-flight "
+               "request\n",
+               static_cast<unsigned long long>(id),
+               static_cast<unsigned>(type));
+}
+inline void log_type_mismatch_once(std::uint64_t id, MsgType got,
+                                   MsgType want) {
+  static std::atomic<bool> logged{false};
+  if (logged.exchange(true, std::memory_order_relaxed)) return;
+  std::fprintf(stderr,
+               "loadgen: response id %llu has type %u, expected %u\n",
+               static_cast<unsigned long long>(id),
+               static_cast<unsigned>(got), static_cast<unsigned>(want));
 }
 
 }  // namespace detail
@@ -116,14 +148,26 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
   std::vector<ConnResult> per_conn(conns);
   std::vector<std::thread> threads;
   threads.reserve(conns);
-  Stopwatch sw;
+  // The measured window must cover traffic only: every thread connects and
+  // pre-generates its op mix first, then parks on the start gate.  The
+  // clock starts when the last thread reports ready — with connect and
+  // zipfian generation inside the window, derived throughput deflates by
+  // whatever setup cost the slowest connection paid.
+  std::atomic<int> ready{0};
+  std::atomic<bool> start{false};
   for (std::size_t c = 0; c < conns; ++c) {
-    threads.emplace_back([&cfg, &per_conn, c] {
+    threads.emplace_back([&, c] {
       ConnResult& out = per_conn[c];
       auto client = KvClient::connect(cfg.port);
-      if (!client) return;
       const std::vector<detail::WireOp> ops =
-          detail::make_ops(cfg, static_cast<std::uint64_t>(c));
+          client ? detail::make_ops(cfg, static_cast<std::uint64_t>(c))
+                 : std::vector<detail::WireOp>{};
+      // Signal ready even on a failed connect — the gate counts to
+      // `conns` either way, and this thread exits right after it opens.
+      ready.fetch_add(1, std::memory_order_release);
+      while (!start.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      if (!client) return;
       // id -> (send timestamp, op index); linear scan — depth is small.
       struct InFlight {
         std::uint64_t id, send_ns;
@@ -159,8 +203,15 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
               static_cast<double>(t1 - in_flight[f].send_ns));
           const detail::WireOp& w = ops[in_flight[f].op];
           out.requests += 1;
+          const MsgType want =
+              w.is_batch ? MsgType::kGetManyResp : MsgType::kPutResp;
           if (r.type == MsgType::kErrorResp) {
             out.errors += 1;
+          } else if (r.type != want) {
+            // The id matched but the response answers a different kind of
+            // op — a correlation bug, not a transport failure.
+            out.errors += 1;
+            detail::log_type_mismatch_once(r.id, r.type, want);
           } else if (w.is_batch) {
             out.ops += w.keys.size();
             for (const auto& v : r.values)
@@ -172,7 +223,12 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
                           static_cast<std::ptrdiff_t>(f));
           return true;
         }
-        return false;  // unknown id: protocol trouble, bail
+        // Unknown id: the server answered something this connection never
+        // sent (or answered twice).  Count and diagnose it — bailing with
+        // only ok=false hides the correlation bug entirely.
+        out.errors += 1;
+        detail::log_unknown_id_once(r.id, r.type);
+        return false;
       };
       bool ok = true;
       while (ok && (next < ops.size() || !in_flight.empty())) {
@@ -183,10 +239,15 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
       out.ok = ok;
     });
   }
+  while (ready.load(std::memory_order_acquire) <
+         static_cast<int>(conns))
+    std::this_thread::yield();
+  const std::uint64_t t0 = now_ns();
+  start.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
   LoadgenResult result;
   result.ok = true;
-  result.wall_s = sw.elapsed_s();
+  result.wall_s = static_cast<double>(now_ns() - t0) / 1e9;
   for (const ConnResult& cr : per_conn) {
     result.ok = result.ok && cr.ok;
     result.requests += cr.requests;

@@ -69,6 +69,11 @@ struct NetServerConfig {
   std::size_t max_frame = kDefaultMaxFrame;
   std::size_t slots_per_connection = 64;  // in-flight depth bound
   int idle_poll_ms = 50;         // epoll timeout with nothing in flight
+  // Frames parsed from one read batch are staged and published together
+  // through KvServer::submit_many — one ring reservation per node per
+  // batch instead of one per frame.  This caps the stage depth; 1 degrades
+  // to per-frame submission.
+  std::size_t submit_batch = 16;
 };
 
 template <ReaderWriterLock Lock>
@@ -81,6 +86,9 @@ class NetServer {
   // the server inert (no thread).
   NetServer(Kv& kv, NetServerConfig cfg = {}) : kv_(kv), cfg_(cfg) {
     if (cfg_.slots_per_connection < 1) cfg_.slots_per_connection = 1;
+    if (cfg_.submit_batch < 1) cfg_.submit_batch = 1;
+    flush_reqs_.resize(cfg_.submit_batch);
+    flush_accepted_ = std::make_unique<bool[]>(cfg_.submit_batch);
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
     if (listen_fd_ < 0) return;
     int one = 1;
@@ -172,6 +180,12 @@ class NetServer {
     std::vector<std::unique_ptr<Slot>> pool;
     std::vector<Slot*> free_slots;
     std::vector<Slot*> in_flight;
+    // Parsed-but-unsubmitted slots awaiting the batched publish.  These
+    // must NOT enter in_flight yet: a reset Request has pending == 0, so a
+    // staged slot polls as done() and the completion sweep would recycle
+    // it before any worker ran.  Every drain_frames exit path flushes, so
+    // the stage is empty whenever the loop is outside drain_frames.
+    std::vector<Slot*> staged;
     bool want_write = false;   // EPOLLOUT armed
     bool reading = true;       // EPOLLIN armed (false: slot backpressure)
     bool draining = false;     // no more reads; close once quiescent
@@ -380,12 +394,15 @@ class NetServer {
           (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
       if (flen > cfg_.max_frame) {
         // The reader will not buffer this frame, so the stream cannot be
-        // resynchronized: answer and close.
+        // resynchronized: answer and close.  Publish the staged work first
+        // — begin_drain only waits on in_flight, not the stage.
+        flush_staged(c);
         protocol_error(c, idx, 0, ErrorCode::kFrameTooLarge,
                        "frame exceeds server limit", /*close=*/true);
         return;
       }
       if (flen < kHeaderSize) {
+        flush_staged(c);
         protocol_error(c, idx, 0, ErrorCode::kMalformed,
                        "frame shorter than the message header",
                        /*close=*/true);
@@ -396,6 +413,7 @@ class NetServer {
       MsgHeader h;
       ErrorCode err;
       if (!unpack_header(u, &h, &err)) {
+        flush_staged(c);
         protocol_error(c, idx, h.request_id, err,
                        err == ErrorCode::kBadMagic ? "bad magic"
                                                    : "protocol version "
@@ -416,6 +434,9 @@ class NetServer {
       if (r == Handle::kNoSlot) {
         // Out of slots: leave the frame buffered, drop read interest
         // until a completion frees one (backpressure to the TCP window).
+        // The staged work must publish now — the completions that free
+        // slots are the very requests sitting in the stage.
+        flush_staged(c);
         if (c.reading) {
           c.reading = false;
           rearm(c, idx);
@@ -424,11 +445,13 @@ class NetServer {
       }
       c.rhead += kFrameLenSize + flen;
       if (r == Handle::kClose) {
+        flush_staged(c);
         begin_drain(c, idx);
         return;
       }
       dispatched_.fetch_add(1, std::memory_order_relaxed);
     }
+    flush_staged(c);
     compact(c);
     // Survive-class error replies (malformed bodies) are packed by the
     // handlers without a flush of their own; push them out now rather
@@ -462,10 +485,29 @@ class NetServer {
     return s;
   }
 
+  // Stages a parsed slot for the next batched publish, flushing eagerly
+  // when the stage hits the configured depth.
   void submit_slot(Connection& c, Slot* s) {
-    s->submit_refused = !kv_.submit(&s->req);
-    c.in_flight.push_back(s);
-    ++total_in_flight_;
+    c.staged.push_back(s);
+    if (c.staged.size() >= cfg_.submit_batch) flush_staged(c);
+  }
+
+  // Publishes every staged slot with ONE KvServer::submit_many call — one
+  // ring reservation per dispatch node for the whole read batch — then
+  // moves them into in_flight where the completion sweep may see them.
+  void flush_staged(Connection& c) {
+    const std::size_t n = c.staged.size();
+    if (n == 0) return;
+    for (std::size_t i = 0; i < n; ++i)
+      flush_reqs_[i] = &c.staged[i]->req;
+    kv_.submit_many(flush_reqs_.data(), n, flush_accepted_.get());
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot* s = c.staged[i];
+      s->submit_refused = !flush_accepted_[i];
+      c.in_flight.push_back(s);
+      ++total_in_flight_;
+    }
+    c.staged.clear();
   }
 
   Handle on_get(Connection& c, std::uint64_t id, Unpacker& u) {
@@ -682,6 +724,9 @@ class NetServer {
   std::atomic<std::uint64_t> proto_errors_{0};
   std::size_t total_in_flight_ = 0;  // loop-thread only
   std::vector<std::unique_ptr<Connection>> conns_;  // loop-thread only
+  // flush_staged scratch (loop-thread only), sized submit_batch once.
+  std::vector<serve::Request*> flush_reqs_;
+  std::unique_ptr<bool[]> flush_accepted_;
   std::thread loop_;
 };
 

@@ -67,6 +67,29 @@ class ShardPlacement {
   std::size_t shards_;
 };
 
+// Reusable scratch for cross-request shard-group execution (the burst
+// dataplane in server.hpp): a worker gathers the keys of every batched
+// slice in a burst that lands on one owning node into `keys`, runs ONE
+// get_many_into over the combined gather, and scatters `got` back per
+// slice using the recorded [begin, end) bounds.  Plain vectors with
+// persistent capacity — each worker keeps one per node in thread-local
+// storage, so steady-state bursts allocate nothing.
+template <class Key, class Value>
+struct ShardGroupScratch {
+  std::vector<Key> keys;                 // combined cross-request gather
+  std::vector<std::optional<Value>> got;  // get_many_into results
+  std::vector<std::uint32_t> slice;      // index into the burst, per slice
+  std::vector<std::uint32_t> bounds;     // slice i covers keys[bounds[i]..bounds[i+1])
+
+  void clear() {
+    keys.clear();
+    slice.clear();
+    bounds.clear();
+    bounds.push_back(0);
+  }
+  std::size_t slices() const { return slice.size(); }
+};
+
 template <class Key, class Value,
           ReaderWriterLock Lock = CohortWriterPriorityLock,
           class Hash = std::hash<Key>>
@@ -99,14 +122,22 @@ class NumaShardedMap {
     // either way.  Builders write disjoint vector slots; join() publishes.
     std::vector<std::thread> builders;
     builders.reserve(static_cast<std::size_t>(nodes));
+    std::vector<int> first_tid(static_cast<std::size_t>(nodes), 0);
     int base = 0;
     for (int d = 0; d < nodes; ++d) {
-      const int tid = base;
+      first_tid[idx(d)] = base;
+      base += topo_.cpus_in_node(d);
+    }
+    for (int d = 0; d < nodes; ++d) {
+      // A memory-only node has no CPU of its own to pin a builder to; its
+      // sub-map is built (and first-touched) from the nearest CPU-bearing
+      // node — the same node worker_pool.hpp routes its execution to.
+      const int home = topo_.cpus_in_node(d) > 0 ? d : topo_.nearest_cpu_node(d);
+      const int tid = home >= 0 ? first_tid[idx(home)] : 0;
       builders.emplace_back([this, d, tid, spn] {
         (void)topo_.pin_this_thread(tid);
         submaps_[idx(d)] = std::make_unique<SubMap>(max_threads_, spn);
       });
-      base += topo_.cpus_in_node(d);
     }
     for (auto& t : builders) t.join();
   }

@@ -75,6 +75,32 @@ struct Request {
     pending.store(0, std::memory_order_relaxed);
     submit_ns = 0;
   }
+
+  // One worker's latch decrement — the shared completion tail of both the
+  // per-item and the burst execution paths.  `on_last` runs exactly once,
+  // strictly *before* the releasing decrement commits, iff this call is
+  // the completing one — that ordering is what lets the server promise its
+  // stats stripes are exact the moment wait() returns.  `pending` only
+  // ever decreases while in flight, so a CAS that observes 1 cannot lose
+  // the race to another decrementer (there is none left), and a stale
+  // higher read is corrected by the CAS-failure reload.  The moment the
+  // completing decrement lands the client may destroy or reuse the
+  // request, so callers must snapshot everything they need first and never
+  // touch it afterwards.
+  template <class OnLast>
+  void complete_one(OnLast&& on_last) {
+    std::uint32_t p = pending.load(std::memory_order_relaxed);
+    bool ran = false;
+    for (;;) {
+      if (p == 1 && !ran) {
+        on_last();
+        ran = true;
+      }
+      if (pending.compare_exchange_weak(p, p - 1, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed))
+        break;
+    }
+  }
 };
 
 // The queue item: one node's slice of a request.  [begin, end) indexes into

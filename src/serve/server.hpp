@@ -45,6 +45,9 @@ struct NodeServeStats {
   std::uint64_t ops = 0;            // keys looked up / point ops applied
   std::uint64_t completed = 0;      // requests whose final slice ran here
   std::uint64_t backpressure = 0;   // full-queue submit retries
+  std::uint64_t bursts = 0;         // bulk dequeues (0 on the per-item path;
+                                    // sub_requests / bursts = mean depth)
+  std::uint64_t group_gathers = 0;  // cross-request get_many_into calls
   double latency_mean_ns = 0.0;     // over `completed` requests
   double latency_max_ns = 0.0;
   // Cohort-lock counters summed over the node's shard locks (0 when the
@@ -66,6 +69,12 @@ class KvServer {
     bool pin_workers = true;
     bool node_local_dispatch = true;  // false: round-robin (oblivious)
     bool node_local_alloc = true;     // false: caller-thread construction
+    // Burst dataplane depth: workers bulk-dequeue up to `burst` slices per
+    // poll and execute each owning node's batched-get keys — across parent
+    // requests — under one lock epoch per shard.  0 selects the legacy
+    // per-item pop/execute path (E18's control arm); 1 runs the burst path
+    // with degenerate runs (identical results, same code shape as K>1).
+    std::size_t burst = 1;
   };
 
   explicit KvServer(const Topology& topo, Config cfg = {})
@@ -73,12 +82,7 @@ class KvServer {
         map_(topo, cfg.shards_per_node, cfg.node_local_alloc),
         worker_stats_(std::make_unique<WorkerStats[]>(
             static_cast<std::size_t>(map_.max_threads()))),
-        pool_(topo,
-              typename WorkerPool<SubRequest>::Config{
-                  cfg.workers_per_node, cfg.queue_capacity, cfg.pin_workers},
-              [this](int tid, int node, SubRequest& s) {
-                execute(tid, node, s);
-              }) {}
+        pool_(make_pool(topo, cfg)) {}
 
   ~KvServer() { shutdown(); }
   KvServer(const KvServer&) = delete;
@@ -130,6 +134,80 @@ class KvServer {
       return false;
     }
     return true;
+  }
+
+  // Batched submission: groups every request, fully initializes every
+  // latch, then publishes all slices with ONE ring reservation per
+  // dispatch node (WorkerPool::submit_many) instead of one per slice.
+  // Latches are set before *any* slice publishes because slices of one
+  // request routed to different nodes can start — and finish — while later
+  // requests in the batch are still being grouped.  Returns false if any
+  // slice was refused (server stopping); accepted[i], when provided,
+  // mirrors what submit() would have returned for reqs[i].  Refused slices
+  // are discounted from their latch before return, so wait() terminates
+  // with partial results exactly as in the per-item path.
+  bool submit_many(Request* const* reqs, std::size_t n,
+                   bool* accepted = nullptr) {
+    if (n == 0) return true;
+    const std::uint64_t t0 = now_ns();
+    const std::size_t nodes = static_cast<std::size_t>(map_.node_count());
+    static thread_local std::vector<std::vector<SubRequest>> buckets;
+    static thread_local std::vector<std::vector<std::uint32_t>> tags;
+    if (buckets.size() < nodes) {
+      buckets.resize(nodes);
+      tags.resize(nodes);
+    }
+    for (std::size_t d = 0; d < nodes; ++d) {
+      buckets[d].clear();
+      tags[d].clear();
+    }
+    static thread_local std::vector<std::pair<std::uint32_t, std::uint32_t>>
+        ranges;
+    for (std::size_t i = 0; i < n; ++i) {
+      Request* req = reqs[i];
+      req->submit_ns = t0;
+      if (accepted) accepted[i] = true;
+      if (req->kind == RequestKind::kGetBatch) {
+        if (req->key_count == 0) {
+          req->pending.store(0, std::memory_order_release);
+          continue;
+        }
+        map_.group_by_node(req->keys, req->key_count, req->order, ranges);
+        std::uint32_t subs = 0;
+        for (const auto& [begin, end] : ranges) subs += begin != end ? 1 : 0;
+        req->pending.store(subs, std::memory_order_relaxed);
+        for (std::size_t d = 0; d < ranges.size(); ++d) {
+          const auto [begin, end] = ranges[d];
+          if (begin == end) continue;
+          const int dn = dispatch_node(static_cast<int>(d));
+          buckets[idx(dn)].push_back(
+              SubRequest{req, begin, end, static_cast<std::int32_t>(d)});
+          tags[idx(dn)].push_back(static_cast<std::uint32_t>(i));
+        }
+      } else {
+        const std::uint64_t routing_key =
+            req->kind == RequestKind::kGet ? req->keys[0] : req->key;
+        req->pending.store(1, std::memory_order_relaxed);
+        const int owner = map_.node_of_key(routing_key);
+        const int dn = dispatch_node(owner);
+        buckets[idx(dn)].push_back(
+            SubRequest{req, 0, 0, static_cast<std::int32_t>(owner)});
+        tags[idx(dn)].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    bool ok = true;
+    for (std::size_t d = 0; d < nodes; ++d) {
+      auto& b = buckets[d];
+      if (b.empty()) continue;
+      const std::size_t took =
+          pool_.submit_many(static_cast<int>(d), b.data(), b.size());
+      for (std::size_t j = took; j < b.size(); ++j) {  // refused suffix
+        b[j].parent->pending.fetch_sub(1, std::memory_order_release);
+        if (accepted) accepted[tags[d][j]] = false;
+        ok = false;
+      }
+    }
+    return ok;
   }
 
   // Synchronous conveniences over submit()/wait().
@@ -204,11 +282,16 @@ class KvServer {
   NodeServeStats node_stats(int node) const {
     NodeServeStats out;
     out.backpressure = pool_.backpressure(node);
+    out.bursts = pool_.bursts(node);
     StreamingStats latency;
-    for (int w = 0; w < pool_.workers_per_node(); ++w) {
+    // workers_in_node, not workers_per_node: a memory-only node spawned no
+    // workers and its worker_tid range is empty — iterating the configured
+    // width there would read the next node's stripes.
+    for (int w = 0; w < pool_.workers_in_node(node); ++w) {
       const WorkerStats& ws = worker_stats_[idx(pool_.worker_tid(node, w))];
       out.sub_requests += ws.subs;
       out.ops += ws.ops;
+      out.group_gathers += ws.group_gathers;
       latency.merge(ws.latency);
     }
     out.completed = static_cast<std::uint64_t>(latency.count());
@@ -238,7 +321,30 @@ class KvServer {
     StreamingStats latency;  // per request completed by this worker
     std::uint64_t ops = 0;
     std::uint64_t subs = 0;
+    std::uint64_t group_gathers = 0;  // cross-request get_many_into calls
   };
+
+  // Picks the worker-loop shape at construction: burst == 0 keeps the
+  // historical per-item pop/execute path, anything else installs the
+  // burst handler (guaranteed copy elision — WorkerPool is immovable).
+  WorkerPool<SubRequest> make_pool(const Topology& topo, const Config& cfg) {
+    const typename WorkerPool<SubRequest>::Config pc{
+        cfg.workers_per_node, cfg.queue_capacity, cfg.pin_workers,
+        cfg.burst < 1 ? 1 : cfg.burst};
+    if (cfg.burst == 0)
+      return WorkerPool<SubRequest>(
+          topo, pc,
+          typename WorkerPool<SubRequest>::Handler(
+              [this](int tid, int node, SubRequest& s) {
+                execute(tid, node, s);
+              }));
+    return WorkerPool<SubRequest>(
+        topo, pc,
+        typename WorkerPool<SubRequest>::BurstHandler(
+            [this](int tid, int node, SubRequest* items, std::size_t n) {
+              execute_burst(tid, node, items, n);
+            }));
+  }
 
   int dispatch_node(int owner) {
     if (cfg_.node_local_dispatch) return owner;
@@ -304,30 +410,78 @@ class KvServer {
       }
     }
     ws.subs += 1;
-    // The completing decrement publishes every result write above to the
-    // waiting client — and releases the client-owned request: the moment
-    // it lands, the client may destroy or reuse *req, so everything we
-    // need is snapshotted first and req is never touched afterwards.
-    //
-    // The latency sample must land *before* that release (node_stats()
-    // promises stripes are exact the moment wait() returns), but only the
-    // last decrementer records it — so the decrement is a CAS loop that
-    // knows the current count before committing.  `pending` only ever
-    // decreases while in flight, so a CAS that observes 1 cannot lose the
-    // race to another decrementer (there is none left), and a stale
-    // higher read is corrected by the CAS failure reload.
+    finish(ws, req);
+  }
+
+  // Shared completion tail.  The completing decrement publishes every
+  // result write to the waiting client and releases the client-owned
+  // request — the latency sample must land strictly before it so
+  // node_stats() stripes are exact at wait() return; Request::complete_one
+  // carries that ordering.  `req` is never touched after this returns.
+  void finish(WorkerStats& ws, Request* req) {
     const std::uint64_t elapsed_ns = now_ns() - req->submit_ns;
-    std::uint32_t p = req->pending.load(std::memory_order_relaxed);
-    bool recorded = false;
-    for (;;) {
-      if (p == 1 && !recorded) {
-        ws.latency.add(static_cast<double>(elapsed_ns));
-        recorded = true;
+    req->complete_one(
+        [&] { ws.latency.add(static_cast<double>(elapsed_ns)); });
+  }
+
+  // Burst execution — the tentpole path.  Point ops in the claimed run are
+  // executed per item in FIFO order; batched-get slices are bucketed by
+  // owning sub-map and each bucket's keys — gathered ACROSS parent
+  // requests — go through ONE get_many_into call.  Since get_many_into
+  // takes one read-lock epoch per distinct shard it touches, combining the
+  // gather extends that amortization across requests for free: a shard hot
+  // in every request of the burst is locked once for the whole burst, not
+  // once per request.  Results scatter back per slice afterwards, and each
+  // slice's latch decrement runs only after its whole group completed.
+  void execute_burst(int tid, int /*node*/, SubRequest* items,
+                     std::size_t n) {
+    WorkerStats& ws = worker_stats_[idx(tid)];
+    using Scratch = ShardGroupScratch<std::uint64_t, std::uint64_t>;
+    static thread_local std::vector<Scratch> groups;
+    const std::size_t nodes = static_cast<std::size_t>(map_.node_count());
+    if (groups.size() < nodes) groups.resize(nodes);
+    for (std::size_t d = 0; d < nodes; ++d) groups[d].clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      SubRequest& s = items[i];
+      if (s.parent->kind != RequestKind::kGetBatch) {
+        execute(tid, /*node=*/-1, s);  // point op: unchanged per-item path
+        continue;
       }
-      if (req->pending.compare_exchange_weak(p, p - 1,
-                                             std::memory_order_acq_rel,
-                                             std::memory_order_relaxed))
-        break;
+      Scratch& g = groups[idx(s.owner)];
+      const Request* req = s.parent;
+      for (std::uint32_t k = s.begin; k < s.end; ++k)
+        g.keys.push_back(req->keys[req->order[k]]);
+      g.slice.push_back(static_cast<std::uint32_t>(i));
+      g.bounds.push_back(static_cast<std::uint32_t>(g.keys.size()));
+    }
+    for (std::size_t d = 0; d < nodes; ++d) {
+      Scratch& g = groups[d];
+      if (g.keys.empty()) continue;
+      g.got.assign(g.keys.size(), std::nullopt);
+      map_.sub_map(static_cast<int>(d))
+          .get_many_into(tid, g.keys.data(), g.keys.size(), g.got.data());
+      ws.group_gathers += 1;
+      for (std::size_t j = 0; j < g.slices(); ++j) {
+        SubRequest& s = items[g.slice[j]];
+        Request* req = s.parent;
+        const std::uint32_t gb = g.bounds[j], ge = g.bounds[j + 1];
+        std::uint64_t hits = 0, sum = 0;
+        for (std::uint32_t k = gb; k < ge; ++k) {
+          const auto& v = g.got[k];
+          if (v) {
+            ++hits;
+            sum += *v;
+          }
+          if (req->out) req->out[req->order[s.begin + (k - gb)]] = v;
+        }
+        if (hits) {
+          req->hits.fetch_add(hits, std::memory_order_relaxed);
+          req->value_sum.fetch_add(sum, std::memory_order_relaxed);
+        }
+        ws.ops += ge - gb;
+        ws.subs += 1;
+        finish(ws, req);
+      }
     }
   }
 

@@ -85,6 +85,53 @@ class BoundedMpmcQueue {
     return true;
   }
 
+  // Bulk publish: claims a run of up to `n` consecutive free cells with ONE
+  // CAS on the producer cursor, then publishes values[0..k) into them.
+  // Returns k, 0 when the queue is full at the attempt.  The run claim is
+  // safe for the same reason the single-cell claim is: a cell observed free
+  // at this lap (seq == pos + j) can only leave that state when a producer
+  // claims it, and producers claim by advancing the head past it — our
+  // pending CAS either wins (the whole run is ours, nothing else wrote it)
+  // or loses (we retry against the fresh cursor having written nothing).
+  // Orderings are the per-item ones run-length-many times: acquire on the
+  // scanned cell sequences, release on each publish (DESIGN.md §11).
+  std::size_t try_push_bulk(const T* values, std::size_t n) {
+    if (n == 0) return 0;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    std::size_t run = 0;
+    for (;;) {
+      const Cell& first = cells_[pos & mask_];
+      const std::intptr_t diff =
+          static_cast<std::intptr_t>(
+              first.seq.load(std::memory_order_acquire)) -
+          static_cast<std::intptr_t>(pos);
+      if (diff < 0) return 0;  // cell still holds last lap's value: full
+      if (diff > 0) {
+        pos = head_.load(std::memory_order_relaxed);  // raced; refresh
+        continue;
+      }
+      run = 1;
+      while (run < n) {
+        const Cell& c = cells_[(pos + run) & mask_];
+        if (static_cast<std::intptr_t>(
+                c.seq.load(std::memory_order_acquire)) !=
+            static_cast<std::intptr_t>(pos + run))
+          break;  // first non-free cell ends the run (a full lap wraps here)
+        ++run;
+      }
+      if (head_.compare_exchange_weak(pos, pos + run,
+                                      std::memory_order_relaxed))
+        break;  // run [pos, pos + run) claimed
+      // CAS failure reloaded pos; rescan against the new cursor.
+    }
+    for (std::size_t j = 0; j < run; ++j) {
+      Cell& c = cells_[(pos + j) & mask_];
+      c.value = values[j];
+      c.seq.store(pos + j + 1, std::memory_order_release);
+    }
+    return run;
+  }
+
   // True when every claimed cell has also been consumed: the pop cursor
   // has caught up with the push cursor.  Distinguishes "truly empty" from
   // "a producer has claimed a cell but not yet published it" (try_pop
@@ -118,6 +165,52 @@ class BoundedMpmcQueue {
     return true;
   }
 
+  // Bulk consume: claims a run of up to `n` consecutive *published* cells
+  // with ONE CAS on the consumer cursor, copies them out FIFO, then frees
+  // each cell for the next lap.  Returns the run length, 0 when the queue
+  // is empty at the attempt.  Mirror of try_push_bulk: a cell observed
+  // published at this lap (seq == pos + j + 1) stays published until a
+  // consumer advances the tail past it, so the single CAS either owns the
+  // whole scanned run or fails having read nothing.  Producers cannot
+  // recycle a cell in the run either — they need its seq advanced to the
+  // next lap, which only the winning consumer's release store does.
+  std::size_t try_pop_bulk(T* out, std::size_t n) {
+    if (n == 0) return 0;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    std::size_t run = 0;
+    for (;;) {
+      const Cell& first = cells_[pos & mask_];
+      const std::intptr_t diff =
+          static_cast<std::intptr_t>(
+              first.seq.load(std::memory_order_acquire)) -
+          static_cast<std::intptr_t>(pos + 1);
+      if (diff < 0) return 0;  // not published this lap yet: empty
+      if (diff > 0) {
+        pos = tail_.load(std::memory_order_relaxed);  // raced; refresh
+        continue;
+      }
+      run = 1;
+      while (run < n) {
+        const Cell& c = cells_[(pos + run) & mask_];
+        if (static_cast<std::intptr_t>(
+                c.seq.load(std::memory_order_acquire)) !=
+            static_cast<std::intptr_t>(pos + run + 1))
+          break;  // first unpublished cell ends the run
+        ++run;
+      }
+      if (tail_.compare_exchange_weak(pos, pos + run,
+                                      std::memory_order_relaxed))
+        break;  // run [pos, pos + run) claimed
+      // CAS failure reloaded pos; rescan against the new cursor.
+    }
+    for (std::size_t j = 0; j < run; ++j) {
+      Cell& c = cells_[(pos + j) & mask_];
+      out[j] = c.value;
+      c.seq.store(pos + j + mask_ + 1, std::memory_order_release);
+    }
+    return run;
+  }
+
  private:
   struct alignas(64) Cell {
     std::atomic<std::size_t> seq;
@@ -132,45 +225,39 @@ class BoundedMpmcQueue {
 
 // Per-node pools of pinned workers draining per-node queues.  Item is the
 // queue element (the runtime uses SubRequest); the handler runs on the
-// worker thread as handler(pool_tid, node, item).
+// worker thread as handler(pool_tid, node, item), or — in burst mode — as
+// handler(pool_tid, node, items, n) over a bulk-claimed run.
+//
+// Memory-only NUMA nodes (zero CPUs, representable since the sparse-sysfs
+// parser) get no workers and an empty queue: submits addressed to them are
+// rerouted to the nearest CPU-bearing node (Topology::nearest_cpu_node) at
+// the single submit choke point, so shard placement can keep striping over
+// *all* nodes while execution only ever lands where threads can run.
+// Without the reroute the width clamp would hit 0 and every submit would
+// spin forever against a consumerless queue.
 template <class Item>
 class WorkerPool {
  public:
   struct Config {
-    int workers_per_node = 1;       // clamped to the smallest node's width
+    int workers_per_node = 1;  // clamped to the narrowest CPU-bearing node
     std::size_t queue_capacity = 1024;  // per node, rounded up to 2^k
     bool pin = true;                // best-effort Topology::pin_this_thread
+    std::size_t burst = 1;  // max items per bulk dequeue in burst mode
   };
 
   using Handler = std::function<void(int tid, int node, Item& item)>;
+  // Burst mode: the worker hands over a whole bulk-claimed run and the
+  // handler runs it to completion before the next poll.
+  using BurstHandler =
+      std::function<void(int tid, int node, Item* items, std::size_t n)>;
 
   WorkerPool(const Topology& topo, Config cfg, Handler handler)
       : topo_(topo), handler_(std::move(handler)) {
-    const int nodes = topo_.node_count();
-    // Pool tids are logical-CPU indices: node d's w-th worker gets the tid
-    // of that node's w-th CPU, which node_of_tid maps straight back to d.
-    // More workers than the narrowest node has CPUs would force tids into
-    // other nodes' ranges, so the width is clamped instead.
-    int width = cfg.workers_per_node < 1 ? 1 : cfg.workers_per_node;
-    for (int d = 0; d < nodes; ++d)
-      width = width < topo_.cpus_in_node(d) ? width : topo_.cpus_in_node(d);
-    workers_per_node_ = width;
-    node_base_.resize(static_cast<std::size_t>(nodes));
-    int base = 0;
-    for (int d = 0; d < nodes; ++d) {
-      node_base_[idx(d)] = base;
-      base += topo_.cpus_in_node(d);
-    }
-    nodes_ = std::make_unique<NodeState[]>(static_cast<std::size_t>(nodes));
-    for (int d = 0; d < nodes; ++d)
-      nodes_[idx(d)].queue =
-          std::make_unique<BoundedMpmcQueue<Item>>(cfg.queue_capacity);
-    threads_.reserve(static_cast<std::size_t>(nodes * width));
-    for (int d = 0; d < nodes; ++d)
-      for (int w = 0; w < width; ++w)
-        threads_.emplace_back([this, d, w, pin = cfg.pin] {
-          worker_main(d, w, pin);
-        });
+    init(cfg);
+  }
+  WorkerPool(const Topology& topo, Config cfg, BurstHandler handler)
+      : topo_(topo), burst_handler_(std::move(handler)) {
+    init(cfg);
   }
 
   ~WorkerPool() { shutdown(); }
@@ -179,10 +266,24 @@ class WorkerPool {
 
   int node_count() const { return topo_.node_count(); }
   int workers_per_node() const { return workers_per_node_; }
-  int worker_count() const { return topo_.node_count() * workers_per_node_; }
+  // Workers actually spawned for node d: 0 for a memory-only node.  Stats
+  // aggregation must iterate this, not workers_per_node() — a zero-CPU
+  // node's worker_tid range is empty and aliasing into it reads the next
+  // node's stripes.
+  int workers_in_node(int d) const {
+    return topo_.cpus_in_node(d) > 0 ? workers_per_node_ : 0;
+  }
+  int worker_count() const {
+    int total = 0;
+    for (int d = 0; d < topo_.node_count(); ++d) total += workers_in_node(d);
+    return total;
+  }
   // The tid worker w of node d passes to locks/maps (a logical CPU index,
   // so callers sizing max_threads use topo.cpu_count()).
   int worker_tid(int node, int w) const { return node_base_[idx(node)] + w; }
+  // Where submits addressed to node d actually execute (d itself unless d
+  // is memory-only).
+  int execution_node(int d) const { return route_[idx(d)]; }
   // Workers whose pin_this_thread succeeded (0 on hosts narrower than the
   // simulated topology — the pool then runs unpinned but correctly mapped).
   int pinned_workers() const {
@@ -201,7 +302,7 @@ class WorkerPool {
   // lives in the target node's padded NodeState line, so submits to
   // different nodes never contend on it.
   bool submit(int d, const Item& item) {
-    NodeState& n = nodes_[idx(d)];
+    NodeState& n = nodes_[idx(route_[idx(d)])];
     n.submitting.fetch_add(1, std::memory_order_seq_cst);
     if (stopping_.load(std::memory_order_seq_cst)) {
       n.submitting.fetch_sub(1, std::memory_order_seq_cst);
@@ -219,6 +320,33 @@ class WorkerPool {
     return true;
   }
 
+  // Batched publish to node d's queue: one ring reservation per claimed
+  // run instead of one per item.  Publishes the prefix items[0..k) and
+  // returns k; k < n only when the pool is stopping.  The whole batch
+  // publishes inside ONE seq_cst submit window, so the shutdown-drain
+  // guarantee of submit() covers every accepted item: a window observed
+  // closed by a draining worker has already published its prefix, and the
+  // stop check before each push attempt bounds how far a batch racing
+  // shutdown() can run.
+  std::size_t submit_many(int d, const Item* items, std::size_t n) {
+    if (n == 0) return 0;
+    NodeState& node = nodes_[idx(route_[idx(d)])];
+    node.submitting.fetch_add(1, std::memory_order_seq_cst);
+    std::size_t done = 0;
+    while (done < n) {
+      if (stopping_.load(std::memory_order_seq_cst)) break;
+      const std::size_t k = node.queue->try_push_bulk(items + done, n - done);
+      if (k == 0) {
+        node.backpressure.fetch_add(1, std::memory_order_relaxed);
+        YieldSpin::relax();
+        continue;
+      }
+      done += k;
+    }
+    node.submitting.fetch_sub(1, std::memory_order_seq_cst);
+    return done;
+  }
+
   // Refuses new work, drains everything already queued, joins the workers.
   // Idempotent; also run by the destructor.
   void shutdown() {
@@ -233,6 +361,11 @@ class WorkerPool {
   std::uint64_t backpressure(int d) const {
     return nodes_[idx(d)].backpressure.load(std::memory_order_relaxed);
   }
+  // Bulk dequeues performed for node d (burst mode only; executed(d) /
+  // bursts(d) is the realized mean burst depth).
+  std::uint64_t bursts(int d) const {
+    return nodes_[idx(d)].bursts.load(std::memory_order_relaxed);
+  }
 
  private:
   struct alignas(64) NodeState {
@@ -240,16 +373,64 @@ class WorkerPool {
     std::atomic<int> submitting{0};  // open submit windows (see submit())
     std::atomic<std::uint64_t> executed{0};
     std::atomic<std::uint64_t> backpressure{0};
+    std::atomic<std::uint64_t> bursts{0};
   };
+
+  void init(const Config& cfg) {
+    const int nodes = topo_.node_count();
+    burst_ = cfg.burst < 1 ? 1 : cfg.burst;
+    // Pool tids are logical-CPU indices: node d's w-th worker gets the tid
+    // of that node's w-th CPU, which node_of_tid maps straight back to d.
+    // More workers than the narrowest node has CPUs would force tids into
+    // other nodes' ranges, so the width is clamped instead.  Memory-only
+    // nodes are excluded from the clamp (they spawn no workers at all);
+    // otherwise a single zero-CPU node would clamp the whole pool to 0.
+    int width = cfg.workers_per_node < 1 ? 1 : cfg.workers_per_node;
+    for (int d = 0; d < nodes; ++d) {
+      const int c = topo_.cpus_in_node(d);
+      if (c <= 0) continue;
+      width = width < c ? width : c;
+    }
+    workers_per_node_ = width;
+    node_base_.resize(static_cast<std::size_t>(nodes));
+    route_.resize(static_cast<std::size_t>(nodes));
+    int base = 0;
+    for (int d = 0; d < nodes; ++d) {
+      node_base_[idx(d)] = base;
+      base += topo_.cpus_in_node(d);
+      route_[idx(d)] =
+          topo_.cpus_in_node(d) > 0 ? d : topo_.nearest_cpu_node(d);
+    }
+    nodes_ = std::make_unique<NodeState[]>(static_cast<std::size_t>(nodes));
+    for (int d = 0; d < nodes; ++d)
+      nodes_[idx(d)].queue =
+          std::make_unique<BoundedMpmcQueue<Item>>(cfg.queue_capacity);
+    threads_.reserve(static_cast<std::size_t>(worker_count()));
+    for (int d = 0; d < nodes; ++d)
+      for (int w = 0; w < workers_in_node(d); ++w)
+        threads_.emplace_back([this, d, w, pin = cfg.pin] {
+          worker_main(d, w, pin);
+        });
+  }
 
   void worker_main(int d, int w, bool pin) {
     const int tid = worker_tid(d, w);
     if (pin && topo_.pin_this_thread(tid))
       pinned_.fetch_add(1, std::memory_order_relaxed);
     NodeState& n = nodes_[idx(d)];
+    const bool burst_mode = static_cast<bool>(burst_handler_);
+    std::vector<Item> batch(burst_mode ? burst_ : 0);
     Item item;
     for (;;) {
-      if (n.queue->try_pop(&item)) {
+      if (burst_mode) {
+        const std::size_t k = n.queue->try_pop_bulk(batch.data(), burst_);
+        if (k > 0) {
+          burst_handler_(tid, d, batch.data(), k);
+          n.executed.fetch_add(k, std::memory_order_relaxed);
+          n.bursts.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+      } else if (n.queue->try_pop(&item)) {
         handler_(tid, d, item);
         n.executed.fetch_add(1, std::memory_order_relaxed);
         continue;
@@ -281,8 +462,11 @@ class WorkerPool {
 
   const Topology topo_;
   Handler handler_;
+  BurstHandler burst_handler_;
   int workers_per_node_ = 1;
+  std::size_t burst_ = 1;
   std::vector<int> node_base_;  // node -> first logical CPU index (pool tid)
+  std::vector<int> route_;      // node -> nearest CPU-bearing node (or self)
   std::unique_ptr<NodeState[]> nodes_;
   std::vector<std::thread> threads_;
   std::atomic<bool> stopping_{false};

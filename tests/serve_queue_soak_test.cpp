@@ -10,9 +10,11 @@
 // Deterministic replay: BJRW_TEST_SEED=<uint64> (see prng.hpp test_seed).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/core/locks.hpp"
@@ -106,6 +108,178 @@ TEST(ServeQueueSoak, SubmitRacingShutdownNeverStrandsAcceptedItems) {
     pool.shutdown();
     ASSERT_EQ(executed.load(), accepted.load()) << "round " << round;
   }
+}
+
+TEST(ServeQueueSoak, BulkOpsConserveUnderProducerConsumerChurn) {
+  // The burst dataplane's conservation bar: try_push_bulk/try_pop_bulk
+  // mixed with the single-item ops, hammered by symmetric fleets over a
+  // small ring — every token popped exactly once, checksums exact.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = 40000;
+  BoundedMpmcQueue<std::uint64_t> q(/*capacity=*/64);  // small: lap churn
+
+  std::atomic<int> producers_live{kProducers};
+  std::atomic<std::uint64_t> popped{0};
+  std::atomic<std::uint64_t> pushed_sum{0};
+  std::atomic<std::uint64_t> popped_sum{0};
+
+  run_threads(kProducers + kConsumers, [&](std::size_t t) {
+    if (t < kProducers) {
+      Xoshiro256 rng(test_seed(t));
+      std::uint64_t sum = 0;
+      std::uint64_t batch[9];
+      std::uint64_t produced = 0;
+      while (produced < kPerProducer) {
+        // Alternate single pushes and bulk runs of varying width.
+        const std::uint64_t want = std::min<std::uint64_t>(
+            1 + rng.next() % 9, kPerProducer - produced);
+        if (want == 1) {
+          const std::uint64_t token = rng.next() | 1;
+          while (!q.try_push(token)) YieldSpin::relax();
+          sum += token;
+          ++produced;
+          continue;
+        }
+        for (std::uint64_t i = 0; i < want; ++i) batch[i] = rng.next() | 1;
+        std::uint64_t done = 0;
+        while (done < want) {
+          const std::size_t took = q.try_push_bulk(batch + done, want - done);
+          if (took == 0) {
+            YieldSpin::relax();
+            continue;
+          }
+          for (std::size_t i = 0; i < took; ++i) sum += batch[done + i];
+          done += took;
+        }
+        produced += want;
+      }
+      pushed_sum.fetch_add(sum);
+      producers_live.fetch_sub(1);
+    } else {
+      Xoshiro256 rng(test_seed(t + 50));
+      std::uint64_t sum = 0, count = 0;
+      std::uint64_t out[7];
+      for (;;) {
+        const std::size_t got = q.try_pop_bulk(out, 1 + rng.next() % 7);
+        if (got > 0) {
+          for (std::size_t i = 0; i < got; ++i) sum += out[i];
+          count += got;
+          continue;
+        }
+        // Exit only on empty observed after all producers finished — the
+        // same drain shape the burst worker loop uses.
+        if (producers_live.load() == 0) {
+          const std::size_t last = q.try_pop_bulk(out, 7);
+          if (last == 0) break;
+          for (std::size_t i = 0; i < last; ++i) sum += out[i];
+          count += last;
+          continue;
+        }
+        YieldSpin::relax();
+      }
+      popped_sum.fetch_add(sum);
+      popped.fetch_add(count);
+    }
+  });
+  EXPECT_EQ(popped.load(), kPerProducer * kProducers);
+  EXPECT_EQ(popped_sum.load(), pushed_sum.load());
+  EXPECT_TRUE(q.drained());
+}
+
+TEST(ServeQueueSoak, ShutdownDuringBurstExecutesEveryAcceptedSlice) {
+  // Burst-mode version of the drain bar: batched submitters racing
+  // shutdown, burst workers mid-bulk-claim — every item submit_many
+  // reported accepted is executed before the workers exit, never stranded
+  // (executed < accepted) and never duplicated (executed > accepted).
+  for (int round = 0; round < 60; ++round) {
+    const Topology topo = Topology::simulated(2, 2);
+    std::atomic<std::uint64_t> executed{0};
+    WorkerPool<int>::Config cfg;
+    cfg.workers_per_node = 1;
+    cfg.queue_capacity = 16;
+    cfg.pin = false;
+    cfg.burst = 4;
+    WorkerPool<int> pool(
+        topo, cfg,
+        WorkerPool<int>::BurstHandler([&](int, int, int*, std::size_t n) {
+          executed.fetch_add(n);
+        }));
+    std::atomic<std::uint64_t> accepted{0};
+    run_threads(3, [&](std::size_t t) {
+      if (t == 2) {
+        for (int i = 0; i < (round * 7) % 97; ++i) YieldSpin::relax();
+        pool.shutdown();
+      } else {
+        int batch[5];
+        for (int i = 0; i < 60; ++i) {
+          for (int j = 0; j < 5; ++j) batch[j] = i * 5 + j;
+          const std::size_t took =
+              pool.submit_many(static_cast<int>(t) % 2, batch, 5);
+          accepted.fetch_add(took);
+          if (took < 5) break;  // stopping observed mid-batch
+        }
+      }
+    });
+    pool.shutdown();
+    ASSERT_EQ(executed.load(), accepted.load()) << "round " << round;
+  }
+}
+
+TEST(ServeQueueSoak, BurstKvServerConservesOpsUnderBatchedSubmit) {
+  // Whole-stack burst soak: clients publish through submit_many, workers
+  // run the burst execution path (cross-request gathers), and the op
+  // accounting must balance exactly.
+  const Topology topo = Topology::simulated(2, 4);
+  KvServer<AdaptiveCohortStarvationFreeLock>::Config cfg;
+  cfg.workers_per_node = 2;
+  cfg.queue_capacity = 128;
+  cfg.burst = 8;
+  KvServer<AdaptiveCohortStarvationFreeLock> server(topo, cfg);
+
+  for (std::uint64_t k = 0; k < 1024; ++k) server.map().put(0, k, k * 3);
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 250;
+  constexpr std::size_t kReqsPerRound = 4;
+  constexpr std::uint32_t kBatch = 8;
+  std::atomic<std::uint64_t> total_hits{0};
+  run_threads(kClients, [&](std::size_t c) {
+    Xoshiro256 rng(test_seed(c + 300));
+    Request reqs[kReqsPerRound];
+    std::uint64_t key_store[kReqsPerRound][kBatch];
+    Request* ptrs[kReqsPerRound];
+    std::uint64_t hits = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      for (std::size_t r = 0; r < kReqsPerRound; ++r) {
+        reqs[r].reset();
+        for (std::uint32_t i = 0; i < kBatch; ++i)
+          key_store[r][i] = rng.next() % 2048;
+        reqs[r].kind = RequestKind::kGetBatch;
+        reqs[r].keys = key_store[r];
+        reqs[r].key_count = kBatch;
+        reqs[r].out = nullptr;
+        ptrs[r] = &reqs[r];
+      }
+      ASSERT_TRUE(server.submit_many(ptrs, kReqsPerRound));
+      for (std::size_t r = 0; r < kReqsPerRound; ++r) {
+        reqs[r].wait();
+        hits += reqs[r].hits.load(std::memory_order_relaxed);
+      }
+    }
+    total_hits.fetch_add(hits);
+  });
+  server.shutdown();
+
+  std::uint64_t pool_ops = 0, bursts = 0;
+  for (int d = 0; d < server.node_count(); ++d) {
+    pool_ops += server.node_stats(d).ops;
+    bursts += server.node_stats(d).bursts;
+  }
+  EXPECT_EQ(pool_ops, static_cast<std::uint64_t>(kClients) * kRounds *
+                          kReqsPerRound * kBatch);
+  EXPECT_GT(bursts, 0u);
+  EXPECT_GT(total_hits.load(), 0u);
 }
 
 TEST(ServeQueueSoak, KvServerMixedTrafficConservesOps) {

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "src/harness/topology.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/worker_pool.hpp"
 
 namespace bjrw {
 namespace {
@@ -136,17 +138,54 @@ TEST(TopologySysfs, OfflineCpusAreExcludedFromTheMapping) {
   EXPECT_EQ(t->node_of_tid(1), 0);
 }
 
-TEST(TopologySysfs, MemoryOnlyNodeIsSkippedNotFatal) {
-  // CXL-style memory-only node: empty cpulist is legitimate and skipped;
-  // the CPU-bearing nodes still parse.
+TEST(TopologySysfs, MemoryOnlyNodeIsRepresentedAsZeroCpuNode) {
+  // CXL-style memory-only node: empty cpulist is legitimate and the node
+  // is kept — it owns memory, so shard placement must still see it — with
+  // zero CPUs.  Execution layers route its work via nearest_cpu_node.
   FakeSysfs sys("memonly");
   sys.possible("0-1");
   sys.node(0, "0-3");
   sys.node(1, "");
   const auto t = sys.parse();
   ASSERT_TRUE(t.has_value());
-  EXPECT_EQ(t->node_count(), 1);
+  EXPECT_EQ(t->node_count(), 2);
   EXPECT_EQ(t->cpu_count(), 4);
+  EXPECT_EQ(t->cpus_in_node(0), 4);
+  EXPECT_EQ(t->cpus_in_node(1), 0);
+  EXPECT_EQ(t->nearest_cpu_node(0), 0);  // CPU-bearing: itself
+  EXPECT_EQ(t->nearest_cpu_node(1), 0);  // memory-only: routed
+}
+
+TEST(TopologySysfs, NearestCpuNodeBreaksTiesTowardLowerIndex) {
+  // Memory-only node 1 sits between CPU-bearing nodes 0 and 2; equidistant
+  // candidates resolve to the lower index so routing is deterministic.
+  FakeSysfs sys("memonly_mid");
+  sys.possible("0-3");
+  sys.node(0, "0-1");
+  sys.node(1, "");
+  sys.node(2, "2-3");
+  sys.node(3, "");
+  const auto t = sys.parse();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->node_count(), 4);
+  EXPECT_EQ(t->cpu_count(), 4);
+  EXPECT_EQ(t->nearest_cpu_node(1), 0);  // tie 0-vs-2: lower wins
+  EXPECT_EQ(t->nearest_cpu_node(3), 2);  // distance 1 beats distance 3
+}
+
+TEST(TopologySysfs, FullyOfflineNodeIsStillSkipped) {
+  // A node whose CPUs exist but are all offline is NOT a memory-only
+  // node: it is dropped entirely (zero-CPU representation is reserved for
+  // genuinely empty cpulists).
+  FakeSysfs sys("all_offline_node");
+  sys.possible("0-1");
+  sys.node(0, "0-1");
+  sys.node(1, "2-3");
+  sys.online("0-1");
+  const auto t = sys.parse();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->node_count(), 1);
+  EXPECT_EQ(t->cpu_count(), 2);
 }
 
 TEST(TopologySysfs, MalformedInputsFallBackToNullopt) {
@@ -191,6 +230,75 @@ TEST(TopologySysfs, MalformedInputsFallBackToNullopt) {
     sys2.online("");
     EXPECT_FALSE(sys2.parse().has_value());
   }
+}
+
+TEST(TopologySysfs, WorkerPoolOnMemoryOnlyNodeDoesNotHang) {
+  // Regression: the pool used to clamp workers_per_node to the narrowest
+  // node's CPU count — a zero-CPU memory-only node clamped the width to 0,
+  // so every queue was consumerless and any submit spun forever.  Now the
+  // clamp skips zero-CPU nodes, no workers are spawned for them, and
+  // submits addressed to them execute on the nearest CPU-bearing node.
+  FakeSysfs sys("memonly_pool");
+  sys.possible("0-1");
+  sys.node(0, "0-1");
+  sys.node(1, "");
+  const auto t = sys.parse();
+  ASSERT_TRUE(t.has_value());
+  serve::WorkerPool<int>::Config cfg;
+  cfg.workers_per_node = 2;
+  cfg.pin = false;
+  std::atomic<int> executed_on_node0{0};
+  serve::WorkerPool<int> pool(
+      *t, cfg, serve::WorkerPool<int>::Handler([&](int, int node, int&) {
+        if (node == 0) executed_on_node0.fetch_add(1);
+      }));
+  EXPECT_EQ(pool.workers_per_node(), 2);
+  EXPECT_EQ(pool.workers_in_node(0), 2);
+  EXPECT_EQ(pool.workers_in_node(1), 0);
+  EXPECT_EQ(pool.worker_count(), 2);
+  EXPECT_EQ(pool.execution_node(0), 0);
+  EXPECT_EQ(pool.execution_node(1), 0);
+  // Submits to BOTH nodes must complete — node 1's land on node 0.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.submit(0, i));
+    ASSERT_TRUE(pool.submit(1, i));
+  }
+  pool.shutdown();
+  EXPECT_EQ(executed_on_node0.load(), 16);
+  EXPECT_EQ(pool.executed(0), 16u);
+  EXPECT_EQ(pool.executed(1), 0u);
+}
+
+TEST(TopologySysfs, KvServerServesTrafficOverAMemoryOnlyNode) {
+  // End-to-end over the same topology: placement still stripes shards over
+  // both nodes (the memory-only node owns key space), but all execution —
+  // and node_stats accounting — lands on the CPU-bearing node.
+  FakeSysfs sys("memonly_kv");
+  sys.possible("0-1");
+  sys.node(0, "0-1");
+  sys.node(1, "");
+  const auto t = sys.parse();
+  ASSERT_TRUE(t.has_value());
+  serve::KvServer<CohortWriterPriorityLock>::Config cfg;
+  cfg.workers_per_node = 1;
+  cfg.pin_workers = false;
+  serve::KvServer<CohortWriterPriorityLock> server(*t, cfg);
+  constexpr std::uint64_t kKeys = 512;
+  for (std::uint64_t k = 0; k < kKeys; ++k) server.put(k, k * 3);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < kKeys; ++k) keys.push_back(k);
+  std::vector<std::optional<std::uint64_t>> out(keys.size());
+  EXPECT_EQ(server.get_many(keys, out.data()), kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(out[k].has_value());
+    EXPECT_EQ(*out[k], k * 3);
+  }
+  server.shutdown();
+  const auto s0 = server.node_stats(0);
+  const auto s1 = server.node_stats(1);
+  EXPECT_GT(s0.ops, 0u);
+  EXPECT_EQ(s1.ops, 0u);  // no workers there, no stripes to alias
+  EXPECT_EQ(s0.ops, kKeys * 2);  // every put + every batched read
 }
 
 TEST(TopologySysfs, DetectStillReturnsAUsableTopology) {
