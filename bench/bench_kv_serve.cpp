@@ -38,7 +38,7 @@ void serve_row(BenchContext& ctx, Table& t, const std::string& name,
   const int threads = ctx.params().threads;
   const int ops_per_thread = ctx.scaled_iters(2000);
 
-  ServeConfig cfg;
+  ServeMixConfig cfg;
   cfg.read_fraction = read_fraction;
   cfg.seed = ctx.params().seed;
   std::vector<ServeStream> streams;

@@ -52,15 +52,12 @@ using Server = serve::KvServer<SimCohortWp2x4>;
 // burst = worker-side bulk-claim depth (0 = legacy per-item dispatch);
 // the net rows pair it with the front-end's staged submit_many, so one
 // epoll sweep publishes a batch and one bulk claim drains it.
-Server::Config server_config(std::size_t burst = 1) {
-  Server::Config cfg;
-  cfg.workers_per_node = 2;
-  cfg.burst = burst;
-  return cfg;
+serve::ServeConfig server_config(std::size_t burst = 1) {
+  return serve::ServeConfig{}.with_workers(2).with_burst(burst);
 }
 
 void preload(Server& server) {
-  ServeConfig scfg;
+  ServeMixConfig scfg;
   for (std::uint64_t k = 0; k < kPreload; ++k)
     server.map().put(0, scramble_rank(k, scfg.num_keys), k);
 }
@@ -69,7 +66,7 @@ net::LoadgenConfig mix_config(BenchContext& ctx, int requests_per_conn) {
   net::LoadgenConfig cfg;
   cfg.connections = ctx.params().threads;
   cfg.requests_per_conn = requests_per_conn;
-  cfg.seed = ctx.params().seed;
+  cfg.mix.seed = ctx.params().seed;
   return cfg;
 }
 

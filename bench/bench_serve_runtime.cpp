@@ -97,16 +97,16 @@ void runtime_row(BenchContext& ctx, Table& t, const RowOpts& o) {
   const int ops_per_client = ctx.scaled_iters(800);
   const Topology topo = Topology::simulated(o.nodes, o.cpus_per_node);
 
-  typename serve::KvServer<Lock>::Config cfg;
-  cfg.shards_per_node = o.shards_per_node;
-  cfg.workers_per_node = 2;
-  cfg.pin_workers = o.pin;
-  cfg.node_local_dispatch = o.node_local;
-  cfg.node_local_alloc = o.node_local;
-  cfg.burst = o.burst;
+  const serve::ServeConfig cfg = serve::ServeConfig{}
+                                     .with_shards(o.shards_per_node)
+                                     .with_workers(2)
+                                     .with_pin(o.pin)
+                                     .with_dispatch(o.node_local)
+                                     .with_alloc(o.node_local)
+                                     .with_burst(o.burst);
   serve::KvServer<Lock> server(topo, cfg);
 
-  ServeConfig scfg;
+  ServeMixConfig scfg;
   scfg.read_fraction = o.read_fraction;
   scfg.seed = ctx.params().seed;
   std::vector<ServeStream> streams;

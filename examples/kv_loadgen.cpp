@@ -29,12 +29,12 @@ int main(int argc, char** argv) {
   if (argc > 2) cfg.connections = std::atoi(argv[2]);
   if (argc > 3) cfg.depth = std::atoi(argv[3]);
   if (argc > 4) cfg.requests_per_conn = std::atoi(argv[4]);
-  if (argc > 5) cfg.read_fraction = std::atof(argv[5]);
+  if (argc > 5) cfg.mix.read_fraction = std::atof(argv[5]);
 
   std::cout << "kv_loadgen: 127.0.0.1:" << cfg.port << ", "
             << cfg.connections << " conns x depth " << cfg.depth << " x "
             << cfg.requests_per_conn << " reqs, read_fraction "
-            << cfg.read_fraction << ", get_many batch " << cfg.batch
+            << cfg.mix.read_fraction << ", get_many batch " << cfg.batch
             << "\n";
 
   bjrw::net::LoadgenResult res = bjrw::net::run_loadgen(cfg);
@@ -47,10 +47,11 @@ int main(int argc, char** argv) {
   const double rps = static_cast<double>(res.requests) / res.wall_s;
   const double ops = static_cast<double>(res.ops) / res.wall_s;
 
-  bjrw::Table t({"requests", "rps", "kops_per_s", "hits", "errors", "p50_us",
-                 "p99_us", "max_us"});
+  bjrw::Table t({"requests", "rps", "kops_per_s", "hits", "shed", "deferred",
+                 "errors", "p50_us", "p99_us", "max_us"});
   t.add_row({std::to_string(res.requests), bjrw::Table::cell(rps, 0),
              bjrw::Table::cell(ops / 1e3, 1), std::to_string(res.hits),
+             std::to_string(res.shed), std::to_string(res.deferred),
              std::to_string(res.errors), bjrw::Table::cell(lat.p50 / 1e3, 1),
              bjrw::Table::cell(lat.p99 / 1e3, 1),
              bjrw::Table::cell(lat.max / 1e3, 1)});

@@ -9,10 +9,11 @@
 //
 // Two modes:
 //   ./kv_server [clients] [requests_per_client]   in-process demo traffic
-//   ./kv_server --listen [port]                   socket front-end: serve
+//   ./kv_server --listen [port] [admit_rate]      socket front-end: serve
 //       the versioned wire protocol (src/net/) on 127.0.0.1 until SIGINT;
 //       port 0 (the default) picks an ephemeral port and prints it.
-//       Drive it with ./kv_loadgen.
+//       admit_rate > 0 arms the per-node token bucket (ops/s) so overload
+//       runs shed instead of queueing.  Drive it with ./kv_loadgen.
 #include <csignal>
 #include <algorithm>
 #include <atomic>
@@ -43,12 +44,14 @@ void on_signal(int) { g_stop.store(true); }
 
 void print_node_stats(
     bjrw::serve::KvServer<bjrw::CohortWriterPriorityLock>& server) {
-  bjrw::Table t({"node", "sub_requests", "ops", "lat_mean_us", "lat_max_us",
-                 "handoffs", "global_acquires", "preempt_aborts"});
+  bjrw::Table t({"node", "sub_requests", "ops", "shed", "deferred",
+                 "lat_mean_us", "lat_max_us", "handoffs", "global_acquires",
+                 "preempt_aborts"});
   for (int d = 0; d < server.node_count(); ++d) {
     const bjrw::serve::NodeServeStats ns = server.node_stats(d);
     t.add_row({std::to_string(d), std::to_string(ns.sub_requests),
-               std::to_string(ns.ops),
+               std::to_string(ns.ops), std::to_string(ns.shed),
+               std::to_string(ns.deferred),
                bjrw::Table::cell(ns.latency_mean_ns / 1e3, 1),
                bjrw::Table::cell(ns.latency_max_ns / 1e3, 1),
                std::to_string(ns.handoffs),
@@ -58,13 +61,13 @@ void print_node_stats(
   t.print(std::cout);
 }
 
-int listen_mode(std::uint16_t port) {
+int listen_mode(std::uint16_t port, double admit_rate) {
   const bjrw::Topology topo = bjrw::Topology::detected();
-  bjrw::serve::KvServer<bjrw::CohortWriterPriorityLock>::Config cfg;
-  cfg.workers_per_node = 2;
+  bjrw::serve::ServeConfig cfg = bjrw::serve::ServeConfig{}.with_workers(2);
+  if (admit_rate > 0.0) cfg.with_admission(admit_rate);
   bjrw::serve::KvServer<bjrw::CohortWriterPriorityLock> server(topo, cfg);
 
-  bjrw::ServeConfig scfg;
+  bjrw::ServeMixConfig scfg;
   for (std::uint64_t k = 0; k < kPreload; ++k)
     server.map().put(0, bjrw::scramble_rank(k, scfg.num_keys), k);
 
@@ -79,8 +82,10 @@ int listen_mode(std::uint16_t port) {
   // stdout, which is fully buffered.
   std::cout << "kv_server: topology " << topo.describe() << " ("
             << topo.source() << "), listening on 127.0.0.1:" << net.port()
-            << " (" << kPreload << " keys preloaded; Ctrl-C to stop)"
-            << std::endl;
+            << " (" << kPreload << " keys preloaded";
+  if (admit_rate > 0.0)
+    std::cout << "; admission " << admit_rate << " ops/s/node";
+  std::cout << "; Ctrl-C to stop)" << std::endl;
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -101,7 +106,10 @@ int listen_mode(std::uint16_t port) {
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--listen") == 0) {
     const long p = argc > 2 ? std::atol(argv[2]) : 0;
-    return listen_mode(static_cast<std::uint16_t>(p));
+    // Optional per-node admission rate (ops/s): 0 disables the token
+    // bucket.  Drive an overload run with ./kv_loadgen to watch sheds.
+    const double rate = argc > 3 ? std::atof(argv[3]) : 0.0;
+    return listen_mode(static_cast<std::uint16_t>(p), rate);
   }
   const int clients = argc > 1 ? std::max(1, std::atoi(argv[1])) : 4;
   const int requests = argc > 2 ? std::max(1, std::atoi(argv[2])) : 2000;
@@ -111,11 +119,10 @@ int main(int argc, char** argv) {
             << topo.source() << "), " << clients << " clients x " << requests
             << " ops\n";
 
-  bjrw::serve::KvServer<bjrw::CohortWriterPriorityLock>::Config cfg;
-  cfg.workers_per_node = 2;
-  bjrw::serve::KvServer<bjrw::CohortWriterPriorityLock> server(topo, cfg);
+  bjrw::serve::KvServer<bjrw::CohortWriterPriorityLock> server(
+      topo, bjrw::serve::ServeConfig{}.with_workers(2));
 
-  bjrw::ServeConfig scfg;  // 95% reads, zipfian theta 0.99
+  bjrw::ServeMixConfig scfg;  // 95% reads, zipfian theta 0.99
   for (std::uint64_t k = 0; k < kPreload; ++k)
     server.map().put(0, bjrw::scramble_rank(k, scfg.num_keys), k);
 

@@ -253,8 +253,11 @@ class ShardedMap {
   std::size_t shard_count() const { return shards_.size(); }
 
   // Per-shard lock access for runtime observers (src/serve/ aggregates the
-  // cohort handoff/preemption counters across a node's shard locks).
+  // cohort handoff/preemption counters across a node's shard locks).  The
+  // non-const overload lets tests hold a shard's write lock directly to
+  // choreograph a blocked worker deterministically.
   const Lock& shard_lock(std::size_t i) const { return shards_[i]->lock; }
+  Lock& shard_lock(std::size_t i) { return shards_[i]->lock; }
 
  private:
   static constexpr std::size_t kSmallBatch = 64;  // bits in the done mask

@@ -61,7 +61,7 @@ std::uint64_t scramble_rank(std::uint64_t rank, std::uint64_t num_keys) {
   return mulhi64(sm.next(), num_keys);
 }
 
-ServeStream::ServeStream(const ServeConfig& cfg, std::uint64_t thread_salt,
+ServeStream::ServeStream(const ServeMixConfig& cfg, std::uint64_t thread_salt,
                          std::size_t length) {
   Xoshiro256 op_rng(cfg.seed ^ (thread_salt * 0xD1B54A32D192ED03ULL));
   ZipfianRanks ranks(cfg.num_keys, cfg.zipf_theta,

@@ -75,7 +75,9 @@ class ZipfianRanks {
 // SplitMix64 mix truncated back into [0, num_keys)).
 std::uint64_t scramble_rank(std::uint64_t rank, std::uint64_t num_keys);
 
-struct ServeConfig {
+// Client-side traffic mix for the serving benchmarks/loadgen (the
+// server-side runtime knobs live in serve::ServeConfig, src/serve/).
+struct ServeMixConfig {
   std::uint64_t num_keys = 1 << 16;  // key-space size
   double zipf_theta = 0.99;          // YCSB default skew
   double read_fraction = 0.95;       // gets (single or batched) vs puts
@@ -91,7 +93,7 @@ struct ServeOp {
 // measured section and are identical across compared lock types.
 class ServeStream {
  public:
-  ServeStream(const ServeConfig& cfg, std::uint64_t thread_salt,
+  ServeStream(const ServeMixConfig& cfg, std::uint64_t thread_salt,
               std::size_t length);
 
   const ServeOp& at(std::size_t i) const { return ops_[i % ops_.size()]; }

@@ -29,6 +29,9 @@ namespace bjrw::net {
 struct Response {
   std::uint64_t id = 0;
   MsgType type = MsgType::kErrorResp;
+  // v2 admission status (always kOk on frames from a v1 server); a non-kOk
+  // data response carries no payload.
+  WireStatus status = WireStatus::kOk;
   // kGetResp
   bool found = false;
   std::uint64_t value = 0;
@@ -43,8 +46,11 @@ struct Response {
 
 class KvClient {
  public:
-  // Connects to 127.0.0.1:<port>; nullopt on failure.
-  static std::optional<KvClient> connect(std::uint16_t port) {
+  // Connects to 127.0.0.1:<port>; nullopt on failure.  `version` is the
+  // protocol minor this client speaks — the server answers in kind, so
+  // passing kMinVersion exercises the old-client compatibility path.
+  static std::optional<KvClient> connect(std::uint16_t port,
+                                         std::uint16_t version = kVersion) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return std::nullopt;
     int one = 1;
@@ -58,7 +64,7 @@ class KvClient {
       ::close(fd);
       return std::nullopt;
     }
-    return KvClient(fd);
+    return KvClient(fd, version);
   }
 
   ~KvClient() { close(); }
@@ -69,6 +75,7 @@ class KvClient {
       fd_ = other.fd_;
       other.fd_ = -1;
       next_id_ = other.next_id_;
+      version_ = other.version_;
       out_ = std::move(other.out_);
       rbuf_ = std::move(other.rbuf_);
       rhead_ = other.rhead_;
@@ -91,22 +98,22 @@ class KvClient {
   // flush().
   std::uint64_t submit_get(std::uint64_t key) {
     const std::uint64_t id = next_id_++;
-    pack_get_req(out_, id, key);
+    pack_get_req(out_, id, key, version_);
     return id;
   }
   std::uint64_t submit_put(std::uint64_t key, std::uint64_t value) {
     const std::uint64_t id = next_id_++;
-    pack_put_req(out_, id, key, value);
+    pack_put_req(out_, id, key, value, version_);
     return id;
   }
   std::uint64_t submit_erase(std::uint64_t key) {
     const std::uint64_t id = next_id_++;
-    pack_erase_req(out_, id, key);
+    pack_erase_req(out_, id, key, version_);
     return id;
   }
   std::uint64_t submit_get_many(const std::uint64_t* keys, std::uint32_t n) {
     const std::uint64_t id = next_id_++;
-    pack_get_many_req(out_, id, keys, n);
+    pack_get_many_req(out_, id, keys, n, version_);
     return id;
   }
 
@@ -155,7 +162,15 @@ class KvClient {
     if (!unpack_header(u, &h, &err)) return false;
     resp->id = h.request_id;
     resp->type = h.type;
+    resp->status = WireStatus::kOk;
     resp->values.clear();
+    // v2 data responses lead with the admission status; a refusal carries
+    // nothing else.  kErrorResp keeps its frozen v1 layout in any version.
+    if (h.version >= 2 && h.type != MsgType::kErrorResp) {
+      resp->status = static_cast<WireStatus>(u.u8());
+      if (u.failed()) return false;
+      if (resp->status != WireStatus::kOk) return u.exhausted();
+    }
     switch (h.type) {
       case MsgType::kGetResp:
         resp->found = u.u8() != 0;
@@ -195,11 +210,16 @@ class KvClient {
 
   // ---- synchronous conveniences ----------------------------------------------
 
+  // The conveniences treat an admission refusal (non-kOk status) as the
+  // operation failing; pipelined callers who want to distinguish retry
+  // classes read Response::status themselves.
+
   std::optional<std::uint64_t> get(std::uint64_t key) {
     const std::uint64_t id = submit_get(key);
     Response r;
     if (!flush() || !recv_response(&r) || r.id != id ||
-        r.type != MsgType::kGetResp || !r.found)
+        r.type != MsgType::kGetResp || r.status != WireStatus::kOk ||
+        !r.found)
       return std::nullopt;
     return r.value;
   }
@@ -208,30 +228,33 @@ class KvClient {
     const std::uint64_t id = submit_put(key, value);
     Response r;
     return flush() && recv_response(&r) && r.id == id &&
-           r.type == MsgType::kPutResp;
+           r.type == MsgType::kPutResp && r.status == WireStatus::kOk;
   }
 
   bool erase(std::uint64_t key) {
     const std::uint64_t id = submit_erase(key);
     Response r;
     return flush() && recv_response(&r) && r.id == id &&
-           r.type == MsgType::kEraseResp && r.erased;
+           r.type == MsgType::kEraseResp && r.status == WireStatus::kOk &&
+           r.erased;
   }
 
-  // Returns the per-key results, or nullopt on transport/protocol failure.
+  // Returns the per-key results, or nullopt on transport/protocol failure
+  // (including an admission refusal).
   std::optional<std::vector<std::optional<std::uint64_t>>> get_many(
       const std::vector<std::uint64_t>& keys) {
     const std::uint64_t id =
         submit_get_many(keys.data(), static_cast<std::uint32_t>(keys.size()));
     Response r;
     if (!flush() || !recv_response(&r) || r.id != id ||
-        r.type != MsgType::kGetManyResp)
+        r.type != MsgType::kGetManyResp || r.status != WireStatus::kOk)
       return std::nullopt;
     return std::move(r.values);
   }
 
  private:
-  explicit KvClient(int fd) : fd_(fd) {}
+  explicit KvClient(int fd, std::uint16_t version)
+      : fd_(fd), version_(version) {}
 
   bool read_exact(std::uint8_t* dst, std::size_t len) {
     std::size_t off = 0;
@@ -247,6 +270,7 @@ class KvClient {
   }
 
   int fd_ = -1;
+  std::uint16_t version_ = kVersion;
   std::uint64_t next_id_ = 1;
   PackBuffer out_;
   std::vector<std::uint8_t> rbuf_;

@@ -37,10 +37,7 @@ struct LoadgenConfig {
   int depth = 4;                  // in-flight wire requests per connection
   int requests_per_conn = 1000;   // wire requests (a batch counts once)
   std::uint32_t batch = 8;        // reads coalesced per get_many
-  double read_fraction = 0.95;
-  std::uint64_t num_keys = 1 << 16;
-  double zipf_theta = 0.99;
-  std::uint64_t seed = 42;
+  ServeMixConfig mix{.seed = 42};  // zipfian traffic mix (workload.hpp)
 };
 
 struct LoadgenResult {
@@ -48,7 +45,12 @@ struct LoadgenResult {
   std::uint64_t requests = 0;     // wire round trips completed
   std::uint64_t ops = 0;          // keys touched (batch counts its keys)
   std::uint64_t hits = 0;
-  std::uint64_t errors = 0;       // kErrorResp or transport failures
+  std::uint64_t errors = 0;       // kErrorResp (other than backpressure) or
+                                  // transport failures
+  std::uint64_t shed = 0;         // admission-shed responses (WireStatus::
+                                  // kShed / v1 kBackpressure)
+  std::uint64_t deferred = 0;     // queue-full responses (WireStatus::
+                                  // kQueueFull)
   double wall_s = 0.0;
   std::vector<double> latency_ns;  // one sample per wire request
 };
@@ -65,11 +67,6 @@ struct WireOp {
 
 inline std::vector<WireOp> make_ops(const LoadgenConfig& cfg,
                                     std::uint64_t salt) {
-  ServeConfig scfg;
-  scfg.num_keys = cfg.num_keys;
-  scfg.zipf_theta = cfg.zipf_theta;
-  scfg.read_fraction = cfg.read_fraction;
-  scfg.seed = cfg.seed;
   // Each wire request consumes at most `b` stream ops, and up to b - 1
   // more can be left behind in an abandoned partial batch when the last
   // request completes — so this bound is exact.  Sizing it short would not
@@ -79,7 +76,7 @@ inline std::vector<WireOp> make_ops(const LoadgenConfig& cfg,
   const std::size_t b = cfg.batch > 0 ? cfg.batch : 1;
   const std::size_t draw =
       static_cast<std::size_t>(cfg.requests_per_conn) * b + b - 1;
-  ServeStream stream(scfg, salt, draw);
+  ServeStream stream(cfg.mix, salt, draw);
   std::vector<WireOp> ops;
   ops.reserve(static_cast<std::size_t>(cfg.requests_per_conn));
   WireOp batch;
@@ -141,6 +138,7 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
   struct ConnResult {
     bool ok = false;
     std::uint64_t requests = 0, ops = 0, hits = 0, errors = 0;
+    std::uint64_t shed = 0, deferred = 0;
     std::vector<double> latency_ns;
   };
   const std::size_t conns = static_cast<std::size_t>(
@@ -206,7 +204,21 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
           const MsgType want =
               w.is_batch ? MsgType::kGetManyResp : MsgType::kPutResp;
           if (r.type == MsgType::kErrorResp) {
-            out.errors += 1;
+            // v1 servers signal admission refusals through the error
+            // channel; keep shed distinct from genuine failures.
+            if (r.error_code == ErrorCode::kBackpressure)
+              out.shed += 1;
+            else
+              out.errors += 1;
+          } else if (r.type == want && r.status != WireStatus::kOk) {
+            // v2 typed refusal: the op did not execute, but the
+            // connection and the protocol are healthy.
+            if (r.status == WireStatus::kShed)
+              out.shed += 1;
+            else if (r.status == WireStatus::kQueueFull)
+              out.deferred += 1;
+            else
+              out.errors += 1;  // kShutdown and anything unexpected
           } else if (r.type != want) {
             // The id matched but the response answers a different kind of
             // op — a correlation bug, not a transport failure.
@@ -254,6 +266,8 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
     result.ops += cr.ops;
     result.hits += cr.hits;
     result.errors += cr.errors;
+    result.shed += cr.shed;
+    result.deferred += cr.deferred;
     result.latency_ns.insert(result.latency_ns.end(), cr.latency_ns.begin(),
                              cr.latency_ns.end());
   }

@@ -88,7 +88,8 @@ class NetServer {
     if (cfg_.slots_per_connection < 1) cfg_.slots_per_connection = 1;
     if (cfg_.submit_batch < 1) cfg_.submit_batch = 1;
     flush_reqs_.resize(cfg_.submit_batch);
-    flush_accepted_ = std::make_unique<bool[]>(cfg_.submit_batch);
+    flush_outcomes_ =
+        std::make_unique<serve::AdmitResult[]>(cfg_.submit_batch);
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
     if (listen_fd_ < 0) return;
     int one = 1;
@@ -169,11 +170,19 @@ class NetServer {
     std::vector<std::optional<std::uint64_t>> out;
     std::uint64_t id = 0;
     MsgType resp_type = MsgType::kGetResp;
-    bool submit_refused = false;  // KvServer said no (shutdown)
+    // The KvServer's admission verdict for this slot.  Shed/deferred slots
+    // are answered and recycled inline by flush_staged (nothing was
+    // enqueued); only kAccepted and kShutdown slots reach in_flight.
+    serve::AdmitResult admit = serve::AdmitResult::kAccepted;
   };
 
   struct Connection {
     int fd = -1;
+    std::size_t idx = 0;  // this connection's conns_/epoll tag index
+    // Protocol minor the peer last spoke (every valid header updates it);
+    // responses are packed in this version, so old-minor clients keep
+    // parsing their historical layouts.
+    std::uint16_t peer_version = kVersion;
     std::vector<std::uint8_t> rbuf;
     std::size_t rhead = 0;  // parsed-up-to offset into rbuf
     PackBuffer wbuf;
@@ -288,6 +297,7 @@ class NetServer {
           break;
         }
       if (idx == conns_.size()) conns_.push_back(nullptr);
+      conn->idx = idx;
       conns_[idx] = std::move(conn);
       add_epoll(fd, EPOLLIN, idx);
       accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -421,6 +431,7 @@ class NetServer {
                        /*close=*/true);
         return;
       }
+      c.peer_version = h.version;
       const auto* entry = dispatch_lookup(dispatch_table(), h.type);
       if (entry == nullptr) {
         // Frame boundary is intact: answer and keep the connection.
@@ -432,11 +443,15 @@ class NetServer {
       }
       const Handle r = (this->*(entry->handler))(c, h.request_id, u);
       if (r == Handle::kNoSlot) {
-        // Out of slots: leave the frame buffered, drop read interest
-        // until a completion frees one (backpressure to the TCP window).
-        // The staged work must publish now — the completions that free
-        // slots are the very requests sitting in the stage.
+        // Out of slots: publish the stage first — the completions that
+        // free slots are the very requests sitting in it, and a staged
+        // slot the KvServer sheds is answered and recycled *inline*, so
+        // the flush itself may hand back free slots.  Only if none came
+        // back do we drop read interest until a completion frees one
+        // (backpressure to the TCP window); the shed case keeps parsing
+        // immediately instead of parking the connection.
         flush_staged(c);
+        if (!c.free_slots.empty()) continue;  // retry the same frame
         if (c.reading) {
           c.reading = false;
           rearm(c, idx);
@@ -481,7 +496,7 @@ class NetServer {
     s->req.out = nullptr;
     s->id = id;
     s->resp_type = resp_type;
-    s->submit_refused = false;
+    s->admit = serve::AdmitResult::kAccepted;
     return s;
   }
 
@@ -495,19 +510,70 @@ class NetServer {
   // Publishes every staged slot with ONE KvServer::submit_many call — one
   // ring reservation per dispatch node for the whole read batch — then
   // moves them into in_flight where the completion sweep may see them.
+  // Shed/deferred slots never reach in_flight: the KvServer enqueued
+  // nothing for them (pending == 0), so they are answered with the typed
+  // refusal and recycled right here — and if that recycling freed slots
+  // on a connection parked for slot exhaustion, EPOLLIN is re-armed
+  // immediately instead of waiting for an unrelated completion.
   void flush_staged(Connection& c) {
     const std::size_t n = c.staged.size();
     if (n == 0) return;
     for (std::size_t i = 0; i < n; ++i)
       flush_reqs_[i] = &c.staged[i]->req;
-    kv_.submit_many(flush_reqs_.data(), n, flush_accepted_.get());
+    kv_.submit_many(flush_reqs_.data(), n, flush_outcomes_.get());
+    bool freed = false;
     for (std::size_t i = 0; i < n; ++i) {
       Slot* s = c.staged[i];
-      s->submit_refused = !flush_accepted_[i];
+      s->admit = flush_outcomes_[i];
+      if (s->admit == serve::AdmitResult::kShedOverload ||
+          s->admit == serve::AdmitResult::kQueueFull) {
+        if (!c.peer_gone) pack_refusal(c, *s);
+        c.free_slots.push_back(s);
+        freed = true;
+        continue;
+      }
+      // kAccepted — and kShutdown, whose batch may have published some
+      // slices before the pool stopped: both wait out their latch on the
+      // normal completion path.
       c.in_flight.push_back(s);
       ++total_in_flight_;
     }
     c.staged.clear();
+    if (freed) {
+      if (!c.reading && !c.draining) {
+        c.reading = true;
+        rearm(c, c.idx);
+      }
+      if (!c.wbuf.empty()) flush(c, c.idx);
+    }
+  }
+
+  // Maps an AdmitResult onto the peer's protocol minor: v2 peers get the
+  // typed status frame, v1 peers the closest error response (layout
+  // frozen since v1).
+  void pack_refusal(Connection& c, const Slot& s) {
+    if (c.peer_version >= 2) {
+      pack_status_resp(c.wbuf, s.resp_type, s.id, to_wire(s.admit),
+                       c.peer_version);
+      return;
+    }
+    if (s.admit == serve::AdmitResult::kShutdown) {
+      pack_error_resp(c.wbuf, s.id, ErrorCode::kShuttingDown,
+                      "server is shutting down", c.peer_version);
+    } else {
+      pack_error_resp(c.wbuf, s.id, ErrorCode::kBackpressure,
+                      "node saturated; retry later", c.peer_version);
+    }
+  }
+
+  static WireStatus to_wire(serve::AdmitResult r) {
+    switch (r) {
+      case serve::AdmitResult::kAccepted: return WireStatus::kOk;
+      case serve::AdmitResult::kShedOverload: return WireStatus::kShed;
+      case serve::AdmitResult::kQueueFull: return WireStatus::kQueueFull;
+      case serve::AdmitResult::kShutdown: return WireStatus::kShutdown;
+    }
+    return WireStatus::kOk;
   }
 
   Handle on_get(Connection& c, std::uint64_t id, Unpacker& u) {
@@ -571,7 +637,7 @@ class NetServer {
 
   Handle malformed(Connection& c, std::uint64_t id) {
     pack_error_resp(c.wbuf, id, ErrorCode::kMalformed,
-                    "body does not match the frame length");
+                    "body does not match the frame length", c.peer_version);
     proto_errors_.fetch_add(1, std::memory_order_relaxed);
     return Handle::kOk;  // frame boundary intact: connection survives
   }
@@ -579,7 +645,8 @@ class NetServer {
   void protocol_error(Connection& c, std::size_t idx, std::uint64_t id,
                       ErrorCode code, const char* detail, bool close) {
     proto_errors_.fetch_add(1, std::memory_order_relaxed);
-    if (!c.peer_gone) pack_error_resp(c.wbuf, id, code, detail);
+    if (!c.peer_gone)
+      pack_error_resp(c.wbuf, id, code, detail, c.peer_version);
     if (close) {
       begin_drain(c, idx);
     } else {
@@ -624,44 +691,45 @@ class NetServer {
   }
 
   void pack_response(Connection& c, const Slot& s) {
+    const std::uint16_t v = c.peer_version;
+    const bool refused = s.admit != serve::AdmitResult::kAccepted;
     switch (s.resp_type) {
       case MsgType::kGetResp:
-        if (s.submit_refused) {
-          pack_error_resp(c.wbuf, s.id, ErrorCode::kShuttingDown,
-                          "server is shutting down");
+        if (refused) {
+          pack_refusal(c, s);
         } else {
           pack_get_resp(c.wbuf, s.id, s.out[0].has_value(),
-                        s.out[0].value_or(0));
+                        s.out[0].value_or(0), v);
         }
         break;
       case MsgType::kPutResp:
-        if (s.submit_refused) {
-          pack_error_resp(c.wbuf, s.id, ErrorCode::kShuttingDown,
-                          "server is shutting down");
+        if (refused) {
+          pack_refusal(c, s);
         } else {
-          pack_put_resp(c.wbuf, s.id);
+          pack_put_resp(c.wbuf, s.id, v);
         }
         break;
       case MsgType::kEraseResp:
-        if (s.submit_refused) {
-          pack_error_resp(c.wbuf, s.id, ErrorCode::kShuttingDown,
-                          "server is shutting down");
+        if (refused) {
+          pack_refusal(c, s);
         } else {
           pack_erase_resp(c.wbuf, s.id,
-                          s.req.hits.load(std::memory_order_relaxed) != 0);
+                          s.req.hits.load(std::memory_order_relaxed) != 0,
+                          v);
         }
         break;
       case MsgType::kGetManyResp: {
         // A partially-refused batch (shutdown race) still answers with
-        // what completed; a fully refused one is an explicit error.
-        if (s.submit_refused && s.req.key_count != 0 &&
+        // what completed; a fully refused one is an explicit refusal.
+        if (refused && s.req.key_count != 0 &&
             s.req.hits.load(std::memory_order_relaxed) == 0) {
-          pack_error_resp(c.wbuf, s.id, ErrorCode::kShuttingDown,
-                          "server is shutting down");
+          pack_refusal(c, s);
           break;
         }
         const std::size_t at = c.wbuf.begin_frame();
-        pack_header(c.wbuf, MsgType::kGetManyResp, s.id);
+        pack_header(c.wbuf, MsgType::kGetManyResp, s.id, v);
+        if (v >= 2)
+          c.wbuf.put_u8(static_cast<std::uint8_t>(WireStatus::kOk));
         c.wbuf.put_u32(s.req.key_count);
         for (std::uint32_t i = 0; i < s.req.key_count; ++i) {
           c.wbuf.put_u8(s.out[i].has_value() ? 1 : 0);
@@ -672,7 +740,7 @@ class NetServer {
       }
       default:
         pack_error_resp(c.wbuf, s.id, ErrorCode::kMalformed,
-                        "internal: bad response type");
+                        "internal: bad response type", v);
         break;
     }
   }
@@ -726,7 +794,7 @@ class NetServer {
   std::vector<std::unique_ptr<Connection>> conns_;  // loop-thread only
   // flush_staged scratch (loop-thread only), sized submit_batch once.
   std::vector<serve::Request*> flush_reqs_;
-  std::unique_ptr<bool[]> flush_accepted_;
+  std::unique_ptr<serve::AdmitResult[]> flush_outcomes_;
   std::thread loop_;
 };
 

@@ -16,12 +16,20 @@
 // requests as the owning nodes finish them), so the id is the correlation
 // key, not the position in the stream.
 //
-// Versioning: `kVersion` names the protocol generation.  A server rejects
-// frames from a different generation with a kErrorResp(kBadVersion) and
-// closes — within a generation, *adding* message types is compatible
+// Versioning: `kVersion` names the current protocol minor and
+// `kMinVersion` the oldest minor still served.  A server accepts any
+// header version in [kMinVersion, kVersion], remembers the peer's version
+// per connection, and *answers in the peer's version* — so an old-minor
+// client keeps round-tripping byte-identical OK-path frames against a new
+// server.  Versions outside the window get kErrorResp(kBadVersion) and a
+// close.  Minor-version rules (DESIGN.md §12): a new minor may add
+// leading fields to response bodies (v2 data responses prepend a u8
+// status) and new message types; it must keep kErrorResp's layout frozen
+// (it is the fallback every version understands) and must never reorder
+// or resize existing fields — that is a new generation, which resets
+// kMinVersion.  Within a minor, adding message types is compatible
 // (unknown types get kErrorResp(kUnknownType) and the connection
-// survives), while changing the layout of an existing body is not and
-// must bump the version.
+// survives).
 //
 // Unpacking is bounds-checked by construction: an Unpacker never reads
 // past its span — any underflow latches `failed()` and every later read
@@ -38,7 +46,11 @@
 namespace bjrw::net {
 
 inline constexpr std::uint32_t kMagic = 0x424A5257;  // "BJRW"
-inline constexpr std::uint16_t kVersion = 1;
+// v2: data responses gain a leading u8 status (WireStatus) carrying the
+// server's AdmitResult; v1 frames have no status byte and shed maps to
+// kErrorResp(kBackpressure).
+inline constexpr std::uint16_t kVersion = 2;
+inline constexpr std::uint16_t kMinVersion = 1;
 
 // Frame length prefix (u32) + fixed message header.
 inline constexpr std::size_t kFrameLenSize = 4;
@@ -70,6 +82,19 @@ enum class ErrorCode : std::uint16_t {
   kMalformed = 4,     // body underflow or trailing bytes (connection survives)
   kFrameTooLarge = 5, // length prefix exceeds the server's ceiling (close)
   kShuttingDown = 6,  // the KvServer refused the submit (connection survives)
+  kBackpressure = 7,  // v1 mapping of shed/deferred admission refusals
+                      // (connection survives; the client should back off)
+};
+
+// Per-response admission status, mirroring serve::AdmitResult on the wire.
+// v2 data responses carry it as their leading u8; non-kOk responses have
+// no further body (there is no result to report).  v1 peers never see
+// this enum — their refusals arrive as kErrorResp.
+enum class WireStatus : std::uint8_t {
+  kOk = 0,         // request executed; payload follows
+  kShed = 1,       // admission shed (token bucket): retry after backoff
+  kQueueFull = 2,  // node queue over high water: retry sooner
+  kShutdown = 3,   // server stopping
 };
 
 // --- packing -----------------------------------------------------------------
@@ -197,17 +222,18 @@ struct MsgHeader {
   std::uint64_t request_id = 0;
 };
 
-inline void pack_header(PackBuffer& b, MsgType type,
-                        std::uint64_t request_id) {
+inline void pack_header(PackBuffer& b, MsgType type, std::uint64_t request_id,
+                        std::uint16_t version = kVersion) {
   b.put_u32(kMagic);
-  b.put_u16(kVersion);
+  b.put_u16(version);
   b.put_u16(static_cast<std::uint16_t>(type));
   b.put_u64(request_id);
 }
 
 // Reads the fixed header.  On false, `*err` says which precondition broke
 // (magic before version: a foreign peer fails on magic, not on a
-// coincidental version number).
+// coincidental version number).  Any minor in [kMinVersion, kVersion]
+// passes — the caller answers in h->version.
 inline bool unpack_header(Unpacker& u, MsgHeader* h, ErrorCode* err) {
   h->magic = u.u32();
   h->version = u.u16();
@@ -221,7 +247,7 @@ inline bool unpack_header(Unpacker& u, MsgHeader* h, ErrorCode* err) {
     *err = ErrorCode::kBadMagic;
     return false;
   }
-  if (h->version != kVersion) {
+  if (h->version < kMinVersion || h->version > kVersion) {
     *err = ErrorCode::kBadVersion;
     return false;
   }
@@ -229,68 +255,97 @@ inline bool unpack_header(Unpacker& u, MsgHeader* h, ErrorCode* err) {
 }
 
 // --- request bodies (client packs, server unpacks) ---------------------------
+//
+// Request bodies are layout-identical across minors; the header's version
+// field is how a client declares the minor it wants answers in.
 
-inline void pack_get_req(PackBuffer& b, std::uint64_t id, std::uint64_t key) {
+inline void pack_get_req(PackBuffer& b, std::uint64_t id, std::uint64_t key,
+                         std::uint16_t version = kVersion) {
   const std::size_t at = b.begin_frame();
-  pack_header(b, MsgType::kGetReq, id);
+  pack_header(b, MsgType::kGetReq, id, version);
   b.put_u64(key);
   b.end_frame(at);
 }
 
 inline void pack_put_req(PackBuffer& b, std::uint64_t id, std::uint64_t key,
-                         std::uint64_t value) {
+                         std::uint64_t value,
+                         std::uint16_t version = kVersion) {
   const std::size_t at = b.begin_frame();
-  pack_header(b, MsgType::kPutReq, id);
+  pack_header(b, MsgType::kPutReq, id, version);
   b.put_u64(key);
   b.put_u64(value);
   b.end_frame(at);
 }
 
-inline void pack_erase_req(PackBuffer& b, std::uint64_t id,
-                           std::uint64_t key) {
+inline void pack_erase_req(PackBuffer& b, std::uint64_t id, std::uint64_t key,
+                           std::uint16_t version = kVersion) {
   const std::size_t at = b.begin_frame();
-  pack_header(b, MsgType::kEraseReq, id);
+  pack_header(b, MsgType::kEraseReq, id, version);
   b.put_u64(key);
   b.end_frame(at);
 }
 
 inline void pack_get_many_req(PackBuffer& b, std::uint64_t id,
-                              const std::uint64_t* keys, std::uint32_t n) {
+                              const std::uint64_t* keys, std::uint32_t n,
+                              std::uint16_t version = kVersion) {
   const std::size_t at = b.begin_frame();
-  pack_header(b, MsgType::kGetManyReq, id);
+  pack_header(b, MsgType::kGetManyReq, id, version);
   b.put_u32(n);
   for (std::uint32_t i = 0; i < n; ++i) b.put_u64(keys[i]);
   b.end_frame(at);
 }
 
 // --- response bodies (server packs, client unpacks) --------------------------
+//
+// Data responses are packed in the *peer's* version: v1 bodies are the
+// historical layouts verbatim; v2 bodies prepend a u8 WireStatus (always
+// kOk here — refusals go through pack_status_resp).  kErrorResp's layout
+// is frozen across minors.
 
 inline void pack_get_resp(PackBuffer& b, std::uint64_t id, bool found,
-                          std::uint64_t value) {
+                          std::uint64_t value,
+                          std::uint16_t version = kVersion) {
   const std::size_t at = b.begin_frame();
-  pack_header(b, MsgType::kGetResp, id);
+  pack_header(b, MsgType::kGetResp, id, version);
+  if (version >= 2) b.put_u8(static_cast<std::uint8_t>(WireStatus::kOk));
   b.put_u8(found ? 1 : 0);
   b.put_u64(found ? value : 0);
   b.end_frame(at);
 }
 
-inline void pack_put_resp(PackBuffer& b, std::uint64_t id) {
+inline void pack_put_resp(PackBuffer& b, std::uint64_t id,
+                          std::uint16_t version = kVersion) {
   const std::size_t at = b.begin_frame();
-  pack_header(b, MsgType::kPutResp, id);
+  pack_header(b, MsgType::kPutResp, id, version);
+  if (version >= 2) b.put_u8(static_cast<std::uint8_t>(WireStatus::kOk));
   b.end_frame(at);
 }
 
-inline void pack_erase_resp(PackBuffer& b, std::uint64_t id, bool erased) {
+inline void pack_erase_resp(PackBuffer& b, std::uint64_t id, bool erased,
+                            std::uint16_t version = kVersion) {
   const std::size_t at = b.begin_frame();
-  pack_header(b, MsgType::kEraseResp, id);
+  pack_header(b, MsgType::kEraseResp, id, version);
+  if (version >= 2) b.put_u8(static_cast<std::uint8_t>(WireStatus::kOk));
   b.put_u8(erased ? 1 : 0);
   b.end_frame(at);
 }
 
-inline void pack_error_resp(PackBuffer& b, std::uint64_t id, ErrorCode code,
-                            const std::string& detail) {
+// v2-only refusal frame: the response type the request would have gotten,
+// carrying just the non-kOk status (no payload — nothing was executed).
+inline void pack_status_resp(PackBuffer& b, MsgType type, std::uint64_t id,
+                             WireStatus status,
+                             std::uint16_t version = kVersion) {
   const std::size_t at = b.begin_frame();
-  pack_header(b, MsgType::kErrorResp, id);
+  pack_header(b, type, id, version);
+  b.put_u8(static_cast<std::uint8_t>(status));
+  b.end_frame(at);
+}
+
+inline void pack_error_resp(PackBuffer& b, std::uint64_t id, ErrorCode code,
+                            const std::string& detail,
+                            std::uint16_t version = kVersion) {
+  const std::size_t at = b.begin_frame();
+  pack_header(b, MsgType::kErrorResp, id, version);
   b.put_u16(static_cast<std::uint16_t>(code));
   const std::uint16_t n = static_cast<std::uint16_t>(
       detail.size() > 0xFFFF ? 0xFFFF : detail.size());

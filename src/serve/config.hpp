@@ -1,0 +1,156 @@
+// ServeConfig: the single configuration surface of the serving runtime.
+//
+// Historically the runtime grew three overlapping knob structs —
+// KvServer::Config, WorkerPool's ctor Config, and the loadgen's mix
+// fields — with `burst` and the pool geometry spelled differently in each.
+// This file consolidates the server-side pair into one documented struct
+// that both KvServer and WorkerPool consume directly (the client-side
+// zipfian mix lives in ServeMixConfig, src/harness/workload.hpp, embedded
+// by LoadgenConfig).
+//
+// Every field is public and plain — brace/assign initialization keeps
+// working — but each also has a fluent `with_*` setter that validates its
+// arguments eagerly (std::invalid_argument on nonsense), and validate()
+// re-checks the whole struct at construction time of whatever consumes
+// it.  Invalid geometry therefore fails at setup, loudly, instead of
+// clamping silently into a shape the benchmarks then mis-label.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace bjrw::serve {
+
+// How an idle elastic worker waits for work (DESIGN.md §12).
+enum class ParkPolicy : std::uint8_t {
+  kFutex,  // std::atomic wait/notify (a futex on Linux): parked workers
+           // block and cost nothing until a submitter or shutdown wakes them
+  kSpin,   // never block: idle workers keep yield-spinning (the pre-elastic
+           // behavior; the right choice for latency-critical pinned setups)
+};
+
+struct ServeConfig {
+  // ---- placement / map ------------------------------------------------------
+  std::size_t shards_per_node = 8;  // per-node write parallelism vs memory
+  bool node_local_dispatch = true;  // false: round-robin (oblivious arm)
+  bool node_local_alloc = true;     // false: caller-thread construction
+
+  // ---- pool geometry --------------------------------------------------------
+  // Per-node worker width floats in [min_width, max_width]: max_width
+  // workers are spawned (clamped to the narrowest CPU-bearing node's CPU
+  // count), and those beyond min_width park when their queue stays empty
+  // past park_grace_ns.  min_width == max_width is a fixed-width pool.
+  int min_width = 1;
+  int max_width = 1;
+  std::size_t queue_capacity = 1024;  // per-node, rounded up to 2^k
+  bool pin_workers = true;            // best-effort Topology::pin_this_thread
+  // Burst dataplane depth: workers bulk-dequeue up to `burst` slices per
+  // poll and execute each owning node's batched-get keys — across parent
+  // requests — under one lock epoch per shard.  0 selects the legacy
+  // per-item pop/execute path (E18's control arm); 1 runs the burst path
+  // with degenerate runs (identical results, same code shape as K > 1).
+  std::size_t burst = 1;
+
+  // ---- elasticity (DESIGN.md §12) -------------------------------------------
+  ParkPolicy park_policy = ParkPolicy::kFutex;
+  // How long a worker beyond min_width tolerates an empty queue before
+  // parking.  Too short thrashes the futex under bursty arrivals; too long
+  // keeps idle spinners hot.  100us ≈ a few thousand failed polls.
+  std::uint64_t park_grace_ns = 100'000;
+
+  // ---- admission (DESIGN.md §12) --------------------------------------------
+  // Per-node token bucket charged per key (batched gets) / per op (point
+  // ops) at the submit edge, before any latch init.  0 disables shedding.
+  double admit_rate = 0.0;      // tokens (≈ ops) per second per node
+  // Bucket depth: how much burst above the sustained rate a node absorbs.
+  // 0 derives 10ms worth of rate (min 64) — enough that batched submits
+  // are not sheared apart by quantization.
+  std::size_t admit_burst = 0;
+  // Advisory depth bound: a submit finding the target node's queue at or
+  // beyond the high-water mark is deferred with AdmitResult::kQueueFull
+  // (the caller may retry; nothing was enqueued).  0 disables the check.
+  std::size_t queue_high_water = 0;
+
+  // ---- fluent validated setters ---------------------------------------------
+
+  ServeConfig& with_shards(std::size_t shards) {
+    if (shards < 1) fail("shards_per_node must be >= 1");
+    shards_per_node = shards;
+    return *this;
+  }
+  // Fixed-width pool: min_width == max_width == w.
+  ServeConfig& with_workers(int w) { return with_widths(w, w); }
+  ServeConfig& with_widths(int mn, int mx) {
+    if (mn < 1) fail("min_width must be >= 1");
+    if (mx < mn) fail("max_width must be >= min_width");
+    min_width = mn;
+    max_width = mx;
+    return *this;
+  }
+  ServeConfig& with_queue_capacity(std::size_t cap) {
+    if (cap < 2) fail("queue_capacity must be >= 2");
+    queue_capacity = cap;
+    return *this;
+  }
+  ServeConfig& with_pin(bool pin) {
+    pin_workers = pin;
+    return *this;
+  }
+  ServeConfig& with_dispatch(bool node_local) {
+    node_local_dispatch = node_local;
+    return *this;
+  }
+  ServeConfig& with_alloc(bool node_local) {
+    node_local_alloc = node_local;
+    return *this;
+  }
+  ServeConfig& with_burst(std::size_t b) {
+    burst = b;  // 0 is meaningful: the per-item control arm
+    return *this;
+  }
+  ServeConfig& with_park(ParkPolicy policy, std::uint64_t grace_ns) {
+    if (grace_ns == 0) fail("park_grace_ns must be > 0");
+    park_policy = policy;
+    park_grace_ns = grace_ns;
+    return *this;
+  }
+  ServeConfig& with_admission(double rate_per_s, std::size_t bucket = 0) {
+    if (rate_per_s < 0.0) fail("admit_rate must be >= 0");
+    admit_rate = rate_per_s;
+    admit_burst = bucket;
+    return *this;
+  }
+  ServeConfig& with_high_water(std::size_t depth) {
+    queue_high_water = depth;
+    return *this;
+  }
+
+  // Effective bucket depth once the 0-means-derived rule is applied.
+  std::size_t effective_admit_burst() const {
+    if (admit_burst > 0) return admit_burst;
+    const auto derived = static_cast<std::size_t>(admit_rate * 0.010);
+    return derived > 64 ? derived : 64;
+  }
+
+  // Whole-struct re-check; consumers (KvServer, WorkerPool) call this at
+  // construction so direct field assignment gets the same gate as the
+  // fluent setters.
+  const ServeConfig& validate() const {
+    if (shards_per_node < 1) fail("shards_per_node must be >= 1");
+    if (min_width < 1) fail("min_width must be >= 1");
+    if (max_width < min_width) fail("max_width must be >= min_width");
+    if (queue_capacity < 2) fail("queue_capacity must be >= 2");
+    if (park_grace_ns == 0) fail("park_grace_ns must be > 0");
+    if (admit_rate < 0.0) fail("admit_rate must be >= 0");
+    return *this;
+  }
+
+ private:
+  [[noreturn]] static void fail(const char* what) {
+    throw std::invalid_argument(std::string("ServeConfig: ") + what);
+  }
+};
+
+}  // namespace bjrw::serve

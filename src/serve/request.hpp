@@ -31,6 +31,35 @@
 
 namespace bjrw::serve {
 
+// Typed admission outcome of a submit — the API-wide replacement for the
+// old bool returns.  Every submit path (WorkerPool, KvServer, NetServer's
+// wire mapping) speaks this enum; `accepted` is the only value that
+// enqueues anything, and an accepted item is *guaranteed* to execute
+// exactly once, even racing shutdown (the drain protocol in
+// worker_pool.hpp).  The numeric order is a severity order: aggregating a
+// batch takes the max (worst_of), so a request whose slices saw both
+// kAccepted and kShutdown reports kShutdown.
+enum class AdmitResult : std::uint8_t {
+  kAccepted = 0,      // enqueued; will execute exactly once
+  kShedOverload = 1,  // per-node token bucket empty: nothing enqueued
+  kQueueFull = 2,     // per-node depth over high water: nothing enqueued
+  kShutdown = 3,      // server stopping: nothing (more) enqueued
+};
+
+constexpr AdmitResult worst_of(AdmitResult a, AdmitResult b) {
+  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a : b;
+}
+
+constexpr const char* to_string(AdmitResult r) {
+  switch (r) {
+    case AdmitResult::kAccepted: return "accepted";
+    case AdmitResult::kShedOverload: return "shed_overload";
+    case AdmitResult::kQueueFull: return "queue_full";
+    case AdmitResult::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
 enum class RequestKind : std::uint8_t {
   kGet,       // point lookup of keys[0]
   kGetBatch,  // bulk lookup of keys[0..key_count)
@@ -59,6 +88,14 @@ struct Request {
   std::atomic<std::uint64_t> hits{0};         // keys found (gets), 1/0 (erase)
   std::atomic<std::uint64_t> value_sum{0};    // checksum over found values
   std::atomic<std::uint32_t> pending{0};      // outstanding sub-requests
+  // Admission outcome, written by the *submitting* thread strictly before
+  // submit returns (plain field: workers never touch it, and the client
+  // owns the request, so there is no race to order).  Mirrors submit()'s
+  // return value; a refused request has pending == 0 so wait() returns
+  // immediately.
+  AdmitResult outcome = AdmitResult::kAccepted;
+
+  AdmitResult submit_outcome() const { return outcome; }
 
   bool done() const {
     return pending.load(std::memory_order_acquire) == 0;
@@ -74,6 +111,7 @@ struct Request {
     value_sum.store(0, std::memory_order_relaxed);
     pending.store(0, std::memory_order_relaxed);
     submit_ns = 0;
+    outcome = AdmitResult::kAccepted;
   }
 
   // One worker's latch decrement — the shared completion tail of both the

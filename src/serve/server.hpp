@@ -33,6 +33,7 @@
 #include "src/harness/timing.hpp"
 #include "src/harness/topology.hpp"
 #include "src/rmr/provider.hpp"
+#include "src/serve/config.hpp"
 #include "src/serve/placement.hpp"
 #include "src/serve/request.hpp"
 #include "src/serve/worker_pool.hpp"
@@ -50,6 +51,12 @@ struct NodeServeStats {
   std::uint64_t group_gathers = 0;  // cross-request get_many_into calls
   double latency_mean_ns = 0.0;     // over `completed` requests
   double latency_max_ns = 0.0;
+  // Admission + elasticity (DESIGN.md §12).
+  std::uint64_t shed = 0;      // requests refused kShedOverload here
+  std::uint64_t deferred = 0;  // requests refused kQueueFull here
+  std::uint64_t parks = 0;     // cumulative worker park events
+  std::uint64_t wakes = 0;     // cumulative submitter wake notifies
+  int parked = 0;              // instantaneous parked width
   // Cohort-lock counters summed over the node's shard locks (0 when the
   // per-shard lock type does not expose them).
   std::uint64_t handoffs = 0;
@@ -62,27 +69,25 @@ class KvServer {
  public:
   using Map = NumaShardedMap<std::uint64_t, std::uint64_t, Lock>;
 
-  struct Config {
-    std::size_t shards_per_node = 8;
-    int workers_per_node = 1;
-    std::size_t queue_capacity = 1024;  // per-node, rounded up to 2^k
-    bool pin_workers = true;
-    bool node_local_dispatch = true;  // false: round-robin (oblivious)
-    bool node_local_alloc = true;     // false: caller-thread construction
-    // Burst dataplane depth: workers bulk-dequeue up to `burst` slices per
-    // poll and execute each owning node's batched-get keys — across parent
-    // requests — under one lock epoch per shard.  0 selects the legacy
-    // per-item pop/execute path (E18's control arm); 1 runs the burst path
-    // with degenerate runs (identical results, same code shape as K>1).
-    std::size_t burst = 1;
-  };
-
-  explicit KvServer(const Topology& topo, Config cfg = {})
-      : cfg_(cfg),
-        map_(topo, cfg.shards_per_node, cfg.node_local_alloc),
+  explicit KvServer(const Topology& topo, ServeConfig cfg = {})
+      : cfg_(cfg.validate()),
+        map_(topo, cfg_.shards_per_node, cfg_.node_local_alloc),
         worker_stats_(std::make_unique<WorkerStats[]>(
             static_cast<std::size_t>(map_.max_threads()))),
-        pool_(make_pool(topo, cfg)) {}
+        admit_(std::make_unique<AdmitState[]>(
+            static_cast<std::size_t>(map_.node_count()))),
+        pool_(make_pool(topo, cfg_)) {
+    if (cfg_.admit_rate > 0.0) {
+      // Buckets start full so startup bursts are not penalized.
+      const std::uint64_t t = now_ns();
+      const auto depth =
+          static_cast<std::int64_t>(cfg_.effective_admit_burst());
+      for (int d = 0; d < map_.node_count(); ++d) {
+        admit_[idx(d)].tokens.store(depth, std::memory_order_relaxed);
+        admit_[idx(d)].last_ns.store(t, std::memory_order_relaxed);
+      }
+    }
+  }
 
   ~KvServer() { shutdown(); }
   KvServer(const KvServer&) = delete;
@@ -91,49 +96,84 @@ class KvServer {
   // ---- client API -----------------------------------------------------------
 
   // Asynchronous submission: the caller owns `*req` (keys, out array) until
-  // req->wait() returns.  False when the server is shutting down — any
-  // slices not enqueued are already discounted from the latch, so wait()
-  // still terminates (with partial results).
-  bool submit(Request* req) {
+  // req->wait() returns.  The admission stage — per-dispatch-node token
+  // bucket plus queue high-water check, both configured off by default —
+  // runs after grouping but before any latch init, so a refused request
+  // has pending == 0 (wait() returns immediately), nothing enqueued, and
+  // the refusal recorded in submit_outcome().  Multi-node batches admit
+  // all-or-nothing: a refusal refunds tokens already charged for earlier
+  // slices.  kShutdown is the one outcome that can land after partial
+  // publication — slices not enqueued are discounted from the latch, so
+  // wait() still terminates (with partial results).
+  AdmitResult submit(Request* req) {
     req->submit_ns = now_ns();
+    req->outcome = AdmitResult::kAccepted;
     if (req->kind == RequestKind::kGetBatch) {
       // Empty batch: complete immediately.  `keys` may legitimately be
       // nullptr here (std::vector::data() on an empty vector), so it must
       // not reach group_by_node's span arithmetic.
       if (req->key_count == 0) {
         req->pending.store(0, std::memory_order_release);
-        return true;
+        return AdmitResult::kAccepted;
       }
       static thread_local std::vector<std::pair<std::uint32_t, std::uint32_t>>
           ranges;
       map_.group_by_node(req->keys, req->key_count, req->order, ranges);
-      std::uint32_t subs = 0;
-      for (const auto& [begin, end] : ranges) subs += begin != end ? 1 : 0;
-      req->pending.store(subs, std::memory_order_relaxed);
-      bool ok = true;
+      // Dispatch nodes are drawn ONCE per slice and reused by the enqueue
+      // loop: under oblivious dispatch every dispatch_node() call advances
+      // the round-robin cursor, so probing admission with one draw and
+      // enqueueing with another would skew the rotation.
+      static thread_local std::vector<int> dnodes;
+      dnodes.assign(ranges.size(), -1);
       for (std::size_t d = 0; d < ranges.size(); ++d) {
         const auto [begin, end] = ranges[d];
         if (begin == end) continue;
-        if (!pool_.submit(dispatch_node(static_cast<int>(d)),
-                          SubRequest{req, begin, end,
-                                     static_cast<std::int32_t>(d)})) {
-          req->pending.fetch_sub(1, std::memory_order_release);
-          ok = false;
+        dnodes[d] = dispatch_node(static_cast<int>(d));
+        const AdmitResult adm = admit(dnodes[d], end - begin);
+        if (adm != AdmitResult::kAccepted) {
+          for (std::size_t e = 0; e < d; ++e) {  // refund admitted slices
+            const auto [eb, ee] = ranges[e];
+            if (eb != ee) refund(dnodes[e], ee - eb);
+          }
+          req->pending.store(0, std::memory_order_release);
+          req->outcome = adm;
+          return adm;
         }
       }
-      return ok;
+      std::uint32_t subs = 0;
+      for (const auto& [begin, end] : ranges) subs += begin != end ? 1 : 0;
+      req->pending.store(subs, std::memory_order_relaxed);
+      for (std::size_t d = 0; d < ranges.size(); ++d) {
+        const auto [begin, end] = ranges[d];
+        if (begin == end) continue;
+        if (pool_.submit(dnodes[d],
+                         SubRequest{req, begin, end,
+                                    static_cast<std::int32_t>(d)}) !=
+            AdmitResult::kAccepted) {
+          req->pending.fetch_sub(1, std::memory_order_release);
+          req->outcome = AdmitResult::kShutdown;
+        }
+      }
+      return req->outcome;
     }
     const std::uint64_t routing_key =
         req->kind == RequestKind::kGet ? req->keys[0] : req->key;
-    req->pending.store(1, std::memory_order_relaxed);
     const int owner = map_.node_of_key(routing_key);
-    if (!pool_.submit(dispatch_node(owner),
-                      SubRequest{req, 0, 0,
-                                 static_cast<std::int32_t>(owner)})) {
-      req->pending.fetch_sub(1, std::memory_order_release);
-      return false;
+    const int dn = dispatch_node(owner);
+    const AdmitResult adm = admit(dn, 1);
+    if (adm != AdmitResult::kAccepted) {
+      req->pending.store(0, std::memory_order_release);
+      req->outcome = adm;
+      return adm;
     }
-    return true;
+    req->pending.store(1, std::memory_order_relaxed);
+    if (pool_.submit(dn, SubRequest{req, 0, 0,
+                                    static_cast<std::int32_t>(owner)}) !=
+        AdmitResult::kAccepted) {
+      req->pending.fetch_sub(1, std::memory_order_release);
+      req->outcome = AdmitResult::kShutdown;
+    }
+    return req->outcome;
   }
 
   // Batched submission: groups every request, fully initializes every
@@ -141,73 +181,98 @@ class KvServer {
   // dispatch node (WorkerPool::submit_many) instead of one per slice.
   // Latches are set before *any* slice publishes because slices of one
   // request routed to different nodes can start — and finish — while later
-  // requests in the batch are still being grouped.  Returns false if any
-  // slice was refused (server stopping); accepted[i], when provided,
-  // mirrors what submit() would have returned for reqs[i].  Refused slices
-  // are discounted from their latch before return, so wait() terminates
-  // with partial results exactly as in the per-item path.
-  bool submit_many(Request* const* reqs, std::size_t n,
-                   bool* accepted = nullptr) {
-    if (n == 0) return true;
+  // requests in the batch are still being grouped.  Admission runs per
+  // request during grouping (all-or-nothing per request, with refund, as
+  // in submit()); a refused request simply never buckets a slice, and the
+  // rest of the batch proceeds.  Returns the worst outcome across the
+  // batch (worst_of severity order); outcomes[i], when provided, mirrors
+  // reqs[i]->submit_outcome().  Slices refused by a stopping pool are
+  // discounted from their latch before return, so wait() terminates with
+  // partial results exactly as in the per-item path.
+  AdmitResult submit_many(Request* const* reqs, std::size_t n,
+                          AdmitResult* outcomes = nullptr) {
+    if (n == 0) return AdmitResult::kAccepted;
     const std::uint64_t t0 = now_ns();
     const std::size_t nodes = static_cast<std::size_t>(map_.node_count());
     static thread_local std::vector<std::vector<SubRequest>> buckets;
-    static thread_local std::vector<std::vector<std::uint32_t>> tags;
-    if (buckets.size() < nodes) {
-      buckets.resize(nodes);
-      tags.resize(nodes);
-    }
-    for (std::size_t d = 0; d < nodes; ++d) {
-      buckets[d].clear();
-      tags[d].clear();
-    }
+    if (buckets.size() < nodes) buckets.resize(nodes);
+    for (std::size_t d = 0; d < nodes; ++d) buckets[d].clear();
     static thread_local std::vector<std::pair<std::uint32_t, std::uint32_t>>
         ranges;
+    static thread_local std::vector<int> dnodes;
+    AdmitResult batch = AdmitResult::kAccepted;
     for (std::size_t i = 0; i < n; ++i) {
       Request* req = reqs[i];
       req->submit_ns = t0;
-      if (accepted) accepted[i] = true;
+      req->outcome = AdmitResult::kAccepted;
       if (req->kind == RequestKind::kGetBatch) {
         if (req->key_count == 0) {
           req->pending.store(0, std::memory_order_release);
           continue;
         }
         map_.group_by_node(req->keys, req->key_count, req->order, ranges);
+        dnodes.assign(ranges.size(), -1);
+        AdmitResult adm = AdmitResult::kAccepted;
+        for (std::size_t d = 0; d < ranges.size(); ++d) {
+          const auto [begin, end] = ranges[d];
+          if (begin == end) continue;
+          dnodes[d] = dispatch_node(static_cast<int>(d));
+          adm = admit(dnodes[d], end - begin);
+          if (adm != AdmitResult::kAccepted) {
+            for (std::size_t e = 0; e < d; ++e) {  // refund admitted slices
+              const auto [eb, ee] = ranges[e];
+              if (eb != ee) refund(dnodes[e], ee - eb);
+            }
+            break;
+          }
+        }
+        if (adm != AdmitResult::kAccepted) {
+          req->pending.store(0, std::memory_order_release);
+          req->outcome = adm;
+          batch = worst_of(batch, adm);
+          continue;
+        }
         std::uint32_t subs = 0;
         for (const auto& [begin, end] : ranges) subs += begin != end ? 1 : 0;
         req->pending.store(subs, std::memory_order_relaxed);
         for (std::size_t d = 0; d < ranges.size(); ++d) {
           const auto [begin, end] = ranges[d];
           if (begin == end) continue;
-          const int dn = dispatch_node(static_cast<int>(d));
-          buckets[idx(dn)].push_back(
+          buckets[idx(dnodes[d])].push_back(
               SubRequest{req, begin, end, static_cast<std::int32_t>(d)});
-          tags[idx(dn)].push_back(static_cast<std::uint32_t>(i));
         }
       } else {
         const std::uint64_t routing_key =
             req->kind == RequestKind::kGet ? req->keys[0] : req->key;
-        req->pending.store(1, std::memory_order_relaxed);
         const int owner = map_.node_of_key(routing_key);
         const int dn = dispatch_node(owner);
+        const AdmitResult adm = admit(dn, 1);
+        if (adm != AdmitResult::kAccepted) {
+          req->pending.store(0, std::memory_order_release);
+          req->outcome = adm;
+          batch = worst_of(batch, adm);
+          continue;
+        }
+        req->pending.store(1, std::memory_order_relaxed);
         buckets[idx(dn)].push_back(
             SubRequest{req, 0, 0, static_cast<std::int32_t>(owner)});
-        tags[idx(dn)].push_back(static_cast<std::uint32_t>(i));
       }
     }
-    bool ok = true;
     for (std::size_t d = 0; d < nodes; ++d) {
       auto& b = buckets[d];
       if (b.empty()) continue;
-      const std::size_t took =
+      const PoolPublish pub =
           pool_.submit_many(static_cast<int>(d), b.data(), b.size());
-      for (std::size_t j = took; j < b.size(); ++j) {  // refused suffix
+      for (std::size_t j = pub.published; j < b.size(); ++j) {  // refused
         b[j].parent->pending.fetch_sub(1, std::memory_order_release);
-        if (accepted) accepted[tags[d][j]] = false;
-        ok = false;
+        b[j].parent->outcome =
+            worst_of(b[j].parent->outcome, AdmitResult::kShutdown);
+        batch = worst_of(batch, AdmitResult::kShutdown);
       }
     }
-    return ok;
+    if (outcomes)
+      for (std::size_t i = 0; i < n; ++i) outcomes[i] = reqs[i]->outcome;
+    return batch;
   }
 
   // Synchronous conveniences over submit()/wait().
@@ -269,10 +334,11 @@ class KvServer {
   Map& map() { return map_; }
   const Map& map() const { return map_; }
 
-  const Config& config() const { return cfg_; }
+  const ServeConfig& config() const { return cfg_; }
   int node_count() const { return map_.node_count(); }
   int pinned_workers() const { return pool_.pinned_workers(); }
   int workers_per_node() const { return pool_.workers_per_node(); }
+  int min_width() const { return pool_.min_width(); }
 
   // Exact once the traffic it describes has completed: the completing
   // worker records its latency sample (and every other stripe field)
@@ -297,6 +363,11 @@ class KvServer {
     out.completed = static_cast<std::uint64_t>(latency.count());
     out.latency_mean_ns = latency.count() ? latency.mean() : 0.0;
     out.latency_max_ns = latency.count() ? latency.max() : 0.0;
+    out.shed = admit_[idx(node)].shed.load(std::memory_order_relaxed);
+    out.deferred = admit_[idx(node)].deferred.load(std::memory_order_relaxed);
+    out.parks = pool_.parks(node);
+    out.wakes = pool_.wakes(node);
+    out.parked = pool_.parked(node);
     if constexpr (kLockHasCohortCounters) {
       const auto& sub = map_.sub_map(node);
       for (std::size_t s = 0; s < sub.shard_count(); ++s) {
@@ -324,22 +395,31 @@ class KvServer {
     std::uint64_t group_gathers = 0;  // cross-request get_many_into calls
   };
 
+  // Per-node admission state: a token bucket (lazily refilled by
+  // submitters, no timer thread) plus the refusal counters node_stats()
+  // reports.  Cache-line aligned — submitters on different nodes must not
+  // false-share.
+  struct alignas(64) AdmitState {
+    std::atomic<std::int64_t> tokens{0};
+    std::atomic<std::uint64_t> last_ns{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> deferred{0};
+  };
+
   // Picks the worker-loop shape at construction: burst == 0 keeps the
   // historical per-item pop/execute path, anything else installs the
   // burst handler (guaranteed copy elision — WorkerPool is immovable).
-  WorkerPool<SubRequest> make_pool(const Topology& topo, const Config& cfg) {
-    const typename WorkerPool<SubRequest>::Config pc{
-        cfg.workers_per_node, cfg.queue_capacity, cfg.pin_workers,
-        cfg.burst < 1 ? 1 : cfg.burst};
+  WorkerPool<SubRequest> make_pool(const Topology& topo,
+                                   const ServeConfig& cfg) {
     if (cfg.burst == 0)
       return WorkerPool<SubRequest>(
-          topo, pc,
+          topo, cfg,
           typename WorkerPool<SubRequest>::Handler(
               [this](int tid, int node, SubRequest& s) {
                 execute(tid, node, s);
               }));
     return WorkerPool<SubRequest>(
-        topo, pc,
+        topo, cfg,
         typename WorkerPool<SubRequest>::BurstHandler(
             [this](int tid, int node, SubRequest* items, std::size_t n) {
               execute_burst(tid, node, items, n);
@@ -350,6 +430,74 @@ class KvServer {
     if (cfg_.node_local_dispatch) return owner;
     return static_cast<int>(rr_.fetch_add(1, std::memory_order_relaxed) %
                             static_cast<std::uint64_t>(map_.node_count()));
+  }
+
+  // Admission gate for one slice of `cost` ops headed for dispatch node
+  // `dn`.  Runs strictly before any latch init, so a refusal leaves the
+  // request untouched and nothing to unwind.  Order matters: the depth
+  // probe (advisory, retryable kQueueFull) goes first so a saturated
+  // queue does not also drain the token bucket; the bucket is charged
+  // only when the request will actually be enqueued (modulo the
+  // all-or-nothing refund in the callers).
+  AdmitResult admit(int dn, std::uint64_t cost) {
+    if (cfg_.queue_high_water != 0 &&
+        pool_.queue_depth(dn) >= cfg_.queue_high_water) {
+      admit_[idx(dn)].deferred.fetch_add(1, std::memory_order_relaxed);
+      return AdmitResult::kQueueFull;
+    }
+    if (cfg_.admit_rate > 0.0) {
+      AdmitState& st = admit_[idx(dn)];
+      refill(st);
+      const auto c = static_cast<std::int64_t>(cost);
+      std::int64_t have = st.tokens.load(std::memory_order_relaxed);
+      for (;;) {
+        if (have < c) {
+          st.shed.fetch_add(1, std::memory_order_relaxed);
+          return AdmitResult::kShedOverload;
+        }
+        if (st.tokens.compare_exchange_weak(have, have - c,
+                                            std::memory_order_relaxed))
+          break;
+      }
+    }
+    return AdmitResult::kAccepted;
+  }
+
+  // Returns tokens charged for slices of a batch that was then refused
+  // elsewhere (all-or-nothing admission).  May transiently overfill past
+  // the bucket depth; the next refill clamps back down.
+  void refund(int dn, std::uint64_t cost) {
+    if (cfg_.admit_rate <= 0.0 || cost == 0) return;
+    admit_[idx(dn)].tokens.fetch_add(static_cast<std::int64_t>(cost),
+                                     std::memory_order_relaxed);
+  }
+
+  // Lazy refill: the submitting thread credits elapsed-time tokens on its
+  // own way in.  last_ns advances only by the time worth of the tokens
+  // actually credited (whole tokens), so fractional remainders carry over
+  // instead of being dropped — the long-run rate is exact.  The CAS on
+  // last_ns elects one crediting thread per window; losers just proceed
+  // to the consume CAS with whatever is there.
+  void refill(AdmitState& st) {
+    const std::uint64_t now = now_ns();
+    std::uint64_t last = st.last_ns.load(std::memory_order_relaxed);
+    if (now <= last) return;
+    const double dt_s = static_cast<double>(now - last) * 1e-9;
+    const auto credit = static_cast<std::int64_t>(dt_s * cfg_.admit_rate);
+    if (credit <= 0) return;
+    const auto credit_ns = static_cast<std::uint64_t>(
+        static_cast<double>(credit) * 1e9 / cfg_.admit_rate);
+    if (!st.last_ns.compare_exchange_strong(last, last + credit_ns,
+                                            std::memory_order_relaxed))
+      return;  // another submitter credited this window
+    const auto cap = static_cast<std::int64_t>(cfg_.effective_admit_burst());
+    std::int64_t t = st.tokens.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::int64_t next = t + credit > cap ? cap : t + credit;
+      if (st.tokens.compare_exchange_weak(t, next,
+                                          std::memory_order_relaxed))
+        break;
+    }
   }
 
   // Runs on a pool worker; `tid` is the worker's pool tid.
@@ -485,9 +633,10 @@ class KvServer {
     }
   }
 
-  Config cfg_;
+  ServeConfig cfg_;
   Map map_;
   std::unique_ptr<WorkerStats[]> worker_stats_;  // indexed by pool tid
+  std::unique_ptr<AdmitState[]> admit_;          // indexed by node
   alignas(64) std::atomic<std::uint64_t> rr_{0};  // oblivious round-robin
   WorkerPool<SubRequest> pool_;  // last member: workers see the rest built
 };

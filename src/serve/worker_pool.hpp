@@ -28,6 +28,15 @@
 // answers empty *after* stopping was observed — so everything enqueued
 // before shutdown() is executed, never dropped (the in-flight-request
 // drain the tests pin).
+//
+// Elasticity (DESIGN.md §12): the pool spawns max_width workers per node
+// but only min_width of them are committed spinners.  A worker beyond the
+// floor that finds its queue empty for park_grace_ns parks on the node's
+// wake epoch (std::atomic wait/notify — a futex on Linux — or keeps
+// yield-spinning under ParkPolicy::kSpin); submitters wake parked workers
+// when the published depth outruns the awake width, and shutdown() wakes
+// everyone.  The park protocol reuses the shutdown drain's seq_cst Dekker
+// shape, so parking can never strand an accepted item (see park()).
 #pragma once
 
 #include <atomic>
@@ -39,8 +48,11 @@
 #include <vector>
 
 #include "src/harness/spin.hpp"
+#include "src/harness/timing.hpp"
 #include "src/harness/topology.hpp"
 #include "src/rmr/provider.hpp"
+#include "src/serve/config.hpp"
+#include "src/serve/request.hpp"
 
 namespace bjrw::serve {
 
@@ -141,6 +153,15 @@ class BoundedMpmcQueue {
            head_.load(std::memory_order_seq_cst);
   }
 
+  // Approximate published-but-unclaimed depth (cursor distance).  Racy by
+  // nature — a snapshot for admission high-water checks and wake
+  // heuristics, never for correctness decisions.
+  std::size_t depth() const {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    return h >= t ? h - t : 0;
+  }
+
   // False when the queue is empty at the moment of the attempt.
   bool try_pop(T* out) {
     std::size_t pos = tail_.load(std::memory_order_relaxed);
@@ -235,29 +256,33 @@ class BoundedMpmcQueue {
 // *all* nodes while execution only ever lands where threads can run.
 // Without the reroute the width clamp would hit 0 and every submit would
 // spin forever against a consumerless queue.
+// Result of a batched publish: how much of the batch made it into the
+// ring, and the typed outcome (`published < n` only under kShutdown —
+// full-queue pressure yields inside the call, it never refuses).
+struct PoolPublish {
+  std::size_t published = 0;
+  AdmitResult outcome = AdmitResult::kAccepted;
+};
+
 template <class Item>
 class WorkerPool {
  public:
-  struct Config {
-    int workers_per_node = 1;  // clamped to the narrowest CPU-bearing node
-    std::size_t queue_capacity = 1024;  // per node, rounded up to 2^k
-    bool pin = true;                // best-effort Topology::pin_this_thread
-    std::size_t burst = 1;  // max items per bulk dequeue in burst mode
-  };
-
   using Handler = std::function<void(int tid, int node, Item& item)>;
   // Burst mode: the worker hands over a whole bulk-claimed run and the
   // handler runs it to completion before the next poll.
   using BurstHandler =
       std::function<void(int tid, int node, Item* items, std::size_t n)>;
 
-  WorkerPool(const Topology& topo, Config cfg, Handler handler)
+  // The pool consumes the pool-geometry and elasticity fields of the
+  // consolidated ServeConfig (config.hpp); validate() throws on nonsense.
+  WorkerPool(const Topology& topo, const ServeConfig& cfg, Handler handler)
       : topo_(topo), handler_(std::move(handler)) {
-    init(cfg);
+    init(cfg.validate());
   }
-  WorkerPool(const Topology& topo, Config cfg, BurstHandler handler)
+  WorkerPool(const Topology& topo, const ServeConfig& cfg,
+             BurstHandler handler)
       : topo_(topo), burst_handler_(std::move(handler)) {
-    init(cfg);
+    init(cfg.validate());
   }
 
   ~WorkerPool() { shutdown(); }
@@ -265,7 +290,10 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   int node_count() const { return topo_.node_count(); }
+  // Spawned width per CPU-bearing node: max_width after the CPU clamp.
   int workers_per_node() const { return workers_per_node_; }
+  // Committed (never-parking) width per CPU-bearing node.
+  int min_width() const { return min_width_; }
   // Workers actually spawned for node d: 0 for a memory-only node.  Stats
   // aggregation must iterate this, not workers_per_node() — a zero-CPU
   // node's worker_tid range is empty and aliasing into it reads the next
@@ -291,7 +319,7 @@ class WorkerPool {
   }
 
   // Enqueues onto node `d`'s queue, yielding through full-queue
-  // backpressure.  False only when the pool is stopping; a true return
+  // backpressure.  kShutdown only when the pool is stopping; kAccepted
   // means the item is published and the shutdown drain will execute it —
   // even when submit races shutdown().  The guarantee is carried by the
   // per-node `submitting` window (seq_cst, like shutdown's stop store and
@@ -301,40 +329,45 @@ class WorkerPool {
   // that submit has either published its item or refused.  The window
   // lives in the target node's padded NodeState line, so submits to
   // different nodes never contend on it.
-  bool submit(int d, const Item& item) {
+  AdmitResult submit(int d, const Item& item) {
     NodeState& n = nodes_[idx(route_[idx(d)])];
     n.submitting.fetch_add(1, std::memory_order_seq_cst);
     if (stopping_.load(std::memory_order_seq_cst)) {
       n.submitting.fetch_sub(1, std::memory_order_seq_cst);
-      return false;
+      return AdmitResult::kShutdown;
     }
     while (!n.queue->try_push(item)) {
       if (stopping_.load(std::memory_order_seq_cst)) {
         n.submitting.fetch_sub(1, std::memory_order_seq_cst);
-        return false;
+        return AdmitResult::kShutdown;
       }
       n.backpressure.fetch_add(1, std::memory_order_relaxed);
       YieldSpin::relax();
     }
     n.submitting.fetch_sub(1, std::memory_order_seq_cst);
-    return true;
+    maybe_wake(n);
+    return AdmitResult::kAccepted;
   }
 
   // Batched publish to node d's queue: one ring reservation per claimed
   // run instead of one per item.  Publishes the prefix items[0..k) and
-  // returns k; k < n only when the pool is stopping.  The whole batch
+  // reports k; k < n only when the pool is stopping.  The whole batch
   // publishes inside ONE seq_cst submit window, so the shutdown-drain
   // guarantee of submit() covers every accepted item: a window observed
   // closed by a draining worker has already published its prefix, and the
   // stop check before each push attempt bounds how far a batch racing
   // shutdown() can run.
-  std::size_t submit_many(int d, const Item* items, std::size_t n) {
-    if (n == 0) return 0;
+  PoolPublish submit_many(int d, const Item* items, std::size_t n) {
+    if (n == 0) return {0, AdmitResult::kAccepted};
     NodeState& node = nodes_[idx(route_[idx(d)])];
     node.submitting.fetch_add(1, std::memory_order_seq_cst);
     std::size_t done = 0;
+    bool stopped = false;
     while (done < n) {
-      if (stopping_.load(std::memory_order_seq_cst)) break;
+      if (stopping_.load(std::memory_order_seq_cst)) {
+        stopped = true;
+        break;
+      }
       const std::size_t k = node.queue->try_push_bulk(items + done, n - done);
       if (k == 0) {
         node.backpressure.fetch_add(1, std::memory_order_relaxed);
@@ -344,13 +377,22 @@ class WorkerPool {
       done += k;
     }
     node.submitting.fetch_sub(1, std::memory_order_seq_cst);
-    return done;
+    if (done > 0) maybe_wake(node);
+    return {done, stopped ? AdmitResult::kShutdown : AdmitResult::kAccepted};
   }
 
   // Refuses new work, drains everything already queued, joins the workers.
-  // Idempotent; also run by the destructor.
+  // The epoch bump + notify after the stop store reaches workers already
+  // parked (or about to park: their pre-wait re-check reads `stopping`
+  // seq_cst after our store, or their wait sees the bumped epoch and
+  // returns immediately).  Idempotent; also run by the destructor.
   void shutdown() {
     stopping_.store(true, std::memory_order_seq_cst);
+    for (int d = 0; d < topo_.node_count(); ++d) {
+      NodeState& n = nodes_[idx(d)];
+      n.epoch.fetch_add(1, std::memory_order_seq_cst);
+      n.epoch.notify_all();
+    }
     for (auto& t : threads_)
       if (t.joinable()) t.join();
   }
@@ -366,6 +408,20 @@ class WorkerPool {
   std::uint64_t bursts(int d) const {
     return nodes_[idx(d)].bursts.load(std::memory_order_relaxed);
   }
+  // Elasticity observers: instantaneous parked width, cumulative park and
+  // wake-notify counts, and the queue-depth snapshot admission reads.
+  int parked(int d) const {
+    return nodes_[idx(d)].parked.load(std::memory_order_relaxed);
+  }
+  std::uint64_t parks(int d) const {
+    return nodes_[idx(d)].parks.load(std::memory_order_relaxed);
+  }
+  std::uint64_t wakes(int d) const {
+    return nodes_[idx(d)].wakes.load(std::memory_order_relaxed);
+  }
+  std::size_t queue_depth(int d) const {
+    return nodes_[idx(route_[idx(d)])].queue->depth();
+  }
 
  private:
   struct alignas(64) NodeState {
@@ -374,24 +430,37 @@ class WorkerPool {
     std::atomic<std::uint64_t> executed{0};
     std::atomic<std::uint64_t> backpressure{0};
     std::atomic<std::uint64_t> bursts{0};
+    // Park/wake state (see park()): `epoch` is the wake word workers wait
+    // on, `parked` the advertised parked count (seq_cst Dekker with the
+    // submit window), `parks`/`wakes` cumulative counters for observers.
+    std::atomic<std::uint32_t> epoch{0};
+    std::atomic<int> parked{0};
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> wakes{0};
   };
 
-  void init(const Config& cfg) {
+  void init(const ServeConfig& cfg) {
     const int nodes = topo_.node_count();
     burst_ = cfg.burst < 1 ? 1 : cfg.burst;
+    park_futex_ = cfg.park_policy == ParkPolicy::kFutex;
+    grace_ns_ = cfg.park_grace_ns;
     // Pool tids are logical-CPU indices: node d's w-th worker gets the tid
     // of that node's w-th CPU, which node_of_tid maps straight back to d.
     // More workers than the narrowest node has CPUs would force tids into
     // other nodes' ranges, so the width is clamped instead.  Memory-only
     // nodes are excluded from the clamp (they spawn no workers at all);
     // otherwise a single zero-CPU node would clamp the whole pool to 0.
-    int width = cfg.workers_per_node < 1 ? 1 : cfg.workers_per_node;
+    int width = cfg.max_width;
     for (int d = 0; d < nodes; ++d) {
       const int c = topo_.cpus_in_node(d);
       if (c <= 0) continue;
       width = width < c ? width : c;
     }
     workers_per_node_ = width;
+    // The committed floor rides the same clamp; at least one worker per
+    // CPU-bearing node never parks, which is what makes the wake heuristic
+    // a latency lever rather than a liveness requirement.
+    min_width_ = cfg.min_width < width ? cfg.min_width : width;
     node_base_.resize(static_cast<std::size_t>(nodes));
     route_.resize(static_cast<std::size_t>(nodes));
     int base = 0;
@@ -408,7 +477,7 @@ class WorkerPool {
     threads_.reserve(static_cast<std::size_t>(worker_count()));
     for (int d = 0; d < nodes; ++d)
       for (int w = 0; w < workers_in_node(d); ++w)
-        threads_.emplace_back([this, d, w, pin = cfg.pin] {
+        threads_.emplace_back([this, d, w, pin = cfg.pin_workers] {
           worker_main(d, w, pin);
         });
   }
@@ -419,8 +488,12 @@ class WorkerPool {
       pinned_.fetch_add(1, std::memory_order_relaxed);
     NodeState& n = nodes_[idx(d)];
     const bool burst_mode = static_cast<bool>(burst_handler_);
+    // Workers beyond the committed floor are the elastic ones; under the
+    // spin policy nobody parks and the loop is the historical spinner.
+    const bool may_park = park_futex_ && w >= min_width_;
     std::vector<Item> batch(burst_mode ? burst_ : 0);
     Item item;
+    std::uint64_t idle_since = 0;  // 0: queue was non-empty at last poll
     for (;;) {
       if (burst_mode) {
         const std::size_t k = n.queue->try_pop_bulk(batch.data(), burst_);
@@ -428,11 +501,13 @@ class WorkerPool {
           burst_handler_(tid, d, batch.data(), k);
           n.executed.fetch_add(k, std::memory_order_relaxed);
           n.bursts.fetch_add(1, std::memory_order_relaxed);
+          idle_since = 0;
           continue;
         }
       } else if (n.queue->try_pop(&item)) {
         handler_(tid, d, item);
         n.executed.fetch_add(1, std::memory_order_relaxed);
+        idle_since = 0;
         continue;
       }
       // Empty right now.  Exit only once, after observing stopping, the
@@ -456,15 +531,69 @@ class WorkerPool {
             n.queue->drained())
           return;
       }
+      if (may_park) {
+        const std::uint64_t t = now_ns();
+        if (idle_since == 0) {
+          idle_since = t;
+        } else if (t - idle_since >= grace_ns_) {
+          park(n);
+          idle_since = 0;  // a fresh grace period after every wake
+          continue;
+        }
+      }
       YieldSpin::relax();
     }
+  }
+
+  // Parks this worker on the node's wake epoch until a submitter or
+  // shutdown() bumps it.  The protocol mirrors the shutdown drain's
+  // seq_cst Dekker, with `parked` playing the role `submitting` plays
+  // there: the worker advertises itself parked (seq_cst RMW) and only
+  // THEN re-checks for work.  A submit whose window-close preceded our
+  // re-check left its item visible to the drained() probe, so we skip the
+  // wait; a submit whose window-close followed it reads `parked` seq_cst
+  // after our RMW, sees us, and bumps the epoch — and the value re-check
+  // inside atomic::wait turns a bump that lands before the wait into an
+  // immediate return rather than a lost wakeup.  The same two-way split
+  // covers shutdown via its stop-store + epoch bump.  Hence: no item is
+  // ever published while every eligible worker sleeps un-notified, and
+  // the committed min_width floor never parks at all.
+  void park(NodeState& n) {
+    const std::uint32_t e = n.epoch.load(std::memory_order_seq_cst);
+    n.parked.fetch_add(1, std::memory_order_seq_cst);
+    if (n.submitting.load(std::memory_order_seq_cst) == 0 &&
+        n.queue->drained() &&
+        !stopping_.load(std::memory_order_seq_cst)) {
+      n.parks.fetch_add(1, std::memory_order_relaxed);
+      n.epoch.wait(e, std::memory_order_seq_cst);
+    }
+    n.parked.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  // Post-publish wake heuristic: grow the awake width only when the
+  // published depth outruns it (one queued item per awake worker), so a
+  // trickle stays on the committed floor while a burst fans out.  Pure
+  // latency lever — min_width keeps at least one spinner draining, so a
+  // missed wake can delay an item but never strand it.
+  void maybe_wake(NodeState& n) {
+    const int p = n.parked.load(std::memory_order_seq_cst);
+    if (p == 0) return;
+    const int awake = workers_per_node_ - p;
+    if (awake > 0 && n.queue->depth() <= static_cast<std::size_t>(awake))
+      return;
+    n.epoch.fetch_add(1, std::memory_order_seq_cst);
+    n.epoch.notify_one();
+    n.wakes.fetch_add(1, std::memory_order_relaxed);
   }
 
   const Topology topo_;
   Handler handler_;
   BurstHandler burst_handler_;
-  int workers_per_node_ = 1;
+  int workers_per_node_ = 1;  // spawned (elastic ceiling) after CPU clamp
+  int min_width_ = 1;         // committed floor: these never park
   std::size_t burst_ = 1;
+  bool park_futex_ = true;
+  std::uint64_t grace_ns_ = 100'000;
   std::vector<int> node_base_;  // node -> first logical CPU index (pool tid)
   std::vector<int> route_;      // node -> nearest CPU-bearing node (or self)
   std::unique_ptr<NodeState[]> nodes_;

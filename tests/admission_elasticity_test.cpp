@@ -1,0 +1,415 @@
+// Tier-1 suite for the elastic pool + admission layer (DESIGN.md §12) and
+// the AdmitResult submit API:
+//  * AdmitResult — the severity order worst_of aggregates by, and the
+//    wire-facing names;
+//  * ServeConfig — fluent setters and validate() reject nonsense geometry
+//    eagerly; the 0-means-derived admit-burst rule;
+//  * WorkerPool elasticity — workers beyond min_width park after the grace
+//    period on an empty queue and submitters wake them when depth outruns
+//    the awake width; ParkPolicy::kSpin never parks;
+//  * KvServer admission — the per-node token bucket sheds beyond the
+//    bucket depth with all-or-nothing batch charging, the queue high-water
+//    check defers with kQueueFull before the bucket is touched (choreographed
+//    deterministically by write-locking the node's shards so the single
+//    worker blocks mid-request), refusals leave pending == 0 and are
+//    mirrored in submit_outcome() and the node_stats counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/core/locks.hpp"
+#include "src/harness/spin.hpp"
+#include "src/harness/topology.hpp"
+#include "src/serve/config.hpp"
+#include "src/serve/request.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/worker_pool.hpp"
+
+namespace bjrw {
+namespace {
+
+using serve::AdmitResult;
+using serve::KvServer;
+using serve::ParkPolicy;
+using serve::Request;
+using serve::RequestKind;
+using serve::ServeConfig;
+using serve::WorkerPool;
+using serve::worst_of;
+
+// ---- AdmitResult ------------------------------------------------------------
+
+TEST(AdmitResult, SeverityOrderAndNames) {
+  // worst_of is max over the declared severity order: accepted < shed <
+  // queue_full < shutdown.  Batch aggregation leans on this.
+  const AdmitResult order[] = {
+      AdmitResult::kAccepted, AdmitResult::kShedOverload,
+      AdmitResult::kQueueFull, AdmitResult::kShutdown};
+  for (const AdmitResult a : order)
+    for (const AdmitResult b : order) {
+      const AdmitResult w = worst_of(a, b);
+      EXPECT_EQ(w, worst_of(b, a));  // symmetric
+      EXPECT_TRUE(w == a || w == b);
+      EXPECT_GE(static_cast<int>(w), static_cast<int>(a));
+      EXPECT_GE(static_cast<int>(w), static_cast<int>(b));
+    }
+  EXPECT_EQ(worst_of(AdmitResult::kAccepted, AdmitResult::kAccepted),
+            AdmitResult::kAccepted);
+  EXPECT_EQ(worst_of(AdmitResult::kShedOverload, AdmitResult::kShutdown),
+            AdmitResult::kShutdown);
+
+  EXPECT_STREQ(to_string(AdmitResult::kAccepted), "accepted");
+  EXPECT_STREQ(to_string(AdmitResult::kShedOverload), "shed_overload");
+  EXPECT_STREQ(to_string(AdmitResult::kQueueFull), "queue_full");
+  EXPECT_STREQ(to_string(AdmitResult::kShutdown), "shutdown");
+}
+
+// ---- ServeConfig ------------------------------------------------------------
+
+TEST(ServeConfig, FluentSettersValidateEagerly) {
+  EXPECT_THROW(ServeConfig{}.with_shards(0), std::invalid_argument);
+  EXPECT_THROW(ServeConfig{}.with_workers(0), std::invalid_argument);
+  EXPECT_THROW(ServeConfig{}.with_widths(0, 1), std::invalid_argument);
+  EXPECT_THROW(ServeConfig{}.with_widths(3, 2), std::invalid_argument);
+  EXPECT_THROW(ServeConfig{}.with_queue_capacity(1), std::invalid_argument);
+  EXPECT_THROW(ServeConfig{}.with_park(ParkPolicy::kFutex, 0),
+               std::invalid_argument);
+  EXPECT_THROW(ServeConfig{}.with_admission(-1.0), std::invalid_argument);
+
+  // Direct field assignment keeps working but hits the same gate at
+  // validate() — the choke point every consumer runs at construction.
+  ServeConfig bad;
+  bad.min_width = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ServeConfig{};
+  bad.max_width = 0;  // < min_width
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ServeConfig{};
+  bad.park_grace_ns = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  const ServeConfig cfg = ServeConfig{}
+                              .with_shards(4)
+                              .with_widths(1, 3)
+                              .with_queue_capacity(64)
+                              .with_pin(false)
+                              .with_dispatch(false)
+                              .with_alloc(false)
+                              .with_burst(4)
+                              .with_park(ParkPolicy::kSpin, 5'000)
+                              .with_admission(1e6, 128)
+                              .with_high_water(32);
+  EXPECT_EQ(cfg.shards_per_node, 4u);
+  EXPECT_EQ(cfg.min_width, 1);
+  EXPECT_EQ(cfg.max_width, 3);
+  EXPECT_EQ(cfg.queue_capacity, 64u);
+  EXPECT_FALSE(cfg.pin_workers);
+  EXPECT_FALSE(cfg.node_local_dispatch);
+  EXPECT_FALSE(cfg.node_local_alloc);
+  EXPECT_EQ(cfg.burst, 4u);
+  EXPECT_EQ(cfg.park_policy, ParkPolicy::kSpin);
+  EXPECT_EQ(cfg.park_grace_ns, 5'000u);
+  EXPECT_EQ(cfg.admit_rate, 1e6);
+  EXPECT_EQ(cfg.queue_high_water, 32u);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ServeConfig, EffectiveAdmitBurstDerivesTenMillisecondsOfRate) {
+  // Explicit bucket wins.
+  EXPECT_EQ(ServeConfig{}.with_admission(1e6, 128).effective_admit_burst(),
+            128u);
+  // Derived: 10ms of rate, floored at 64 so slow rates still batch.
+  EXPECT_EQ(ServeConfig{}.with_admission(1'000.0).effective_admit_burst(),
+            64u);  // 10 derived, floor wins
+  EXPECT_EQ(ServeConfig{}.with_admission(1e6).effective_admit_burst(),
+            10'000u);
+}
+
+// ---- WorkerPool elasticity --------------------------------------------------
+
+TEST(WorkerPoolElasticity, WorkersParkAfterGraceAndSubmittersWakeThem) {
+  const Topology topo = Topology::simulated(1, 4);
+  const ServeConfig cfg = ServeConfig{}
+                              .with_widths(1, 4)
+                              .with_queue_capacity(128)
+                              .with_pin(false)
+                              .with_park(ParkPolicy::kFutex, 20'000);
+  std::atomic<bool> gate{false};
+  std::atomic<int> executed{0};
+  WorkerPool<int> pool(topo, cfg, [&](int, int, int& item) {
+    // A negative item wedges its worker until the gate opens, taking one
+    // consumer out of play so the flood below must fan out.
+    if (item < 0)
+      spin_until<YieldSpin>([&] { return gate.load(); });
+    executed.fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_EQ(pool.workers_in_node(0), 4);
+  ASSERT_EQ(pool.min_width(), 1);
+
+  // With nothing submitted, the three elastic workers park after the grace
+  // period; the committed floor keeps spinning.
+  spin_until<YieldSpin>([&] { return pool.parked(0) == 3; });
+  EXPECT_GE(pool.parks(0), 3u);
+
+  // Wedge the awake spinner, then flood: the published depth outruns the
+  // awake width, so submitters must bump the wake epoch for the queue to
+  // drain at all.
+  ASSERT_EQ(pool.submit(0, -1), AdmitResult::kAccepted);
+  for (int i = 0; i < 64; ++i)
+    ASSERT_EQ(pool.submit(0, i), AdmitResult::kAccepted);
+  spin_until<YieldSpin>([&] {
+    return executed.load(std::memory_order_relaxed) == 64;
+  });
+  EXPECT_GE(pool.wakes(0), 1u);
+
+  gate.store(true);
+  spin_until<YieldSpin>([&] {
+    return executed.load(std::memory_order_relaxed) == 65;
+  });
+  pool.shutdown();
+  EXPECT_EQ(pool.executed(0), 65u);
+  EXPECT_EQ(pool.parked(0), 0);  // shutdown woke and joined everyone
+}
+
+TEST(WorkerPoolElasticity, SpinPolicyNeverParks) {
+  const Topology topo = Topology::simulated(1, 2);
+  const ServeConfig cfg = ServeConfig{}
+                              .with_widths(1, 2)
+                              .with_pin(false)
+                              .with_park(ParkPolicy::kSpin, 1'000);
+  std::atomic<int> executed{0};
+  WorkerPool<int> pool(topo, cfg, [&](int, int, int&) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+  });
+  // Give idle workers many grace periods' worth of chances to park.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(pool.parked(0), 0);
+  EXPECT_EQ(pool.parks(0), 0u);
+  for (int i = 0; i < 16; ++i)
+    ASSERT_EQ(pool.submit(0, i), AdmitResult::kAccepted);
+  spin_until<YieldSpin>([&] {
+    return executed.load(std::memory_order_relaxed) == 16;
+  });
+  pool.shutdown();
+  EXPECT_EQ(pool.wakes(0), 0u);  // nobody parked, nobody to wake
+}
+
+// ---- KvServer admission -----------------------------------------------------
+
+// A near-zero refill rate (1 token per ~17 minutes) makes the bucket a
+// fixed budget for the duration of a test: exactly `bucket` ops admit, the
+// rest shed, deterministically.
+constexpr double kFrozenRate = 1e-3;
+
+TEST(KvAdmission, TokenBucketShedsBeyondBurst) {
+  const Topology topo = Topology::simulated(1, 2);
+  KvServer<WriterPriorityLock> server(
+      topo, ServeConfig{}.with_workers(1).with_pin(false).with_admission(
+                kFrozenRate, 4));
+  std::uint64_t key = 7;
+  server.map().put(0, key, 70);  // direct preload: no tokens consumed
+
+  for (int i = 0; i < 4; ++i) {
+    Request r;
+    r.kind = RequestKind::kGet;
+    r.keys = &key;
+    r.key_count = 1;
+    ASSERT_EQ(server.submit(&r), AdmitResult::kAccepted);
+    r.wait();
+    EXPECT_EQ(r.submit_outcome(), AdmitResult::kAccepted);
+    EXPECT_EQ(r.hits.load(), 1u);
+  }
+
+  // Bucket empty: the fifth op sheds — nothing enqueued, pending == 0, the
+  // outcome mirrored into the request, and the node counter bumped.
+  Request shed;
+  shed.kind = RequestKind::kGet;
+  shed.keys = &key;
+  shed.key_count = 1;
+  EXPECT_EQ(server.submit(&shed), AdmitResult::kShedOverload);
+  EXPECT_EQ(shed.submit_outcome(), AdmitResult::kShedOverload);
+  EXPECT_TRUE(shed.done());  // wait() would return immediately
+  EXPECT_EQ(shed.hits.load(), 0u);
+  EXPECT_EQ(server.node_stats(0).shed, 1u);
+
+  // reset() clears the refusal for resubmission bookkeeping.
+  shed.reset();
+  EXPECT_EQ(shed.submit_outcome(), AdmitResult::kAccepted);
+}
+
+TEST(KvAdmission, BatchChargingIsPerKeyAndAllOrNothing) {
+  const Topology topo = Topology::simulated(1, 2);
+  KvServer<WriterPriorityLock> server(
+      topo, ServeConfig{}.with_workers(1).with_pin(false).with_admission(
+                kFrozenRate, 4));
+  const std::vector<std::uint64_t> three{1, 2, 3};
+  const std::vector<std::uint64_t> two{4, 5};
+  const std::vector<std::uint64_t> one{6};
+
+  const auto submit_batch = [&](const std::vector<std::uint64_t>& keys,
+                                Request& r) {
+    r.kind = RequestKind::kGetBatch;
+    r.keys = keys.data();
+    r.key_count = static_cast<std::uint32_t>(keys.size());
+    const AdmitResult adm = server.submit(&r);
+    r.wait();
+    return adm;
+  };
+
+  Request a, b, c, d;
+  EXPECT_EQ(submit_batch(three, a), AdmitResult::kAccepted);  // 3 of 4 tokens
+  // 2 > the 1 remaining: refused whole, nothing charged (all-or-nothing).
+  EXPECT_EQ(submit_batch(two, b), AdmitResult::kShedOverload);
+  // The surviving token still admits a 1-key batch — proof the refusal
+  // above did not partially drain the bucket.
+  EXPECT_EQ(submit_batch(one, c), AdmitResult::kAccepted);
+  EXPECT_EQ(submit_batch(one, d), AdmitResult::kShedOverload);
+  EXPECT_EQ(server.node_stats(0).shed, 2u);
+}
+
+TEST(KvAdmission, SubmitManyMirrorsPerRequestOutcomesAndReturnsWorst) {
+  const Topology topo = Topology::simulated(1, 2);
+  KvServer<WriterPriorityLock> server(
+      topo, ServeConfig{}.with_workers(1).with_pin(false).with_admission(
+                kFrozenRate, 2));
+  std::uint64_t key = 11;
+  Request r[3];
+  Request* reqs[3];
+  for (int i = 0; i < 3; ++i) {
+    r[i].kind = RequestKind::kGet;
+    r[i].keys = &key;
+    r[i].key_count = 1;
+    reqs[i] = &r[i];
+  }
+  AdmitResult outcomes[3] = {};
+  // 2 tokens: the first two admit, the third sheds; the batch reports the
+  // worst outcome while the accepted prefix still executes.
+  EXPECT_EQ(server.submit_many(reqs, 3, outcomes),
+            AdmitResult::kShedOverload);
+  EXPECT_EQ(outcomes[0], AdmitResult::kAccepted);
+  EXPECT_EQ(outcomes[1], AdmitResult::kAccepted);
+  EXPECT_EQ(outcomes[2], AdmitResult::kShedOverload);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(outcomes[i], r[i].submit_outcome()) << "request " << i;
+    r[i].wait();  // refused requests return immediately (pending == 0)
+  }
+  EXPECT_EQ(server.node_stats(0).shed, 1u);
+}
+
+TEST(KvAdmission, HighRateRefillKeepsAdmitting) {
+  // The inverse arm: with a generous rate the lazy refill credits tokens
+  // faster than a synchronous caller can spend them, so nothing ever sheds
+  // even far past the bucket depth.
+  const Topology topo = Topology::simulated(1, 2);
+  KvServer<WriterPriorityLock> server(
+      topo, ServeConfig{}.with_workers(1).with_pin(false).with_admission(
+                1e9, 8));
+  std::uint64_t key = 3;
+  for (int i = 0; i < 200; ++i) {
+    Request r;
+    r.kind = RequestKind::kGet;
+    r.keys = &key;
+    r.key_count = 1;
+    ASSERT_EQ(server.submit(&r), AdmitResult::kAccepted) << "op " << i;
+    r.wait();
+  }
+  EXPECT_EQ(server.node_stats(0).shed, 0u);
+}
+
+TEST(KvAdmission, QueueFullDefersAtHighWaterWithoutDrainingTheBucket) {
+  // Deterministic choreography: write-lock BOTH shards of the only node so
+  // the single worker blocks inside its first request's read section.  The
+  // queue then holds exactly the accepted-but-unclaimed depth, and with
+  // high_water == 1 the next submit must come back kQueueFull — before the
+  // token bucket is touched (the bucket is large enough that any shed
+  // would be a bug, and the depth probe runs first by contract).
+  const Topology topo = Topology::simulated(1, 2);  // worker tid 0, ours 1
+  KvServer<WriterPriorityLock> server(topo, ServeConfig{}
+                                                .with_shards(2)
+                                                .with_workers(1)
+                                                .with_pin(false)
+                                                .with_burst(1)
+                                                .with_admission(kFrozenRate,
+                                                                1'000)
+                                                .with_high_water(1));
+  for (std::uint64_t k = 0; k < 16; ++k) server.map().put(0, k, 100 + k);
+
+  auto& sub = server.map().sub_map(0);
+  constexpr int kOurTid = 1;  // the worker owns pool tid 0
+  sub.shard_lock(0).write_lock(kOurTid);
+  sub.shard_lock(1).write_lock(kOurTid);
+
+  std::uint64_t ka = 5, kb = 6, kc = 7;
+  Request a, b, c;
+  a.kind = b.kind = c.kind = RequestKind::kGet;
+  a.keys = &ka;
+  b.keys = &kb;
+  c.keys = &kc;
+  a.key_count = b.key_count = c.key_count = 1;
+
+  // A admits into an empty queue; the worker claims it and blocks in the
+  // shard's read_lock (writer-priority: readers wait behind us).
+  ASSERT_EQ(server.submit(&a), AdmitResult::kAccepted);
+  // B admits only once the worker has claimed A (depth back under the high
+  // water) — kQueueFull is advisory and retryable, so spin on resubmit.
+  AdmitResult rb = server.submit(&b);
+  while (rb == AdmitResult::kQueueFull) {
+    YieldSpin::relax();
+    b.reset();
+    rb = server.submit(&b);
+  }
+  ASSERT_EQ(rb, AdmitResult::kAccepted);
+  // Now the worker is wedged on A and B occupies the queue: C must defer,
+  // deterministically, with nothing enqueued and pending == 0.
+  EXPECT_EQ(server.submit(&c), AdmitResult::kQueueFull);
+  EXPECT_EQ(c.submit_outcome(), AdmitResult::kQueueFull);
+  EXPECT_TRUE(c.done());
+  EXPECT_EQ(c.hits.load(), 0u);
+  EXPECT_GE(server.node_stats(0).deferred, 1u);
+  EXPECT_EQ(server.node_stats(0).shed, 0u);  // depth probe ran first
+
+  sub.shard_lock(1).write_unlock(kOurTid);
+  sub.shard_lock(0).write_unlock(kOurTid);
+  a.wait();
+  b.wait();
+  EXPECT_EQ(a.hits.load(), 1u);
+  EXPECT_EQ(b.hits.load(), 1u);
+
+  // The deferred slot was never consumed: a retry of C now admits.
+  c.reset();
+  AdmitResult rc = server.submit(&c);
+  while (rc == AdmitResult::kQueueFull) {
+    YieldSpin::relax();
+    c.reset();
+    rc = server.submit(&c);
+  }
+  ASSERT_EQ(rc, AdmitResult::kAccepted);
+  c.wait();
+  EXPECT_EQ(c.hits.load(), 1u);
+}
+
+TEST(KvAdmission, NodeStatsExposeElasticityCounters) {
+  const Topology topo = Topology::simulated(1, 2);
+  KvServer<WriterPriorityLock> server(
+      topo, ServeConfig{}
+                .with_widths(1, 2)
+                .with_pin(false)
+                .with_park(ParkPolicy::kFutex, 10'000));
+  // The elastic second worker parks once the grace period lapses with no
+  // traffic, and the park shows up in the stats surface the examples print.
+  spin_until<YieldSpin>([&] { return server.node_stats(0).parked == 1; });
+  EXPECT_GE(server.node_stats(0).parks, 1u);
+  server.put(1, 2);
+  EXPECT_EQ(server.get(1), std::optional<std::uint64_t>(2));
+  server.shutdown();
+  EXPECT_EQ(server.node_stats(0).parked, 0);
+}
+
+}  // namespace
+}  // namespace bjrw

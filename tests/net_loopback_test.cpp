@@ -29,17 +29,16 @@ struct Loopback {
   Server kv;
   NetServer<CohortWriterPriorityLock> net;
 
-  explicit Loopback(NetServerConfig ncfg = {})
-      : kv(Topology::simulated(2, 4), server_config()), net(kv, ncfg) {}
+  explicit Loopback(NetServerConfig ncfg = {},
+                    serve::ServeConfig scfg = server_config())
+      : kv(Topology::simulated(2, 4), scfg), net(kv, ncfg) {}
 
-  static Server::Config server_config() {
-    Server::Config cfg;
-    cfg.workers_per_node = 2;
-    return cfg;
+  static serve::ServeConfig server_config() {
+    return serve::ServeConfig{}.with_workers(2);
   }
 
-  KvClient client() {
-    auto c = KvClient::connect(net.port());
+  KvClient client(std::uint16_t version = kVersion) {
+    auto c = KvClient::connect(net.port(), version);
     EXPECT_TRUE(c.has_value());
     return std::move(*c);
   }
@@ -223,6 +222,103 @@ TEST(NetLoopback, BadMagicClosesUnknownTypeSurvives) {
     EXPECT_EQ(r.error_code, ErrorCode::kBadVersion);
     EXPECT_FALSE(c.recv_response(&r));
   }
+}
+
+TEST(NetLoopback, OldMinorVersionClientRoundTripsOkPath) {
+  // Compatibility bar for the v2 status field: a client that still speaks
+  // minor version 1 gets byte-identical OK-path frames (no leading status
+  // byte) and every operation round-trips.
+  Loopback lb;
+  ASSERT_TRUE(lb.net.ok());
+  KvClient c = lb.client(kMinVersion);
+  ASSERT_TRUE(c.ok());
+
+  EXPECT_FALSE(c.get(5).has_value());
+  EXPECT_TRUE(c.put(5, 50));
+  EXPECT_EQ(c.get(5).value_or(0), 50u);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    keys.push_back(k);
+    if (k % 2 == 1) {
+      ASSERT_TRUE(c.put(k, k * 9));
+    }
+  }
+  const auto got = c.get_many(keys);
+  ASSERT_TRUE(got.has_value());
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    ASSERT_EQ((*got)[k].has_value(), k == 5 || k % 2 == 1) << "key " << k;
+  }
+  EXPECT_TRUE(c.erase(5));
+  EXPECT_FALSE(c.erase(5));
+
+  // A v1 and a v2 connection coexist on the same server; the per-
+  // connection peer version keeps their response framings separate.
+  KvClient c2 = lb.client();
+  EXPECT_EQ(c2.get(7).value_or(0), 63u);
+  EXPECT_EQ(c.get(7).value_or(0), 63u);
+}
+
+TEST(NetLoopback, AdmissionShedIsTypedAndConnectionKeepsServing) {
+  // Two tokens per node-0 bucket, a refill rate of ~1 token per 17
+  // minutes: the first two ops against node 0 are admitted, everything
+  // after sheds.  The shed response must be a typed v2 status frame (a v1
+  // kBackpressure error for old clients), and the connection must keep
+  // serving — the EPOLLIN re-arm after an inline refusal is exactly what
+  // this exercises.
+  const serve::ServeConfig scfg = serve::ServeConfig{}
+                                      .with_workers(2)
+                                      .with_admission(/*rate=*/1e-3,
+                                                      /*bucket=*/2);
+  Loopback lb({}, scfg);
+  ASSERT_TRUE(lb.net.ok());
+
+  // Keys owned by node 0 only, so every op drains the same bucket.
+  std::vector<std::uint64_t> k0;
+  for (std::uint64_t k = 0; k0.size() < 6; ++k)
+    if (lb.kv.map().node_of_key(k) == 0) k0.push_back(k);
+
+  KvClient c = lb.client();
+  EXPECT_TRUE(c.put(k0[0], 10));
+  EXPECT_TRUE(c.put(k0[1], 20));
+
+  // v2: the refusal echoes the request's response type with kShed status.
+  const std::uint64_t id = c.submit_put(k0[2], 30);
+  ASSERT_TRUE(c.flush());
+  Response r;
+  ASSERT_TRUE(c.recv_response(&r));
+  EXPECT_EQ(r.id, id);
+  EXPECT_EQ(r.type, MsgType::kPutResp);
+  EXPECT_EQ(r.status, WireStatus::kShed);
+
+  // The connection was re-armed: the next request is answered too.
+  const std::uint64_t id2 = c.submit_get(k0[0]);
+  ASSERT_TRUE(c.flush());
+  ASSERT_TRUE(c.recv_response(&r));
+  EXPECT_EQ(r.id, id2);
+  EXPECT_EQ(r.type, MsgType::kGetResp);
+  EXPECT_EQ(r.status, WireStatus::kShed);
+
+  // v1 clients see the same refusal as a kBackpressure error frame and
+  // also keep their connection.
+  KvClient c1 = lb.client(kMinVersion);
+  const std::uint64_t id3 = c1.submit_put(k0[3], 40);
+  ASSERT_TRUE(c1.flush());
+  ASSERT_TRUE(c1.recv_response(&r));
+  EXPECT_EQ(r.id, id3);
+  EXPECT_EQ(r.type, MsgType::kErrorResp);
+  EXPECT_EQ(r.error_code, ErrorCode::kBackpressure);
+  const std::uint64_t id4 = c1.submit_get(k0[1]);
+  ASSERT_TRUE(c1.flush());
+  ASSERT_TRUE(c1.recv_response(&r));
+  EXPECT_EQ(r.id, id4);
+  EXPECT_EQ(r.type, MsgType::kErrorResp);
+  EXPECT_EQ(r.error_code, ErrorCode::kBackpressure);
+
+  // Server-side accounting saw every shed.
+  std::uint64_t shed = 0;
+  for (int d = 0; d < lb.kv.node_count(); ++d)
+    shed += lb.kv.node_stats(d).shed;
+  EXPECT_GE(shed, 4u);
 }
 
 TEST(NetLoopback, ConcurrentClientsSeeEachOthersWrites) {

@@ -182,11 +182,14 @@ TEST(Wire, ResponseBodiesRoundtrip) {
   MsgHeader h;
   ErrorCode err;
   {
+    // v2 (the default): data responses lead with the u8 WireStatus.
     PackBuffer b;
     pack_get_resp(b, 1, true, 77);
     Unpacker u = payload_of(b);
     ASSERT_TRUE(unpack_header(u, &h, &err));
     EXPECT_EQ(h.type, MsgType::kGetResp);
+    EXPECT_EQ(h.version, kVersion);
+    EXPECT_EQ(u.u8(), static_cast<std::uint8_t>(WireStatus::kOk));
     EXPECT_EQ(u.u8(), 1u);
     EXPECT_EQ(u.u64(), 77u);
     EXPECT_TRUE(u.exhausted());
@@ -194,10 +197,11 @@ TEST(Wire, ResponseBodiesRoundtrip) {
   {
     PackBuffer b;
     pack_put_resp(b, 2);
-    EXPECT_EQ(frame_len(b), kHeaderSize);  // empty body
+    EXPECT_EQ(frame_len(b), kHeaderSize + 1);  // status byte only
     Unpacker u = payload_of(b);
     ASSERT_TRUE(unpack_header(u, &h, &err));
     EXPECT_EQ(h.type, MsgType::kPutResp);
+    EXPECT_EQ(u.u8(), static_cast<std::uint8_t>(WireStatus::kOk));
     EXPECT_TRUE(u.exhausted());
   }
   {
@@ -206,7 +210,41 @@ TEST(Wire, ResponseBodiesRoundtrip) {
     Unpacker u = payload_of(b);
     ASSERT_TRUE(unpack_header(u, &h, &err));
     EXPECT_EQ(h.type, MsgType::kEraseResp);
+    EXPECT_EQ(u.u8(), static_cast<std::uint8_t>(WireStatus::kOk));
     EXPECT_EQ(u.u8(), 0u);
+    EXPECT_TRUE(u.exhausted());
+  }
+  {
+    // v1 framing on request: OK-path bodies stay byte-identical to the
+    // historical layouts — no status byte anywhere.
+    PackBuffer b;
+    pack_get_resp(b, 1, true, 77, kMinVersion);
+    Unpacker u = payload_of(b);
+    ASSERT_TRUE(unpack_header(u, &h, &err));
+    EXPECT_EQ(h.type, MsgType::kGetResp);
+    EXPECT_EQ(h.version, kMinVersion);
+    EXPECT_EQ(u.u8(), 1u);
+    EXPECT_EQ(u.u64(), 77u);
+    EXPECT_TRUE(u.exhausted());
+
+    PackBuffer p;
+    pack_put_resp(p, 2, kMinVersion);
+    EXPECT_EQ(frame_len(p), kHeaderSize);  // empty body, as in v1
+    Unpacker up = payload_of(p);
+    ASSERT_TRUE(unpack_header(up, &h, &err));
+    EXPECT_EQ(h.type, MsgType::kPutResp);
+    EXPECT_TRUE(up.exhausted());
+  }
+  {
+    // v2 refusal frame: the would-be response type carrying just the
+    // non-kOk status — nothing was executed, so there is no payload.
+    PackBuffer b;
+    pack_status_resp(b, MsgType::kGetResp, 5, WireStatus::kShed);
+    EXPECT_EQ(frame_len(b), kHeaderSize + 1);
+    Unpacker u = payload_of(b);
+    ASSERT_TRUE(unpack_header(u, &h, &err));
+    EXPECT_EQ(h.type, MsgType::kGetResp);
+    EXPECT_EQ(u.u8(), static_cast<std::uint8_t>(WireStatus::kShed));
     EXPECT_TRUE(u.exhausted());
   }
   {

@@ -27,10 +27,12 @@
 namespace bjrw {
 namespace {
 
+using serve::AdmitResult;
 using serve::BoundedMpmcQueue;
 using serve::KvServer;
 using serve::Request;
 using serve::RequestKind;
+using serve::ServeConfig;
 using serve::WorkerPool;
 
 TEST(ServeQueueSoak, MpmcConservationUnderProducerConsumerChurn) {
@@ -90,9 +92,10 @@ TEST(ServeQueueSoak, SubmitRacingShutdownNeverStrandsAcceptedItems) {
   for (int round = 0; round < 60; ++round) {
     const Topology topo = Topology::simulated(2, 2);
     std::atomic<std::uint64_t> executed{0};
-    WorkerPool<int> pool(topo, {/*workers_per_node=*/1, /*capacity=*/16,
-                                /*pin=*/false},
-                         [&](int, int, int&) { executed.fetch_add(1); });
+    WorkerPool<int> pool(
+        topo,
+        ServeConfig{}.with_workers(1).with_queue_capacity(16).with_pin(false),
+        [&](int, int, int&) { executed.fetch_add(1); });
     std::atomic<std::uint64_t> accepted{0};
     run_threads(3, [&](std::size_t t) {
       if (t == 2) {
@@ -100,7 +103,9 @@ TEST(ServeQueueSoak, SubmitRacingShutdownNeverStrandsAcceptedItems) {
         pool.shutdown();
       } else {
         for (int i = 0; i < 300; ++i) {
-          if (!pool.submit(static_cast<int>(t) % 2, i)) break;
+          if (pool.submit(static_cast<int>(t) % 2, i) !=
+              AdmitResult::kAccepted)
+            break;
           accepted.fetch_add(1);
         }
       }
@@ -195,11 +200,11 @@ TEST(ServeQueueSoak, ShutdownDuringBurstExecutesEveryAcceptedSlice) {
   for (int round = 0; round < 60; ++round) {
     const Topology topo = Topology::simulated(2, 2);
     std::atomic<std::uint64_t> executed{0};
-    WorkerPool<int>::Config cfg;
-    cfg.workers_per_node = 1;
-    cfg.queue_capacity = 16;
-    cfg.pin = false;
-    cfg.burst = 4;
+    const ServeConfig cfg = ServeConfig{}
+                                .with_workers(1)
+                                .with_queue_capacity(16)
+                                .with_pin(false)
+                                .with_burst(4);
     WorkerPool<int> pool(
         topo, cfg,
         WorkerPool<int>::BurstHandler([&](int, int, int*, std::size_t n) {
@@ -214,10 +219,10 @@ TEST(ServeQueueSoak, ShutdownDuringBurstExecutesEveryAcceptedSlice) {
         int batch[5];
         for (int i = 0; i < 60; ++i) {
           for (int j = 0; j < 5; ++j) batch[j] = i * 5 + j;
-          const std::size_t took =
+          const serve::PoolPublish pub =
               pool.submit_many(static_cast<int>(t) % 2, batch, 5);
-          accepted.fetch_add(took);
-          if (took < 5) break;  // stopping observed mid-batch
+          accepted.fetch_add(pub.published);
+          if (pub.published < 5) break;  // stopping observed mid-batch
         }
       }
     });
@@ -231,10 +236,10 @@ TEST(ServeQueueSoak, BurstKvServerConservesOpsUnderBatchedSubmit) {
   // run the burst execution path (cross-request gathers), and the op
   // accounting must balance exactly.
   const Topology topo = Topology::simulated(2, 4);
-  KvServer<AdaptiveCohortStarvationFreeLock>::Config cfg;
-  cfg.workers_per_node = 2;
-  cfg.queue_capacity = 128;
-  cfg.burst = 8;
+  const ServeConfig cfg = ServeConfig{}
+                              .with_workers(2)
+                              .with_queue_capacity(128)
+                              .with_burst(8);
   KvServer<AdaptiveCohortStarvationFreeLock> server(topo, cfg);
 
   for (std::uint64_t k = 0; k < 1024; ++k) server.map().put(0, k, k * 3);
@@ -261,7 +266,8 @@ TEST(ServeQueueSoak, BurstKvServerConservesOpsUnderBatchedSubmit) {
         reqs[r].out = nullptr;
         ptrs[r] = &reqs[r];
       }
-      ASSERT_TRUE(server.submit_many(ptrs, kReqsPerRound));
+      ASSERT_EQ(server.submit_many(ptrs, kReqsPerRound),
+                AdmitResult::kAccepted);
       for (std::size_t r = 0; r < kReqsPerRound; ++r) {
         reqs[r].wait();
         hits += reqs[r].hits.load(std::memory_order_relaxed);
@@ -284,9 +290,9 @@ TEST(ServeQueueSoak, BurstKvServerConservesOpsUnderBatchedSubmit) {
 
 TEST(ServeQueueSoak, KvServerMixedTrafficConservesOps) {
   const Topology topo = Topology::simulated(2, 4);
-  KvServer<AdaptiveCohortStarvationFreeLock>::Config cfg;
-  cfg.workers_per_node = 2;
-  cfg.queue_capacity = 128;  // small queues: backpressure path exercised
+  // Small queues: the publish-side backpressure path is exercised.
+  const ServeConfig cfg =
+      ServeConfig{}.with_workers(2).with_queue_capacity(128);
   KvServer<AdaptiveCohortStarvationFreeLock> server(topo, cfg);
 
   for (std::uint64_t k = 0; k < 1024; ++k) server.map().put(0, k, k * 3);
@@ -335,9 +341,8 @@ TEST(ServeQueueSoak, ShutdownRacesDeepPipelinesWithoutDroppingRequests) {
 
   for (int round = 0; round < 30; ++round) {
     const Topology topo = Topology::simulated(2, 2);
-    KvServer<CohortWriterPriorityLock>::Config cfg;
-    cfg.workers_per_node = 1;
-    cfg.queue_capacity = 1024;
+    const ServeConfig cfg =
+        ServeConfig{}.with_workers(1).with_queue_capacity(1024);
     KvServer<CohortWriterPriorityLock> server(topo, cfg);
     for (std::uint64_t k = 0; k < 32; ++k) server.map().put(0, k, 5 * k);
 
@@ -347,7 +352,7 @@ TEST(ServeQueueSoak, ShutdownRacesDeepPipelinesWithoutDroppingRequests) {
       req->kind = RequestKind::kGetBatch;
       req->keys = keys.data();
       req->key_count = static_cast<std::uint32_t>(keys.size());
-      ASSERT_TRUE(server.submit(req.get()));
+      ASSERT_EQ(server.submit(req.get()), AdmitResult::kAccepted);
       reqs.push_back(std::move(req));
     }
     server.shutdown();
@@ -372,9 +377,8 @@ TEST(ServeQueueSoak, ResubmittedRequestsSurviveAShutdownRace) {
 
   for (int round = 0; round < 20; ++round) {
     const Topology topo = Topology::simulated(2, 2);
-    KvServer<CohortWriterPriorityLock>::Config cfg;
-    cfg.workers_per_node = 1;
-    cfg.queue_capacity = 64;
+    const ServeConfig cfg =
+        ServeConfig{}.with_workers(1).with_queue_capacity(64);
     KvServer<CohortWriterPriorityLock> server(topo, cfg);
     for (std::uint64_t k = 0; k < 24; ++k) server.map().put(0, k, k + 1);
 
@@ -393,7 +397,7 @@ TEST(ServeQueueSoak, ResubmittedRequestsSurviveAShutdownRace) {
           r.kind = RequestKind::kPut;
           r.key = 500 + static_cast<std::uint64_t>(i);
           r.value = t;
-          const bool ok = server.submit(&r);
+          const bool ok = server.submit(&r) == AdmitResult::kAccepted;
           r.wait();  // must terminate, accepted or refused
           if (!ok) break;
           continue;
@@ -403,7 +407,7 @@ TEST(ServeQueueSoak, ResubmittedRequestsSurviveAShutdownRace) {
         r.key_count = static_cast<std::uint32_t>(keys.size());
         out.assign(keys.size(), std::nullopt);
         r.out = out.data();
-        const bool ok = server.submit(&r);
+        const bool ok = server.submit(&r) == AdmitResult::kAccepted;
         r.wait();  // partial-failure submits still resolve the latch
         if (ok) {
           ASSERT_EQ(r.hits.load(), keys.size()) << "round " << round;
@@ -425,6 +429,139 @@ TEST(ServeQueueSoak, ResubmittedRequestsSurviveAShutdownRace) {
       (void)server.submit(&r);
       r.wait();
     });
+  }
+}
+
+TEST(ServeQueueSoak, ElasticParkWakeRacingShutdownConservesItems) {
+  // Elastic version of the submit/shutdown race bar: workers above the
+  // min-width floor park on empty queues and must be woken — by a
+  // submitter or by shutdown — without ever stranding an accepted item
+  // (executed < accepted), duplicating one (executed > accepted), or
+  // sleeping through the stop (run_threads would hang).  Traffic pauses
+  // let queues drain so submits genuinely race the park/wake transition.
+  for (int round = 0; round < 40; ++round) {
+    const Topology topo = Topology::simulated(2, 2);
+    std::atomic<std::uint64_t> executed{0};
+    WorkerPool<int> pool(topo,
+                         ServeConfig{}
+                             .with_widths(1, 2)
+                             .with_queue_capacity(16)
+                             .with_pin(false)
+                             .with_park(serve::ParkPolicy::kFutex,
+                                        /*grace_ns=*/5'000),
+                         [&](int, int, int&) { executed.fetch_add(1); });
+    std::atomic<std::uint64_t> accepted{0};
+    run_threads(3, [&](std::size_t t) {
+      if (t == 2) {
+        for (int i = 0; i < (round * 11) % 131; ++i) YieldSpin::relax();
+        pool.shutdown();
+      } else {
+        for (int i = 0; i < 400; ++i) {
+          if (i % 32 == 0) {
+            // Give the elastic workers a drained window long enough to
+            // park; the next submit then exercises the wake path.
+            for (int s = 0; s < 400; ++s) YieldSpin::relax();
+          }
+          if (pool.submit(static_cast<int>(t) % 2, i) !=
+              AdmitResult::kAccepted)
+            break;
+          accepted.fetch_add(1);
+        }
+      }
+    });
+    pool.shutdown();
+    ASSERT_EQ(executed.load(), accepted.load()) << "round " << round;
+  }
+}
+
+TEST(ServeQueueSoak, ElasticAdmissionShutdownRaceStrandsNothing) {
+  // The PR's headline conservation bar, whole stack: elastic widths with
+  // parking workers, a token bucket shedding, a high-water mark
+  // deferring, and shutdown racing all of it.  Every submit's wait()
+  // must terminate whatever the outcome (a stranded latch hangs
+  // run_threads), the recorded per-request outcome must match the
+  // returned one, refusals must resolve with zero side effects, and the
+  // server-side shed/deferred counters must agree exactly with what the
+  // clients observed.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < 16; ++k) keys.push_back(k);
+
+  for (int round = 0; round < 15; ++round) {
+    const Topology topo = Topology::simulated(2, 4);
+    const ServeConfig cfg =
+        ServeConfig{}
+            .with_widths(1, 4)
+            .with_queue_capacity(64)
+            .with_pin(false)
+            .with_burst(4)
+            .with_park(serve::ParkPolicy::kFutex, /*grace_ns=*/20'000)
+            .with_admission(/*rate=*/4e6, /*bucket=*/256)
+            .with_high_water(48);
+    KvServer<CohortWriterPriorityLock> server(topo, cfg);
+    for (std::uint64_t k = 0; k < 16; ++k) server.map().put(0, k, k + 1);
+
+    constexpr int kClients = 4;
+    std::atomic<std::uint64_t> accepted{0}, shed{0}, deferred{0};
+    std::atomic<std::uint64_t> refused_shutdown{0};
+    run_threads(kClients + 1, [&](std::size_t t) {
+      if (t == kClients) {
+        for (int i = 0; i < (round * 31) % 257; ++i) YieldSpin::relax();
+        server.shutdown();
+        return;
+      }
+      Request r;  // one object resubmitted through every outcome class
+      for (int i = 0; i < 200; ++i) {
+        r.reset();
+        if (i % 3 == 0) {
+          r.kind = RequestKind::kPut;
+          r.key = 600 + static_cast<std::uint64_t>(i);
+          r.value = t;
+        } else {
+          r.kind = RequestKind::kGetBatch;
+          r.keys = keys.data();
+          r.key_count = static_cast<std::uint32_t>(keys.size());
+          r.out = nullptr;
+        }
+        const AdmitResult adm = server.submit(&r);
+        ASSERT_EQ(adm, r.submit_outcome()) << "round " << round;
+        r.wait();  // must terminate for every outcome class
+        switch (adm) {
+          case AdmitResult::kAccepted:
+            accepted.fetch_add(1);
+            break;
+          case AdmitResult::kShedOverload:
+            shed.fetch_add(1);
+            ASSERT_EQ(r.hits.load(), 0u) << "shed request executed";
+            break;
+          case AdmitResult::kQueueFull:
+            deferred.fetch_add(1);
+            ASSERT_EQ(r.hits.load(), 0u) << "deferred request executed";
+            break;
+          case AdmitResult::kShutdown:
+            refused_shutdown.fetch_add(1);
+            break;
+        }
+      }
+    });
+    server.shutdown();
+
+    std::uint64_t completed = 0, stats_shed = 0, stats_deferred = 0;
+    for (int d = 0; d < server.node_count(); ++d) {
+      const serve::NodeServeStats ns = server.node_stats(d);
+      completed += ns.completed;
+      stats_shed += ns.shed;
+      stats_deferred += ns.deferred;
+    }
+    // Every accepted request completes exactly once.  A kShutdown result
+    // can cover a batch that published a prefix of its slices before the
+    // pool stopped — those requests may or may not land in the workers'
+    // completed counter depending on which side resolved the latch, hence
+    // the bounded (not exact) upper arm.
+    ASSERT_GE(completed, accepted.load()) << "round " << round;
+    ASSERT_LE(completed, accepted.load() + refused_shutdown.load())
+        << "round " << round;
+    ASSERT_EQ(stats_shed, shed.load()) << "round " << round;
+    ASSERT_EQ(stats_deferred, deferred.load()) << "round " << round;
   }
 }
 

@@ -35,11 +35,13 @@
 namespace bjrw {
 namespace {
 
+using serve::AdmitResult;
 using serve::BoundedMpmcQueue;
 using serve::KvServer;
 using serve::NumaShardedMap;
 using serve::Request;
 using serve::RequestKind;
+using serve::ServeConfig;
 using serve::ShardPlacement;
 using serve::SubRequest;
 using serve::WorkerPool;
@@ -165,14 +167,16 @@ TEST(WorkerPool, WorkRunsOnTheSubmittedNodeWithNodeMappedTids) {
   for (int i = 0; i < 40; ++i) seen.push_back(std::make_unique<Seen>());
 
   WorkerPool<int> pool(
-      topo, {/*workers_per_node=*/2, /*queue_capacity=*/64, /*pin=*/true},
+      topo,
+      ServeConfig{}.with_workers(2).with_queue_capacity(64).with_pin(true),
       [&](int tid, int node, int& item) {
         seen[static_cast<std::size_t>(item)]->node.store(node);
         seen[static_cast<std::size_t>(item)]->tid.store(tid);
       });
   EXPECT_EQ(pool.node_count(), 2);
   EXPECT_EQ(pool.workers_per_node(), 2);
-  for (int i = 0; i < 40; ++i) EXPECT_TRUE(pool.submit(i % 2, i));
+  for (int i = 0; i < 40; ++i)
+    EXPECT_EQ(pool.submit(i % 2, i), AdmitResult::kAccepted);
   pool.shutdown();
 
   for (int i = 0; i < 40; ++i) {
@@ -189,27 +193,31 @@ TEST(WorkerPool, GracefulShutdownDrainsQueuedItemsAndRefusesNewOnes) {
   const Topology topo = Topology::simulated(2, 2);
   std::atomic<std::uint64_t> sum{0};
   auto pool = std::make_unique<WorkerPool<int>>(
-      topo, typename WorkerPool<int>::Config{1, 256, false},
+      topo,
+      ServeConfig{}.with_workers(1).with_queue_capacity(256).with_pin(false),
       [&](int, int, int& item) {
         std::this_thread::yield();  // let the queue back up
         sum.fetch_add(static_cast<std::uint64_t>(item));
       });
   std::uint64_t expect = 0;
   for (int i = 1; i <= 100; ++i) {
-    ASSERT_TRUE(pool->submit(i % 2, i));
+    ASSERT_EQ(pool->submit(i % 2, i), AdmitResult::kAccepted);
     expect += static_cast<std::uint64_t>(i);
   }
   pool->shutdown();  // must drain all 100, not drop the queued tail
   EXPECT_EQ(sum.load(), expect);
-  EXPECT_FALSE(pool->submit(0, 7)) << "submit after shutdown must refuse";
+  EXPECT_EQ(pool->submit(0, 7), AdmitResult::kShutdown)
+      << "submit after shutdown must refuse";
   EXPECT_EQ(sum.load(), expect);
   pool.reset();  // double-shutdown via destructor is fine
 }
 
 TEST(WorkerPool, ClampsWidthToTheNarrowestNode) {
   const Topology topo = Topology::simulated(2, 2);
-  WorkerPool<int> pool(topo, {/*workers_per_node=*/8, 16, false},
-                       [](int, int, int&) {});
+  WorkerPool<int> pool(
+      topo,
+      ServeConfig{}.with_workers(8).with_queue_capacity(16).with_pin(false),
+      [](int, int, int&) {});
   // 8 requested, but node width is 2: wider pools would hand out tids the
   // topology maps to *other* nodes.
   EXPECT_EQ(pool.workers_per_node(), 2);
@@ -376,10 +384,10 @@ TEST(FixedBudgetCohort, PreemptAbortsAreCountedButBudgetIsConstant) {
 template <class Lock>
 void roundtrip_trial(bool node_local) {
   const Topology topo = Topology::simulated(2, 4);
-  typename KvServer<Lock>::Config cfg;
-  cfg.workers_per_node = 2;
-  cfg.node_local_dispatch = node_local;
-  cfg.node_local_alloc = node_local;
+  const ServeConfig cfg = ServeConfig{}
+                              .with_workers(2)
+                              .with_dispatch(node_local)
+                              .with_alloc(node_local);
   KvServer<Lock> server(topo, cfg);
 
   for (std::uint64_t k = 0; k < 200; ++k) server.put(k, k + 1000);
@@ -417,9 +425,8 @@ TEST(KvServer, RoundtripsUnderBothDispatchArms) {
 
 TEST(KvServer, NodeLocalDispatchRunsBatchesOnlyOnOwningPools) {
   const Topology topo = Topology::simulated(2, 4);
-  KvServer<CohortWriterPriorityLock>::Config cfg;
-  cfg.workers_per_node = 2;
-  KvServer<CohortWriterPriorityLock> server(topo, cfg);
+  KvServer<CohortWriterPriorityLock> server(topo,
+                                            ServeConfig{}.with_workers(2));
 
   // Collect keys owned by node 1 only (preload goes through map(), so the
   // pools see no traffic before the batch).
@@ -441,10 +448,8 @@ TEST(KvServer, NodeLocalDispatchRunsBatchesOnlyOnOwningPools) {
 
 TEST(KvServer, ShutdownCompletesInFlightRequestsAndRefusesNewOnes) {
   const Topology topo = Topology::simulated(2, 4);
-  KvServer<CohortWriterPriorityLock>::Config cfg;
-  cfg.workers_per_node = 1;
-  cfg.queue_capacity = 512;
-  KvServer<CohortWriterPriorityLock> server(topo, cfg);
+  KvServer<CohortWriterPriorityLock> server(
+      topo, ServeConfig{}.with_workers(1).with_queue_capacity(512));
   for (std::uint64_t k = 0; k < 64; ++k) server.map().put(0, k, 7 * k);
 
   // Pile up async batches, then shut down with them in flight: every
@@ -458,7 +463,7 @@ TEST(KvServer, ShutdownCompletesInFlightRequestsAndRefusesNewOnes) {
     req->kind = RequestKind::kGetBatch;
     req->keys = keys.data();
     req->key_count = static_cast<std::uint32_t>(keys.size());
-    ASSERT_TRUE(server.submit(req.get()));
+    ASSERT_EQ(server.submit(req.get()), AdmitResult::kAccepted);
     reqs.push_back(std::move(req));
   }
   server.shutdown();
@@ -475,7 +480,8 @@ TEST(KvServer, ShutdownCompletesInFlightRequestsAndRefusesNewOnes) {
   late.kind = RequestKind::kGetBatch;
   late.keys = keys.data();
   late.key_count = static_cast<std::uint32_t>(keys.size());
-  EXPECT_FALSE(server.submit(&late));
+  EXPECT_EQ(server.submit(&late), AdmitResult::kShutdown);
+  EXPECT_EQ(late.submit_outcome(), AdmitResult::kShutdown);
   late.wait();
   EXPECT_EQ(late.hits.load(), 0u);
 }
@@ -497,7 +503,7 @@ TEST(KvServer, EmptyBatchCompletesDeterministically) {
   r.kind = RequestKind::kGetBatch;
   r.keys = nullptr;
   r.key_count = 0;
-  EXPECT_TRUE(server.submit(&r));
+  EXPECT_EQ(server.submit(&r), AdmitResult::kAccepted);
   EXPECT_TRUE(r.done());
   r.wait();
   EXPECT_EQ(r.hits.load(), 0u);
@@ -514,9 +520,8 @@ TEST(KvServer, StatsAreExactImmediatelyAfterWaitReturns) {
   // the stats are exact the moment wait() returns — no shutdown or
   // quiescence window needed.
   const Topology topo = Topology::simulated(2, 4);
-  KvServer<CohortWriterPriorityLock>::Config cfg;
-  cfg.workers_per_node = 2;
-  KvServer<CohortWriterPriorityLock> server(topo, cfg);
+  KvServer<CohortWriterPriorityLock> server(topo,
+                                            ServeConfig{}.with_workers(2));
   std::vector<std::uint64_t> keys;
   for (std::uint64_t k = 0; k < 48; ++k) {
     server.map().put(0, k, k);
@@ -529,7 +534,7 @@ TEST(KvServer, StatsAreExactImmediatelyAfterWaitReturns) {
     r.kind = RequestKind::kGetBatch;
     r.keys = keys.data();
     r.key_count = static_cast<std::uint32_t>(keys.size());
-    ASSERT_TRUE(server.submit(&r));
+    ASSERT_EQ(server.submit(&r), AdmitResult::kAccepted);
     r.wait();
     std::uint64_t completed = 0, ops = 0;
     for (int d = 0; d < server.node_count(); ++d) {
@@ -560,7 +565,7 @@ TEST(KvServer, RequestObjectIsReusableAcrossSubmits) {
       r.kind = RequestKind::kPut;
       r.key = 100 + static_cast<std::uint64_t>(round);
       r.value = static_cast<std::uint64_t>(round);
-      ASSERT_TRUE(server.submit(&r));
+      ASSERT_EQ(server.submit(&r), AdmitResult::kAccepted);
       r.wait();
       continue;
     }
@@ -572,7 +577,8 @@ TEST(KvServer, RequestObjectIsReusableAcrossSubmits) {
     r.keys = keys.data();
     r.key_count = static_cast<std::uint32_t>(keys.size());
     r.out = out.data();
-    ASSERT_TRUE(server.submit(&r));
+    ASSERT_EQ(server.submit(&r), AdmitResult::kAccepted);
+    EXPECT_EQ(r.submit_outcome(), AdmitResult::kAccepted);
     r.wait();
     std::uint64_t expect_hits = 0;
     for (std::size_t i = 0; i < keys.size(); ++i) {
@@ -595,18 +601,19 @@ TEST(KvServer, RequestObjectIsReusableAcrossSubmits) {
   r.keys = keys.data();
   r.key_count = 3;
   r.out = nullptr;
-  EXPECT_FALSE(server.submit(&r));
+  EXPECT_EQ(server.submit(&r), AdmitResult::kShutdown);
   r.wait();  // must terminate despite the partial/refused submit
   r.reset();
-  EXPECT_FALSE(server.submit(&r));
+  EXPECT_EQ(r.submit_outcome(), AdmitResult::kAccepted)
+      << "reset must clear the recorded outcome";
+  EXPECT_EQ(server.submit(&r), AdmitResult::kShutdown);
   r.wait();
 }
 
 TEST(KvServer, ConcurrentClientsKeepAggregatesConsistent) {
   const Topology topo = Topology::simulated(2, 4);
-  KvServer<AdaptiveCohortStarvationFreeLock>::Config cfg;
-  cfg.workers_per_node = 2;
-  KvServer<AdaptiveCohortStarvationFreeLock> server(topo, cfg);
+  KvServer<AdaptiveCohortStarvationFreeLock> server(
+      topo, ServeConfig{}.with_workers(2));
 
   constexpr int kClients = 4;
   constexpr int kOps = 120;
@@ -726,10 +733,8 @@ TEST(BoundedMpmcQueue, BulkPopNeverLosesOrDuplicatesUnderProducers) {
 
 TEST(WorkerPool, BurstModeExecutesEverythingWithBulkClaims) {
   const Topology topo = Topology::simulated(2, 4);
-  WorkerPool<int>::Config cfg;
-  cfg.workers_per_node = 2;
-  cfg.pin = false;
-  cfg.burst = 4;
+  const ServeConfig cfg =
+      ServeConfig{}.with_workers(2).with_pin(false).with_burst(4);
   std::atomic<std::uint64_t> sum{0};
   std::atomic<std::uint64_t> max_run{0};
   WorkerPool<int> pool(
@@ -748,7 +753,7 @@ TEST(WorkerPool, BurstModeExecutesEverythingWithBulkClaims) {
   constexpr int kItems = 4000;
   std::uint64_t expect = 0;
   for (int i = 0; i < kItems; ++i) {
-    ASSERT_TRUE(pool.submit(i % 2, i));
+    ASSERT_EQ(pool.submit(i % 2, i), AdmitResult::kAccepted);
     expect += static_cast<std::uint64_t>(i);
   }
   pool.shutdown();
@@ -762,9 +767,7 @@ TEST(WorkerPool, BurstModeExecutesEverythingWithBulkClaims) {
 
 TEST(WorkerPool, SubmitManyPublishesTheWholeBatch) {
   const Topology topo = Topology::simulated(2, 2);
-  WorkerPool<int>::Config cfg;
-  cfg.pin = false;
-  cfg.burst = 8;
+  const ServeConfig cfg = ServeConfig{}.with_pin(false).with_burst(8);
   std::atomic<std::uint64_t> sum{0};
   WorkerPool<int> pool(
       topo, cfg,
@@ -780,13 +783,21 @@ TEST(WorkerPool, SubmitManyPublishesTheWholeBatch) {
     batch[static_cast<std::size_t>(i)] = i;
     expect += static_cast<std::uint64_t>(i);
   }
-  EXPECT_EQ(pool.submit_many(0, batch.data(), batch.size()), batch.size());
-  EXPECT_EQ(pool.submit_many(1, batch.data(), batch.size()), batch.size());
+  const serve::PoolPublish pub0 =
+      pool.submit_many(0, batch.data(), batch.size());
+  EXPECT_EQ(pub0.published, batch.size());
+  EXPECT_EQ(pub0.outcome, AdmitResult::kAccepted);
+  const serve::PoolPublish pub1 =
+      pool.submit_many(1, batch.data(), batch.size());
+  EXPECT_EQ(pub1.published, batch.size());
+  EXPECT_EQ(pub1.outcome, AdmitResult::kAccepted);
   pool.shutdown();
   EXPECT_EQ(sum.load(), 2 * expect);
   EXPECT_EQ(pool.executed(0) + pool.executed(1), 600u);
-  EXPECT_EQ(pool.submit_many(0, batch.data(), batch.size()), 0u)
-      << "submit_many after shutdown must refuse";
+  const serve::PoolPublish late =
+      pool.submit_many(0, batch.data(), batch.size());
+  EXPECT_EQ(late.published, 0u) << "submit_many after shutdown must refuse";
+  EXPECT_EQ(late.outcome, AdmitResult::kShutdown);
 }
 
 // ---- cross-request shard grouping + scatter ---------------------------------
@@ -808,10 +819,8 @@ TEST(KvServer, BurstGroupingScattersExactlyLikePerItemDispatch) {
       key_sets[r].push_back((r * 37 + i * 13) % (kKeys + 64));  // some misses
 
   auto run = [&](std::size_t burst) {
-    KvServer<CohortWriterPriorityLock>::Config cfg;
-    cfg.workers_per_node = 2;
-    cfg.pin_workers = false;
-    cfg.burst = burst;
+    const ServeConfig cfg =
+        ServeConfig{}.with_workers(2).with_pin(false).with_burst(burst);
     KvServer<CohortWriterPriorityLock> server(topo, cfg);
     for (std::uint64_t k = 0; k < kKeys; ++k) server.put(k, k * 7 + 1);
     // Submit every request through the batched publish path, then join.
@@ -826,7 +835,8 @@ TEST(KvServer, BurstGroupingScattersExactlyLikePerItemDispatch) {
       reqs[r].out = outs[r].data();
       ptrs.push_back(&reqs[r]);
     }
-    EXPECT_TRUE(server.submit_many(ptrs.data(), ptrs.size()));
+    EXPECT_EQ(server.submit_many(ptrs.data(), ptrs.size()),
+              AdmitResult::kAccepted);
     std::vector<std::uint64_t> hits(kReqs);
     for (std::size_t r = 0; r < kReqs; ++r) {
       reqs[r].wait();
@@ -859,10 +869,8 @@ TEST(KvServer, BurstGroupingScattersExactlyLikePerItemDispatch) {
 
 TEST(KvServer, SubmitManyMixesPointOpsAndBatches) {
   const Topology topo = Topology::simulated(2, 4);
-  KvServer<CohortWriterPriorityLock>::Config cfg;
-  cfg.workers_per_node = 1;
-  cfg.pin_workers = false;
-  cfg.burst = 8;
+  const ServeConfig cfg =
+      ServeConfig{}.with_workers(1).with_pin(false).with_burst(8);
   KvServer<CohortWriterPriorityLock> server(topo, cfg);
 
   // One batched publish carrying puts, gets, a batch, and an erase.
@@ -874,9 +882,10 @@ TEST(KvServer, SubmitManyMixesPointOpsAndBatches) {
   put2.key = 22;
   put2.value = 220;
   Request* phase1[] = {&put1, &put2};
-  bool acc[4] = {};
-  EXPECT_TRUE(server.submit_many(phase1, 2, acc));
-  EXPECT_TRUE(acc[0] && acc[1]);
+  AdmitResult acc[4] = {};
+  EXPECT_EQ(server.submit_many(phase1, 2, acc), AdmitResult::kAccepted);
+  EXPECT_EQ(acc[0], AdmitResult::kAccepted);
+  EXPECT_EQ(acc[1], AdmitResult::kAccepted);
   put1.wait();
   put2.wait();
 
@@ -898,7 +907,7 @@ TEST(KvServer, SubmitManyMixesPointOpsAndBatches) {
   // shard — results for the batch may see either order for key 22, so
   // erase goes in its own publish to keep the test deterministic.
   Request* phase2[] = {&getb, &pget};
-  EXPECT_TRUE(server.submit_many(phase2, 2));
+  EXPECT_EQ(server.submit_many(phase2, 2), AdmitResult::kAccepted);
   getb.wait();
   pget.wait();
   EXPECT_EQ(getb.hits.load(), 2u);
@@ -908,7 +917,7 @@ TEST(KvServer, SubmitManyMixesPointOpsAndBatches) {
   EXPECT_EQ(pout, std::optional<std::uint64_t>(110));
 
   Request* phase3[] = {&er};
-  EXPECT_TRUE(server.submit_many(phase3, 1));
+  EXPECT_EQ(server.submit_many(phase3, 1), AdmitResult::kAccepted);
   er.wait();
   EXPECT_EQ(er.hits.load(), 1u);
   EXPECT_FALSE(server.get(22).has_value());
@@ -918,9 +927,10 @@ TEST(KvServer, SubmitManyMixesPointOpsAndBatches) {
   getb.reset();
   std::fill(std::begin(out), std::end(out), std::nullopt);
   Request* phase4[] = {&getb};
-  bool acc4[1] = {true};
-  EXPECT_FALSE(server.submit_many(phase4, 1, acc4));
-  EXPECT_FALSE(acc4[0]);
+  AdmitResult acc4[1] = {AdmitResult::kAccepted};
+  EXPECT_EQ(server.submit_many(phase4, 1, acc4), AdmitResult::kShutdown);
+  EXPECT_EQ(acc4[0], AdmitResult::kShutdown);
+  EXPECT_EQ(getb.submit_outcome(), AdmitResult::kShutdown);
   getb.wait();  // refused slices were discounted: terminates
 }
 

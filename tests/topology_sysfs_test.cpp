@@ -244,9 +244,8 @@ TEST(TopologySysfs, WorkerPoolOnMemoryOnlyNodeDoesNotHang) {
   sys.node(1, "");
   const auto t = sys.parse();
   ASSERT_TRUE(t.has_value());
-  serve::WorkerPool<int>::Config cfg;
-  cfg.workers_per_node = 2;
-  cfg.pin = false;
+  const serve::ServeConfig cfg =
+      serve::ServeConfig{}.with_workers(2).with_pin(false);
   std::atomic<int> executed_on_node0{0};
   serve::WorkerPool<int> pool(
       *t, cfg, serve::WorkerPool<int>::Handler([&](int, int node, int&) {
@@ -260,13 +259,27 @@ TEST(TopologySysfs, WorkerPoolOnMemoryOnlyNodeDoesNotHang) {
   EXPECT_EQ(pool.execution_node(1), 0);
   // Submits to BOTH nodes must complete — node 1's land on node 0.
   for (int i = 0; i < 8; ++i) {
-    ASSERT_TRUE(pool.submit(0, i));
-    ASSERT_TRUE(pool.submit(1, i));
+    ASSERT_EQ(pool.submit(0, i), serve::AdmitResult::kAccepted);
+    ASSERT_EQ(pool.submit(1, i), serve::AdmitResult::kAccepted);
   }
   pool.shutdown();
   EXPECT_EQ(executed_on_node0.load(), 16);
   EXPECT_EQ(pool.executed(0), 16u);
   EXPECT_EQ(pool.executed(1), 0u);
+
+  // Elastic widths clamp the same way: the zero-CPU node spawns no
+  // workers (so none can park there) and its submits still execute on the
+  // CPU-bearing neighbour.
+  serve::WorkerPool<int> epool(
+      *t,
+      serve::ServeConfig{}.with_widths(1, 2).with_pin(false).with_park(
+          serve::ParkPolicy::kFutex, /*grace_ns=*/1'000),
+      serve::WorkerPool<int>::Handler([](int, int, int&) {}));
+  EXPECT_EQ(epool.workers_in_node(0), 2);
+  EXPECT_EQ(epool.workers_in_node(1), 0);
+  EXPECT_EQ(epool.parked(1), 0);
+  ASSERT_EQ(epool.submit(1, 1), serve::AdmitResult::kAccepted);
+  epool.shutdown();
 }
 
 TEST(TopologySysfs, KvServerServesTrafficOverAMemoryOnlyNode) {
@@ -279,9 +292,8 @@ TEST(TopologySysfs, KvServerServesTrafficOverAMemoryOnlyNode) {
   sys.node(1, "");
   const auto t = sys.parse();
   ASSERT_TRUE(t.has_value());
-  serve::KvServer<CohortWriterPriorityLock>::Config cfg;
-  cfg.workers_per_node = 1;
-  cfg.pin_workers = false;
+  const serve::ServeConfig cfg =
+      serve::ServeConfig{}.with_workers(1).with_pin(false);
   serve::KvServer<CohortWriterPriorityLock> server(*t, cfg);
   constexpr std::uint64_t kKeys = 512;
   for (std::uint64_t k = 0; k < kKeys; ++k) server.put(k, k * 3);
