@@ -8,8 +8,17 @@
 // Run:
 //   ./kv_server --listen 7711         # terminal 1
 //   ./kv_loadgen 7711 [connections] [depth] [requests_per_conn] [read_frac]
+//                [--ttl <fraction> <ttl_ms>]
+//
+// --ttl F M turns fraction F of the puts into TTL'd puts (wire v3
+// kPutTtlReq) with an M-millisecond lease — the expiry-storm driver for a
+// `kv_server --listen <port> 0 --expiry` server.  The op mix is seeded;
+// set BJRW_TEST_SEED to override the seed, so two runs (with or without
+// --ttl: the TTL coin has its own generator) replay the identical
+// kind/key stream.
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -21,21 +30,42 @@
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: kv_loadgen <port> [connections] [depth] "
-                 "[requests_per_conn] [read_fraction]\n";
+                 "[requests_per_conn] [read_fraction] "
+                 "[--ttl <fraction> <ttl_ms>]\n";
     return 2;
   }
   bjrw::net::LoadgenConfig cfg;
+  // Flags first (they may appear after the positionals), then positionals.
+  int npos = argc;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ttl") == 0) {
+      if (i + 2 >= argc) {
+        std::cerr << "kv_loadgen: --ttl needs <fraction> <ttl_ms>\n";
+        return 2;
+      }
+      cfg.mix.ttl_fraction = std::atof(argv[i + 1]);
+      cfg.mix.ttl_ns =
+          static_cast<std::uint64_t>(std::atof(argv[i + 2]) * 1e6);
+      npos = i;
+      break;
+    }
+  }
   cfg.port = static_cast<std::uint16_t>(std::atol(argv[1]));
-  if (argc > 2) cfg.connections = std::atoi(argv[2]);
-  if (argc > 3) cfg.depth = std::atoi(argv[3]);
-  if (argc > 4) cfg.requests_per_conn = std::atoi(argv[4]);
-  if (argc > 5) cfg.mix.read_fraction = std::atof(argv[5]);
+  if (npos > 2) cfg.connections = std::atoi(argv[2]);
+  if (npos > 3) cfg.depth = std::atoi(argv[3]);
+  if (npos > 4) cfg.requests_per_conn = std::atoi(argv[4]);
+  if (npos > 5) cfg.mix.read_fraction = std::atof(argv[5]);
+  if (const char* seed = std::getenv("BJRW_TEST_SEED"))
+    cfg.mix.seed = static_cast<std::uint64_t>(std::strtoull(seed, nullptr, 0));
 
   std::cout << "kv_loadgen: 127.0.0.1:" << cfg.port << ", "
             << cfg.connections << " conns x depth " << cfg.depth << " x "
             << cfg.requests_per_conn << " reqs, read_fraction "
-            << cfg.mix.read_fraction << ", get_many batch " << cfg.batch
-            << "\n";
+            << cfg.mix.read_fraction << ", get_many batch " << cfg.batch;
+  if (cfg.mix.ttl_fraction > 0.0 && cfg.mix.ttl_ns > 0)
+    std::cout << ", ttl " << cfg.mix.ttl_fraction << " x "
+              << static_cast<double>(cfg.mix.ttl_ns) / 1e6 << " ms";
+  std::cout << "\n";
 
   bjrw::net::LoadgenResult res = bjrw::net::run_loadgen(cfg);
   if (!res.ok) {

@@ -9,11 +9,15 @@
 //
 // Two modes:
 //   ./kv_server [clients] [requests_per_client]   in-process demo traffic
-//   ./kv_server --listen [port] [admit_rate]      socket front-end: serve
-//       the versioned wire protocol (src/net/) on 127.0.0.1 until SIGINT;
-//       port 0 (the default) picks an ephemeral port and prints it.
-//       admit_rate > 0 arms the per-node token bucket (ops/s) so overload
-//       runs shed instead of queueing.  Drive it with ./kv_loadgen.
+//   ./kv_server --listen [port] [admit_rate] [--expiry [resolution_ms]]
+//       socket front-end: serve the versioned wire protocol (src/net/) on
+//       127.0.0.1 until SIGINT; port 0 (the default) picks an ephemeral
+//       port and prints it.  admit_rate > 0 arms the per-node token bucket
+//       (ops/s) so overload runs shed instead of queueing.  --expiry arms
+//       the lease/TTL subsystem (src/expiry/): wire v3 TTL'd puts schedule
+//       leases on the per-node timer wheels and the worker pools' sweep
+//       lane deletes them as they fall due.  Drive it with
+//       ./kv_loadgen <port> ... --ttl <fraction> <ttl_ms>.
 #include <csignal>
 #include <algorithm>
 #include <atomic>
@@ -59,12 +63,27 @@ void print_node_stats(
                std::to_string(ns.preempt_aborts)});
   }
   t.print(std::cout);
+  if (!server.expiry_enabled()) return;
+  bjrw::Table e({"node", "leases_scheduled", "cancelled", "expired",
+                 "stale_skips", "sweep_batches"});
+  for (int d = 0; d < server.node_count(); ++d) {
+    const bjrw::serve::NodeServeStats ns = server.node_stats(d);
+    e.add_row({std::to_string(d), std::to_string(ns.leases_scheduled),
+               std::to_string(ns.leases_cancelled),
+               std::to_string(ns.leases_expired),
+               std::to_string(ns.lease_stale_skips),
+               std::to_string(ns.sweep_batches)});
+  }
+  std::cout << "\n";
+  e.print(std::cout);
 }
 
-int listen_mode(std::uint16_t port, double admit_rate) {
+int listen_mode(std::uint16_t port, double admit_rate,
+                std::uint64_t expiry_resolution_ns) {
   const bjrw::Topology topo = bjrw::Topology::detected();
   bjrw::serve::ServeConfig cfg = bjrw::serve::ServeConfig{}.with_workers(2);
   if (admit_rate > 0.0) cfg.with_admission(admit_rate);
+  if (expiry_resolution_ns > 0) cfg.with_expiry(expiry_resolution_ns);
   bjrw::serve::KvServer<bjrw::CohortWriterPriorityLock> server(topo, cfg);
 
   bjrw::ServeMixConfig scfg;
@@ -85,6 +104,9 @@ int listen_mode(std::uint16_t port, double admit_rate) {
             << " (" << kPreload << " keys preloaded";
   if (admit_rate > 0.0)
     std::cout << "; admission " << admit_rate << " ops/s/node";
+  if (server.expiry_enabled())
+    std::cout << "; expiry wheel resolution "
+              << static_cast<double>(expiry_resolution_ns) / 1e6 << " ms";
   std::cout << "; Ctrl-C to stop)" << std::endl;
 
   std::signal(SIGINT, on_signal);
@@ -105,11 +127,23 @@ int listen_mode(std::uint16_t port, double admit_rate) {
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--listen") == 0) {
-    const long p = argc > 2 ? std::atol(argv[2]) : 0;
+    // --expiry [resolution_ms] (default 1 ms) arms the lease subsystem;
+    // it may appear anywhere after --listen.
+    std::uint64_t expiry_ns = 0;
+    int npos = argc;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--expiry") == 0) {
+        const double ms = i + 1 < argc ? std::atof(argv[i + 1]) : 0.0;
+        expiry_ns = static_cast<std::uint64_t>((ms > 0.0 ? ms : 1.0) * 1e6);
+        npos = i;
+        break;
+      }
+    }
+    const long p = npos > 2 ? std::atol(argv[2]) : 0;
     // Optional per-node admission rate (ops/s): 0 disables the token
     // bucket.  Drive an overload run with ./kv_loadgen to watch sheds.
-    const double rate = argc > 3 ? std::atof(argv[3]) : 0.0;
-    return listen_mode(static_cast<std::uint16_t>(p), rate);
+    const double rate = npos > 3 ? std::atof(argv[3]) : 0.0;
+    return listen_mode(static_cast<std::uint16_t>(p), rate, expiry_ns);
   }
   const int clients = argc > 1 ? std::max(1, std::atoi(argv[1])) : 4;
   const int requests = argc > 2 ? std::max(1, std::atoi(argv[2])) : 2000;

@@ -1,0 +1,122 @@
+// ExpirySweeper: the background expiry writer.  One per NUMA node, driven
+// from the WorkerPool's low-priority maintenance lane (worker_pool.hpp):
+// workers call poll() when their queue runs empty and every few busy
+// iterations, so sweep debt stays bounded under sustained load without a
+// dedicated thread competing for CPU with the serving hot path.
+//
+// A poll harvests up to `sweep_batch` due leases from the node's
+// TimerWheel and deletes them through the map's bulk compare-and-erase —
+// one shard-lock *write* epoch per distinct shard per batch (the write-side
+// mirror of the cohort batch read path's ShardGroupScratch grouping), which
+// is exactly the bursty background-writer pressure E22 measures against the
+// writer-pref and phase-fair shard-lock regimes.
+//
+// Correctness split between the two version checks:
+//   wheel-level   harvest drops leases superseded inside the wheel
+//                 (rescheduled or cancelled) — they never reach the map.
+//   map-level     erase_if_version drops sweeps racing a rewrite that
+//                 happened after harvest — the rewrite bumped the entry's
+//                 version, so the stale sweep is a no-op (`stale_skips`).
+//
+// Concurrency: any worker on the node may call poll(); a TTAS claim flag
+// elects one sweeper at a time, so the scratch buffers are plain members
+// and the wheel's harvest scan never runs concurrently with itself.
+// Losers return immediately (the maintenance lane must never block).
+// All shared accesses are seq_cst (SC by default, DESIGN.md §2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/expiry/wheel.hpp"
+#include "src/harness/timing.hpp"
+
+namespace bjrw::expiry {
+
+struct SweeperStats {
+  std::uint64_t expired = 0;       // entries actually erased
+  std::uint64_t stale_skips = 0;   // map-level version-mismatch skips
+  std::uint64_t batches = 0;       // harvest batches executed
+  std::uint64_t polls = 0;         // polls that won the claim flag
+};
+
+template <class SubMap>
+class ExpirySweeper {
+ public:
+  ExpirySweeper(TimerWheel& wheel, SubMap& map, const ClockSource& clock,
+                std::size_t sweep_batch, std::size_t max_debt)
+      : wheel_(wheel),
+        map_(map),
+        clock_(clock),
+        sweep_batch_(sweep_batch == 0 ? 1 : sweep_batch),
+        max_debt_(max_debt) {}
+
+  ExpirySweeper(const ExpirySweeper&) = delete;
+  ExpirySweeper& operator=(const ExpirySweeper&) = delete;
+
+  // Maintenance-lane entry point.  Returns true if it swept anything (the
+  // pool then treats the lane as "did work" and defers parking).
+  bool poll(int tid) {
+    if (!wheel_.maybe_due(clock_.now_ns())) return false;
+    if (claim_.test_and_set()) return false;  // another worker is sweeping
+    bool worked = false;
+    do {
+      keys_.clear();
+      versions_.clear();
+      harvest_.clear();
+      const std::uint64_t now = clock_.now_ns();
+      if (wheel_.harvest(now, harvest_, sweep_batch_) == 0) break;
+      worked = true;
+      for (const Lease& l : harvest_) {
+        keys_.push_back(l.key);
+        versions_.push_back(l.version);
+      }
+      // One write-lock epoch per shard group for the whole batch.
+      const std::size_t erased = map_.erase_many_if_version(
+          tid, keys_.data(), versions_.data(), keys_.size());
+      expired_.fetch_add(erased);
+      stale_skips_.fetch_add(keys_.size() - erased);
+      batches_.fetch_add(1);
+      // Keep draining while the wheel's due backlog exceeds the debt
+      // ceiling; below it, leftovers wait for the next poll so one storm
+      // can't monopolize a worker.
+    } while (wheel_.due_backlog() > max_debt_);
+    polls_.fetch_add(1);
+    claim_.clear();
+    return worked;
+  }
+
+  SweeperStats stats() const {
+    SweeperStats s;
+    s.expired = expired_.load();
+    s.stale_skips = stale_skips_.load();
+    s.batches = batches_.load();
+    s.polls = polls_.load();
+    return s;
+  }
+
+  std::uint64_t expired() const { return expired_.load(); }
+  std::uint64_t stale_skips() const { return stale_skips_.load(); }
+  std::uint64_t sweep_batches() const { return batches_.load(); }
+
+ private:
+  TimerWheel& wheel_;
+  SubMap& map_;
+  const ClockSource& clock_;
+  const std::size_t sweep_batch_;
+  const std::size_t max_debt_;
+
+  std::atomic_flag claim_ = ATOMIC_FLAG_INIT;
+  // Scratch guarded by claim_: one sweeper at a time.
+  std::vector<Lease> harvest_;
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint64_t> versions_;
+
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> stale_skips_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> polls_{0};
+};
+
+}  // namespace bjrw::expiry

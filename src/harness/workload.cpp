@@ -66,16 +66,26 @@ ServeStream::ServeStream(const ServeMixConfig& cfg, std::uint64_t thread_salt,
   Xoshiro256 op_rng(cfg.seed ^ (thread_salt * 0xD1B54A32D192ED03ULL));
   ZipfianRanks ranks(cfg.num_keys, cfg.zipf_theta,
                      cfg.seed ^ (thread_salt * 0xA24BAED4963EE407ULL));
+  // The TTL coin has its own generator (drawn only on writes): flipping
+  // ttl_fraction on or off must not perturb the kind/key streams the
+  // comparison rows share.
+  Xoshiro256 ttl_rng(cfg.seed ^ (thread_salt * 0x9FB21C651E98DF25ULL));
   ops_.reserve(length);
   const auto threshold =
       static_cast<std::uint64_t>(cfg.read_fraction * 1e9);
+  const auto ttl_threshold =
+      static_cast<std::uint64_t>(cfg.ttl_fraction * 1e9);
   for (std::size_t i = 0; i < length; ++i) {
     const bool is_read = op_rng.below(1000000000ULL) < threshold;
-    ops_.push_back({is_read ? OpKind::kRead : OpKind::kWrite,
-                    scramble_rank(ranks.next(), cfg.num_keys)});
+    ServeOp op{is_read ? OpKind::kRead : OpKind::kWrite,
+               scramble_rank(ranks.next(), cfg.num_keys), 0};
+    if (!is_read && cfg.ttl_ns > 0 &&
+        ttl_rng.below(1000000000ULL) < ttl_threshold)
+      op.ttl_ns = cfg.ttl_ns;
+    ops_.push_back(op);
     reads_ += is_read ? 1 : 0;
   }
-  if (ops_.empty()) ops_.push_back({OpKind::kRead, 0});
+  if (ops_.empty()) ops_.push_back({OpKind::kRead, 0, 0});
 }
 
 std::uint64_t spin_work(std::uint32_t iterations, std::uint64_t salt) noexcept {

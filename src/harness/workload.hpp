@@ -82,11 +82,18 @@ struct ServeMixConfig {
   double zipf_theta = 0.99;          // YCSB default skew
   double read_fraction = 0.95;       // gets (single or batched) vs puts
   std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  // Lease knobs: a write becomes a TTL'd put with probability
+  // ttl_fraction, carrying ttl_ns.  The TTL decision draws from its own
+  // generator, so the kind/key streams are bit-identical whether leases
+  // are on or off — an expiry row and its baseline compare the same ops.
+  double ttl_fraction = 0.0;
+  std::uint64_t ttl_ns = 0;
 };
 
 struct ServeOp {
   OpKind kind;        // kRead = get, kWrite = put
   std::uint64_t key;  // scrambled zipfian-popular key
+  std::uint64_t ttl_ns = 0;  // > 0: this put attaches a lease
 };
 
 // Pre-generated serve stream (mirrors OpStream): draws happen outside the

@@ -37,6 +37,8 @@ struct Response {
   std::uint64_t value = 0;
   // kEraseResp
   bool erased = false;
+  // kTouchResp (v3+)
+  bool touched = false;
   // kGetManyResp
   std::vector<std::optional<std::uint64_t>> values;
   // kErrorResp
@@ -116,6 +118,20 @@ class KvClient {
     pack_get_many_req(out_, id, keys, n, version_);
     return id;
   }
+  // v3+ requests.  A client constructed with version < 3 may still call
+  // these (the frames pack fine) — the server will answer kUnknownType,
+  // which is exactly what the negotiation tests exercise.
+  std::uint64_t submit_put_ttl(std::uint64_t key, std::uint64_t value,
+                               std::uint64_t ttl_ns) {
+    const std::uint64_t id = next_id_++;
+    pack_put_ttl_req(out_, id, key, value, ttl_ns, version_);
+    return id;
+  }
+  std::uint64_t submit_touch(std::uint64_t key, std::uint64_t ttl_ns) {
+    const std::uint64_t id = next_id_++;
+    pack_touch_req(out_, id, key, ttl_ns, version_);
+    return id;
+  }
 
   bool flush() {
     while (!out_.empty()) {
@@ -181,6 +197,9 @@ class KvClient {
       case MsgType::kEraseResp:
         resp->erased = u.u8() != 0;
         break;
+      case MsgType::kTouchResp:
+        resp->touched = u.u8() != 0;
+        break;
       case MsgType::kGetManyResp: {
         const std::uint32_t n = u.u32();
         if (u.failed() || u.remaining() != static_cast<std::size_t>(n) * 9)
@@ -237,6 +256,21 @@ class KvClient {
     return flush() && recv_response(&r) && r.id == id &&
            r.type == MsgType::kEraseResp && r.status == WireStatus::kOk &&
            r.erased;
+  }
+
+  bool put_ttl(std::uint64_t key, std::uint64_t value, std::uint64_t ttl_ns) {
+    const std::uint64_t id = submit_put_ttl(key, value, ttl_ns);
+    Response r;
+    return flush() && recv_response(&r) && r.id == id &&
+           r.type == MsgType::kPutResp && r.status == WireStatus::kOk;
+  }
+
+  bool touch(std::uint64_t key, std::uint64_t ttl_ns) {
+    const std::uint64_t id = submit_touch(key, ttl_ns);
+    Response r;
+    return flush() && recv_response(&r) && r.id == id &&
+           r.type == MsgType::kTouchResp && r.status == WireStatus::kOk &&
+           r.touched;
   }
 
   // Returns the per-key results, or nullopt on transport/protocol failure

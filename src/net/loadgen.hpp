@@ -57,12 +57,14 @@ struct LoadgenResult {
 
 namespace detail {
 
-// One pre-generated wire request: either a get_many batch or a put.
+// One pre-generated wire request: either a get_many batch or a put
+// (TTL'd when the mix attached a lease to the op).
 struct WireOp {
   bool is_batch = false;
   std::vector<std::uint64_t> keys;  // batch
   std::uint64_t key = 0;            // put
   std::uint64_t value = 0;
+  std::uint64_t ttl_ns = 0;         // > 0: sent as kPutTtlReq (v3)
 };
 
 inline std::vector<WireOp> make_ops(const LoadgenConfig& cfg,
@@ -100,6 +102,7 @@ inline std::vector<WireOp> make_ops(const LoadgenConfig& cfg,
       WireOp w;
       w.key = op.key;
       w.value = static_cast<std::uint64_t>(i);
+      w.ttl_ns = op.ttl_ns;
       ops.push_back(std::move(w));
     }
   }
@@ -185,7 +188,8 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
                 ? client->submit_get_many(
                       w.keys.data(),
                       static_cast<std::uint32_t>(w.keys.size()))
-                : client->submit_put(w.key, w.value);
+            : w.ttl_ns > 0 ? client->submit_put_ttl(w.key, w.value, w.ttl_ns)
+                           : client->submit_put(w.key, w.value);
         if (!client->flush()) return false;
         in_flight.push_back({id, t0, next});
         ++next;

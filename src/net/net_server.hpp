@@ -383,12 +383,14 @@ class NetServer {
   using Handler = Handle (NetServer::*)(Connection&, std::uint64_t,
                                         Unpacker&);
 
-  static const DispatchEntry<Handler> (&dispatch_table())[4] {
-    static const DispatchEntry<Handler> table[4] = {
+  static const DispatchEntry<Handler> (&dispatch_table())[6] {
+    static const DispatchEntry<Handler> table[6] = {
         {MsgType::kGetReq, "get", &NetServer::on_get},
         {MsgType::kPutReq, "put", &NetServer::on_put},
         {MsgType::kEraseReq, "erase", &NetServer::on_erase},
         {MsgType::kGetManyReq, "get_many", &NetServer::on_get_many},
+        {MsgType::kPutTtlReq, "put_ttl", &NetServer::on_put_ttl, 3},
+        {MsgType::kTouchReq, "touch", &NetServer::on_touch, 3},
     };
     return table;
   }
@@ -433,8 +435,12 @@ class NetServer {
       }
       c.peer_version = h.version;
       const auto* entry = dispatch_lookup(dispatch_table(), h.type);
-      if (entry == nullptr) {
-        // Frame boundary is intact: answer and keep the connection.
+      if (entry == nullptr || h.version < entry->min_version) {
+        // No entry, or a type newer than the minor the peer declared: to
+        // that minor the type does not exist, so both cases answer with
+        // the same kUnknownType — the frame boundary is intact, so the
+        // connection keeps going (a down-negotiated peer cannot smuggle
+        // v3-only requests through).
         protocol_error(c, idx, h.request_id, ErrorCode::kUnknownType,
                        "no dispatch entry for message type",
                        /*close=*/false);
@@ -494,6 +500,8 @@ class NetServer {
     c.free_slots.pop_back();
     s->req.reset();
     s->req.out = nullptr;
+    s->req.ttl_ns = 0;  // reset() keeps client-owned fields; a recycled
+                        // put_ttl slot must not leak its TTL into a plain put
     s->id = id;
     s->resp_type = resp_type;
     s->admit = serve::AdmitResult::kAccepted;
@@ -615,6 +623,40 @@ class NetServer {
     return Handle::kOk;
   }
 
+  // v3+: a put carrying a lease TTL.  Same response type as a plain put —
+  // the KvServer attaches the lease when expiry is enabled and silently
+  // stores a plain value otherwise (the knob is server policy, not a
+  // protocol guarantee).
+  Handle on_put_ttl(Connection& c, std::uint64_t id, Unpacker& u) {
+    const std::uint64_t key = u.u64();
+    const std::uint64_t value = u.u64();
+    const std::uint64_t ttl = u.u64();
+    if (u.failed() || !u.exhausted()) return malformed(c, id);
+    Slot* s = take_slot(c, id, MsgType::kPutResp);
+    if (!s) return Handle::kNoSlot;
+    s->req.kind = serve::RequestKind::kPut;
+    s->req.key = key;
+    s->req.value = value;
+    s->req.ttl_ns = ttl;
+    submit_slot(c, s);
+    return Handle::kOk;
+  }
+
+  // v3+: extend an existing key's lease.  `touched` is false when the key
+  // is absent, already expired, or the server has expiry disabled.
+  Handle on_touch(Connection& c, std::uint64_t id, Unpacker& u) {
+    const std::uint64_t key = u.u64();
+    const std::uint64_t ttl = u.u64();
+    if (u.failed() || !u.exhausted()) return malformed(c, id);
+    Slot* s = take_slot(c, id, MsgType::kTouchResp);
+    if (!s) return Handle::kNoSlot;
+    s->req.kind = serve::RequestKind::kTouch;
+    s->req.key = key;
+    s->req.ttl_ns = ttl;
+    submit_slot(c, s);
+    return Handle::kOk;
+  }
+
   Handle on_get_many(Connection& c, std::uint64_t id, Unpacker& u) {
     const std::uint32_t n = u.u32();
     // The count must agree with the frame length before any allocation
@@ -714,6 +756,15 @@ class NetServer {
           pack_refusal(c, s);
         } else {
           pack_erase_resp(c.wbuf, s.id,
+                          s.req.hits.load(std::memory_order_relaxed) != 0,
+                          v);
+        }
+        break;
+      case MsgType::kTouchResp:
+        if (refused) {
+          pack_refusal(c, s);
+        } else {
+          pack_touch_resp(c.wbuf, s.id,
                           s.req.hits.load(std::memory_order_relaxed) != 0,
                           v);
         }

@@ -49,7 +49,13 @@ inline constexpr std::uint32_t kMagic = 0x424A5257;  // "BJRW"
 // v2: data responses gain a leading u8 status (WireStatus) carrying the
 // server's AdmitResult; v1 frames have no status byte and shed maps to
 // kErrorResp(kBackpressure).
-inline constexpr std::uint16_t kVersion = 2;
+// v3: lease/TTL message types (kPutTtlReq, kTouchReq, kTouchResp).  Pure
+// type additions — every v1/v2 frame layout is untouched, so OK-path
+// frames for old minors stay byte-identical.  The new request types are
+// *version-gated*: a peer whose header declares < v3 sending them gets
+// kErrorResp(kUnknownType), exactly as if its minor had never heard of
+// them (DispatchEntry::min_version).
+inline constexpr std::uint16_t kVersion = 3;
 inline constexpr std::uint16_t kMinVersion = 1;
 
 // Frame length prefix (u32) + fixed message header.
@@ -67,12 +73,15 @@ enum class MsgType : std::uint16_t {
   kPutReq = 1,      // body: u64 key | u64 value
   kEraseReq = 2,    // body: u64 key
   kGetManyReq = 3,  // body: u32 count | count * u64 key
+  kPutTtlReq = 4,   // v3+  body: u64 key | u64 value | u64 ttl_ns
+  kTouchReq = 5,    // v3+  body: u64 key | u64 ttl_ns
   // Responses (server -> client).
   kGetResp = 16,      // body: u8 found | u64 value (0 when absent)
-  kPutResp = 17,      // body: (empty)
+  kPutResp = 17,      // body: (empty) — also answers kPutTtlReq
   kEraseResp = 18,    // body: u8 erased
   kGetManyResp = 19,  // body: u32 count | count * (u8 found | u64 value)
   kErrorResp = 20,    // body: u16 code | u16 detail_len | detail bytes
+  kTouchResp = 21,    // v3+  body: u8 touched
 };
 
 enum class ErrorCode : std::uint16_t {
@@ -295,6 +304,31 @@ inline void pack_get_many_req(PackBuffer& b, std::uint64_t id,
   b.end_frame(at);
 }
 
+// v3+: put with an attached lease TTL.  Answered with a plain kPutResp —
+// the response vocabulary is unchanged, only the request carries more.
+inline void pack_put_ttl_req(PackBuffer& b, std::uint64_t id,
+                             std::uint64_t key, std::uint64_t value,
+                             std::uint64_t ttl_ns,
+                             std::uint16_t version = kVersion) {
+  const std::size_t at = b.begin_frame();
+  pack_header(b, MsgType::kPutTtlReq, id, version);
+  b.put_u64(key);
+  b.put_u64(value);
+  b.put_u64(ttl_ns);
+  b.end_frame(at);
+}
+
+// v3+: extend an existing key's lease.
+inline void pack_touch_req(PackBuffer& b, std::uint64_t id, std::uint64_t key,
+                           std::uint64_t ttl_ns,
+                           std::uint16_t version = kVersion) {
+  const std::size_t at = b.begin_frame();
+  pack_header(b, MsgType::kTouchReq, id, version);
+  b.put_u64(key);
+  b.put_u64(ttl_ns);
+  b.end_frame(at);
+}
+
 // --- response bodies (server packs, client unpacks) --------------------------
 //
 // Data responses are packed in the *peer's* version: v1 bodies are the
@@ -330,6 +364,18 @@ inline void pack_erase_resp(PackBuffer& b, std::uint64_t id, bool erased,
   b.end_frame(at);
 }
 
+// v3+ only (kTouchReq is version-gated, so the status-byte branch is
+// always taken in practice; the `version >= 2` guard keeps the helper
+// uniform with its siblings).
+inline void pack_touch_resp(PackBuffer& b, std::uint64_t id, bool touched,
+                            std::uint16_t version = kVersion) {
+  const std::size_t at = b.begin_frame();
+  pack_header(b, MsgType::kTouchResp, id, version);
+  if (version >= 2) b.put_u8(static_cast<std::uint8_t>(WireStatus::kOk));
+  b.put_u8(touched ? 1 : 0);
+  b.end_frame(at);
+}
+
 // v2-only refusal frame: the response type the request would have gotten,
 // carrying just the non-kOk status (no payload — nothing was executed).
 inline void pack_status_resp(PackBuffer& b, MsgType type, std::uint64_t id,
@@ -360,11 +406,17 @@ inline void pack_error_resp(PackBuffer& b, std::uint64_t id, ErrorCode code,
 // switch-casing, so adding a message type is one row + one handler, and
 // the wire test can assert every request type is reachable.  `Handler` is
 // an opaque tag the server instantiates with its member-function type.
+// `min_version` gates version-dependent request types: a peer whose header
+// declares an older minor gets the same kErrorResp(kUnknownType) it would
+// get for a type that minor never defined — down-negotiated connections
+// cannot smuggle newer requests.  The NSDMI keeps three-field aggregate
+// initializers (the pre-v3 table rows) compiling unchanged.
 template <class Handler>
 struct DispatchEntry {
   MsgType type;
   const char* name;
   Handler handler;
+  std::uint16_t min_version = kMinVersion;
 };
 
 template <class Handler, std::size_t N>

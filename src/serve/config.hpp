@@ -21,6 +21,10 @@
 #include <stdexcept>
 #include <string>
 
+namespace bjrw {
+class ClockSource;  // src/harness/timing.hpp
+}
+
 namespace bjrw::serve {
 
 // How an idle elastic worker waits for work (DESIGN.md §12).
@@ -72,6 +76,27 @@ struct ServeConfig {
   // beyond the high-water mark is deferred with AdmitResult::kQueueFull
   // (the caller may retry; nothing was enqueued).  0 disables the check.
   std::size_t queue_high_water = 0;
+
+  // ---- lease expiry (src/expiry/, DESIGN.md §13) ----------------------------
+  // Off by default: put_with_ttl/touch require expiry_enabled, and the map
+  // skips the read-path lease filter entirely when it is off.
+  bool expiry_enabled = false;
+  // Timer-wheel tick: leases may deliver up to one resolution early (floor
+  // rounding) and one late (lazy cascade), never more.
+  std::uint64_t expiry_resolution_ns = 1'000'000;  // 1ms
+  std::size_t expiry_wheel_slots = 256;  // per level; power of two
+  int expiry_wheel_levels = 3;           // spans slots^levels * resolution
+  // Leases harvested + erased per sweep batch (one shard-group write epoch
+  // each).  1 is the per-item control arm E22 measures against.
+  std::size_t expiry_sweep_batch = 128;
+  // Debt ceiling: a maintenance poll keeps draining batches while the due
+  // backlog exceeds this; below it, leftovers wait for the next poll so a
+  // storm cannot monopolize a worker.
+  std::size_t expiry_max_debt = 4096;
+  // Lease-time source; nullptr = steady clock.  Tests inject a VirtualClock
+  // to drive wheel cascade and sweep choreography tick-by-tick.  Not owned;
+  // must outlive the server.
+  const ClockSource* expiry_clock = nullptr;
 
   // ---- fluent validated setters ---------------------------------------------
 
@@ -126,6 +151,31 @@ struct ServeConfig {
     queue_high_water = depth;
     return *this;
   }
+  // Arms the expiry subsystem: wheel resolution, sweep batch, and the max
+  // sweep-debt ceiling (0 debt = drain fully every poll).
+  ServeConfig& with_expiry(std::uint64_t resolution_ns,
+                           std::size_t sweep_batch = 128,
+                           std::size_t max_debt = 4096) {
+    if (resolution_ns == 0) fail("expiry_resolution_ns must be > 0");
+    if (sweep_batch < 1) fail("expiry_sweep_batch must be >= 1");
+    expiry_enabled = true;
+    expiry_resolution_ns = resolution_ns;
+    expiry_sweep_batch = sweep_batch;
+    expiry_max_debt = max_debt;
+    return *this;
+  }
+  ServeConfig& with_expiry_wheel(std::size_t slots, int levels) {
+    if (slots < 2 || (slots & (slots - 1)) != 0)
+      fail("expiry_wheel_slots must be a power of two >= 2");
+    if (levels < 1 || levels > 8) fail("expiry_wheel_levels must be in [1, 8]");
+    expiry_wheel_slots = slots;
+    expiry_wheel_levels = levels;
+    return *this;
+  }
+  ServeConfig& with_expiry_clock(const ClockSource* clock) {
+    expiry_clock = clock;
+    return *this;
+  }
 
   // Effective bucket depth once the 0-means-derived rule is applied.
   std::size_t effective_admit_burst() const {
@@ -144,6 +194,15 @@ struct ServeConfig {
     if (queue_capacity < 2) fail("queue_capacity must be >= 2");
     if (park_grace_ns == 0) fail("park_grace_ns must be > 0");
     if (admit_rate < 0.0) fail("admit_rate must be >= 0");
+    if (expiry_enabled) {
+      if (expiry_resolution_ns == 0) fail("expiry_resolution_ns must be > 0");
+      if (expiry_sweep_batch < 1) fail("expiry_sweep_batch must be >= 1");
+      if (expiry_wheel_slots < 2 ||
+          (expiry_wheel_slots & (expiry_wheel_slots - 1)) != 0)
+        fail("expiry_wheel_slots must be a power of two >= 2");
+      if (expiry_wheel_levels < 1 || expiry_wheel_levels > 8)
+        fail("expiry_wheel_levels must be in [1, 8]");
+    }
     return *this;
   }
 

@@ -101,9 +101,13 @@ class NumaShardedMap {
   // `node_local_alloc=false` is the node-oblivious baseline (everything
   // constructed by the calling thread — E18's control arm).  Valid tids for
   // all member functions are [0, topology.cpu_count()).
+  // `clock` (optional) is forwarded to every sub-map to arm lazy lease
+  // expiry on the read path (see ShardedMap); nullptr keeps leases
+  // unfiltered.
   explicit NumaShardedMap(const Topology& topo,
                           std::size_t shards_per_node = 8,
-                          bool node_local_alloc = true)
+                          bool node_local_alloc = true,
+                          const ClockSource* clock = nullptr)
       : topo_(topo),
         placement_(topo_, shards_per_node),
         node_local_alloc_(node_local_alloc),
@@ -113,7 +117,7 @@ class NumaShardedMap {
     const std::size_t spn = shards_per_node < 1 ? 1 : shards_per_node;
     if (!node_local_alloc_) {
       for (int d = 0; d < nodes; ++d)
-        submaps_[idx(d)] = std::make_unique<SubMap>(max_threads_, spn);
+        submaps_[idx(d)] = std::make_unique<SubMap>(max_threads_, spn, clock);
       return;
     }
     // First-touch: one builder thread per node, pinned to the node's first
@@ -134,9 +138,9 @@ class NumaShardedMap {
       // node — the same node worker_pool.hpp routes its execution to.
       const int home = topo_.cpus_in_node(d) > 0 ? d : topo_.nearest_cpu_node(d);
       const int tid = home >= 0 ? first_tid[idx(home)] : 0;
-      builders.emplace_back([this, d, tid, spn] {
+      builders.emplace_back([this, d, tid, spn, clock] {
         (void)topo_.pin_this_thread(tid);
-        submaps_[idx(d)] = std::make_unique<SubMap>(max_threads_, spn);
+        submaps_[idx(d)] = std::make_unique<SubMap>(max_threads_, spn, clock);
       });
     }
     for (auto& t : builders) t.join();
@@ -171,6 +175,22 @@ class NumaShardedMap {
   }
   bool erase(int tid, const Key& key) {
     return sub_map(node_of_key(key)).erase(tid, key);
+  }
+
+  // Routed lease operations (see ShardedMap for semantics).  The expiry
+  // runtime (server.hpp) resolves the owning node once and goes through
+  // sub_map() directly; these are the direct-call conveniences.
+  std::uint64_t put_versioned(int tid, const Key& key, Value value,
+                              std::uint64_t expire_at_ns) {
+    return sub_map(node_of_key(key))
+        .put_versioned(tid, key, std::move(value), expire_at_ns);
+  }
+  std::optional<std::uint64_t> touch_version(int tid, const Key& key,
+                                             std::uint64_t expire_at_ns) {
+    return sub_map(node_of_key(key)).touch_version(tid, key, expire_at_ns);
+  }
+  bool erase_if_version(int tid, const Key& key, std::uint64_t version) {
+    return sub_map(node_of_key(key)).erase_if_version(tid, key, version);
   }
 
   // Groups `keys[0..n)` by owning node: `order` receives the key indices
@@ -252,6 +272,7 @@ class NumaShardedMap {
       total.misses += s.misses;
       total.puts += s.puts;
       total.erases += s.erases;
+      total.expired_reads += s.expired_reads;
     }
     return total;
   }

@@ -63,8 +63,9 @@ constexpr const char* to_string(AdmitResult r) {
 enum class RequestKind : std::uint8_t {
   kGet,       // point lookup of keys[0]
   kGetBatch,  // bulk lookup of keys[0..key_count)
-  kPut,       // upsert key -> value
+  kPut,       // upsert key -> value (ttl_ns > 0 attaches a lease)
   kErase,     // remove key
+  kTouch,     // extend key's lease by ttl_ns (expiry-enabled servers only)
 };
 
 // One client request.  For kGet/kGetBatch the client points `keys` at its
@@ -77,8 +78,11 @@ struct Request {
   const std::uint64_t* keys = nullptr;
   std::uint32_t key_count = 0;
   std::optional<std::uint64_t>* out = nullptr;  // optional per-key results
-  std::uint64_t key = 0;    // kPut/kErase
+  std::uint64_t key = 0;    // kPut/kErase/kTouch
   std::uint64_t value = 0;  // kPut
+  // Lease TTL relative to execution time; 0 = no lease.  Read for kPut
+  // (put_with_ttl) and kTouch on expiry-enabled servers, ignored otherwise.
+  std::uint64_t ttl_ns = 0;
 
   // --- filled by the runtime -------------------------------------------------
   // Key indices grouped by owning node (server-side scratch; SubRequests

@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "src/core/locks.hpp"
+#include "src/expiry/sweeper.hpp"
+#include "src/expiry/wheel.hpp"
 #include "src/harness/stats.hpp"
 #include "src/harness/timing.hpp"
 #include "src/harness/topology.hpp"
@@ -62,6 +64,12 @@ struct NodeServeStats {
   std::uint64_t handoffs = 0;
   std::uint64_t global_acquires = 0;
   std::uint64_t preempt_aborts = 0;
+  // Lease expiry (src/expiry/; all 0 unless cfg.expiry_enabled).
+  std::uint64_t leases_scheduled = 0;   // TTL puts + touches wheeled here
+  std::uint64_t leases_cancelled = 0;   // explicit cancels (erase of leased key)
+  std::uint64_t leases_expired = 0;     // entries the sweep actually erased
+  std::uint64_t lease_stale_skips = 0;  // superseded leases dropped, wheel+map
+  std::uint64_t sweep_batches = 0;      // harvest batches the sweeper ran
 };
 
 template <ReaderWriterLock Lock = CohortWriterPriorityLock>
@@ -71,11 +79,18 @@ class KvServer {
 
   explicit KvServer(const Topology& topo, ServeConfig cfg = {})
       : cfg_(cfg.validate()),
-        map_(topo, cfg_.shards_per_node, cfg_.node_local_alloc),
+        clock_(cfg_.expiry_enabled
+                   ? (cfg_.expiry_clock ? cfg_.expiry_clock
+                                        : &SteadyClockSource::instance())
+                   : nullptr),
+        map_(topo, cfg_.shards_per_node, cfg_.node_local_alloc, clock_),
         worker_stats_(std::make_unique<WorkerStats[]>(
             static_cast<std::size_t>(map_.max_threads()))),
         admit_(std::make_unique<AdmitState[]>(
             static_cast<std::size_t>(map_.node_count()))),
+        wheels_(make_wheels()),
+        sweepers_(make_sweepers()),
+        sweep_targets_(make_sweep_targets(topo)),
         pool_(make_pool(topo, cfg_)) {
     if (cfg_.admit_rate > 0.0) {
       // Buckets start full so startup bursts are not penalized.
@@ -285,6 +300,34 @@ class KvServer {
     r.wait();
   }
 
+  // Leased put: the entry expires ttl_ns after execution unless rewritten,
+  // touched, or erased first.  Requires cfg.expiry_enabled (a plain put is
+  // performed otherwise — the TTL is ignored, matching the wire protocol's
+  // down-negotiation rule).
+  void put_with_ttl(std::uint64_t key, std::uint64_t value,
+                    std::uint64_t ttl_ns) {
+    Request r;
+    r.kind = RequestKind::kPut;
+    r.key = key;
+    r.value = value;
+    r.ttl_ns = ttl_ns;
+    submit(&r);
+    r.wait();
+  }
+
+  // Extends `key`'s lease to ttl_ns from execution time without touching
+  // the value.  False when the key is absent, already lease-expired, or
+  // expiry is disabled (touch never resurrects).
+  bool touch(std::uint64_t key, std::uint64_t ttl_ns) {
+    Request r;
+    r.kind = RequestKind::kTouch;
+    r.key = key;
+    r.ttl_ns = ttl_ns;
+    submit(&r);
+    r.wait();
+    return r.hits.load(std::memory_order_relaxed) != 0;
+  }
+
   bool erase(std::uint64_t key) {
     Request r;
     r.kind = RequestKind::kErase;
@@ -339,6 +382,22 @@ class KvServer {
   int pinned_workers() const { return pool_.pinned_workers(); }
   int workers_per_node() const { return pool_.workers_per_node(); }
   int min_width() const { return pool_.min_width(); }
+  bool expiry_enabled() const { return cfg_.expiry_enabled; }
+  // Direct wheel access for tests (nullptr when expiry is off).
+  const expiry::TimerWheel* wheel(int node) const {
+    return cfg_.expiry_enabled ? wheels_[idx(node)].get() : nullptr;
+  }
+
+  // The lease counters only, safe to poll while workers run: they are
+  // backed by the wheel's spinlock and the sweeper's atomics.  (The full
+  // node_stats() additionally aggregates plain per-worker stripes and
+  // per-shard cohort counters, which are exact — and race-free — only at
+  // quiescence; tests that watch the sweep make progress poll this.)
+  NodeServeStats lease_stats(int node) const {
+    NodeServeStats out;
+    fill_lease_stats(out, node);
+    return out;
+  }
 
   // Exact once the traffic it describes has completed: the completing
   // worker records its latency sample (and every other stripe field)
@@ -377,10 +436,25 @@ class KvServer {
         out.preempt_aborts += l.preempt_aborts();
       }
     }
+    fill_lease_stats(out, node);
     return out;
   }
 
  private:
+  void fill_lease_stats(NodeServeStats& out, int node) const {
+    if (!cfg_.expiry_enabled) return;
+    const expiry::WheelStats w = wheels_[idx(node)]->stats();
+    out.leases_scheduled = w.scheduled;
+    out.leases_cancelled = w.cancelled;
+    out.leases_expired = sweepers_[idx(node)]->expired();
+    // Both guards defend the same invariant at different stages: the
+    // wheel drops superseded leases at harvest, the map's compare-and-
+    // erase drops sweeps racing a later rewrite.
+    out.lease_stale_skips =
+        w.stale_drops + sweepers_[idx(node)]->stale_skips();
+    out.sweep_batches = sweepers_[idx(node)]->sweep_batches();
+  }
+
   static constexpr bool kLockHasCohortCounters =
       requires(const Lock& l) {
         { l.handoffs() } -> std::convertible_to<std::uint64_t>;
@@ -406,24 +480,82 @@ class KvServer {
     std::atomic<std::uint64_t> deferred{0};
   };
 
+  // One timer wheel + sweeper per node when expiry is armed (both vectors
+  // empty otherwise).  Built strictly before pool_ in declaration order —
+  // workers may run the maintenance lane the moment they spawn.
+  std::vector<std::unique_ptr<expiry::TimerWheel>> make_wheels() {
+    std::vector<std::unique_ptr<expiry::TimerWheel>> wheels;
+    if (!cfg_.expiry_enabled) return wheels;
+    expiry::WheelConfig wc;
+    wc.resolution_ns = cfg_.expiry_resolution_ns;
+    wc.slots = cfg_.expiry_wheel_slots;
+    wc.levels = cfg_.expiry_wheel_levels;
+    const std::uint64_t start = clock_->now_ns();
+    wheels.reserve(static_cast<std::size_t>(map_.node_count()));
+    for (int d = 0; d < map_.node_count(); ++d)
+      wheels.push_back(std::make_unique<expiry::TimerWheel>(wc, start));
+    return wheels;
+  }
+
+  std::vector<std::unique_ptr<expiry::ExpirySweeper<typename Map::SubMap>>>
+  make_sweepers() {
+    std::vector<std::unique_ptr<expiry::ExpirySweeper<typename Map::SubMap>>>
+        sweepers;
+    if (!cfg_.expiry_enabled) return sweepers;
+    sweepers.reserve(static_cast<std::size_t>(map_.node_count()));
+    for (int d = 0; d < map_.node_count(); ++d)
+      sweepers.push_back(
+          std::make_unique<expiry::ExpirySweeper<typename Map::SubMap>>(
+              *wheels_[idx(d)], map_.sub_map(d), *clock_,
+              cfg_.expiry_sweep_batch, cfg_.expiry_max_debt));
+    return sweepers;
+  }
+
+  // sweep_targets_[exec] lists the nodes whose wheels node `exec`'s workers
+  // poll — each node sweeps itself, plus any memory-only node whose
+  // execution the pool routes here (same nearest-CPU rule as WorkerPool).
+  std::vector<std::vector<int>> make_sweep_targets(const Topology& topo) {
+    std::vector<std::vector<int>> targets;
+    if (!cfg_.expiry_enabled) return targets;
+    targets.resize(static_cast<std::size_t>(topo.node_count()));
+    for (int d = 0; d < topo.node_count(); ++d) {
+      const int exec =
+          topo.cpus_in_node(d) > 0 ? d : topo.nearest_cpu_node(d);
+      targets[idx(exec >= 0 ? exec : d)].push_back(d);
+    }
+    return targets;
+  }
+
   // Picks the worker-loop shape at construction: burst == 0 keeps the
   // historical per-item pop/execute path, anything else installs the
   // burst handler (guaranteed copy elision — WorkerPool is immovable).
+  // The expiry sweep rides the pool's low-priority maintenance lane.
   WorkerPool<SubRequest> make_pool(const Topology& topo,
                                    const ServeConfig& cfg) {
+    typename WorkerPool<SubRequest>::MaintenanceHandler maint;
+    if (cfg.expiry_enabled) {
+      maint = [this](int tid, int node) {
+        bool worked = false;
+        for (const int d : sweep_targets_[idx(node)])
+          worked = sweepers_[idx(d)]->poll(tid) || worked;
+        return worked;
+      };
+    }
     if (cfg.burst == 0)
       return WorkerPool<SubRequest>(
           topo, cfg,
           typename WorkerPool<SubRequest>::Handler(
               [this](int tid, int node, SubRequest& s) {
                 execute(tid, node, s);
-              }));
+              }),
+          std::move(maint));
     return WorkerPool<SubRequest>(
         topo, cfg,
         typename WorkerPool<SubRequest>::BurstHandler(
             [this](int tid, int node, SubRequest* items, std::size_t n) {
               execute_burst(tid, node, items, n);
-            }));
+            }),
+        std::move(maint));
   }
 
   int dispatch_node(int owner) {
@@ -506,12 +638,36 @@ class KvServer {
     WorkerStats& ws = worker_stats_[idx(tid)];
     switch (req->kind) {
       case RequestKind::kPut:
-        map_.put(tid, req->key, req->value);
+        if (cfg_.expiry_enabled && req->ttl_ns > 0) {
+          // Map first, wheel second: a lease is scheduled only after the
+          // versioned entry it guards is visible.  Out-of-order schedules
+          // from racing TTL puts are benign — the sweep's compare-and-
+          // erase defers to the entry's (lock-ordered) version, and the
+          // read-path filter enforces the entry's own deadline either way.
+          const std::uint64_t deadline = clock_->now_ns() + req->ttl_ns;
+          const std::uint64_t ver = map_.sub_map(s.owner).put_versioned(
+              tid, req->key, req->value, deadline);
+          wheels_[idx(s.owner)]->schedule(req->key, ver, deadline);
+        } else {
+          map_.put(tid, req->key, req->value);
+        }
+        ws.ops += 1;
+        break;
+      case RequestKind::kTouch:
+        if (cfg_.expiry_enabled && req->ttl_ns > 0) {
+          const std::uint64_t deadline = clock_->now_ns() + req->ttl_ns;
+          if (const auto ver = map_.sub_map(s.owner).touch_version(
+                  tid, req->key, deadline)) {
+            wheels_[idx(s.owner)]->schedule(req->key, *ver, deadline);
+            req->hits.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
         ws.ops += 1;
         break;
       case RequestKind::kErase:
         if (map_.erase(tid, req->key))
           req->hits.fetch_add(1, std::memory_order_relaxed);
+        if (cfg_.expiry_enabled) wheels_[idx(s.owner)]->cancel(req->key);
         ws.ops += 1;
         break;
       case RequestKind::kGet: {
@@ -634,9 +790,17 @@ class KvServer {
   }
 
   ServeConfig cfg_;
+  // Lease-time source (null when expiry is off); not owned.
+  const ClockSource* clock_;
   Map map_;
   std::unique_ptr<WorkerStats[]> worker_stats_;  // indexed by pool tid
   std::unique_ptr<AdmitState[]> admit_;          // indexed by node
+  // Expiry state, one per node; empty vectors when expiry is off.  Declared
+  // before pool_: workers poll the sweepers from the maintenance lane.
+  std::vector<std::unique_ptr<expiry::TimerWheel>> wheels_;
+  std::vector<std::unique_ptr<expiry::ExpirySweeper<typename Map::SubMap>>>
+      sweepers_;
+  std::vector<std::vector<int>> sweep_targets_;  // exec node -> swept nodes
   alignas(64) std::atomic<std::uint64_t> rr_{0};  // oblivious round-robin
   WorkerPool<SubRequest> pool_;  // last member: workers see the rest built
 };

@@ -272,16 +272,28 @@ class WorkerPool {
   // handler runs it to completion before the next poll.
   using BurstHandler =
       std::function<void(int tid, int node, Item* items, std::size_t n)>;
+  // Low-priority maintenance lane (the expiry sweep rides here): invoked by
+  // a worker when its queue polls empty, and every kMaintenanceStride
+  // successful polls under sustained load so maintenance debt stays bounded
+  // when the queue never runs dry.  Returns true when it did work — the
+  // worker then defers parking the way real work does.  Must never block;
+  // not called once shutdown starts draining.
+  using MaintenanceHandler = std::function<bool(int tid, int node)>;
 
   // The pool consumes the pool-geometry and elasticity fields of the
   // consolidated ServeConfig (config.hpp); validate() throws on nonsense.
-  WorkerPool(const Topology& topo, const ServeConfig& cfg, Handler handler)
-      : topo_(topo), handler_(std::move(handler)) {
+  WorkerPool(const Topology& topo, const ServeConfig& cfg, Handler handler,
+             MaintenanceHandler maintenance = {})
+      : topo_(topo),
+        handler_(std::move(handler)),
+        maintenance_(std::move(maintenance)) {
     init(cfg.validate());
   }
   WorkerPool(const Topology& topo, const ServeConfig& cfg,
-             BurstHandler handler)
-      : topo_(topo), burst_handler_(std::move(handler)) {
+             BurstHandler handler, MaintenanceHandler maintenance = {})
+      : topo_(topo),
+        burst_handler_(std::move(handler)),
+        maintenance_(std::move(maintenance)) {
     init(cfg.validate());
   }
 
@@ -494,6 +506,7 @@ class WorkerPool {
     std::vector<Item> batch(burst_mode ? burst_ : 0);
     Item item;
     std::uint64_t idle_since = 0;  // 0: queue was non-empty at last poll
+    std::uint32_t polls_since_maint = 0;
     for (;;) {
       if (burst_mode) {
         const std::size_t k = n.queue->try_pop_bulk(batch.data(), burst_);
@@ -502,12 +515,14 @@ class WorkerPool {
           n.executed.fetch_add(k, std::memory_order_relaxed);
           n.bursts.fetch_add(1, std::memory_order_relaxed);
           idle_since = 0;
+          maintenance_stride(tid, d, &polls_since_maint);
           continue;
         }
       } else if (n.queue->try_pop(&item)) {
         handler_(tid, d, item);
         n.executed.fetch_add(1, std::memory_order_relaxed);
         idle_since = 0;
+        maintenance_stride(tid, d, &polls_since_maint);
         continue;
       }
       // Empty right now.  Exit only once, after observing stopping, the
@@ -530,6 +545,12 @@ class WorkerPool {
         if (n.submitting.load(std::memory_order_seq_cst) == 0 &&
             n.queue->drained())
           return;
+      } else if (maintenance_ && maintenance_(tid, d)) {
+        // The lane did work: treat it like a non-empty poll so an elastic
+        // worker does not park mid-sweep.  (Skipped once stopping: a
+        // steady maintenance trickle must not stall the shutdown drain.)
+        idle_since = 0;
+        continue;
       }
       if (may_park) {
         const std::uint64_t t = now_ns();
@@ -543,6 +564,17 @@ class WorkerPool {
       }
       YieldSpin::relax();
     }
+  }
+
+  // Busy-path maintenance pacing: under sustained load the queue never
+  // polls empty, so the lane is also run every kMaintenanceStride
+  // successful polls — cheap counter upkeep on the hot path, and the
+  // sweeper's own fast-path hint makes a no-work call a single load.
+  void maintenance_stride(int tid, int d, std::uint32_t* polls) {
+    if (!maintenance_) return;
+    if (++*polls < kMaintenanceStride) return;
+    *polls = 0;
+    maintenance_(tid, d);
   }
 
   // Parks this worker on the node's wake epoch until a submitter or
@@ -586,9 +618,12 @@ class WorkerPool {
     n.wakes.fetch_add(1, std::memory_order_relaxed);
   }
 
+  static constexpr std::uint32_t kMaintenanceStride = 32;
+
   const Topology topo_;
   Handler handler_;
   BurstHandler burst_handler_;
+  MaintenanceHandler maintenance_;
   int workers_per_node_ = 1;  // spawned (elastic ceiling) after CPU clamp
   int min_width_ = 1;         // committed floor: these never park
   std::size_t burst_ = 1;

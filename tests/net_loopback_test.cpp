@@ -7,6 +7,7 @@
 // stress matrix also runs this binary under ThreadSanitizer.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -345,6 +346,89 @@ TEST(NetLoopback, ConcurrentClientsSeeEachOthersWrites) {
   }
   EXPECT_GE(lb.net.connections_accepted(), static_cast<std::uint64_t>(
                                                kClients + 1));
+}
+
+TEST(NetLoopback, TtlPutAndTouchRoundtripOverTheWire) {
+  // v3 client against an expiry-enabled server: put_ttl answers with a
+  // plain kPutResp, touch with kTouchResp, and a short lease actually
+  // expires (real steady clock; generous poll window).
+  Loopback lb(NetServerConfig{},
+              Loopback::server_config().with_expiry(
+                  /*resolution_ns=*/1'000'000));
+  ASSERT_TRUE(lb.net.ok());
+  KvClient c = lb.client();
+
+  // Long lease: serves normally, touch succeeds.
+  ASSERT_TRUE(c.put_ttl(5, 50, /*ttl_ns=*/60'000'000'000ULL));
+  EXPECT_EQ(c.get(5).value_or(0), 50u);
+  EXPECT_TRUE(c.touch(5, 60'000'000'000ULL));
+  EXPECT_FALSE(c.touch(999, 1'000'000'000ULL));  // absent: touched=false
+
+  // Short lease: the key disappears within the poll window.
+  ASSERT_TRUE(c.put_ttl(6, 60, /*ttl_ns=*/20'000'000ULL));  // 20ms
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool gone = false;
+  while (!gone && std::chrono::steady_clock::now() < deadline) {
+    gone = !c.get(6).has_value();
+    if (!gone) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(gone) << "20ms lease still served after 10s";
+  EXPECT_EQ(c.get(5).value_or(0), 50u);  // the long lease is untouched
+}
+
+TEST(NetLoopback, VersionNegotiationMatrix) {
+  // Every client minor x the current server: OK-path ops round-trip for
+  // all of them, and the v3-only request types are refused with
+  // kUnknownType for peers whose declared minor predates them — exactly
+  // as if the type had never existed — without dropping the connection.
+  Loopback lb(NetServerConfig{},
+              Loopback::server_config().with_expiry(1'000'000));
+  ASSERT_TRUE(lb.net.ok());
+  for (std::uint16_t version = kMinVersion; version <= kVersion; ++version) {
+    SCOPED_TRACE("client minor " + std::to_string(version));
+    KvClient c = lb.client(version);
+    ASSERT_TRUE(c.ok());
+    const std::uint64_t key = 1000 + version;
+
+    // The pre-v3 vocabulary round-trips identically in every minor.
+    EXPECT_TRUE(c.put(key, version));
+    EXPECT_EQ(c.get(key).value_or(0), version);
+    EXPECT_TRUE(c.erase(key));
+
+    // The v3-only types: gated on the peer's declared minor.  The key is
+    // seeded with a live lease first (v3 only) so the pipelined touch's
+    // outcome does not depend on execution order across workers.
+    if (version >= 3) {
+      ASSERT_TRUE(c.put_ttl(key, 7, 1'000'000'000ULL));
+    }
+    const std::uint64_t ttl_id = c.submit_put_ttl(key, 7, 1'000'000'000ULL);
+    const std::uint64_t touch_id = c.submit_touch(key, 1'000'000'000ULL);
+    ASSERT_TRUE(c.flush());
+    for (int i = 0; i < 2; ++i) {
+      Response r;
+      ASSERT_TRUE(c.recv_response(&r));
+      if (version < 3) {
+        EXPECT_EQ(r.type, MsgType::kErrorResp);
+        EXPECT_EQ(r.error_code, ErrorCode::kUnknownType);
+        EXPECT_TRUE(r.id == ttl_id || r.id == touch_id);
+      } else if (r.id == ttl_id) {
+        EXPECT_EQ(r.type, MsgType::kPutResp);
+        EXPECT_EQ(r.status, WireStatus::kOk);
+      } else {
+        EXPECT_EQ(r.id, touch_id);
+        EXPECT_EQ(r.type, MsgType::kTouchResp);
+        EXPECT_TRUE(r.touched);  // the put_ttl just ahead of it landed
+      }
+    }
+    // Down-negotiated refusal left the connection healthy, and a refused
+    // put_ttl executed nothing.
+    if (version < 3) {
+      EXPECT_FALSE(c.get(key).has_value());
+    }
+    EXPECT_TRUE(c.put(key + 50, 1));
+    EXPECT_EQ(c.get(key + 50).value_or(0), 1u);
+  }
 }
 
 TEST(NetLoopback, StopDrainsInFlightAndRefusesNewConnections) {

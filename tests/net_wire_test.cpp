@@ -281,6 +281,121 @@ TEST(Wire, DispatchTableFindsEveryRequestTypeAndRejectsOthers) {
   EXPECT_EQ(dispatch_lookup(table, static_cast<MsgType>(999)), nullptr);
 }
 
+
+// --- v3 lease/TTL additions --------------------------------------------------
+
+TEST(Wire, V3RequestAndResponseBodiesRoundtrip) {
+  MsgHeader h;
+  ErrorCode err;
+  {
+    PackBuffer b;
+    pack_put_ttl_req(b, 30, 5, 500, 1'000'000);
+    EXPECT_EQ(frame_len(b), kHeaderSize + 3 * 8);
+    Unpacker u = payload_of(b);
+    ASSERT_TRUE(unpack_header(u, &h, &err));
+    EXPECT_EQ(h.type, MsgType::kPutTtlReq);
+    EXPECT_EQ(h.version, kVersion);
+    EXPECT_EQ(u.u64(), 5u);
+    EXPECT_EQ(u.u64(), 500u);
+    EXPECT_EQ(u.u64(), 1'000'000u);
+    EXPECT_TRUE(u.exhausted());
+  }
+  {
+    PackBuffer b;
+    pack_touch_req(b, 31, 9, 2'000'000);
+    Unpacker u = payload_of(b);
+    ASSERT_TRUE(unpack_header(u, &h, &err));
+    EXPECT_EQ(h.type, MsgType::kTouchReq);
+    EXPECT_EQ(u.u64(), 9u);
+    EXPECT_EQ(u.u64(), 2'000'000u);
+    EXPECT_TRUE(u.exhausted());
+  }
+  {
+    PackBuffer b;
+    pack_touch_resp(b, 32, true);
+    Unpacker u = payload_of(b);
+    ASSERT_TRUE(unpack_header(u, &h, &err));
+    EXPECT_EQ(h.type, MsgType::kTouchResp);
+    EXPECT_EQ(u.u8(), static_cast<std::uint8_t>(WireStatus::kOk));
+    EXPECT_EQ(u.u8(), 1u);
+    EXPECT_TRUE(u.exhausted());
+  }
+}
+
+// The v3 compatibility bar: every v1 and v2 OK-path frame must be byte-
+// for-byte identical to what those minors produced before the bump.  The
+// expected buffers are written out longhand — golden bytes, not a second
+// copy of the packer — so a layout regression cannot hide behind a shared
+// helper.
+TEST(Wire, OldMinorOkPathFramesAreByteIdenticalGoldens) {
+  const auto golden = [](std::uint16_t version, MsgType type,
+                         std::uint64_t id,
+                         const std::vector<std::uint8_t>& body) {
+    std::vector<std::uint8_t> f;
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(kHeaderSize + body.size());
+    for (int s = 24; s >= 0; s -= 8)
+      f.push_back(static_cast<std::uint8_t>(len >> s));
+    for (int s = 24; s >= 0; s -= 8)
+      f.push_back(static_cast<std::uint8_t>(kMagic >> s));
+    f.push_back(static_cast<std::uint8_t>(version >> 8));
+    f.push_back(static_cast<std::uint8_t>(version));
+    const auto t = static_cast<std::uint16_t>(type);
+    f.push_back(static_cast<std::uint8_t>(t >> 8));
+    f.push_back(static_cast<std::uint8_t>(t));
+    for (int s = 56; s >= 0; s -= 8)
+      f.push_back(static_cast<std::uint8_t>(id >> s));
+    f.insert(f.end(), body.begin(), body.end());
+    return f;
+  };
+  const auto expect_bytes = [](const PackBuffer& b,
+                               const std::vector<std::uint8_t>& want) {
+    ASSERT_EQ(b.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+      ASSERT_EQ(b.data()[i], want[i]) << "byte " << i;
+  };
+  {
+    // v1 get response: u8 found | u64 value — no status byte.
+    PackBuffer b;
+    pack_get_resp(b, 0x0102030405060708ULL, true, 0x0A, 1);
+    expect_bytes(b, golden(1, MsgType::kGetResp, 0x0102030405060708ULL,
+                           {1, 0, 0, 0, 0, 0, 0, 0, 0x0A}));
+  }
+  {
+    // v1 put response: empty body.
+    PackBuffer b;
+    pack_put_resp(b, 2, 1);
+    expect_bytes(b, golden(1, MsgType::kPutResp, 2, {}));
+  }
+  {
+    // v2 erase response: u8 status | u8 erased.
+    PackBuffer b;
+    pack_erase_resp(b, 3, true, 2);
+    expect_bytes(b, golden(2, MsgType::kEraseResp, 3, {0, 1}));
+  }
+  {
+    // kErrorResp layout is frozen across every minor.
+    PackBuffer b;
+    pack_error_resp(b, 4, ErrorCode::kUnknownType, "x", 3);
+    expect_bytes(b, golden(3, MsgType::kErrorResp, 4, {0, 3, 0, 1, 'x'}));
+  }
+}
+
+TEST(Wire, DispatchEntryMinVersionDefaultsAndGates) {
+  using Handler = int;
+  // Three-field aggregate init (the pre-v3 rows) keeps compiling and
+  // defaults to kMinVersion; the fourth field gates newer types.
+  const DispatchEntry<Handler> table[] = {
+      {MsgType::kGetReq, "get", 1},
+      {MsgType::kPutTtlReq, "put_ttl", 2, 3},
+      {MsgType::kTouchReq, "touch", 3, 3},
+  };
+  EXPECT_EQ(dispatch_lookup(table, MsgType::kGetReq)->min_version,
+            kMinVersion);
+  EXPECT_EQ(dispatch_lookup(table, MsgType::kPutTtlReq)->min_version, 3);
+  EXPECT_EQ(dispatch_lookup(table, MsgType::kTouchReq)->min_version, 3);
+}
+
 TEST(Wire, PackBufferConsumeDropsLeadingBytesOnly) {
   PackBuffer b;
   b.put_u32(0xAABBCCDD);

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <thread>
 #include <string>
 #include <utility>
 #include <vector>
@@ -9,6 +11,7 @@
 #include "src/extras/sharded_map.hpp"
 #include "src/harness/prng.hpp"
 #include "src/harness/thread_coord.hpp"
+#include "src/harness/timing.hpp"
 
 namespace bjrw {
 namespace {
@@ -279,6 +282,146 @@ TEST(ShardedMap, GetManyTakesEachShardLockOncePerBatch) {
     ASSERT_TRUE(got_large[i].has_value());
     EXPECT_EQ(*got_large[i], large[i]);
   }
+}
+
+
+// --- lease / versioning (src/expiry/ integration surface) --------------------
+
+TEST(ShardedMapLease, PutVersionedStampsMonotoneVersions) {
+  ShardedMap<std::uint64_t, int> m(1, /*shards=*/1);
+  const std::uint64_t v1 = m.put_versioned(0, 1, 10, /*expire_at_ns=*/100);
+  const std::uint64_t v2 = m.put_versioned(0, 1, 11, 200);
+  EXPECT_GT(v2, v1);
+  const auto lease = m.lease_of(0, 1);
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lease->first, v2);
+  EXPECT_EQ(lease->second, 200u);
+}
+
+TEST(ShardedMapLease, EraseIfVersionComparesExactly) {
+  ShardedMap<std::uint64_t, int> m(1);
+  const std::uint64_t ver = m.put_versioned(0, 5, 50, 100);
+  EXPECT_FALSE(m.erase_if_version(0, 5, ver + 1));  // wrong version: no-op
+  EXPECT_FALSE(m.erase_if_version(0, 99, ver));     // absent key: no-op
+  EXPECT_TRUE(m.contains(0, 5));
+  EXPECT_TRUE(m.erase_if_version(0, 5, ver));
+  EXPECT_FALSE(m.contains(0, 5));
+  EXPECT_FALSE(m.erase_if_version(0, 5, ver));  // already gone
+}
+
+// The regression the expiry subsystem hangs on: a key REWRITTEN after its
+// expiry was scheduled must never be deleted by the stale sweep.  Every
+// mutation path (plain put, update, touch_version, put_versioned) bumps
+// the version, so the sweep's compare-and-erase misses.
+TEST(ShardedMapLease, RacingRewriteIsNeverStaleDeleted) {
+  ShardedMap<std::uint64_t, int> m(1);
+  const std::uint64_t stale = m.put_versioned(0, 7, 70, 100);
+
+  m.put(0, 7, 71);  // plain rewrite: version bump + lease cleared
+  EXPECT_FALSE(m.erase_if_version(0, 7, stale));
+  EXPECT_EQ(m.get(0, 7).value_or(0), 71);
+  EXPECT_EQ(m.lease_of(0, 7)->second, 0u);  // plain put cleared the lease
+
+  const std::uint64_t v2 = m.put_versioned(0, 7, 72, 500);
+  m.update(0, 7, [](int& v) { v = 73; });  // update path bumps too
+  EXPECT_FALSE(m.erase_if_version(0, 7, v2));
+  EXPECT_EQ(m.get(0, 7).value_or(0), 73);
+
+  const std::uint64_t v3 = m.put_versioned(0, 7, 74, 500);
+  const auto v4 = m.touch_version(0, 7, 900);  // touch path bumps too
+  ASSERT_TRUE(v4.has_value());
+  EXPECT_GT(*v4, v3);
+  EXPECT_FALSE(m.erase_if_version(0, 7, v3));
+  EXPECT_TRUE(m.erase_if_version(0, 7, *v4));  // the live version erases
+}
+
+TEST(ShardedMapLease, EraseManyIfVersionTakesOneLockPerShardGroup) {
+  ShardedMap<std::uint64_t, int> m(1, /*shards=*/4);
+  std::vector<std::uint64_t> keys, vers;
+  for (std::uint64_t k = 0; k < 40; ++k) {
+    keys.push_back(k);
+    vers.push_back(m.put_versioned(0, k, static_cast<int>(k), 100));
+  }
+  // Half the batch goes stale: rewrite every even key.
+  for (std::uint64_t k = 0; k < 40; k += 2) m.put(0, k, -1);
+  const std::size_t erased =
+      m.erase_many_if_version(0, keys.data(), vers.data(), keys.size());
+  EXPECT_EQ(erased, 20u);
+  for (std::uint64_t k = 0; k < 40; ++k)
+    EXPECT_EQ(m.contains(0, k), k % 2 == 0) << "key " << k;
+  EXPECT_EQ(m.erase_many_if_version(0, keys.data(), vers.data(), 0), 0u);
+}
+
+TEST(ShardedMapLease, ReadPathFiltersExpiredEntriesUnderVirtualClock) {
+  VirtualClock clock(1000);
+  ShardedMap<std::uint64_t, int> m(1, /*shards=*/4, &clock);
+  m.put_versioned(0, 1, 10, /*expire_at_ns=*/2000);
+  m.put(0, 2, 20);  // no lease: immortal
+
+  EXPECT_EQ(m.get(0, 1).value_or(0), 10);
+  clock.set(1999);
+  EXPECT_TRUE(m.contains(0, 1));
+  clock.set(2000);  // deadline is exclusive: expire_at <= now is dead
+  EXPECT_FALSE(m.get(0, 1).has_value());
+  EXPECT_FALSE(m.contains(0, 1));
+  EXPECT_EQ(m.get(0, 2).value_or(0), 20);  // unleased entry unaffected
+  // The entry is still physically present (lazy expiry); the read was
+  // counted as an expired read and as a miss.
+  EXPECT_TRUE(m.lease_of(0, 1).has_value());
+  const MapStats s = m.stats();
+  EXPECT_GE(s.expired_reads, 2u);
+  // get_many filters the same way.
+  const auto got = m.get_many(0, {1, 2});
+  EXPECT_FALSE(got[0].has_value());
+  EXPECT_TRUE(got[1].has_value());
+  // for_each skips expired entries too.
+  std::size_t seen = 0;
+  m.for_each(0, [&](std::uint64_t k, int) {
+    EXPECT_EQ(k, 2u);
+    ++seen;
+  });
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(ShardedMapLease, TouchNeverResurrectsAnExpiredEntry) {
+  VirtualClock clock(0);
+  ShardedMap<std::uint64_t, int> m(1, /*shards=*/2, &clock);
+  m.put_versioned(0, 3, 30, 100);
+  clock.set(100);
+  EXPECT_FALSE(m.touch_version(0, 3, 500).has_value());
+  EXPECT_FALSE(m.get(0, 3).has_value());
+  EXPECT_FALSE(m.touch_version(0, 999, 500).has_value());  // absent key
+  // A fresh put revives the key (new version, new lease).
+  m.put_versioned(0, 3, 31, 500);
+  EXPECT_EQ(m.get(0, 3).value_or(0), 31);
+}
+
+TEST(ShardedMapLease, ConcurrentRewritersAlwaysBeatStaleSweeps) {
+  // Hammer the race the regression bar names: one thread keeps rewriting a
+  // key set, another keeps firing stale compare-and-erases with versions
+  // captured before the rewrites.  No live value may ever disappear.
+  constexpr std::uint64_t kKeys = 16;
+  constexpr int kRounds = 2000;
+  ShardedMap<std::uint64_t, std::uint64_t> m(2, /*shards=*/4);
+  std::vector<std::uint64_t> stale_vers(kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k)
+    stale_vers[k] = m.put_versioned(0, k, k, 1);
+  std::atomic<bool> go{false};
+  std::thread sweeper([&] {
+    while (!go.load()) {}
+    std::vector<std::uint64_t> keys(kKeys);
+    for (std::uint64_t k = 0; k < kKeys; ++k) keys[k] = k;
+    for (int r = 0; r < kRounds; ++r)
+      m.erase_many_if_version(1, keys.data(), stale_vers.data(), kKeys);
+  });
+  go.store(true);
+  for (int r = 0; r < kRounds; ++r)
+    for (std::uint64_t k = 0; k < kKeys; ++k) m.put(0, k, k + 1);
+  sweeper.join();
+  // Every key was rewritten (version bumped) before the sweeps ran their
+  // stale versions, so nothing may have been deleted.
+  for (std::uint64_t k = 0; k < kKeys; ++k)
+    EXPECT_EQ(m.get(0, k).value_or(0), k + 1) << "key " << k;
 }
 
 }  // namespace
