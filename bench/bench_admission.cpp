@@ -122,6 +122,8 @@ ArmResult run_arm(BenchContext& ctx, const serve::ServeConfig& scfg,
         case serve::AdmitResult::kQueueFull:
           ++my_def;
           break;
+        case serve::AdmitResult::kDeadlineExceeded:
+          break;  // unreachable: these arms send no deadlines
         case serve::AdmitResult::kShutdown:
           break;  // unreachable: the pool outlives the drivers
       }

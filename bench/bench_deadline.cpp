@@ -1,0 +1,205 @@
+// E23 (DESIGN.md §14): end-to-end deadlines under overload, measured — the
+// same pipelined point-get flood against a deliberately narrow KvServer
+// (one worker per node, deep queue) in two arms:
+//
+//   none      requests carry no deadline: everything admitted is eventually
+//             served, but under overload much of it is served *after* the
+//             notional budget — wasted work from the caller's perspective.
+//   enforced  every request carries deadline_ns = submit + budget: work
+//             whose budget expired while queued is dropped at dequeue
+//             (never executed), so worker time concentrates on requests
+//             that can still make their deadline.
+//
+// goodput counts only completions within the budget of their own submit;
+// the enforced arm's goodput should meet or beat the none arm's because
+// dropped work frees the worker for still-viable requests.  The dropped /
+// drops_srv columns reconcile the client view (Request::dropped observed
+// after wait()) against the server view (NodeServeStats::deadline_drops) —
+// they must agree exactly, or completions are being misattributed.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/core/locks.hpp"
+#include "src/harness/table.hpp"
+#include "src/harness/thread_coord.hpp"
+#include "src/harness/timing.hpp"
+#include "src/harness/topology.hpp"
+#include "src/harness/workload.hpp"
+#include "src/serve/request.hpp"
+#include "src/serve/server.hpp"
+
+namespace bjrw::bench {
+namespace {
+
+constexpr int kNodes = 2;
+constexpr int kCpusPerNode = 4;
+constexpr std::uint64_t kPreload = 1 << 13;
+constexpr std::uint64_t kBudgetNs = 600'000;  // 600us per-request budget
+constexpr std::size_t kWindow = 256;          // pipelined submits per client
+
+struct SimCohortWp2x4 : CohortMwWriterPrefLock<> {
+  explicit SimCohortWp2x4(int n)
+      : CohortMwWriterPrefLock<>(n,
+                                 Topology::simulated(kNodes, kCpusPerNode)) {}
+};
+
+using Server = serve::KvServer<SimCohortWp2x4>;
+
+struct ArmResult {
+  std::uint64_t requests = 0;    // submitted
+  std::uint64_t completed = 0;   // executed to completion
+  std::uint64_t within = 0;      // completed within their own budget
+  std::uint64_t refused = 0;     // kDeadlineExceeded at the admission edge
+  std::uint64_t dropped = 0;     // client view: Request::dropped after wait
+  std::uint64_t drops_srv = 0;   // server view: NodeServeStats::deadline_drops
+  double wall_s = 0.0;
+  Summary lat;  // completed requests: submit -> latch release
+};
+
+ArmResult run_arm(BenchContext& ctx, bool enforce) {
+  const Topology topo = Topology::simulated(kNodes, kCpusPerNode);
+  // One worker per node + a deep queue: the flood below queues far more
+  // than a worker can serve inside the budget, which is the regime where
+  // the two arms diverge.
+  Server server(topo, serve::ServeConfig{}
+                          .with_workers(1)
+                          .with_pin(false)
+                          .with_queue_capacity(4096));
+  ServeMixConfig mix;
+  mix.seed = ctx.params().seed;
+  mix.read_fraction = 1.0;  // point gets: uniform, cheap, droppable
+  for (std::uint64_t k = 0; k < kPreload; ++k)
+    server.map().put(0, scramble_rank(k, mix.num_keys), k);
+
+  const std::size_t clients =
+      static_cast<std::size_t>(ctx.params().threads);
+  const std::size_t per_client =
+      static_cast<std::size_t>(ctx.scaled_iters(300));
+  std::vector<ServeStream> streams;
+  streams.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c)
+    streams.emplace_back(mix, static_cast<std::uint64_t>(c), per_client);
+
+  std::atomic<std::uint64_t> requests{0}, completed{0}, within{0},
+      refused{0}, dropped{0};
+  std::mutex mu;
+  std::vector<double> latencies;
+  Stopwatch sw;
+  run_threads(clients, [&](std::size_t c) {
+    std::uint64_t my_req = 0, my_done = 0, my_within = 0, my_ref = 0,
+                  my_drop = 0;
+    std::vector<double> local;
+    local.reserve(per_client);
+    // A pipelined window: submit kWindow requests without waiting, then
+    // drain — queue depth ~ clients x kWindow, far past what the narrow
+    // pool serves inside kBudgetNs.
+    std::vector<serve::Request> win(kWindow);
+    std::vector<std::uint64_t> keys(kWindow);
+    std::vector<std::uint64_t> t0(kWindow);
+    std::vector<bool> queued(kWindow);
+    std::size_t i = 0;
+    while (i < per_client) {
+      const std::size_t n = std::min(kWindow, per_client - i);
+      for (std::size_t w = 0; w < n; ++w) {
+        serve::Request& r = win[w];
+        r.reset();
+        keys[w] = streams[c].at(i + w).key;
+        r.kind = serve::RequestKind::kGet;
+        r.keys = &keys[w];
+        r.key_count = 1;
+        r.out = nullptr;
+        t0[w] = now_ns();
+        r.deadline_ns = enforce ? t0[w] + kBudgetNs : 0;
+        ++my_req;
+        const serve::AdmitResult a = server.submit(&r);
+        queued[w] = a == serve::AdmitResult::kAccepted;
+        if (a == serve::AdmitResult::kDeadlineExceeded) ++my_ref;
+      }
+      for (std::size_t w = 0; w < n; ++w) {
+        if (!queued[w]) continue;
+        win[w].wait();
+        const std::uint64_t t1 = now_ns();
+        if (win[w].dropped.load(std::memory_order_relaxed) != 0) {
+          ++my_drop;
+          continue;
+        }
+        ++my_done;
+        const std::uint64_t lat_ns = t1 - t0[w];
+        if (lat_ns <= kBudgetNs) ++my_within;
+        local.push_back(static_cast<double>(lat_ns));
+      }
+      i += n;
+    }
+    requests.fetch_add(my_req);
+    completed.fetch_add(my_done);
+    within.fetch_add(my_within);
+    refused.fetch_add(my_ref);
+    dropped.fetch_add(my_drop);
+    const std::lock_guard<std::mutex> g(mu);
+    latencies.insert(latencies.end(), local.begin(), local.end());
+  });
+  ArmResult r;
+  r.wall_s = sw.elapsed_s();
+  server.shutdown();
+  for (int d = 0; d < server.node_count(); ++d)
+    r.drops_srv += server.node_stats(d).deadline_drops;
+  r.requests = requests.load();
+  r.completed = completed.load();
+  r.within = within.load();
+  r.refused = refused.load();
+  r.dropped = dropped.load();
+  r.lat = summarize(std::move(latencies));
+  return r;
+}
+
+void report(BenchContext& ctx, Table& t, const std::string& name,
+            const ArmResult& r) {
+  const double goodput = static_cast<double>(r.within) / r.wall_s / 1e3;
+  t.add_row({name, std::to_string(r.requests), std::to_string(r.completed),
+             std::to_string(r.within), std::to_string(r.dropped),
+             std::to_string(r.drops_srv), std::to_string(r.refused),
+             Table::cell(goodput, 1), Table::cell(r.lat.p50 / 1e3, 1),
+             Table::cell(r.lat.p99 / 1e3, 1)});
+  ctx.row(name)
+      .metric("threads", ctx.params().threads)
+      .metric("requests", static_cast<double>(r.requests))
+      .metric("completed", static_cast<double>(r.completed))
+      .metric("within_budget", static_cast<double>(r.within))
+      .metric("dropped_client", static_cast<double>(r.dropped))
+      .metric("dropped_server", static_cast<double>(r.drops_srv))
+      .metric("refused_edge", static_cast<double>(r.refused))
+      .metric("goodput_kops_per_s", goodput)
+      .metric("lat_p50_us", r.lat.p50 / 1e3)
+      .metric("lat_p99_us", r.lat.p99 / 1e3);
+}
+
+void run(BenchContext& ctx) {
+  std::cout << "E23: served-within-budget goodput under overload, "
+               "no-deadline vs enforced deadlines\n"
+            << ctx.params().threads << " clients x "
+            << ctx.scaled_iters(300) << " point gets each, pipelined "
+            << kWindow << " deep, budget " << kBudgetNs / 1000
+            << "us, 1 worker/node on a simulated " << kNodes << "x"
+            << kCpusPerNode << " topology.\n"
+               "dropped (client view) must equal drops_srv (server view).\n\n";
+  Table t({"arm", "requests", "completed", "within", "dropped", "drops_srv",
+           "refused", "goodput_kops", "p50_us", "p99_us"});
+  report(ctx, t, "deadline/overload/none", run_arm(ctx, false));
+  report(ctx, t, "deadline/overload/enforced", run_arm(ctx, true));
+  t.print(std::cout);
+}
+
+BJRW_BENCH("deadline",
+           "E23: no-deadline vs enforced-deadline goodput under a pipelined "
+           "overload flood (dequeue drops reconciled client vs server)",
+           run);
+
+}  // namespace
+}  // namespace bjrw::bench

@@ -8,7 +8,8 @@
 // Run:
 //   ./kv_server --listen 7711         # terminal 1
 //   ./kv_loadgen 7711 [connections] [depth] [requests_per_conn] [read_frac]
-//                [--ttl <fraction> <ttl_ms>]
+//                [--ttl <fraction> <ttl_ms>] [--timeout <ms>]
+//                [--deadline <ms>] [--retries <n>]
 //
 // --ttl F M turns fraction F of the puts into TTL'd puts (wire v3
 // kPutTtlReq) with an M-millisecond lease — the expiry-storm driver for a
@@ -16,6 +17,13 @@
 // set BJRW_TEST_SEED to override the seed, so two runs (with or without
 // --ttl: the TTL coin has its own generator) replay the identical
 // kind/key stream.
+//
+// --timeout M bounds each wire round trip at M milliseconds (a hung or
+// wedged server costs M, not forever); --deadline M attaches an M-ms
+// deadline budget to every request (wire v4) so the server refuses or
+// drops work it cannot finish in time; --retries N allows each op N total
+// attempts with jittered exponential backoff on shed/queue-full refusals
+// (deadline refusals are never retried — the budget is already gone).
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -31,23 +39,43 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: kv_loadgen <port> [connections] [depth] "
                  "[requests_per_conn] [read_fraction] "
-                 "[--ttl <fraction> <ttl_ms>]\n";
+                 "[--ttl <fraction> <ttl_ms>] [--timeout <ms>] "
+                 "[--deadline <ms>] [--retries <n>]\n";
     return 2;
   }
   bjrw::net::LoadgenConfig cfg;
   // Flags first (they may appear after the positionals), then positionals.
   int npos = argc;
   for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') continue;
+    if (npos == argc) npos = i;  // positionals stop at the first flag
+    const auto need = [&](int extra, const char* what) {
+      if (i + extra < argc) return true;
+      std::cerr << "kv_loadgen: " << argv[i] << " needs " << what << "\n";
+      return false;
+    };
     if (std::strcmp(argv[i], "--ttl") == 0) {
-      if (i + 2 >= argc) {
-        std::cerr << "kv_loadgen: --ttl needs <fraction> <ttl_ms>\n";
-        return 2;
-      }
+      if (!need(2, "<fraction> <ttl_ms>")) return 2;
       cfg.mix.ttl_fraction = std::atof(argv[i + 1]);
       cfg.mix.ttl_ns =
           static_cast<std::uint64_t>(std::atof(argv[i + 2]) * 1e6);
-      npos = i;
-      break;
+      i += 2;
+    } else if (std::strcmp(argv[i], "--timeout") == 0) {
+      if (!need(1, "<ms>")) return 2;
+      cfg.op_timeout_ms = static_cast<std::uint64_t>(std::atol(argv[i + 1]));
+      i += 1;
+    } else if (std::strcmp(argv[i], "--deadline") == 0) {
+      if (!need(1, "<ms>")) return 2;
+      cfg.deadline_budget_ns =
+          static_cast<std::uint64_t>(std::atof(argv[i + 1]) * 1e6);
+      i += 1;
+    } else if (std::strcmp(argv[i], "--retries") == 0) {
+      if (!need(1, "<n>")) return 2;
+      cfg.retry.max_attempts = std::atoi(argv[i + 1]);
+      i += 1;
+    } else {
+      std::cerr << "kv_loadgen: unknown flag " << argv[i] << "\n";
+      return 2;
     }
   }
   cfg.port = static_cast<std::uint16_t>(std::atol(argv[1]));
@@ -65,7 +93,12 @@ int main(int argc, char** argv) {
   if (cfg.mix.ttl_fraction > 0.0 && cfg.mix.ttl_ns > 0)
     std::cout << ", ttl " << cfg.mix.ttl_fraction << " x "
               << static_cast<double>(cfg.mix.ttl_ns) / 1e6 << " ms";
-  std::cout << "\n";
+  if (cfg.op_timeout_ms > 0)
+    std::cout << ", timeout " << cfg.op_timeout_ms << " ms";
+  if (cfg.deadline_budget_ns > 0)
+    std::cout << ", deadline "
+              << static_cast<double>(cfg.deadline_budget_ns) / 1e6 << " ms";
+  std::cout << ", attempts " << cfg.retry.max_attempts << "\n";
 
   bjrw::net::LoadgenResult res = bjrw::net::run_loadgen(cfg);
   if (!res.ok) {
@@ -78,11 +111,14 @@ int main(int argc, char** argv) {
   const double ops = static_cast<double>(res.ops) / res.wall_s;
 
   bjrw::Table t({"requests", "rps", "kops_per_s", "hits", "shed", "deferred",
-                 "errors", "p50_us", "p99_us", "max_us"});
+                 "deadline", "retries", "timeouts", "errors", "p50_us",
+                 "p99_us", "max_us"});
   t.add_row({std::to_string(res.requests), bjrw::Table::cell(rps, 0),
              bjrw::Table::cell(ops / 1e3, 1), std::to_string(res.hits),
              std::to_string(res.shed), std::to_string(res.deferred),
-             std::to_string(res.errors), bjrw::Table::cell(lat.p50 / 1e3, 1),
+             std::to_string(res.deadline), std::to_string(res.retries),
+             std::to_string(res.timeouts), std::to_string(res.errors),
+             bjrw::Table::cell(lat.p50 / 1e3, 1),
              bjrw::Table::cell(lat.p99 / 1e3, 1),
              bjrw::Table::cell(lat.max / 1e3, 1)});
   t.print(std::cout);

@@ -49,13 +49,15 @@ void on_signal(int) { g_stop.store(true); }
 void print_node_stats(
     bjrw::serve::KvServer<bjrw::CohortWriterPriorityLock>& server) {
   bjrw::Table t({"node", "sub_requests", "ops", "shed", "deferred",
-                 "lat_mean_us", "lat_max_us", "handoffs", "global_acquires",
-                 "preempt_aborts"});
+                 "ddl_refused", "ddl_drops", "lat_mean_us", "lat_max_us",
+                 "handoffs", "global_acquires", "preempt_aborts"});
   for (int d = 0; d < server.node_count(); ++d) {
     const bjrw::serve::NodeServeStats ns = server.node_stats(d);
     t.add_row({std::to_string(d), std::to_string(ns.sub_requests),
                std::to_string(ns.ops), std::to_string(ns.shed),
                std::to_string(ns.deferred),
+               std::to_string(ns.deadline_refused),
+               std::to_string(ns.deadline_drops),
                bjrw::Table::cell(ns.latency_mean_ns / 1e3, 1),
                bjrw::Table::cell(ns.latency_max_ns / 1e3, 1),
                std::to_string(ns.handoffs),

@@ -1,0 +1,226 @@
+// Deterministic fault injection for the transport layer (src/net/).
+//
+// Every byte NetServer and KvClient move crosses two free functions below —
+// transport_read / transport_send — which normally degenerate to the plain
+// syscalls (send always carries MSG_NOSIGNAL: a peer that closed mid-
+// response must surface as EPIPE, not kill the process).  Installing a
+// FaultInjector swaps in a seeded schedule of the failure modes a real
+// datacenter path produces:
+//
+//   * short reads / short writes  — the kernel hands back fewer bytes than
+//     asked, so framing code must resume mid-frame (split frames fall out
+//     of short writes; coalesced frames out of pipelined flushes),
+//   * delayed I/O                 — a stalled peer, bounded by delay_ns,
+//   * connection resets           — the stream dies at a *chosen byte
+//     offset*, in either direction, via a real shutdown(2) so both ends
+//     observe it.
+//
+// Determinism: every decision comes from a per-stream xoshiro256** chain
+// seeded from FaultPlan::seed (route it through test_seed() to honor
+// BJRW_TEST_SEED replay), and streams are numbered by first-use order under
+// the injector lock — single-connection tests replay bit-for-bit.  The
+// decision step (plan_read/plan_write) is separated from the I/O step so
+// tests can verify schedules without touching a socket.
+#pragma once
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/harness/prng.hpp"
+
+namespace bjrw {
+
+// The seeded failure schedule.  Probabilities are per transport call;
+// offsets count bytes actually moved on that stream in that direction
+// (0 = the fault is disabled).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double short_read_prob = 0.0;   // clamp a read to a random shorter length
+  double short_write_prob = 0.0;  // clamp a write likewise
+  double delay_prob = 0.0;        // stall the call before the syscall
+  std::uint64_t delay_ns = 0;     // stall duration
+  std::size_t min_chunk = 1;      // shortest clamped transfer
+  std::uint64_t reset_read_at = 0;   // shutdown() once reads reach this
+  std::uint64_t reset_write_at = 0;  // shutdown() once writes reach this
+};
+
+class FaultInjector {
+ public:
+  // What one transport call should do, decided before any I/O happens.
+  struct Decision {
+    bool reset = false;    // fail with ECONNRESET after shutting the fd down
+    bool delayed = false;  // sleep plan.delay_ns first
+    std::size_t len = 0;   // bytes to request from the kernel
+  };
+
+  explicit FaultInjector(FaultPlan plan) : plan_(plan) {}
+
+  Decision plan_read(int fd, std::size_t want) {
+    return decide(fd, want, /*is_read=*/true);
+  }
+  Decision plan_write(int fd, std::size_t want) {
+    return decide(fd, want, /*is_read=*/false);
+  }
+
+  ssize_t read(int fd, void* buf, std::size_t n) {
+    const Decision d = plan_read(fd, n);
+    if (d.reset) {
+      ::shutdown(fd, SHUT_RDWR);
+      resets_.fetch_add(1, std::memory_order_relaxed);
+      errno = ECONNRESET;
+      return -1;
+    }
+    if (d.delayed) stall();
+    const ssize_t r = ::read(fd, buf, d.len);
+    if (r > 0) account(fd, static_cast<std::uint64_t>(r), /*is_read=*/true);
+    return r;
+  }
+
+  ssize_t send(int fd, const void* buf, std::size_t n) {
+    const Decision d = plan_write(fd, n);
+    if (d.reset) {
+      ::shutdown(fd, SHUT_RDWR);
+      resets_.fetch_add(1, std::memory_order_relaxed);
+      errno = ECONNRESET;
+      return -1;
+    }
+    if (d.delayed) stall();
+    const ssize_t r = ::send(fd, buf, d.len, MSG_NOSIGNAL);
+    if (r > 0) account(fd, static_cast<std::uint64_t>(r), /*is_read=*/false);
+    return r;
+  }
+
+  // Injection accounting, for tests asserting the schedule actually fired.
+  std::uint64_t short_ios() const {
+    return short_ios_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t delays() const {
+    return delays_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t resets() const {
+    return resets_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Stream {
+    Xoshiro256 prng;
+    std::uint64_t read_bytes = 0;
+    std::uint64_t write_bytes = 0;
+    bool reset_done = false;
+    explicit Stream(std::uint64_t seed) : prng(seed) {}
+  };
+
+  Decision decide(int fd, std::size_t want, bool is_read) {
+    std::lock_guard<std::mutex> g(mu_);
+    Stream& s = stream(fd);
+    Decision d;
+    d.len = want;
+    const std::uint64_t at = is_read ? plan_.reset_read_at
+                                     : plan_.reset_write_at;
+    const std::uint64_t moved = is_read ? s.read_bytes : s.write_bytes;
+    if (at != 0 && !s.reset_done && moved >= at) {
+      s.reset_done = true;
+      d.reset = true;
+      return d;
+    }
+    if (plan_.delay_ns != 0 && s.prng.uniform01() < plan_.delay_prob) {
+      d.delayed = true;
+      delays_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const double short_prob =
+        is_read ? plan_.short_read_prob : plan_.short_write_prob;
+    if (want > 1 && s.prng.uniform01() < short_prob) {
+      const std::size_t lo = plan_.min_chunk < 1 ? 1 : plan_.min_chunk;
+      if (lo < want) {
+        d.len = lo + static_cast<std::size_t>(
+                         s.prng.below(static_cast<std::uint64_t>(want - lo)));
+        short_ios_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Never transfer past a pending reset offset: the stream dies at
+    // exactly the chosen byte, not somewhere inside the next buffer.
+    if (at != 0 && !s.reset_done && moved + d.len > at) {
+      d.len = static_cast<std::size_t>(at - moved);
+      if (d.len == 0) d.len = 1;  // degenerate plan: still make progress
+    }
+    return d;
+  }
+
+  void account(int fd, std::uint64_t n, bool is_read) {
+    std::lock_guard<std::mutex> g(mu_);
+    Stream& s = stream(fd);
+    (is_read ? s.read_bytes : s.write_bytes) += n;
+  }
+
+  Stream& stream(int fd) {
+    auto it = streams_.find(fd);
+    if (it == streams_.end()) {
+      SplitMix64 sm(plan_.seed ^ (next_stream_++ * 0x9E3779B97F4A7C15ULL));
+      it = streams_.emplace(fd, Stream(sm.next())).first;
+    }
+    return it->second;
+  }
+
+  void stall() const {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(plan_.delay_ns));
+  }
+
+  FaultPlan plan_;
+  std::mutex mu_;
+  std::unordered_map<int, Stream> streams_;
+  std::uint64_t next_stream_ = 1;
+  std::atomic<std::uint64_t> short_ios_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> resets_{0};
+};
+
+// Process-wide injection point.  Null (the default) means the transport
+// helpers below are the plain syscalls; tests install an injector for a
+// scope via ScopedFaultInjection.  The pointer is read on every call so an
+// injector must outlive all I/O issued while it is installed.
+inline std::atomic<FaultInjector*>& fault_injector_slot() {
+  static std::atomic<FaultInjector*> slot{nullptr};
+  return slot;
+}
+
+inline FaultInjector* fault_injector() {
+  return fault_injector_slot().load(std::memory_order_acquire);
+}
+
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultInjector& fi) {
+    fault_injector_slot().store(&fi, std::memory_order_release);
+  }
+  ~ScopedFaultInjection() {
+    fault_injector_slot().store(nullptr, std::memory_order_release);
+  }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+// The transport seam proper.  Every read/send in src/net/ goes through
+// these two; MSG_NOSIGNAL on the send path is load-bearing (a dead peer
+// returns EPIPE instead of raising SIGPIPE) and rides the seam so no call
+// site can forget it.
+inline ssize_t transport_read(int fd, void* buf, std::size_t n) {
+  if (FaultInjector* fi = fault_injector()) return fi->read(fd, buf, n);
+  return ::read(fd, buf, n);
+}
+
+inline ssize_t transport_send(int fd, const void* buf, std::size_t n) {
+  if (FaultInjector* fi = fault_injector()) return fi->send(fd, buf, n);
+  return ::send(fd, buf, n, MSG_NOSIGNAL);
+}
+
+}  // namespace bjrw

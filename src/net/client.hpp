@@ -1,8 +1,21 @@
-// Blocking wire-protocol client for NetServer.  One socket, synchronous
-// reads; pipelining is explicit — pack any number of requests, flush(),
-// then collect responses (which may arrive out of request order; match on
-// Response::id).  The loadgen (loadgen.hpp) and the loopback tests are the
-// two consumers; neither needs an async reactor on the client side.
+// Wire-protocol client for NetServer.  One socket; pipelining is explicit —
+// pack any number of requests, flush(), then collect responses (which may
+// arrive out of request order; match on Response::id).  The loadgen
+// (loadgen.hpp) and the loopback tests are the two consumers; neither needs
+// an async reactor on the client side.
+//
+// Resilience (DESIGN.md §14): the socket is nonblocking and every wait goes
+// through poll(2) with a per-op budget (ClientConfig::op_timeout_ms), so a
+// hung or stalled server surfaces as a typed kTimeout instead of a
+// wedged-forever recv loop.  A transport failure mid-frame leaves the
+// stream unsynchronizable, so the client closes the socket and reports why
+// (last_error()); the synchronous conveniences then run a jittered
+// exponential-backoff retry loop (RetryPolicy) that honors the server's
+// refusal semantics — kShed backs off fully, kQueueFull retries sooner,
+// kDeadline gives up — and reconnects after resets (every current op is
+// idempotent, so a resend after an ambiguous failure is safe).  All I/O
+// rides the transport_read/transport_send seam (src/harness/fault.hpp):
+// sends carry MSG_NOSIGNAL, and tests splice deterministic faults in.
 #pragma once
 
 #if !defined(__linux__)
@@ -10,17 +23,23 @@
 #endif
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/harness/fault.hpp"
+#include "src/harness/prng.hpp"
 #include "src/net/wire.hpp"
 
 namespace bjrw::net {
@@ -46,6 +65,41 @@ struct Response {
   std::string error_detail;
 };
 
+// Why the transport last failed (sticky until the next successful op).
+enum class ClientError : std::uint8_t {
+  kNone = 0,
+  kTimeout,   // op budget elapsed waiting on poll()
+  kClosed,    // EOF / ECONNRESET / EPIPE from the peer
+  kProtocol,  // unparseable frame from a trusted server
+};
+
+// Backoff/retry shape for the synchronous conveniences.  Attempt k (0-
+// based) that was refused sleeps base_backoff_ns * 2^k, clamped to
+// max_backoff_ns, scaled by queue_full_scale when the refusal was
+// kQueueFull (a draining queue recovers faster than an empty token
+// bucket), and jittered uniformly into [0.5, 1.0) of itself so a fleet of
+// clients refused together does not retry together.
+struct RetryPolicy {
+  int max_attempts = 3;                        // total tries per op
+  std::uint64_t base_backoff_ns = 1'000'000;   // 1ms
+  std::uint64_t max_backoff_ns = 64'000'000;   // 64ms cap
+  double queue_full_scale = 0.25;              // kQueueFull retries sooner
+  bool reconnect = true;                       // reopen after reset/timeout
+  std::uint64_t seed = 0x5eedULL;              // jitter stream
+};
+
+struct ClientConfig {
+  std::uint16_t version = kVersion;
+  // Per-op wall budget for flush+recv, 0 = wait forever (the historical
+  // blocking behavior).  On expiry the op fails kTimeout and the socket
+  // closes — a half-read frame cannot be resynchronized.
+  std::uint64_t op_timeout_ms = 0;
+  // v4+: relative deadline budget attached to every packed request (0 =
+  // none).  The server converts it to an absolute deadline on its clock.
+  std::uint64_t deadline_budget_ns = 0;
+  RetryPolicy retry;
+};
+
 class KvClient {
  public:
   // Connects to 127.0.0.1:<port>; nullopt on failure.  `version` is the
@@ -53,34 +107,36 @@ class KvClient {
   // passing kMinVersion exercises the old-client compatibility path.
   static std::optional<KvClient> connect(std::uint16_t port,
                                          std::uint16_t version = kVersion) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ClientConfig cfg;
+    cfg.version = version;
+    return connect(port, cfg);
+  }
+
+  static std::optional<KvClient> connect(std::uint16_t port,
+                                         const ClientConfig& cfg) {
+    const int fd = open_socket(port);
     if (fd < 0) return std::nullopt;
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof addr) != 0) {
-      ::close(fd);
-      return std::nullopt;
-    }
-    return KvClient(fd, version);
+    return KvClient(fd, port, cfg);
   }
 
   ~KvClient() { close(); }
-  KvClient(KvClient&& other) noexcept { *this = std::move(other); }
+  KvClient(KvClient&& other) noexcept
+      : jitter_(other.jitter_) { *this = std::move(other); }
   KvClient& operator=(KvClient&& other) noexcept {
     if (this != &other) {
       close();
       fd_ = other.fd_;
       other.fd_ = -1;
+      port_ = other.port_;
+      cfg_ = other.cfg_;
       next_id_ = other.next_id_;
-      version_ = other.version_;
       out_ = std::move(other.out_);
       rbuf_ = std::move(other.rbuf_);
-      rhead_ = other.rhead_;
+      jitter_ = other.jitter_;
+      last_error_ = other.last_error_;
+      retries_ = other.retries_;
+      timeouts_ = other.timeouts_;
+      reconnects_ = other.reconnects_;
     }
     return *this;
   }
@@ -93,29 +149,49 @@ class KvClient {
   }
   bool ok() const { return fd_ >= 0; }
 
+  // Drops the dead socket and opens a fresh one to the same server.  The
+  // stream state resets (nothing in flight survives a reconnect); request
+  // ids keep counting up so responses never collide across connections.
+  bool reconnect() {
+    close();
+    out_.clear();
+    const int fd = open_socket(port_);
+    if (fd < 0) return false;
+    fd_ = fd;
+    reconnects_ += 1;
+    return true;
+  }
+
+  ClientError last_error() const { return last_error_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t reconnects() const { return reconnects_; }
+  std::uint16_t version() const { return cfg_.version; }
+
   // ---- pipelined interface ---------------------------------------------------
 
   // Each submit_* packs one frame into the out-buffer and returns the
   // request id it will be answered under; nothing hits the wire until
-  // flush().
+  // flush().  The configured deadline budget rides along on v4+.
   std::uint64_t submit_get(std::uint64_t key) {
     const std::uint64_t id = next_id_++;
-    pack_get_req(out_, id, key, version_);
+    pack_get_req(out_, id, key, cfg_.version, cfg_.deadline_budget_ns);
     return id;
   }
   std::uint64_t submit_put(std::uint64_t key, std::uint64_t value) {
     const std::uint64_t id = next_id_++;
-    pack_put_req(out_, id, key, value, version_);
+    pack_put_req(out_, id, key, value, cfg_.version, cfg_.deadline_budget_ns);
     return id;
   }
   std::uint64_t submit_erase(std::uint64_t key) {
     const std::uint64_t id = next_id_++;
-    pack_erase_req(out_, id, key, version_);
+    pack_erase_req(out_, id, key, cfg_.version, cfg_.deadline_budget_ns);
     return id;
   }
   std::uint64_t submit_get_many(const std::uint64_t* keys, std::uint32_t n) {
     const std::uint64_t id = next_id_++;
-    pack_get_many_req(out_, id, keys, n, version_);
+    pack_get_many_req(out_, id, keys, n, cfg_.version,
+                      cfg_.deadline_budget_ns);
     return id;
   }
   // v3+ requests.  A client constructed with version < 3 may still call
@@ -124,58 +200,232 @@ class KvClient {
   std::uint64_t submit_put_ttl(std::uint64_t key, std::uint64_t value,
                                std::uint64_t ttl_ns) {
     const std::uint64_t id = next_id_++;
-    pack_put_ttl_req(out_, id, key, value, ttl_ns, version_);
+    pack_put_ttl_req(out_, id, key, value, ttl_ns, cfg_.version,
+                     cfg_.deadline_budget_ns);
     return id;
   }
   std::uint64_t submit_touch(std::uint64_t key, std::uint64_t ttl_ns) {
     const std::uint64_t id = next_id_++;
-    pack_touch_req(out_, id, key, ttl_ns, version_);
+    pack_touch_req(out_, id, key, ttl_ns, cfg_.version,
+                   cfg_.deadline_budget_ns);
     return id;
   }
 
-  bool flush() {
-    while (!out_.empty()) {
-      const ssize_t n = ::write(fd_, out_.data(), out_.size());
-      if (n <= 0) {
-        if (n < 0 && errno == EINTR) continue;
-        return false;
-      }
-      out_.consume(static_cast<std::size_t>(n));
-    }
-    return true;
-  }
+  bool flush() { return flush_by(op_deadline()); }
 
   // Escape hatch for protocol tests: splice raw bytes into the stream.
   bool send_raw(const void* data, std::size_t len) {
+    const std::uint64_t deadline = op_deadline();
     const auto* p = static_cast<const std::uint8_t*>(data);
     std::size_t off = 0;
     while (off < len) {
-      const ssize_t n = ::write(fd_, p + off, len - off);
-      if (n <= 0) {
-        if (n < 0 && errno == EINTR) continue;
-        return false;
+      const ssize_t n = transport_send(fd_, p + off, len - off);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
       }
-      off += static_cast<std::size_t>(n);
+      if (!retry_io(n, POLLOUT, deadline)) return false;
     }
     return true;
   }
 
-  // Blocks for one response frame.  False on EOF/error (including a frame
-  // the client cannot parse — the server is trusted, so that is fatal).
-  bool recv_response(Response* resp) {
+  // Reads one response frame, waiting at most the per-op budget.  False on
+  // timeout, EOF, or a frame the client cannot parse (the server is
+  // trusted, so that is fatal); the socket is closed on failure — a
+  // mid-frame cut cannot be resynchronized — and last_error() says why.
+  bool recv_response(Response* resp) { return recv_by(resp, op_deadline()); }
+
+  // ---- synchronous conveniences ----------------------------------------------
+
+  // Each convenience runs the retry loop: transport failures reconnect and
+  // resend (idempotent ops; RetryPolicy::reconnect gates it), kShed backs
+  // off exponentially with jitter, kQueueFull backs off sooner, kDeadline
+  // and kShutdown give up.  Pipelined callers who want different semantics
+  // submit/flush/recv themselves.
+
+  std::optional<std::uint64_t> get(std::uint64_t key) {
+    std::optional<std::uint64_t> out;
+    roundtrip(MsgType::kGetResp, [&](Response& r) {
+      if (r.found) out = r.value;
+    }, [&] { return submit_get(key); });
+    return out;
+  }
+
+  bool put(std::uint64_t key, std::uint64_t value) {
+    return roundtrip(MsgType::kPutResp, [](Response&) {},
+                     [&] { return submit_put(key, value); });
+  }
+
+  bool erase(std::uint64_t key) {
+    bool erased = false;
+    roundtrip(MsgType::kEraseResp, [&](Response& r) { erased = r.erased; },
+              [&] { return submit_erase(key); });
+    return erased;
+  }
+
+  bool put_ttl(std::uint64_t key, std::uint64_t value, std::uint64_t ttl_ns) {
+    return roundtrip(MsgType::kPutResp, [](Response&) {},
+                     [&] { return submit_put_ttl(key, value, ttl_ns); });
+  }
+
+  bool touch(std::uint64_t key, std::uint64_t ttl_ns) {
+    bool touched = false;
+    roundtrip(MsgType::kTouchResp, [&](Response& r) { touched = r.touched; },
+              [&] { return submit_touch(key, ttl_ns); });
+    return touched;
+  }
+
+  // Returns the per-key results, or nullopt on transport/protocol failure
+  // (including an admission refusal that survived the retry loop).
+  std::optional<std::vector<std::optional<std::uint64_t>>> get_many(
+      const std::vector<std::uint64_t>& keys) {
+    std::optional<std::vector<std::optional<std::uint64_t>>> out;
+    roundtrip(MsgType::kGetManyResp,
+              [&](Response& r) { out = std::move(r.values); }, [&] {
+                return submit_get_many(
+                    keys.data(), static_cast<std::uint32_t>(keys.size()));
+              });
+    return out;
+  }
+
+  // Sleeps the policy's backoff for attempt `k` refused with `status`
+  // (public so the loadgen shares the exact same schedule).
+  void backoff(int k, WireStatus status) {
+    std::uint64_t ns = cfg_.retry.base_backoff_ns;
+    for (int i = 0; i < k && ns < cfg_.retry.max_backoff_ns; ++i) ns *= 2;
+    if (ns > cfg_.retry.max_backoff_ns) ns = cfg_.retry.max_backoff_ns;
+    if (status == WireStatus::kQueueFull) {
+      ns = static_cast<std::uint64_t>(static_cast<double>(ns) *
+                                      cfg_.retry.queue_full_scale);
+    }
+    const double j = 0.5 + jitter_.uniform01() * 0.5;  // [0.5, 1.0)
+    ns = static_cast<std::uint64_t>(static_cast<double>(ns) * j);
+    if (ns != 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+  }
+
+ private:
+  explicit KvClient(int fd, std::uint16_t port, const ClientConfig& cfg)
+      : fd_(fd),
+        port_(port),
+        cfg_(cfg),
+        jitter_(test_seed(cfg.retry.seed)) {}
+
+  static int open_socket(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    // Nonblocking from here on: every wait goes through poll() so the
+    // per-op budget can interrupt it.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    return fd;
+  }
+
+  // Absolute per-op deadline on the steady clock; 0 = unbounded.
+  std::uint64_t op_deadline() const {
+    if (cfg_.op_timeout_ms == 0) return 0;
+    return steady_now_ns() + cfg_.op_timeout_ms * 1'000'000ULL;
+  }
+
+  static std::uint64_t steady_now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  // Classifies one failed transport return and, unless it was a would-
+  // block worth poll()ing through, records the error and closes.  True =
+  // the caller should retry the I/O now.
+  bool retry_io(ssize_t n, short events, std::uint64_t deadline) {
+    if (n == 0) return fail(ClientError::kClosed);  // EOF mid-frame
+    if (errno == EINTR) return true;
+    if (errno != EAGAIN && errno != EWOULDBLOCK)
+      return fail(ClientError::kClosed);  // ECONNRESET, EPIPE, ...
+    return wait_io(events, deadline);
+  }
+
+  // poll()s for readiness within the op budget.  False = timed out (or the
+  // fd died); the op is abandoned and the socket closed.
+  bool wait_io(short events, std::uint64_t deadline) {
+    for (;;) {
+      int timeout_ms = -1;
+      if (deadline != 0) {
+        const std::uint64_t now = steady_now_ns();
+        if (now >= deadline) {
+          timeouts_ += 1;
+          return fail(ClientError::kTimeout);
+        }
+        const std::uint64_t left = deadline - now;
+        timeout_ms = static_cast<int>(left / 1'000'000ULL) + 1;
+      }
+      pollfd p{fd_, events, 0};
+      const int r = ::poll(&p, 1, timeout_ms);
+      if (r > 0) return true;
+      if (r == 0) {
+        timeouts_ += 1;
+        return fail(ClientError::kTimeout);
+      }
+      if (errno != EINTR) return fail(ClientError::kClosed);
+    }
+  }
+
+  bool fail(ClientError why) {
+    last_error_ = why;
+    close();
+    out_.clear();
+    return false;
+  }
+
+  bool flush_by(std::uint64_t deadline) {
+    // last_error() describes the most recent op, so each op starts clean
+    // (a sticky earlier failure would misclassify this one's outcome).
+    last_error_ = ClientError::kNone;
+    if (fd_ < 0) {
+      last_error_ = ClientError::kClosed;
+      return false;
+    }
+    while (!out_.empty()) {
+      const ssize_t n = transport_send(fd_, out_.data(), out_.size());
+      if (n > 0) {
+        out_.consume(static_cast<std::size_t>(n));
+        continue;
+      }
+      if (!retry_io(n, POLLOUT, deadline)) return false;
+    }
+    return true;
+  }
+
+  bool recv_by(Response* resp, std::uint64_t deadline) {
+    last_error_ = ClientError::kNone;
+    if (fd_ < 0) {
+      last_error_ = ClientError::kClosed;
+      return false;
+    }
     std::uint8_t lenbuf[kFrameLenSize];
-    if (!read_exact(lenbuf, kFrameLenSize)) return false;
+    if (!read_exact(lenbuf, kFrameLenSize, deadline)) return false;
     const std::uint32_t flen = (static_cast<std::uint32_t>(lenbuf[0]) << 24) |
                                (static_cast<std::uint32_t>(lenbuf[1]) << 16) |
                                (static_cast<std::uint32_t>(lenbuf[2]) << 8) |
                                lenbuf[3];
-    if (flen < kHeaderSize || flen > kDefaultMaxFrame) return false;
+    if (flen < kHeaderSize || flen > kDefaultMaxFrame)
+      return fail(ClientError::kProtocol);
     rbuf_.resize(flen);
-    if (!read_exact(rbuf_.data(), flen)) return false;
+    if (!read_exact(rbuf_.data(), flen, deadline)) return false;
     Unpacker u(rbuf_.data(), flen);
     MsgHeader h;
     ErrorCode err;
-    if (!unpack_header(u, &h, &err)) return false;
+    if (!unpack_header(u, &h, &err)) return fail(ClientError::kProtocol);
     resp->id = h.request_id;
     resp->type = h.type;
     resp->status = WireStatus::kOk;
@@ -184,8 +434,11 @@ class KvClient {
     // nothing else.  kErrorResp keeps its frozen v1 layout in any version.
     if (h.version >= 2 && h.type != MsgType::kErrorResp) {
       resp->status = static_cast<WireStatus>(u.u8());
-      if (u.failed()) return false;
-      if (resp->status != WireStatus::kOk) return u.exhausted();
+      if (u.failed()) return fail(ClientError::kProtocol);
+      if (resp->status != WireStatus::kOk) {
+        if (!u.exhausted()) return fail(ClientError::kProtocol);
+        return true;
+      }
     }
     switch (h.type) {
       case MsgType::kGetResp:
@@ -203,7 +456,7 @@ class KvClient {
       case MsgType::kGetManyResp: {
         const std::uint32_t n = u.u32();
         if (u.failed() || u.remaining() != static_cast<std::size_t>(n) * 9)
-          return false;
+          return fail(ClientError::kProtocol);
         resp->values.reserve(n);
         for (std::uint32_t i = 0; i < n; ++i) {
           const bool found = u.u8() != 0;
@@ -222,93 +475,86 @@ class KvClient {
         break;
       }
       default:
-        return false;
+        return fail(ClientError::kProtocol);
     }
-    return !u.failed() && u.exhausted();
+    if (u.failed() || !u.exhausted()) return fail(ClientError::kProtocol);
+    return true;
   }
 
-  // ---- synchronous conveniences ----------------------------------------------
-
-  // The conveniences treat an admission refusal (non-kOk status) as the
-  // operation failing; pipelined callers who want to distinguish retry
-  // classes read Response::status themselves.
-
-  std::optional<std::uint64_t> get(std::uint64_t key) {
-    const std::uint64_t id = submit_get(key);
-    Response r;
-    if (!flush() || !recv_response(&r) || r.id != id ||
-        r.type != MsgType::kGetResp || r.status != WireStatus::kOk ||
-        !r.found)
-      return std::nullopt;
-    return r.value;
-  }
-
-  bool put(std::uint64_t key, std::uint64_t value) {
-    const std::uint64_t id = submit_put(key, value);
-    Response r;
-    return flush() && recv_response(&r) && r.id == id &&
-           r.type == MsgType::kPutResp && r.status == WireStatus::kOk;
-  }
-
-  bool erase(std::uint64_t key) {
-    const std::uint64_t id = submit_erase(key);
-    Response r;
-    return flush() && recv_response(&r) && r.id == id &&
-           r.type == MsgType::kEraseResp && r.status == WireStatus::kOk &&
-           r.erased;
-  }
-
-  bool put_ttl(std::uint64_t key, std::uint64_t value, std::uint64_t ttl_ns) {
-    const std::uint64_t id = submit_put_ttl(key, value, ttl_ns);
-    Response r;
-    return flush() && recv_response(&r) && r.id == id &&
-           r.type == MsgType::kPutResp && r.status == WireStatus::kOk;
-  }
-
-  bool touch(std::uint64_t key, std::uint64_t ttl_ns) {
-    const std::uint64_t id = submit_touch(key, ttl_ns);
-    Response r;
-    return flush() && recv_response(&r) && r.id == id &&
-           r.type == MsgType::kTouchResp && r.status == WireStatus::kOk &&
-           r.touched;
-  }
-
-  // Returns the per-key results, or nullopt on transport/protocol failure
-  // (including an admission refusal).
-  std::optional<std::vector<std::optional<std::uint64_t>>> get_many(
-      const std::vector<std::uint64_t>& keys) {
-    const std::uint64_t id =
-        submit_get_many(keys.data(), static_cast<std::uint32_t>(keys.size()));
-    Response r;
-    if (!flush() || !recv_response(&r) || r.id != id ||
-        r.type != MsgType::kGetManyResp || r.status != WireStatus::kOk)
-      return std::nullopt;
-    return std::move(r.values);
-  }
-
- private:
-  explicit KvClient(int fd, std::uint16_t version)
-      : fd_(fd), version_(version) {}
-
-  bool read_exact(std::uint8_t* dst, std::size_t len) {
+  bool read_exact(std::uint8_t* dst, std::size_t len,
+                  std::uint64_t deadline) {
+    if (fd_ < 0) return false;
     std::size_t off = 0;
     while (off < len) {
-      const ssize_t n = ::read(fd_, dst + off, len - off);
-      if (n <= 0) {
-        if (n < 0 && errno == EINTR) continue;
-        return false;
+      const ssize_t n = transport_read(fd_, dst + off, len - off);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
       }
-      off += static_cast<std::size_t>(n);
+      if (!retry_io(n, POLLIN, deadline)) return false;
     }
     return true;
   }
 
+  // The shared convenience loop: submit-flush-recv with the retry policy.
+  // `on_ok` consumes the kOk response; returns whether an attempt ended in
+  // kOk.  A response whose id does not match (possible only after the
+  // caller broke the one-in-one-out convention) is a protocol failure.
+  template <class OnOk, class Submit>
+  bool roundtrip(MsgType want, OnOk&& on_ok, Submit&& submit) {
+    const int attempts =
+        cfg_.retry.max_attempts < 1 ? 1 : cfg_.retry.max_attempts;
+    for (int k = 0; k < attempts; ++k) {
+      if (fd_ < 0) {
+        if (!cfg_.retry.reconnect || !reconnect()) return false;
+      }
+      if (k > 0) retries_ += 1;
+      const std::uint64_t deadline = op_deadline();
+      const std::uint64_t id = submit();
+      Response r;
+      if (!flush_by(deadline) || !recv_by(&r, deadline)) {
+        // Transport failure: the socket is already closed; a later
+        // attempt reconnects (all current ops are idempotent).
+        if (!cfg_.retry.reconnect) return false;
+        continue;
+      }
+      if (r.id != id || (r.type != want && r.type != MsgType::kErrorResp)) {
+        fail(ClientError::kProtocol);
+        return false;
+      }
+      last_error_ = ClientError::kNone;
+      if (r.type == MsgType::kErrorResp) {
+        // v1 servers refuse via kErrorResp; map the retryable one.
+        if (r.error_code != ErrorCode::kBackpressure) return false;
+        r.status = WireStatus::kShed;
+      }
+      switch (r.status) {
+        case WireStatus::kOk:
+          on_ok(r);
+          return true;
+        case WireStatus::kShed:
+        case WireStatus::kQueueFull:
+          if (k + 1 < attempts) backoff(k, r.status);
+          break;  // retry
+        case WireStatus::kDeadline:
+        case WireStatus::kShutdown:
+          return false;  // not retryable
+      }
+    }
+    return false;
+  }
+
   int fd_ = -1;
-  std::uint16_t version_ = kVersion;
+  std::uint16_t port_ = 0;
+  ClientConfig cfg_;
   std::uint64_t next_id_ = 1;
   PackBuffer out_;
   std::vector<std::uint8_t> rbuf_;
-  std::size_t rhead_ = 0;
+  Xoshiro256 jitter_;
+  ClientError last_error_ = ClientError::kNone;
+  std::uint64_t retries_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t reconnects_ = 0;
 };
 
 }  // namespace bjrw::net

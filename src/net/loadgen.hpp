@@ -38,6 +38,12 @@ struct LoadgenConfig {
   int requests_per_conn = 1000;   // wire requests (a batch counts once)
   std::uint32_t batch = 8;        // reads coalesced per get_many
   ServeMixConfig mix{.seed = 42};  // zipfian traffic mix (workload.hpp)
+  // Resilience: per-op wall budget (0 = wait forever), per-request wire
+  // deadline budget forwarded on v4 frames (0 = none), and the retry/
+  // backoff policy applied to refusals and transport failures.
+  std::uint64_t op_timeout_ms = 0;
+  std::uint64_t deadline_budget_ns = 0;
+  RetryPolicy retry{};
 };
 
 struct LoadgenResult {
@@ -51,6 +57,11 @@ struct LoadgenResult {
                                   // kShed / v1 kBackpressure)
   std::uint64_t deferred = 0;     // queue-full responses (WireStatus::
                                   // kQueueFull)
+  std::uint64_t deadline = 0;     // kDeadline responses (never retried)
+  std::uint64_t retries = 0;      // re-sends scheduled after a refusal or
+                                  // a transport failure
+  std::uint64_t timeouts = 0;     // in-flight ops lost to an op-timeout
+  std::uint64_t reconnects = 0;   // sockets reopened after a failure
   double wall_s = 0.0;
   std::vector<double> latency_ns;  // one sample per wire request
 };
@@ -142,6 +153,7 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
     bool ok = false;
     std::uint64_t requests = 0, ops = 0, hits = 0, errors = 0;
     std::uint64_t shed = 0, deferred = 0;
+    std::uint64_t deadline = 0, retries = 0, timeouts = 0, reconnects = 0;
     std::vector<double> latency_ns;
   };
   const std::size_t conns = static_cast<std::size_t>(
@@ -159,7 +171,12 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
   for (std::size_t c = 0; c < conns; ++c) {
     threads.emplace_back([&, c] {
       ConnResult& out = per_conn[c];
-      auto client = KvClient::connect(cfg.port);
+      ClientConfig ccfg;
+      ccfg.op_timeout_ms = cfg.op_timeout_ms;
+      ccfg.deadline_budget_ns = cfg.deadline_budget_ns;
+      ccfg.retry = cfg.retry;
+      ccfg.retry.seed = cfg.retry.seed ^ c;  // decorrelate jitter streams
+      auto client = KvClient::connect(cfg.port, ccfg);
       const std::vector<detail::WireOp> ops =
           client ? detail::make_ops(cfg, static_cast<std::uint64_t>(c))
                  : std::vector<detail::WireOp>{};
@@ -169,19 +186,26 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
       while (!start.load(std::memory_order_acquire))
         std::this_thread::yield();
       if (!client) return;
-      // id -> (send timestamp, op index); linear scan — depth is small.
+      // id -> (send timestamp, op index, attempt); linear scan — depth is
+      // small.
       struct InFlight {
         std::uint64_t id, send_ns;
         std::size_t op;
+        int attempt;
       };
       std::vector<InFlight> in_flight;
       const std::size_t depth =
           static_cast<std::size_t>(cfg.depth > 0 ? cfg.depth : 1);
+      const int max_attempts =
+          cfg.retry.max_attempts < 1 ? 1 : cfg.retry.max_attempts;
       in_flight.reserve(depth);
       out.latency_ns.reserve(ops.size());
       std::size_t next = 0;
-      const auto send_one = [&]() -> bool {
-        const detail::WireOp& w = ops[next];
+      // Ops scheduled for a re-send (refused or lost in a transport
+      // failure), with the attempt number they will carry.
+      std::vector<std::pair<std::size_t, int>> again;
+      const auto send_one = [&](std::size_t op_idx, int attempt) -> bool {
+        const detail::WireOp& w = ops[op_idx];
         const std::uint64_t t0 = now_ns();
         const std::uint64_t id =
             w.is_batch
@@ -191,8 +215,30 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
             : w.ttl_ns > 0 ? client->submit_put_ttl(w.key, w.value, w.ttl_ns)
                            : client->submit_put(w.key, w.value);
         if (!client->flush()) return false;
-        in_flight.push_back({id, t0, next});
-        ++next;
+        in_flight.push_back({id, t0, op_idx, attempt});
+        return true;
+      };
+      // Schedule a re-send of op `op_idx` if its attempt budget allows.
+      const auto schedule_retry = [&](std::size_t op_idx, int attempt) {
+        if (attempt + 1 >= max_attempts) return;
+        out.retries += 1;
+        again.emplace_back(op_idx, attempt + 1);
+      };
+      // The socket died (timeout, reset, protocol desync): every in-flight
+      // response is gone.  Count the losses, requeue what still has
+      // attempts left, and reopen the socket.
+      const auto recover_transport = [&]() -> bool {
+        const bool timed_out = client->last_error() == ClientError::kTimeout;
+        for (const InFlight& f : in_flight) {
+          if (timed_out)
+            out.timeouts += 1;
+          else
+            out.errors += 1;
+          schedule_retry(f.op, f.attempt);
+        }
+        in_flight.clear();
+        if (!cfg.retry.reconnect || !client->reconnect()) return false;
+        out.reconnects += 1;
         return true;
       };
       const auto recv_one = [&]() -> bool {
@@ -203,26 +249,41 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
           if (in_flight[f].id != r.id) continue;
           out.latency_ns.push_back(
               static_cast<double>(t1 - in_flight[f].send_ns));
-          const detail::WireOp& w = ops[in_flight[f].op];
+          const std::size_t op_idx = in_flight[f].op;
+          const int attempt = in_flight[f].attempt;
+          const detail::WireOp& w = ops[op_idx];
           out.requests += 1;
           const MsgType want =
               w.is_batch ? MsgType::kGetManyResp : MsgType::kPutResp;
           if (r.type == MsgType::kErrorResp) {
             // v1 servers signal admission refusals through the error
             // channel; keep shed distinct from genuine failures.
-            if (r.error_code == ErrorCode::kBackpressure)
+            if (r.error_code == ErrorCode::kBackpressure) {
               out.shed += 1;
-            else
+              client->backoff(attempt, WireStatus::kShed);
+              schedule_retry(op_idx, attempt);
+            } else {
               out.errors += 1;
+            }
           } else if (r.type == want && r.status != WireStatus::kOk) {
             // v2 typed refusal: the op did not execute, but the
-            // connection and the protocol are healthy.
-            if (r.status == WireStatus::kShed)
+            // connection and the protocol are healthy.  Shed asks for a
+            // full backoff, queue-full for a shorter one; a deadline
+            // verdict means the budget is already gone — retrying a
+            // doomed op only adds load.
+            if (r.status == WireStatus::kShed) {
               out.shed += 1;
-            else if (r.status == WireStatus::kQueueFull)
+              client->backoff(attempt, r.status);
+              schedule_retry(op_idx, attempt);
+            } else if (r.status == WireStatus::kQueueFull) {
               out.deferred += 1;
-            else
+              client->backoff(attempt, r.status);
+              schedule_retry(op_idx, attempt);
+            } else if (r.status == WireStatus::kDeadline) {
+              out.deadline += 1;
+            } else {
               out.errors += 1;  // kShutdown and anything unexpected
+            }
           } else if (r.type != want) {
             // The id matched but the response answers a different kind of
             // op — a correlation bug, not a transport failure.
@@ -247,10 +308,39 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
         return false;
       };
       bool ok = true;
-      while (ok && (next < ops.size() || !in_flight.empty())) {
-        while (ok && next < ops.size() && in_flight.size() < depth)
-          ok = send_one();
-        if (ok && !in_flight.empty()) ok = recv_one();
+      while (ok &&
+             (next < ops.size() || !again.empty() || !in_flight.empty())) {
+        while (ok && in_flight.size() < depth &&
+               (!again.empty() || next < ops.size())) {
+          std::size_t op_idx;
+          int attempt = 0;
+          if (!again.empty()) {
+            op_idx = again.back().first;
+            attempt = again.back().second;
+            again.pop_back();
+          } else {
+            op_idx = next++;
+          }
+          if (!send_one(op_idx, attempt)) {
+            // The op that failed to send was never recorded in-flight;
+            // requeue it alongside whatever the dead socket swallowed.
+            if (client->last_error() == ClientError::kTimeout)
+              out.timeouts += 1;
+            else
+              out.errors += 1;
+            schedule_retry(op_idx, attempt);
+            ok = recover_transport();
+          }
+        }
+        if (ok && !in_flight.empty() && !recv_one()) {
+          // recv_one returns false either on a transport failure (socket
+          // already closed by the client) or on an unknown-id correlation
+          // bug; only the former is recoverable.
+          if (client->last_error() == ClientError::kNone)
+            ok = false;
+          else
+            ok = recover_transport();
+        }
       }
       out.ok = ok;
     });
@@ -272,6 +362,10 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
     result.errors += cr.errors;
     result.shed += cr.shed;
     result.deferred += cr.deferred;
+    result.deadline += cr.deadline;
+    result.retries += cr.retries;
+    result.timeouts += cr.timeouts;
+    result.reconnects += cr.reconnects;
     result.latency_ns.insert(result.latency_ns.end(), cr.latency_ns.begin(),
                              cr.latency_ns.end());
   }

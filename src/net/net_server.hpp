@@ -57,6 +57,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/harness/fault.hpp"
 #include "src/net/wire.hpp"
 #include "src/serve/request.hpp"
 #include "src/serve/server.hpp"
@@ -326,7 +327,7 @@ class NetServer {
     for (;;) {
       const std::size_t old = c.rbuf.size();
       c.rbuf.resize(old + 4096);
-      const ssize_t n = ::read(c.fd, c.rbuf.data() + old, 4096);
+      const ssize_t n = transport_read(c.fd, c.rbuf.data() + old, 4096);
       if (n > 0) {
         c.rbuf.resize(old + static_cast<std::size_t>(n));
         progressed = true;
@@ -351,7 +352,7 @@ class NetServer {
   bool do_write(Connection& c, std::size_t idx) {
     bool progressed = false;
     while (!c.wbuf.empty()) {
-      const ssize_t n = ::write(c.fd, c.wbuf.data(), c.wbuf.size());
+      const ssize_t n = transport_send(c.fd, c.wbuf.data(), c.wbuf.size());
       if (n > 0) {
         c.wbuf.consume(static_cast<std::size_t>(n));
         progressed = true;
@@ -502,6 +503,7 @@ class NetServer {
     s->req.out = nullptr;
     s->req.ttl_ns = 0;  // reset() keeps client-owned fields; a recycled
                         // put_ttl slot must not leak its TTL into a plain put
+    s->req.deadline_ns = 0;  // same rule for a recycled deadline
     s->id = id;
     s->resp_type = resp_type;
     s->admit = serve::AdmitResult::kAccepted;
@@ -534,8 +536,9 @@ class NetServer {
       Slot* s = c.staged[i];
       s->admit = flush_outcomes_[i];
       if (s->admit == serve::AdmitResult::kShedOverload ||
-          s->admit == serve::AdmitResult::kQueueFull) {
-        if (!c.peer_gone) pack_refusal(c, *s);
+          s->admit == serve::AdmitResult::kQueueFull ||
+          s->admit == serve::AdmitResult::kDeadlineExceeded) {
+        if (!c.peer_gone) pack_refusal(c, s->resp_type, s->id, s->admit);
         c.free_slots.push_back(s);
         freed = true;
         continue;
@@ -557,19 +560,24 @@ class NetServer {
   }
 
   // Maps an AdmitResult onto the peer's protocol minor: v2 peers get the
-  // typed status frame, v1 peers the closest error response (layout
+  // typed status frame (kDeadline itself is v4 vocabulary, so v2/v3 peers
+  // see kShed — the closest retry class they understand, and they never
+  // carry budgets anyway), v1 peers the closest error response (layout
   // frozen since v1).
-  void pack_refusal(Connection& c, const Slot& s) {
+  void pack_refusal(Connection& c, MsgType resp_type, std::uint64_t id,
+                    serve::AdmitResult admit) {
     if (c.peer_version >= 2) {
-      pack_status_resp(c.wbuf, s.resp_type, s.id, to_wire(s.admit),
-                       c.peer_version);
+      WireStatus ws = to_wire(admit);
+      if (ws == WireStatus::kDeadline && c.peer_version < 4)
+        ws = WireStatus::kShed;
+      pack_status_resp(c.wbuf, resp_type, id, ws, c.peer_version);
       return;
     }
-    if (s.admit == serve::AdmitResult::kShutdown) {
-      pack_error_resp(c.wbuf, s.id, ErrorCode::kShuttingDown,
+    if (admit == serve::AdmitResult::kShutdown) {
+      pack_error_resp(c.wbuf, id, ErrorCode::kShuttingDown,
                       "server is shutting down", c.peer_version);
     } else {
-      pack_error_resp(c.wbuf, s.id, ErrorCode::kBackpressure,
+      pack_error_resp(c.wbuf, id, ErrorCode::kBackpressure,
                       "node saturated; retry later", c.peer_version);
     }
   }
@@ -579,13 +587,32 @@ class NetServer {
       case serve::AdmitResult::kAccepted: return WireStatus::kOk;
       case serve::AdmitResult::kShedOverload: return WireStatus::kShed;
       case serve::AdmitResult::kQueueFull: return WireStatus::kQueueFull;
+      case serve::AdmitResult::kDeadlineExceeded: return WireStatus::kDeadline;
       case serve::AdmitResult::kShutdown: return WireStatus::kShutdown;
     }
     return WireStatus::kOk;
   }
 
+  // v4+: the optional trailing deadline-budget field.  Called after a
+  // handler consumed its fixed fields (and get_many its keys): at that
+  // point `remaining() == 8` can only be the budget, and only a v4 peer
+  // may have packed one — for older minors any trailing bytes fall through
+  // to the handler's exhausted() check and answer kMalformed.
+  std::uint64_t read_deadline_budget(const Connection& c, Unpacker& u) {
+    if (c.peer_version >= 4 && u.remaining() == 8) return u.u64();
+    return 0;
+  }
+
+  // Converts a relative wire budget into an absolute deadline on the
+  // KvServer's deadline clock, so client budgets and the server's
+  // admission/dequeue checks share one timeline.
+  void set_deadline(serve::Request& req, std::uint64_t budget_ns) {
+    req.deadline_ns = budget_ns == 0 ? 0 : kv_.time_now_ns() + budget_ns;
+  }
+
   Handle on_get(Connection& c, std::uint64_t id, Unpacker& u) {
     const std::uint64_t key = u.u64();
+    const std::uint64_t budget = read_deadline_budget(c, u);
     if (u.failed() || !u.exhausted()) return malformed(c, id);
     Slot* s = take_slot(c, id, MsgType::kGetResp);
     if (!s) return Handle::kNoSlot;
@@ -595,6 +622,7 @@ class NetServer {
     s->req.keys = s->keys.data();
     s->req.key_count = 1;
     s->req.out = s->out.data();
+    set_deadline(s->req, budget);
     submit_slot(c, s);
     return Handle::kOk;
   }
@@ -602,23 +630,27 @@ class NetServer {
   Handle on_put(Connection& c, std::uint64_t id, Unpacker& u) {
     const std::uint64_t key = u.u64();
     const std::uint64_t value = u.u64();
+    const std::uint64_t budget = read_deadline_budget(c, u);
     if (u.failed() || !u.exhausted()) return malformed(c, id);
     Slot* s = take_slot(c, id, MsgType::kPutResp);
     if (!s) return Handle::kNoSlot;
     s->req.kind = serve::RequestKind::kPut;
     s->req.key = key;
     s->req.value = value;
+    set_deadline(s->req, budget);
     submit_slot(c, s);
     return Handle::kOk;
   }
 
   Handle on_erase(Connection& c, std::uint64_t id, Unpacker& u) {
     const std::uint64_t key = u.u64();
+    const std::uint64_t budget = read_deadline_budget(c, u);
     if (u.failed() || !u.exhausted()) return malformed(c, id);
     Slot* s = take_slot(c, id, MsgType::kEraseResp);
     if (!s) return Handle::kNoSlot;
     s->req.kind = serve::RequestKind::kErase;
     s->req.key = key;
+    set_deadline(s->req, budget);
     submit_slot(c, s);
     return Handle::kOk;
   }
@@ -631,6 +663,7 @@ class NetServer {
     const std::uint64_t key = u.u64();
     const std::uint64_t value = u.u64();
     const std::uint64_t ttl = u.u64();
+    const std::uint64_t budget = read_deadline_budget(c, u);
     if (u.failed() || !u.exhausted()) return malformed(c, id);
     Slot* s = take_slot(c, id, MsgType::kPutResp);
     if (!s) return Handle::kNoSlot;
@@ -638,6 +671,7 @@ class NetServer {
     s->req.key = key;
     s->req.value = value;
     s->req.ttl_ns = ttl;
+    set_deadline(s->req, budget);
     submit_slot(c, s);
     return Handle::kOk;
   }
@@ -647,12 +681,14 @@ class NetServer {
   Handle on_touch(Connection& c, std::uint64_t id, Unpacker& u) {
     const std::uint64_t key = u.u64();
     const std::uint64_t ttl = u.u64();
+    const std::uint64_t budget = read_deadline_budget(c, u);
     if (u.failed() || !u.exhausted()) return malformed(c, id);
     Slot* s = take_slot(c, id, MsgType::kTouchResp);
     if (!s) return Handle::kNoSlot;
     s->req.kind = serve::RequestKind::kTouch;
     s->req.key = key;
     s->req.ttl_ns = ttl;
+    set_deadline(s->req, budget);
     submit_slot(c, s);
     return Handle::kOk;
   }
@@ -660,19 +696,25 @@ class NetServer {
   Handle on_get_many(Connection& c, std::uint64_t id, Unpacker& u) {
     const std::uint32_t n = u.u32();
     // The count must agree with the frame length before any allocation
-    // sized by it (a lying count is a malformed body, not an OOM).
-    if (u.failed() || u.remaining() != static_cast<std::size_t>(n) * 8)
+    // sized by it (a lying count is a malformed body, not an OOM).  On
+    // v4+ the body may carry the trailing budget after the keys.
+    const std::size_t keys_len = static_cast<std::size_t>(n) * 8;
+    if (u.failed() ||
+        (u.remaining() != keys_len &&
+         !(c.peer_version >= 4 && u.remaining() == keys_len + 8)))
       return malformed(c, id);
     Slot* s = take_slot(c, id, MsgType::kGetManyResp);
     if (!s) return Handle::kNoSlot;
     s->keys.clear();
     s->keys.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) s->keys.push_back(u.u64());
+    const std::uint64_t budget = read_deadline_budget(c, u);
     s->out.assign(n, std::nullopt);
     s->req.kind = serve::RequestKind::kGetBatch;
     s->req.keys = s->keys.data();
     s->req.key_count = n;
     s->req.out = n ? s->out.data() : nullptr;
+    set_deadline(s->req, budget);
     submit_slot(c, s);
     return Handle::kOk;
   }
@@ -732,13 +774,25 @@ class NetServer {
     return progressed;
   }
 
+  // The verdict the client should see: the admission verdict if the
+  // request was refused at the submit edge, otherwise kDeadlineExceeded
+  // if the workers dropped every slice at dequeue (accepted-but-doomed),
+  // otherwise accepted.
+  static serve::AdmitResult effective_admit(const Slot& s) {
+    if (s.admit != serve::AdmitResult::kAccepted) return s.admit;
+    if (s.req.dropped.load(std::memory_order_relaxed) != 0)
+      return serve::AdmitResult::kDeadlineExceeded;
+    return serve::AdmitResult::kAccepted;
+  }
+
   void pack_response(Connection& c, const Slot& s) {
     const std::uint16_t v = c.peer_version;
-    const bool refused = s.admit != serve::AdmitResult::kAccepted;
+    const serve::AdmitResult adm = effective_admit(s);
+    const bool refused = adm != serve::AdmitResult::kAccepted;
     switch (s.resp_type) {
       case MsgType::kGetResp:
         if (refused) {
-          pack_refusal(c, s);
+          pack_refusal(c, s.resp_type, s.id, adm);
         } else {
           pack_get_resp(c.wbuf, s.id, s.out[0].has_value(),
                         s.out[0].value_or(0), v);
@@ -746,14 +800,14 @@ class NetServer {
         break;
       case MsgType::kPutResp:
         if (refused) {
-          pack_refusal(c, s);
+          pack_refusal(c, s.resp_type, s.id, adm);
         } else {
           pack_put_resp(c.wbuf, s.id, v);
         }
         break;
       case MsgType::kEraseResp:
         if (refused) {
-          pack_refusal(c, s);
+          pack_refusal(c, s.resp_type, s.id, adm);
         } else {
           pack_erase_resp(c.wbuf, s.id,
                           s.req.hits.load(std::memory_order_relaxed) != 0,
@@ -762,7 +816,7 @@ class NetServer {
         break;
       case MsgType::kTouchResp:
         if (refused) {
-          pack_refusal(c, s);
+          pack_refusal(c, s.resp_type, s.id, adm);
         } else {
           pack_touch_resp(c.wbuf, s.id,
                           s.req.hits.load(std::memory_order_relaxed) != 0,
@@ -770,11 +824,12 @@ class NetServer {
         }
         break;
       case MsgType::kGetManyResp: {
-        // A partially-refused batch (shutdown race) still answers with
-        // what completed; a fully refused one is an explicit refusal.
+        // A partially-refused batch (shutdown race, or a deadline drop
+        // after some slices ran) still answers with what completed; a
+        // fully refused one is an explicit refusal.
         if (refused && s.req.key_count != 0 &&
             s.req.hits.load(std::memory_order_relaxed) == 0) {
-          pack_refusal(c, s);
+          pack_refusal(c, s.resp_type, s.id, adm);
           break;
         }
         const std::size_t at = c.wbuf.begin_frame();

@@ -55,7 +55,17 @@ inline constexpr std::uint32_t kMagic = 0x424A5257;  // "BJRW"
 // *version-gated*: a peer whose header declares < v3 sending them gets
 // kErrorResp(kUnknownType), exactly as if its minor had never heard of
 // them (DispatchEntry::min_version).
-inline constexpr std::uint16_t kVersion = 3;
+// v4: end-to-end deadlines.  Every request body may carry a *trailing*
+// optional u64 deadline-budget (nanoseconds the client grants the server;
+// the server converts it to an absolute deadline on its own clock at
+// parse time).  The field is optional by length — a v4 frame without it
+// is laid out exactly like its v3 twin except for the header's version
+// bytes, and v1–v3 frames are byte-identical to before (down-negotiated
+// peers never see the field; the packers freeze it off below v4).
+// Refusals for expired deadlines answer with WireStatus::kDeadline (v4+),
+// down-mapped to kShed for v2/v3 peers and kErrorResp(kBackpressure)
+// for v1.
+inline constexpr std::uint16_t kVersion = 4;
 inline constexpr std::uint16_t kMinVersion = 1;
 
 // Frame length prefix (u32) + fixed message header.
@@ -104,6 +114,7 @@ enum class WireStatus : std::uint8_t {
   kShed = 1,       // admission shed (token bucket): retry after backoff
   kQueueFull = 2,  // node queue over high water: retry sooner
   kShutdown = 3,   // server stopping
+  kDeadline = 4,   // v4+ deadline budget expired: do not retry
 };
 
 // --- packing -----------------------------------------------------------------
@@ -266,41 +277,59 @@ inline bool unpack_header(Unpacker& u, MsgHeader* h, ErrorCode* err) {
 // --- request bodies (client packs, server unpacks) ---------------------------
 //
 // Request bodies are layout-identical across minors; the header's version
-// field is how a client declares the minor it wants answers in.
+// field is how a client declares the minor it wants answers in.  On v4+
+// every request may append a trailing u64 deadline-budget (relative
+// nanoseconds; 0 = none, and a zero budget is simply not packed, keeping
+// budget-less v4 frames one version-field away from their v3 twins).  The
+// `version >= 4` guard freezes the field off for down-negotiated clients:
+// a pre-v4 header can never be followed by the extra bytes.
+
+inline void pack_deadline_budget(PackBuffer& b, std::uint16_t version,
+                                 std::uint64_t deadline_budget_ns) {
+  if (version >= 4 && deadline_budget_ns != 0) b.put_u64(deadline_budget_ns);
+}
 
 inline void pack_get_req(PackBuffer& b, std::uint64_t id, std::uint64_t key,
-                         std::uint16_t version = kVersion) {
+                         std::uint16_t version = kVersion,
+                         std::uint64_t deadline_budget_ns = 0) {
   const std::size_t at = b.begin_frame();
   pack_header(b, MsgType::kGetReq, id, version);
   b.put_u64(key);
+  pack_deadline_budget(b, version, deadline_budget_ns);
   b.end_frame(at);
 }
 
 inline void pack_put_req(PackBuffer& b, std::uint64_t id, std::uint64_t key,
                          std::uint64_t value,
-                         std::uint16_t version = kVersion) {
+                         std::uint16_t version = kVersion,
+                         std::uint64_t deadline_budget_ns = 0) {
   const std::size_t at = b.begin_frame();
   pack_header(b, MsgType::kPutReq, id, version);
   b.put_u64(key);
   b.put_u64(value);
+  pack_deadline_budget(b, version, deadline_budget_ns);
   b.end_frame(at);
 }
 
 inline void pack_erase_req(PackBuffer& b, std::uint64_t id, std::uint64_t key,
-                           std::uint16_t version = kVersion) {
+                           std::uint16_t version = kVersion,
+                           std::uint64_t deadline_budget_ns = 0) {
   const std::size_t at = b.begin_frame();
   pack_header(b, MsgType::kEraseReq, id, version);
   b.put_u64(key);
+  pack_deadline_budget(b, version, deadline_budget_ns);
   b.end_frame(at);
 }
 
 inline void pack_get_many_req(PackBuffer& b, std::uint64_t id,
                               const std::uint64_t* keys, std::uint32_t n,
-                              std::uint16_t version = kVersion) {
+                              std::uint16_t version = kVersion,
+                              std::uint64_t deadline_budget_ns = 0) {
   const std::size_t at = b.begin_frame();
   pack_header(b, MsgType::kGetManyReq, id, version);
   b.put_u32(n);
   for (std::uint32_t i = 0; i < n; ++i) b.put_u64(keys[i]);
+  pack_deadline_budget(b, version, deadline_budget_ns);
   b.end_frame(at);
 }
 
@@ -309,23 +338,27 @@ inline void pack_get_many_req(PackBuffer& b, std::uint64_t id,
 inline void pack_put_ttl_req(PackBuffer& b, std::uint64_t id,
                              std::uint64_t key, std::uint64_t value,
                              std::uint64_t ttl_ns,
-                             std::uint16_t version = kVersion) {
+                             std::uint16_t version = kVersion,
+                             std::uint64_t deadline_budget_ns = 0) {
   const std::size_t at = b.begin_frame();
   pack_header(b, MsgType::kPutTtlReq, id, version);
   b.put_u64(key);
   b.put_u64(value);
   b.put_u64(ttl_ns);
+  pack_deadline_budget(b, version, deadline_budget_ns);
   b.end_frame(at);
 }
 
 // v3+: extend an existing key's lease.
 inline void pack_touch_req(PackBuffer& b, std::uint64_t id, std::uint64_t key,
                            std::uint64_t ttl_ns,
-                           std::uint16_t version = kVersion) {
+                           std::uint16_t version = kVersion,
+                           std::uint64_t deadline_budget_ns = 0) {
   const std::size_t at = b.begin_frame();
   pack_header(b, MsgType::kTouchReq, id, version);
   b.put_u64(key);
   b.put_u64(ttl_ns);
+  pack_deadline_budget(b, version, deadline_budget_ns);
   b.end_frame(at);
 }
 

@@ -98,6 +98,13 @@ struct ServeConfig {
   // must outlive the server.
   const ClockSource* expiry_clock = nullptr;
 
+  // ---- deadlines ------------------------------------------------------------
+  // Time source for Request::deadline_ns checks (admission edge + worker
+  // dequeue); nullptr = steady clock.  Kept separate from expiry_clock so
+  // deadline tests can drive a VirtualClock without also rewiring lease
+  // semantics.  Not owned; must outlive the server.
+  const ClockSource* clock = nullptr;
+
   // ---- fluent validated setters ---------------------------------------------
 
   ServeConfig& with_shards(std::size_t shards) {
@@ -172,8 +179,12 @@ struct ServeConfig {
     expiry_wheel_levels = levels;
     return *this;
   }
-  ServeConfig& with_expiry_clock(const ClockSource* clock) {
-    expiry_clock = clock;
+  ServeConfig& with_expiry_clock(const ClockSource* source) {
+    expiry_clock = source;
+    return *this;
+  }
+  ServeConfig& with_clock(const ClockSource* source) {
+    clock = source;
     return *this;
   }
 

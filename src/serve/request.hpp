@@ -40,10 +40,11 @@ namespace bjrw::serve {
 // batch takes the max (worst_of), so a request whose slices saw both
 // kAccepted and kShutdown reports kShutdown.
 enum class AdmitResult : std::uint8_t {
-  kAccepted = 0,      // enqueued; will execute exactly once
-  kShedOverload = 1,  // per-node token bucket empty: nothing enqueued
-  kQueueFull = 2,     // per-node depth over high water: nothing enqueued
-  kShutdown = 3,      // server stopping: nothing (more) enqueued
+  kAccepted = 0,          // enqueued; will execute exactly once
+  kShedOverload = 1,      // per-node token bucket empty: nothing enqueued
+  kQueueFull = 2,         // per-node depth over high water: nothing enqueued
+  kDeadlineExceeded = 3,  // deadline_ns already past at admission or dequeue
+  kShutdown = 4,          // server stopping: nothing (more) enqueued
 };
 
 constexpr AdmitResult worst_of(AdmitResult a, AdmitResult b) {
@@ -55,6 +56,7 @@ constexpr const char* to_string(AdmitResult r) {
     case AdmitResult::kAccepted: return "accepted";
     case AdmitResult::kShedOverload: return "shed_overload";
     case AdmitResult::kQueueFull: return "queue_full";
+    case AdmitResult::kDeadlineExceeded: return "deadline_exceeded";
     case AdmitResult::kShutdown: return "shutdown";
   }
   return "?";
@@ -83,6 +85,13 @@ struct Request {
   // Lease TTL relative to execution time; 0 = no lease.  Read for kPut
   // (put_with_ttl) and kTouch on expiry-enabled servers, ignored otherwise.
   std::uint64_t ttl_ns = 0;
+  // Absolute deadline against the server's ClockSource; 0 = none.  Checked
+  // at the admission edge (refused with kDeadlineExceeded, nothing
+  // enqueued) and again at worker dequeue: a slice whose deadline has
+  // already passed is *dropped* — the latch is still decremented, but no
+  // map work runs and `dropped` records the slice (see pack_response in
+  // net_server.hpp for how partial batches surface this on the wire).
+  std::uint64_t deadline_ns = 0;
 
   // --- filled by the runtime -------------------------------------------------
   // Key indices grouped by owning node (server-side scratch; SubRequests
@@ -92,6 +101,7 @@ struct Request {
   std::atomic<std::uint64_t> hits{0};         // keys found (gets), 1/0 (erase)
   std::atomic<std::uint64_t> value_sum{0};    // checksum over found values
   std::atomic<std::uint32_t> pending{0};      // outstanding sub-requests
+  std::atomic<std::uint32_t> dropped{0};      // slices dropped at dequeue
   // Admission outcome, written by the *submitting* thread strictly before
   // submit returns (plain field: workers never touch it, and the client
   // owns the request, so there is no race to order).  Mirrors submit()'s
@@ -114,6 +124,7 @@ struct Request {
     hits.store(0, std::memory_order_relaxed);
     value_sum.store(0, std::memory_order_relaxed);
     pending.store(0, std::memory_order_relaxed);
+    dropped.store(0, std::memory_order_relaxed);
     submit_ns = 0;
     outcome = AdmitResult::kAccepted;
   }

@@ -70,6 +70,10 @@ struct NodeServeStats {
   std::uint64_t leases_expired = 0;     // entries the sweep actually erased
   std::uint64_t lease_stale_skips = 0;  // superseded leases dropped, wheel+map
   std::uint64_t sweep_batches = 0;      // harvest batches the sweeper ran
+  // End-to-end deadlines: refusals at the admission edge vs slices whose
+  // deadline expired while queued (dropped at dequeue, never executed).
+  std::uint64_t deadline_refused = 0;
+  std::uint64_t deadline_drops = 0;
 };
 
 template <ReaderWriterLock Lock = CohortWriterPriorityLock>
@@ -83,6 +87,7 @@ class KvServer {
                    ? (cfg_.expiry_clock ? cfg_.expiry_clock
                                         : &SteadyClockSource::instance())
                    : nullptr),
+        time_(cfg_.clock ? cfg_.clock : &SteadyClockSource::instance()),
         map_(topo, cfg_.shards_per_node, cfg_.node_local_alloc, clock_),
         worker_stats_(std::make_unique<WorkerStats[]>(
             static_cast<std::size_t>(map_.max_threads()))),
@@ -144,7 +149,7 @@ class KvServer {
         const auto [begin, end] = ranges[d];
         if (begin == end) continue;
         dnodes[d] = dispatch_node(static_cast<int>(d));
-        const AdmitResult adm = admit(dnodes[d], end - begin);
+        const AdmitResult adm = admit(dnodes[d], end - begin, req->deadline_ns);
         if (adm != AdmitResult::kAccepted) {
           for (std::size_t e = 0; e < d; ++e) {  // refund admitted slices
             const auto [eb, ee] = ranges[e];
@@ -175,7 +180,7 @@ class KvServer {
         req->kind == RequestKind::kGet ? req->keys[0] : req->key;
     const int owner = map_.node_of_key(routing_key);
     const int dn = dispatch_node(owner);
-    const AdmitResult adm = admit(dn, 1);
+    const AdmitResult adm = admit(dn, 1, req->deadline_ns);
     if (adm != AdmitResult::kAccepted) {
       req->pending.store(0, std::memory_order_release);
       req->outcome = adm;
@@ -232,7 +237,7 @@ class KvServer {
           const auto [begin, end] = ranges[d];
           if (begin == end) continue;
           dnodes[d] = dispatch_node(static_cast<int>(d));
-          adm = admit(dnodes[d], end - begin);
+          adm = admit(dnodes[d], end - begin, req->deadline_ns);
           if (adm != AdmitResult::kAccepted) {
             for (std::size_t e = 0; e < d; ++e) {  // refund admitted slices
               const auto [eb, ee] = ranges[e];
@@ -261,7 +266,7 @@ class KvServer {
             req->kind == RequestKind::kGet ? req->keys[0] : req->key;
         const int owner = map_.node_of_key(routing_key);
         const int dn = dispatch_node(owner);
-        const AdmitResult adm = admit(dn, 1);
+        const AdmitResult adm = admit(dn, 1, req->deadline_ns);
         if (adm != AdmitResult::kAccepted) {
           req->pending.store(0, std::memory_order_release);
           req->outcome = adm;
@@ -378,7 +383,16 @@ class KvServer {
   const Map& map() const { return map_; }
 
   const ServeConfig& config() const { return cfg_; }
+  // The deadline time source's current reading — the front-end converts
+  // relative wire budgets to absolute Request::deadline_ns against this,
+  // so client budgets and server checks share one timeline (virtual in
+  // tests, steady otherwise).
+  std::uint64_t time_now_ns() const { return time_->now_ns(); }
   int node_count() const { return map_.node_count(); }
+  // Instantaneous accepted-but-unclaimed depth of a node's queue; tests
+  // use it to sequence wedge choreography (the high-water probe reads the
+  // same surface).
+  std::size_t queue_depth(int node) const { return pool_.queue_depth(node); }
   int pinned_workers() const { return pool_.pinned_workers(); }
   int workers_per_node() const { return pool_.workers_per_node(); }
   int min_width() const { return pool_.min_width(); }
@@ -417,6 +431,7 @@ class KvServer {
       out.sub_requests += ws.subs;
       out.ops += ws.ops;
       out.group_gathers += ws.group_gathers;
+      out.deadline_drops += ws.deadline_drops;
       latency.merge(ws.latency);
     }
     out.completed = static_cast<std::uint64_t>(latency.count());
@@ -424,6 +439,8 @@ class KvServer {
     out.latency_max_ns = latency.count() ? latency.max() : 0.0;
     out.shed = admit_[idx(node)].shed.load(std::memory_order_relaxed);
     out.deferred = admit_[idx(node)].deferred.load(std::memory_order_relaxed);
+    out.deadline_refused =
+        admit_[idx(node)].deadline_refused.load(std::memory_order_relaxed);
     out.parks = pool_.parks(node);
     out.wakes = pool_.wakes(node);
     out.parked = pool_.parked(node);
@@ -467,6 +484,7 @@ class KvServer {
     std::uint64_t ops = 0;
     std::uint64_t subs = 0;
     std::uint64_t group_gathers = 0;  // cross-request get_many_into calls
+    std::uint64_t deadline_drops = 0;  // slices dropped at dequeue
   };
 
   // Per-node admission state: a token bucket (lazily refilled by
@@ -478,6 +496,7 @@ class KvServer {
     std::atomic<std::uint64_t> last_ns{0};
     std::atomic<std::uint64_t> shed{0};
     std::atomic<std::uint64_t> deferred{0};
+    std::atomic<std::uint64_t> deadline_refused{0};
   };
 
   // One timer wheel + sweeper per node when expiry is armed (both vectors
@@ -566,12 +585,19 @@ class KvServer {
 
   // Admission gate for one slice of `cost` ops headed for dispatch node
   // `dn`.  Runs strictly before any latch init, so a refusal leaves the
-  // request untouched and nothing to unwind.  Order matters: the depth
-  // probe (advisory, retryable kQueueFull) goes first so a saturated
+  // request untouched and nothing to unwind.  Order matters: an already-
+  // expired deadline refuses first (the request is doomed regardless of
+  // capacity — a doomed request must not count as load pressure); then
+  // the depth probe (advisory, retryable kQueueFull) so a saturated
   // queue does not also drain the token bucket; the bucket is charged
   // only when the request will actually be enqueued (modulo the
   // all-or-nothing refund in the callers).
-  AdmitResult admit(int dn, std::uint64_t cost) {
+  AdmitResult admit(int dn, std::uint64_t cost, std::uint64_t deadline_ns) {
+    if (deadline_ns != 0 && time_->now_ns() >= deadline_ns) {
+      admit_[idx(dn)].deadline_refused.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      return AdmitResult::kDeadlineExceeded;
+    }
     if (cfg_.queue_high_water != 0 &&
         pool_.queue_depth(dn) >= cfg_.queue_high_water) {
       admit_[idx(dn)].deferred.fetch_add(1, std::memory_order_relaxed);
@@ -632,10 +658,25 @@ class KvServer {
     }
   }
 
+  // Dequeue-edge deadline recheck: a slice that waited out its budget in
+  // the queue is dropped, not executed — the latch still resolves (the
+  // client must not hang on doomed work), `dropped` tells the completion
+  // side nothing ran, and the worker stripe records the drop.  True when
+  // the slice was consumed here.
+  bool drop_if_expired(WorkerStats& ws, Request* req) {
+    if (req->deadline_ns == 0 || time_->now_ns() < req->deadline_ns)
+      return false;
+    ws.deadline_drops += 1;
+    req->dropped.fetch_add(1, std::memory_order_relaxed);
+    finish(ws, req);
+    return true;
+  }
+
   // Runs on a pool worker; `tid` is the worker's pool tid.
   void execute(int tid, int /*node*/, SubRequest& s) {
     Request* req = s.parent;
     WorkerStats& ws = worker_stats_[idx(tid)];
+    if (drop_if_expired(ws, req)) return;
     switch (req->kind) {
       case RequestKind::kPut:
         if (cfg_.expiry_enabled && req->ttl_ns > 0) {
@@ -751,6 +792,7 @@ class KvServer {
         execute(tid, /*node=*/-1, s);  // point op: unchanged per-item path
         continue;
       }
+      if (drop_if_expired(ws, s.parent)) continue;  // doomed: never gathered
       Scratch& g = groups[idx(s.owner)];
       const Request* req = s.parent;
       for (std::uint32_t k = s.begin; k < s.end; ++k)
@@ -792,6 +834,8 @@ class KvServer {
   ServeConfig cfg_;
   // Lease-time source (null when expiry is off); not owned.
   const ClockSource* clock_;
+  // Deadline-time source; always non-null (steady unless cfg.clock).
+  const ClockSource* time_;
   Map map_;
   std::unique_ptr<WorkerStats[]> worker_stats_;  // indexed by pool tid
   std::unique_ptr<AdmitState[]> admit_;          // indexed by node

@@ -1,0 +1,297 @@
+// Tier-1 fault-injection suite for the transport seam (src/harness/
+// fault.hpp) and the net stack's behavior under it: seeded schedules
+// replay bit-for-bit, reset offsets fire at the chosen byte, MSG_NOSIGNAL
+// keeps a dead peer from killing the process (the SIGPIPE regression),
+// short/split/coalesced/delayed I/O preserves end-to-end integrity, a
+// connection reset is survived by the client's reconnect path, and a hung
+// server costs the per-op budget instead of blocking forever.  The CI
+// stress matrix also runs this binary under ThreadSanitizer.
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/core/locks.hpp"
+#include "src/harness/fault.hpp"
+#include "src/harness/prng.hpp"
+#include "src/harness/topology.hpp"
+#include "src/net/client.hpp"
+#include "src/net/net_server.hpp"
+#include "src/serve/server.hpp"
+
+namespace bjrw::net {
+namespace {
+
+using Server = serve::KvServer<CohortWriterPriorityLock>;
+
+struct Loopback {
+  Server kv;
+  NetServer<CohortWriterPriorityLock> net;
+
+  explicit Loopback(NetServerConfig ncfg = {},
+                    serve::ServeConfig scfg = server_config())
+      : kv(Topology::simulated(2, 4), scfg), net(kv, ncfg) {}
+
+  static serve::ServeConfig server_config() {
+    return serve::ServeConfig{}.with_workers(2);
+  }
+};
+
+// ---- injector unit tests (no sockets) ---------------------------------------
+
+TEST(NetFault, SameSeedReplaysIdenticalSchedule) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.short_read_prob = 0.5;
+  plan.short_write_prob = 0.5;
+  plan.delay_prob = 0.25;
+  plan.delay_ns = 1;
+  plan.min_chunk = 2;
+  FaultInjector a(plan), b(plan);
+  for (int i = 0; i < 256; ++i) {
+    const auto ra = a.plan_read(7, 64);
+    const auto rb = b.plan_read(7, 64);
+    ASSERT_EQ(ra.len, rb.len) << "read step " << i;
+    ASSERT_EQ(ra.delayed, rb.delayed) << "read step " << i;
+    ASSERT_EQ(ra.reset, rb.reset) << "read step " << i;
+    const auto wa = a.plan_write(9, 128);
+    const auto wb = b.plan_write(9, 128);
+    ASSERT_EQ(wa.len, wb.len) << "write step " << i;
+    ASSERT_EQ(wa.delayed, wb.delayed) << "write step " << i;
+  }
+  // A different seed must produce a different schedule somewhere in the
+  // same window (the PRNG chains are decorrelated, not offset).
+  plan.seed = 43;
+  FaultInjector c(plan);
+  bool diverged = false;
+  FaultInjector a2(FaultPlan{.seed = 42,
+                             .short_read_prob = 0.5,
+                             .short_write_prob = 0.5,
+                             .delay_prob = 0.25,
+                             .delay_ns = 1,
+                             .min_chunk = 2});
+  for (int i = 0; i < 256 && !diverged; ++i)
+    diverged = a2.plan_read(7, 64).len != c.plan_read(7, 64).len;
+  EXPECT_TRUE(diverged);
+}
+
+TEST(NetFault, ShortLengthsStayWithinChunkBounds) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.short_read_prob = 1.0;  // every call clamps
+  plan.min_chunk = 4;
+  FaultInjector fi(plan);
+  std::uint64_t shortened = 0;
+  for (int i = 0; i < 512; ++i) {
+    const auto d = fi.plan_read(3, 64);
+    ASSERT_GE(d.len, 4u);
+    ASSERT_LE(d.len, 64u);
+    if (d.len < 64) ++shortened;
+  }
+  EXPECT_GT(shortened, 0u);
+  EXPECT_EQ(fi.short_ios(), shortened);
+  // A want at or below min_chunk is never clamped (progress guarantee).
+  EXPECT_EQ(fi.plan_read(3, 1).len, 1u);
+  EXPECT_EQ(fi.plan_read(3, 4).len, 4u);
+}
+
+TEST(NetFault, ResetFiresAtChosenWriteOffset) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.reset_write_at = 10;
+  FaultInjector fi(plan);
+  const std::uint8_t buf[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  // 8 bytes move freely (under the offset)...
+  ASSERT_EQ(fi.send(sv[0], buf, 8), 8);
+  // ...the next write is clamped to land exactly on byte 10...
+  ASSERT_EQ(fi.send(sv[0], buf, 8), 2);
+  // ...and the one after dies with a real shutdown + ECONNRESET.
+  errno = 0;
+  ASSERT_EQ(fi.send(sv[0], buf, 8), -1);
+  EXPECT_EQ(errno, ECONNRESET);
+  EXPECT_EQ(fi.resets(), 1u);
+  // The peer observes exactly 10 bytes then EOF: the stream died at the
+  // chosen offset, not inside the next buffer.
+  std::uint8_t got[32];
+  std::size_t total = 0;
+  for (;;) {
+    const ssize_t n = ::read(sv[1], got + total, sizeof got - total);
+    if (n <= 0) break;
+    total += static_cast<std::size_t>(n);
+  }
+  EXPECT_EQ(total, 10u);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+// ---- the SIGPIPE regression --------------------------------------------------
+
+TEST(NetFault, SendToClosedPeerReturnsEpipeInsteadOfKillingProcess) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ::close(sv[1]);
+  const std::uint8_t buf[64] = {};
+  // Without MSG_NOSIGNAL on the seam this raises SIGPIPE and the whole
+  // test binary dies here.
+  errno = 0;
+  EXPECT_EQ(transport_send(sv[0], buf, sizeof buf), -1);
+  EXPECT_EQ(errno, EPIPE);
+  ::close(sv[0]);
+}
+
+TEST(NetFault, ServerSurvivesPeerKilledMidWrite) {
+  Loopback lb;
+  ASSERT_TRUE(lb.net.ok());
+  // Large pipelined batches make the response volume exceed what the
+  // kernel buffers absorb, so the server keeps writing after the abrupt
+  // close below and must hit EPIPE on a live write, not SIGPIPE.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < 2048; ++k) keys.push_back(k);
+  {
+    auto c = KvClient::connect(lb.net.port());
+    ASSERT_TRUE(c.has_value());
+    for (std::uint64_t k = 0; k < 64; ++k) ASSERT_TRUE(c->put(k, k + 1));
+    for (int i = 0; i < 8; ++i)
+      c->submit_get_many(keys.data(), static_cast<std::uint32_t>(keys.size()));
+    ASSERT_TRUE(c->flush());
+    // Destructor closes the socket with eight ~36KB responses in flight.
+  }
+  // The server is still alive and serving.
+  auto c2 = KvClient::connect(lb.net.port());
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_TRUE(c2->put(9999, 1));
+  EXPECT_EQ(c2->get(9999).value_or(0), 1u);
+}
+
+// ---- end-to-end integrity under injected faults ------------------------------
+
+TEST(NetFault, ShortSplitCoalescedAndDelayedIoPreservesIntegrity) {
+  Loopback lb;
+  ASSERT_TRUE(lb.net.ok());
+  FaultPlan plan;
+  plan.seed = test_seed(0xFA);  // BJRW_TEST_SEED replays the schedule
+  plan.short_read_prob = 0.6;
+  plan.short_write_prob = 0.6;
+  plan.min_chunk = 1;
+  plan.delay_prob = 0.05;
+  plan.delay_ns = 20'000;
+  FaultInjector fi(plan);
+  ScopedFaultInjection guard(fi);
+
+  ClientConfig cfg;
+  cfg.op_timeout_ms = 10'000;  // faults slow ops down, never hang them
+  auto c = KvClient::connect(lb.net.port(), cfg);
+  ASSERT_TRUE(c.has_value());
+
+  constexpr std::uint64_t kN = 128;
+  for (std::uint64_t k = 0; k < kN; ++k)
+    ASSERT_TRUE(c->put(k, k * 7 + 1)) << "put " << k;
+
+  // Pipelined burst: one flush coalesces all frames; short writes split
+  // them back apart — the server must resynchronize on every boundary.
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t k = 0; k < kN; ++k) ids.push_back(c->submit_get(k));
+  ASSERT_TRUE(c->flush());
+  std::vector<bool> seen(kN, false);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    Response r;
+    ASSERT_TRUE(c->recv_response(&r)) << "response " << i;
+    ASSERT_EQ(r.type, MsgType::kGetResp);
+    ASSERT_EQ(r.status, WireStatus::kOk);
+    std::uint64_t k = kN;
+    for (std::uint64_t j = 0; j < kN; ++j)
+      if (ids[j] == r.id) k = j;
+    ASSERT_LT(k, kN) << "unknown id " << r.id;
+    ASSERT_FALSE(seen[k]);
+    seen[k] = true;
+    ASSERT_TRUE(r.found);
+    ASSERT_EQ(r.value, k * 7 + 1);
+  }
+
+  // And a multi-node batch through the same lossy pipe.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < kN; ++k) keys.push_back(k);
+  const auto got = c->get_many(keys);
+  ASSERT_TRUE(got.has_value());
+  for (std::uint64_t k = 0; k < kN; ++k)
+    ASSERT_EQ((*got)[k].value_or(0), k * 7 + 1) << "key " << k;
+
+  EXPECT_GT(fi.short_ios(), 0u);  // the schedule actually fired
+}
+
+TEST(NetFault, ConnectionResetAtOffsetIsSurvivedByReconnect) {
+  Loopback lb;
+  ASSERT_TRUE(lb.net.ok());
+  FaultPlan plan;
+  plan.seed = test_seed(0xCE);
+  plan.reset_write_at = 100;  // every stream dies ~3 frames in
+  FaultInjector fi(plan);
+  ScopedFaultInjection guard(fi);
+
+  ClientConfig cfg;
+  cfg.op_timeout_ms = 5'000;
+  cfg.retry.max_attempts = 4;
+  cfg.retry.base_backoff_ns = 100'000;  // keep the test fast
+  auto c = KvClient::connect(lb.net.port(), cfg);
+  ASSERT_TRUE(c.has_value());
+
+  // Every op must end as a completed op or a typed error within its
+  // retry budget; with reconnect-on-reset each fresh connection moves
+  // ~100 bytes — plenty for the retried frame.
+  for (std::uint64_t k = 0; k < 20; ++k)
+    ASSERT_TRUE(c->put(k, k + 5)) << "put " << k;
+  EXPECT_GE(fi.resets(), 1u);
+  EXPECT_GE(c->reconnects(), 1u);
+  for (std::uint64_t k = 0; k < 20; ++k)
+    ASSERT_EQ(c->get(k).value_or(0), k + 5) << "get " << k;
+}
+
+// ---- hung server: the per-op budget bounds the wait --------------------------
+
+TEST(NetFault, HungServerCostsTheOpBudgetNotForever) {
+  // A listening socket whose backlog accepts the TCP handshake but which
+  // never reads or answers: before per-op timeouts, KvClient::get blocked
+  // in recv() indefinitely here.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr), 0);
+  ASSERT_EQ(::listen(lfd, 8), 0);
+  socklen_t alen = sizeof addr;
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  ClientConfig cfg;
+  cfg.op_timeout_ms = 100;
+  cfg.retry.max_attempts = 2;
+  cfg.retry.base_backoff_ns = 0;
+  auto c = KvClient::connect(port, cfg);
+  ASSERT_TRUE(c.has_value());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(c->get(1).has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(c->last_error(), ClientError::kTimeout);
+  EXPECT_GE(c->timeouts(), 1u);
+  // Two attempts x 100ms plus reconnect slack; generous for sanitizers
+  // but orders of magnitude under "forever".
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5'000);
+  ::close(lfd);
+}
+
+}  // namespace
+}  // namespace bjrw::net

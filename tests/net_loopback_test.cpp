@@ -428,6 +428,23 @@ TEST(NetLoopback, VersionNegotiationMatrix) {
     }
     EXPECT_TRUE(c.put(key + 50, 1));
     EXPECT_EQ(c.get(key + 50).value_or(0), 1u);
+
+    // The v4 deadline-budget row: a client configured with a budget packs
+    // the trailing field only on v4+ frames.  Pre-v4 peers never put it on
+    // the wire (a stray trailing u64 would come back kMalformed and fail
+    // these ops); v4 peers attach it and, with a generous budget, the ops
+    // complete normally.
+    ClientConfig dcfg;
+    dcfg.version = version;
+    dcfg.deadline_budget_ns = 60'000'000'000ULL;  // 60s: never expires here
+    auto dc = KvClient::connect(lb.net.port(), dcfg);
+    ASSERT_TRUE(dc.has_value());
+    EXPECT_TRUE(dc->put(key + 90, 9));
+    EXPECT_EQ(dc->get(key + 90).value_or(0), 9u);
+    const auto got = dc->get_many({key + 90, key + 91});
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ((*got)[0].value_or(0), 9u);
+    EXPECT_FALSE((*got)[1].has_value());
   }
 }
 

@@ -381,6 +381,132 @@ TEST(Wire, OldMinorOkPathFramesAreByteIdenticalGoldens) {
   }
 }
 
+// The v4 deadline-budget field: an optional trailing u64 on every request
+// body, packed only when (version >= 4 && budget != 0).  Golden bytes for
+// the packed shape, plus the freeze bar — a pre-v4 frame must stay byte-
+// identical no matter what budget the caller passes (down-negotiation
+// means the peer never sees the field).
+TEST(Wire, V4DeadlineBudgetGoldensAndPreV4Freeze) {
+  const auto golden = [](std::uint16_t version, MsgType type,
+                         std::uint64_t id,
+                         const std::vector<std::uint8_t>& body) {
+    std::vector<std::uint8_t> f;
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(kHeaderSize + body.size());
+    for (int s = 24; s >= 0; s -= 8)
+      f.push_back(static_cast<std::uint8_t>(len >> s));
+    for (int s = 24; s >= 0; s -= 8)
+      f.push_back(static_cast<std::uint8_t>(kMagic >> s));
+    f.push_back(static_cast<std::uint8_t>(version >> 8));
+    f.push_back(static_cast<std::uint8_t>(version));
+    const auto t = static_cast<std::uint16_t>(type);
+    f.push_back(static_cast<std::uint8_t>(t >> 8));
+    f.push_back(static_cast<std::uint8_t>(t));
+    for (int s = 56; s >= 0; s -= 8)
+      f.push_back(static_cast<std::uint8_t>(id >> s));
+    f.insert(f.end(), body.begin(), body.end());
+    return f;
+  };
+  const auto expect_bytes = [](const PackBuffer& b,
+                               const std::vector<std::uint8_t>& want) {
+    ASSERT_EQ(b.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+      ASSERT_EQ(b.data()[i], want[i]) << "byte " << i;
+  };
+  constexpr std::uint64_t kBudget = 0x1122334455667788ULL;
+  const std::vector<std::uint8_t> kBudgetBytes = {0x11, 0x22, 0x33, 0x44,
+                                                  0x55, 0x66, 0x77, 0x88};
+  const auto with_budget = [&](std::vector<std::uint8_t> body) {
+    body.insert(body.end(), kBudgetBytes.begin(), kBudgetBytes.end());
+    return body;
+  };
+  {
+    // v4 get: u64 key | u64 budget.
+    PackBuffer b;
+    pack_get_req(b, 1, 0x0B, 4, kBudget);
+    expect_bytes(b, golden(4, MsgType::kGetReq, 1,
+                           with_budget({0, 0, 0, 0, 0, 0, 0, 0x0B})));
+  }
+  {
+    // v4 get, budget 0: the field is absent, not zero-filled.
+    PackBuffer b;
+    pack_get_req(b, 1, 0x0B, 4, 0);
+    expect_bytes(b, golden(4, MsgType::kGetReq, 1,
+                           {0, 0, 0, 0, 0, 0, 0, 0x0B}));
+  }
+  {
+    // v4 put: u64 key | u64 value | u64 budget.
+    PackBuffer b;
+    pack_put_req(b, 2, 0x0B, 0x0C, 4, kBudget);
+    expect_bytes(b, golden(4, MsgType::kPutReq, 2,
+                           with_budget({0, 0, 0, 0, 0, 0, 0, 0x0B,
+                                        0, 0, 0, 0, 0, 0, 0, 0x0C})));
+  }
+  {
+    // v4 erase: u64 key | u64 budget.
+    PackBuffer b;
+    pack_erase_req(b, 3, 0x0D, 4, kBudget);
+    expect_bytes(b, golden(4, MsgType::kEraseReq, 3,
+                           with_budget({0, 0, 0, 0, 0, 0, 0, 0x0D})));
+  }
+  {
+    // v4 get_many: u32 n | n x u64 key | u64 budget.
+    PackBuffer b;
+    const std::uint64_t keys[2] = {0x01, 0x02};
+    pack_get_many_req(b, 4, keys, 2, 4, kBudget);
+    expect_bytes(b, golden(4, MsgType::kGetManyReq, 4,
+                           with_budget({0, 0, 0, 2,
+                                        0, 0, 0, 0, 0, 0, 0, 1,
+                                        0, 0, 0, 0, 0, 0, 0, 2})));
+  }
+  {
+    // v4 put_ttl: u64 key | u64 value | u64 ttl | u64 budget.
+    PackBuffer b;
+    pack_put_ttl_req(b, 5, 0x0B, 0x0C, 0x0E, 4, kBudget);
+    expect_bytes(b, golden(4, MsgType::kPutTtlReq, 5,
+                           with_budget({0, 0, 0, 0, 0, 0, 0, 0x0B,
+                                        0, 0, 0, 0, 0, 0, 0, 0x0C,
+                                        0, 0, 0, 0, 0, 0, 0, 0x0E})));
+  }
+  {
+    // v4 touch: u64 key | u64 ttl | u64 budget.
+    PackBuffer b;
+    pack_touch_req(b, 6, 0x0B, 0x0E, 4, kBudget);
+    expect_bytes(b, golden(4, MsgType::kTouchReq, 6,
+                           with_budget({0, 0, 0, 0, 0, 0, 0, 0x0B,
+                                        0, 0, 0, 0, 0, 0, 0, 0x0E})));
+  }
+  // The freeze: v1–v3 frames ignore the budget entirely — byte-identical
+  // with and without it, for every request packer.
+  for (std::uint16_t v = 1; v <= 3; ++v) {
+    PackBuffer with_b, without_b;
+    pack_get_req(with_b, 7, 0x0B, v, kBudget);
+    pack_get_req(without_b, 7, 0x0B, v);
+    expect_bytes(with_b, std::vector<std::uint8_t>(
+                             without_b.data(),
+                             without_b.data() + without_b.size()));
+    PackBuffer pw, pn;
+    pack_put_req(pw, 8, 1, 2, v, kBudget);
+    pack_put_req(pn, 8, 1, 2, v);
+    expect_bytes(pw, std::vector<std::uint8_t>(pn.data(),
+                                               pn.data() + pn.size()));
+    PackBuffer mw, mn;
+    const std::uint64_t keys[1] = {9};
+    pack_get_many_req(mw, 9, keys, 1, v, kBudget);
+    pack_get_many_req(mn, 9, keys, 1, v);
+    expect_bytes(mw, std::vector<std::uint8_t>(mn.data(),
+                                               mn.data() + mn.size()));
+  }
+  // And the explicit v3 golden: a get with a budget argument is still the
+  // plain 8-byte body those peers have always parsed.
+  {
+    PackBuffer b;
+    pack_get_req(b, 10, 0x0B, 3, kBudget);
+    expect_bytes(b, golden(3, MsgType::kGetReq, 10,
+                           {0, 0, 0, 0, 0, 0, 0, 0x0B}));
+  }
+}
+
 TEST(Wire, DispatchEntryMinVersionDefaultsAndGates) {
   using Handler = int;
   // Three-field aggregate init (the pre-v3 rows) keeps compiling and

@@ -537,6 +537,9 @@ TEST(ServeQueueSoak, ElasticAdmissionShutdownRaceStrandsNothing) {
             deferred.fetch_add(1);
             ASSERT_EQ(r.hits.load(), 0u) << "deferred request executed";
             break;
+          case AdmitResult::kDeadlineExceeded:
+            ASSERT_TRUE(false) << "deadline refusal without a deadline";
+            break;
           case AdmitResult::kShutdown:
             refused_shutdown.fetch_add(1);
             break;
